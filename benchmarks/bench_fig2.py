@@ -1,0 +1,34 @@
+"""Figure 2 — ratios r100/r90/r10/r0 to rstationary vs system size (waypoint).
+
+The paper's Figure 2 plots, for l in {256, 1K, 4K, 16K} with n = sqrt(l) and
+the random waypoint model, the ratios of r100, r90, r10 and r0 to the
+stationary critical range.  Paper-reported shape: all ratios grow slowly
+with l, r100/rstationary reaching roughly 1.2 at l = 16K, with
+r90 clearly below r100 and r0 lowest of all.
+"""
+
+from _helpers import assert_non_decreasing, print_figure, run_experiment_benchmark
+
+COLUMNS = [
+    "r100/rstationary",
+    "r90/rstationary",
+    "r10/rstationary",
+    "r0/rstationary",
+]
+
+
+def test_figure2_waypoint_ratios(benchmark):
+    sweep = run_experiment_benchmark(benchmark, "fig2")
+    print_figure("Figure 2", sweep, COLUMNS)
+
+    for row in sweep.rows:
+        # The orderings the figure displays must hold at every system size.
+        assert row["r0/rstationary"] <= row["r10/rstationary"]
+        assert row["r10/rstationary"] <= row["r90/rstationary"]
+        assert row["r90/rstationary"] <= row["r100/rstationary"]
+        # All mobile thresholds stay within a small factor of rstationary.
+        assert 0.1 < row["r100/rstationary"] < 3.0
+    # r10 saves a substantial fraction of the range relative to r100
+    # (the paper reports ~55-60%; the scaled-down run still shows >= 10%).
+    for row in sweep.rows:
+        assert row["r10/rstationary"] <= 0.9 * row["r100/rstationary"]

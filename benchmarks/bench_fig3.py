@@ -1,0 +1,27 @@
+"""Figure 3 — ratios r100/r90/r10/r0 to rstationary vs system size (drunkard).
+
+Same quantities as Figure 2 under the drunkard model (pstationary = 0.1,
+ppause = 0.3, m = 0.01 l).  Paper-reported shape: nearly the same curves as
+Figure 2 — the headline observation that the mobility model barely matters —
+with slightly higher r100 ratios.
+"""
+
+from _helpers import print_figure, run_experiment_benchmark
+
+COLUMNS = [
+    "r100/rstationary",
+    "r90/rstationary",
+    "r10/rstationary",
+    "r0/rstationary",
+]
+
+
+def test_figure3_drunkard_ratios(benchmark):
+    sweep = run_experiment_benchmark(benchmark, "fig3")
+    print_figure("Figure 3", sweep, COLUMNS)
+
+    for row in sweep.rows:
+        assert row["r0/rstationary"] <= row["r10/rstationary"]
+        assert row["r10/rstationary"] <= row["r90/rstationary"]
+        assert row["r90/rstationary"] <= row["r100/rstationary"]
+        assert 0.1 < row["r100/rstationary"] < 3.0

@@ -1,0 +1,29 @@
+"""Figure 4 — largest-component fraction at r90/r10/r0 vs system size (waypoint).
+
+The paper's Figure 4 shows that when the range is reduced to r90 the largest
+connected component still holds nearly all nodes (~0.98 n for large l), at
+r10 it still holds most of them (~0.9 n), and only at r0 does it drop to
+about half the network.
+"""
+
+from _helpers import print_figure, run_experiment_benchmark
+
+COLUMNS = [
+    "lcc_fraction@r90",
+    "lcc_fraction@r10",
+    "lcc_fraction@r0",
+]
+
+
+def test_figure4_component_sizes_waypoint(benchmark):
+    sweep = run_experiment_benchmark(benchmark, "fig4")
+    print_figure("Figure 4", sweep, COLUMNS)
+
+    for row in sweep.rows:
+        # Ordering: more range -> larger surviving component.
+        assert row["lcc_fraction@r0"] <= row["lcc_fraction@r10"] + 1e-9
+        assert row["lcc_fraction@r10"] <= row["lcc_fraction@r90"] + 1e-9
+        # The qualitative claims of the figure.
+        assert row["lcc_fraction@r90"] > 0.85
+        assert row["lcc_fraction@r10"] > 0.6
+        assert row["lcc_fraction@r0"] < row["lcc_fraction@r90"]

@@ -1,0 +1,23 @@
+"""Figure 5 — largest-component fraction at r90/r10/r0 vs system size (drunkard).
+
+Same as Figure 4 under the drunkard model; the paper stresses that the two
+mobility models produce almost indistinguishable curves.
+"""
+
+from _helpers import print_figure, run_experiment_benchmark
+
+COLUMNS = [
+    "lcc_fraction@r90",
+    "lcc_fraction@r10",
+    "lcc_fraction@r0",
+]
+
+
+def test_figure5_component_sizes_drunkard(benchmark):
+    sweep = run_experiment_benchmark(benchmark, "fig5")
+    print_figure("Figure 5", sweep, COLUMNS)
+
+    for row in sweep.rows:
+        assert row["lcc_fraction@r0"] <= row["lcc_fraction@r10"] + 1e-9
+        assert row["lcc_fraction@r10"] <= row["lcc_fraction@r90"] + 1e-9
+        assert row["lcc_fraction@r90"] > 0.85

@@ -1,0 +1,31 @@
+"""Figure 6 — ratios rl90/rl75/rl50 to rstationary vs system size (waypoint).
+
+The paper's Figure 6 plots the ranges at which the *average* largest
+connected component reaches 0.9 n, 0.75 n and 0.5 n, relative to the
+stationary critical range.  Paper-reported shape: rl90/rstationary drifts
+down toward ~0.52, rl75 (~0.46) and rl50 (~0.40) are nearly flat, and the
+three curves move closer together as l grows.
+"""
+
+from _helpers import print_figure, run_experiment_benchmark
+
+COLUMNS = [
+    "rl90/rstationary",
+    "rl75/rstationary",
+    "rl50/rstationary",
+]
+
+
+def test_figure6_component_threshold_ratios(benchmark):
+    sweep = run_experiment_benchmark(benchmark, "fig6")
+    print_figure("Figure 6", sweep, COLUMNS)
+
+    for row in sweep.rows:
+        # Ordering: a larger component requirement needs a larger range.
+        assert row["rl50/rstationary"] <= row["rl75/rstationary"]
+        assert row["rl75/rstationary"] <= row["rl90/rstationary"]
+        # All three sit clearly below the full-connectivity range.
+        assert row["rl90/rstationary"] <= row["r100/rstationary"]
+        # Keeping only half the nodes connected needs well under the
+        # stationary critical range.
+        assert row["rl50/rstationary"] < 1.0

@@ -1,0 +1,22 @@
+"""Figure 7 — r100/rstationary vs the fraction of stationary nodes.
+
+The paper sweeps pstationary from 0 to 1 at l = 4096, n = 64 and finds a
+sharp drop between 0.4 and 0.6: once about half the nodes are stationary
+the network needs no more range than a fully stationary one.
+"""
+
+from _helpers import print_figure, run_experiment_benchmark
+
+COLUMNS = ["r100/rstationary"]
+
+
+def test_figure7_stationary_fraction(benchmark):
+    sweep = run_experiment_benchmark(benchmark, "fig7")
+    print_figure("Figure 7", sweep, COLUMNS)
+
+    ratios = sweep.series("r100/rstationary")
+    # The all-mobile end needs at least as much range as the all-stationary
+    # end (which is the stationary case by construction).
+    assert ratios[0] >= ratios[-1] - 1e-9
+    # Every ratio stays within a sensible band around 1.
+    assert all(0.2 < ratio < 3.0 for ratio in ratios)

@@ -1,0 +1,21 @@
+"""Figure 8 — r100/rstationary vs the pause time tpause.
+
+The paper sweeps tpause from 0 to 10000 (at l = 4096, n = 64) and observes a
+mild decreasing trend — longer pauses make the system "more stationary" —
+but, unlike Figure 7, no sharp threshold.
+"""
+
+from _helpers import print_figure, run_experiment_benchmark
+
+COLUMNS = ["r100/rstationary"]
+
+
+def test_figure8_pause_time(benchmark):
+    sweep = run_experiment_benchmark(benchmark, "fig8")
+    print_figure("Figure 8", sweep, COLUMNS)
+
+    ratios = sweep.series("r100/rstationary")
+    assert all(0.2 < ratio < 3.0 for ratio in ratios)
+    # Mild decreasing trend: the long-pause end does not require more range
+    # than the no-pause end.
+    assert ratios[-1] <= ratios[0] * 1.1

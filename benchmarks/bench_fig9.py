@@ -1,0 +1,20 @@
+"""Figure 9 — r100/rstationary vs the maximum velocity vmax.
+
+The paper sweeps vmax from 0.01 l to 0.5 l (at l = 4096, n = 64) and finds
+r100 almost independent of the velocity: faster nodes reach their waypoint
+sooner and then pause, so the "quantity of mobility" barely changes.
+"""
+
+from _helpers import print_figure, run_experiment_benchmark
+
+COLUMNS = ["r100/rstationary"]
+
+
+def test_figure9_velocity(benchmark):
+    sweep = run_experiment_benchmark(benchmark, "fig9")
+    print_figure("Figure 9", sweep, COLUMNS)
+
+    ratios = sweep.series("r100/rstationary")
+    assert all(0.2 < ratio < 3.0 for ratio in ratios)
+    # Near-independence of velocity: max-to-min spread stays moderate.
+    assert max(ratios) <= 2.0 * min(ratios)

@@ -1,0 +1,55 @@
+"""Theorems 1-2 — occupancy moments across the five growth domains.
+
+Validates the machinery behind the lower-bound proof: the exact and
+asymptotic (Theorem 1) moments of the number of empty cells agree with
+Monte-Carlo simulation in every growth domain, and the occupancy-based
+estimate of the {10*1} gap event of Lemma 1 behaves sensibly (it vanishes
+in the right-hand domain where every cell is occupied w.h.p.).
+"""
+
+from _helpers import print_figure, run_experiment_benchmark
+
+COLUMNS = [
+    "n",
+    "C",
+    "exact_mean",
+    "asymptotic_mean",
+    "simulated_mean",
+    "exact_variance",
+    "simulated_variance",
+    "gap_probability",
+]
+
+
+def test_occupancy_domains(benchmark):
+    sweep = run_experiment_benchmark(benchmark, "occupancy-domains")
+    print_figure("Occupancy theory (Theorems 1-2)", sweep, COLUMNS)
+
+    for row in sweep.rows:
+        # Exact and simulated means agree within Monte-Carlo noise.
+        tolerance = max(0.35 * row["exact_mean"], 1.5)
+        assert abs(row["exact_mean"] - row["simulated_mean"]) <= tolerance
+        # Theorem 1: the asymptotic mean never exceeds C e^{-n/C} by much and
+        # tracks the exact mean.
+        assert row["asymptotic_mean"] <= row["C"] + 1e-9
+        assert abs(row["asymptotic_mean"] - row["exact_mean"]) <= max(
+            0.2 * max(row["exact_mean"], 1.0), 1.0
+        )
+        assert 0.0 <= row["gap_probability"] <= 1.0
+
+    # The {10*1} gap becomes less likely as n grows relative to C: the
+    # probability is (weakly) decreasing across the domains, is essentially
+    # certain in the sparse domains, and the dense (RHD) domain has the
+    # smallest value of all.  (How small depends on the absolute C used at
+    # this scale; at the paper's asymptotic sizes it vanishes.)
+    ordered = sorted(sweep.rows, key=lambda row: row["n"])
+    gaps = [row["gap_probability"] for row in ordered]
+    assert all(after <= before + 1e-6 for before, after in zip(gaps, gaps[1:]))
+    sparse_rows = [row for row in sweep.rows if row["n"] <= row["C"]]
+    # domain_index 4 is the row constructed with n = C log C (the RHD).
+    rhd_rows = [row for row in sweep.rows if row["domain_index"] == 4.0]
+    assert all(row["gap_probability"] > 0.5 for row in sparse_rows)
+    if rhd_rows and sparse_rows:
+        assert max(r["gap_probability"] for r in rhd_rows) < min(
+            r["gap_probability"] for r in sparse_rows
+        )

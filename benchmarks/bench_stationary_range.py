@@ -1,0 +1,35 @@
+"""Stationary critical range (the denominator of Figures 2-6).
+
+Measures the simulated rstationary for each system size and compares it
+against the Gupta-Kumar analytical threshold and the best/worst
+deterministic placements — the comparison the paper sketches after
+Theorem 5 for one dimension, carried out here for the 2-D geometry the
+mobile simulations use.
+"""
+
+from _helpers import assert_non_decreasing, print_figure, run_experiment_benchmark
+
+COLUMNS = [
+    "n",
+    "rstationary",
+    "gupta_kumar",
+    "best_case",
+    "worst_case",
+    "rstationary/l",
+]
+
+
+def test_stationary_critical_range(benchmark):
+    sweep = run_experiment_benchmark(benchmark, "stationary-critical-range")
+    print_figure("Stationary critical range", sweep, COLUMNS)
+
+    for row in sweep.rows:
+        # Random placement sits strictly between the best-case lattice and
+        # the worst-case corner clustering.
+        assert row["best_case"] < row["rstationary"] < row["worst_case"]
+        # The Gupta-Kumar threshold is the right order of magnitude.
+        assert 0.2 * row["gupta_kumar"] < row["rstationary"] < 5.0 * row["gupta_kumar"]
+
+    # The absolute critical range grows with the system size (n = sqrt(l)
+    # keeps the network sparse, so larger fields need longer links).
+    assert_non_decreasing(sweep.series("rstationary"), slack=1e-9)

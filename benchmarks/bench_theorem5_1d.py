@@ -1,0 +1,33 @@
+"""Theorems 3-5 — the critical product r*n versus l log l in one dimension.
+
+Not a figure in the paper (the 1-D result is purely analytical there), but
+the claim behind Theorem 5 is directly measurable: the empirical critical
+range at which 99 % of random 1-D placements connect, multiplied by n,
+should track l log l within a constant factor as l grows, and the exact
+closed-form predictor should agree with the simulation.
+"""
+
+from _helpers import print_figure, run_experiment_benchmark
+
+COLUMNS = [
+    "n",
+    "empirical_rn",
+    "exact_rn",
+    "l_log_l",
+    "empirical_rn/l_log_l",
+]
+
+
+def test_theorem5_critical_product(benchmark):
+    sweep = run_experiment_benchmark(benchmark, "theorem5-1d")
+    print_figure("Theorem 5 (1-D critical product)", sweep, COLUMNS)
+
+    ratios = sweep.series("empirical_rn/l_log_l")
+    # The ratio stays within a constant band (Theta behaviour), rather than
+    # drifting to 0 or infinity with l.
+    assert all(0.1 < ratio < 10.0 for ratio in ratios)
+    assert max(ratios) <= 5.0 * min(ratios)
+
+    # The empirical and exact critical products agree within Monte-Carlo noise.
+    for row in sweep.rows:
+        assert abs(row["empirical_rn"] - row["exact_rn"]) <= 0.35 * row["exact_rn"]

@@ -1,0 +1,139 @@
+#!/usr/bin/env python
+"""Delay-tolerant data collection: what does operating at r10 really cost?
+
+The paper's third dependability scenario (Section 4) is an environmental-
+monitoring sensor network that "stays disconnected most of the time, but
+temporary connection periods can be used to exchange data among nodes",
+so each reading is "eventually received by the other nodes".  This example
+quantifies that claim with the epidemic-dissemination extension:
+
+1. estimate r100, r90 and r10 for a mobile network,
+2. flood a sensor reading from one node at each of those ranges,
+3. report coverage over time, delivery delay and the energy saved —
+   i.e. the full cost/benefit picture of the paper's trade-off.
+
+It also contrasts the ideal disk radio with a log-normal shadowing radio of
+the same nominal range (the propagation extension).
+
+Run with::
+
+    python examples/delay_tolerant_collection.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+from repro.dissemination.epidemic import simulate_epidemic_dissemination
+from repro.experiments.report import ascii_chart, format_table
+from repro.mobility.trace import record_trace
+from repro.propagation.links import connectivity_probability_monte_carlo
+from repro.propagation.shadowing import LogNormalShadowing
+from repro.simulation.search import estimate_thresholds_from_statistics
+
+SIDE = 1024.0
+NODE_COUNT = 36
+STEPS = 400
+SEED = 31
+
+
+def main() -> None:
+    print(f"Sensor field: {NODE_COUNT} nodes in [0, {SIDE:.0f}]^2, "
+          f"{STEPS} mobility steps (random waypoint)\n")
+
+    # ------------------------------------------------------------------ #
+    # 1. Thresholds.
+    # ------------------------------------------------------------------ #
+    config = repro.SimulationConfig(
+        network=repro.NetworkConfig(node_count=NODE_COUNT, side=SIDE, dimension=2),
+        mobility=repro.MobilitySpec.paper_waypoint(SIDE),
+        steps=STEPS,
+        iterations=2,
+        seed=SEED,
+    )
+    statistics = repro.collect_frame_statistics(config)
+    thresholds = estimate_thresholds_from_statistics(statistics)
+    print(f"Estimated thresholds: r100 = {thresholds.r100:.0f}, "
+          f"r90 = {thresholds.r90:.0f}, r10 = {thresholds.r10:.0f}")
+
+    # ------------------------------------------------------------------ #
+    # 2. Epidemic dissemination over one recorded trace.
+    # ------------------------------------------------------------------ #
+    region = repro.Region.square(SIDE)
+    rng = repro.make_rng(SEED)
+    initial = repro.uniform_placement(NODE_COUNT, region, rng)
+    model = repro.MobilitySpec.paper_waypoint(SIDE).create()
+    trace = record_trace(model, initial, region, steps=STEPS, seed=SEED)
+
+    rows = []
+    coverage_curves = {}
+    for label, radius in (
+        ("r100", thresholds.r100),
+        ("r90", thresholds.r90),
+        ("r10", thresholds.r10),
+        ("0.5 * r10", 0.5 * thresholds.r10),
+    ):
+        result = simulate_epidemic_dissemination(trace.frames, radius, source=0)
+        coverage_curves[label] = result.coverage_by_step
+        rows.append(
+            {
+                "operating range": label,
+                "range": radius,
+                "energy saved vs r100 (a=2)": repro.energy_savings_fraction(
+                    radius, thresholds.r100
+                ),
+                "final coverage": result.final_coverage,
+                "steps to 90% coverage": result.steps_to_reach(0.9)
+                if result.steps_to_reach(0.9) is not None
+                else float("nan"),
+                "mean delivery delay": result.mean_delivery_delay(),
+            }
+        )
+
+    print()
+    print(format_table(rows, precision=3))
+
+    print("\nCoverage after 1/4, 1/2 and all of the operational time:")
+    quarters = [STEPS // 4 - 1, STEPS // 2 - 1, STEPS - 1]
+    chart_rows = []
+    for label, curve in coverage_curves.items():
+        chart_rows.append(
+            {
+                "range": label,
+                "25% of time": curve[quarters[0]],
+                "50% of time": curve[quarters[1]],
+                "end": curve[quarters[2]],
+            }
+        )
+    print(format_table(chart_rows, precision=3))
+
+    print("\nThe paper's claim holds: even at r10 — where the network is")
+    print("disconnected most of the time — mobility carries the reading to")
+    print("(nearly) every node, just later.  The cost of the energy saving is")
+    print("delivery delay, not delivery failure.")
+
+    # ------------------------------------------------------------------ #
+    # 3. Ideal disk radio vs log-normal shadowing at the same nominal range.
+    # ------------------------------------------------------------------ #
+    print()
+    print("Connectivity of the *initial* placement under a non-ideal radio")
+    print("(nominal range set just above this placement's exact critical range):")
+    nominal = repro.critical_range(initial) * 1.02
+    rows = []
+    for sigma in (0.0, 4.0, 8.0):
+        shadowed = LogNormalShadowing.with_nominal_range(nominal, shadowing_std=sigma)
+        probability = connectivity_probability_monte_carlo(
+            initial, shadowed, iterations=80, seed=SEED
+        )
+        rows.append(
+            {"shadowing sigma (dB)": sigma, "P(connected)": probability}
+        )
+    print(format_table(rows, precision=3))
+    print("\nWith sigma = 0 the disk model of the paper is recovered exactly (the")
+    print("placement is connected with certainty just above its critical range);")
+    print("shadowing turns that sharp threshold into a probabilistic one.")
+
+
+if __name__ == "__main__":
+    main()

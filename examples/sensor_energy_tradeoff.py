@@ -1,0 +1,157 @@
+#!/usr/bin/env python
+"""Sensor-network energy study: how much battery does relaxed connectivity buy?
+
+Section 4 of the paper argues that a sensor network used for environmental
+monitoring does not need permanent, full connectivity: tolerating brief
+disconnections (operating at r90 or r10 instead of r100) or keeping only a
+fraction of the nodes connected (rl90 / rl75 / rl50) saves a large share of
+the transmission energy, because transmit power grows like ``r ** alpha``.
+
+This example reproduces that argument end to end on a mid-sized network:
+
+1. estimate all the thresholds of Figures 2-6 for one system size,
+2. convert them into energy savings and battery-lifetime multipliers,
+3. report what the network still delivers at each threshold — availability,
+   largest-component size, and pair reachability.
+
+Run with::
+
+    python examples/sensor_energy_tradeoff.py
+"""
+
+from __future__ import annotations
+
+import repro
+from repro.availability.estimator import (
+    availability_from_frames,
+    partial_availability_from_frames,
+)
+from repro.energy.savings import equivalent_lifetime_factor
+from repro.experiments.report import format_table
+from repro.simulation.search import (
+    average_component_fraction_at_range,
+    estimate_component_thresholds_from_statistics,
+    estimate_thresholds_from_statistics,
+)
+
+SIDE = 2048.0
+NODE_COUNT = 45
+STEPS = 250
+ITERATIONS = 3
+SEED = 23
+
+
+def main() -> None:
+    print("Sensor field:", f"{NODE_COUNT} nodes in [0, {SIDE:.0f}]^2,",
+          f"{STEPS} mobility steps x {ITERATIONS} runs (random waypoint)")
+
+    config = repro.SimulationConfig(
+        network=repro.NetworkConfig(node_count=NODE_COUNT, side=SIDE, dimension=2),
+        mobility=repro.MobilitySpec.paper_waypoint(SIDE),
+        steps=STEPS,
+        iterations=ITERATIONS,
+        seed=SEED,
+    )
+    statistics = repro.collect_frame_statistics(config)
+    pooled = [frame for frames in statistics for frame in frames]
+
+    thresholds = estimate_thresholds_from_statistics(statistics)
+    components = estimate_component_thresholds_from_statistics(statistics)
+    rstationary = repro.stationary_critical_range(
+        NODE_COUNT, SIDE, dimension=2, iterations=300, seed=SEED, confidence=0.99
+    )
+
+    named_ranges = {
+        "r100 (always connected)": thresholds.r100,
+        "r90 (connected 90% of time)": thresholds.r90,
+        "r10 (connected 10% of time)": thresholds.r10,
+        "rl90 (90% of nodes in one component)": components.rl90,
+        "rl75 (75% of nodes in one component)": components.rl75,
+        "rl50 (half the nodes in one component)": components.rl50,
+    }
+
+    free_space = repro.EnergyModel(path_loss_exponent=2.0)
+    two_ray = repro.EnergyModel(path_loss_exponent=4.0)
+
+    rows = []
+    for label, radius in named_ranges.items():
+        availability = availability_from_frames(pooled, radius)
+        partial = partial_availability_from_frames(pooled, radius, 0.75)
+        rows.append(
+            {
+                "operating point": label,
+                "range": radius,
+                "range/rstationary": radius / rstationary,
+                "energy saved vs r100 (a=2)": repro.energy_savings_fraction(
+                    radius, thresholds.r100, free_space
+                ),
+                "energy saved vs r100 (a=4)": repro.energy_savings_fraction(
+                    radius, thresholds.r100, two_ray
+                ),
+                "lifetime x (a=2)": equivalent_lifetime_factor(
+                    radius, thresholds.r100, free_space
+                ),
+                "fully connected time": availability.availability,
+                ">=75% nodes connected time": partial.availability,
+                "avg largest component": average_component_fraction_at_range(
+                    statistics, radius
+                ),
+            }
+        )
+
+    print()
+    print(format_table(
+        rows,
+        columns=[
+            "operating point", "range", "range/rstationary",
+            "energy saved vs r100 (a=2)", "energy saved vs r100 (a=4)",
+            "lifetime x (a=2)", "fully connected time",
+            ">=75% nodes connected time", "avg largest component",
+        ],
+        precision=3,
+    ))
+
+    print()
+    print("Reading the table:")
+    print(" * dropping from r100 to r90 keeps the network connected ~90% of the")
+    print("   time and still keeps almost every node in one component, while")
+    print("   cutting transmission energy substantially;")
+    print(" * at r10 the network is disconnected most of the time, but a large")
+    print("   connected component persists - enough for delay-tolerant data")
+    print("   collection - at a fraction of the energy;")
+    print(" * the rl-thresholds show the same trade-off when the requirement is")
+    print("   'keep a fraction of the nodes connected' rather than 'be connected")
+    print("   some fraction of the time'.")
+
+    print()
+    print("Per-node topology control comparison (the protocols the paper cites):")
+    rng = repro.make_rng(SEED)
+    region = repro.Region.square(SIDE)
+    placement = repro.uniform_placement(NODE_COUNT, region, rng)
+    mst = repro.mst_range_assignment(placement)
+    knn = repro.knn_topology(placement, k=min(6, NODE_COUNT - 1))
+    uniform_energy = NODE_COUNT * free_space.node_power(repro.critical_range(placement))
+    print(format_table(
+        [
+            {
+                "scheme": "common range (MTR)",
+                "max range": repro.critical_range(placement),
+                "total energy (a=2)": uniform_energy,
+            },
+            {
+                "scheme": "per-node MST assignment",
+                "max range": mst.max_range(),
+                "total energy (a=2)": mst.total_energy(free_space),
+            },
+            {
+                "scheme": "k-nearest-neighbours (k=6)",
+                "max range": knn.max_range(),
+                "total energy (a=2)": knn.total_energy(free_space),
+            },
+        ],
+        precision=4,
+    ))
+
+
+if __name__ == "__main__":
+    main()

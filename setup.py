@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The pyproject.toml carries all metadata; this file exists so that the
+package can be installed in editable mode on environments whose setuptools
+lacks PEP 660 support (``pip install -e . --no-use-pep517``).
+"""
+
+from setuptools import setup
+
+setup()

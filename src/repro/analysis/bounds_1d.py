@@ -1,0 +1,173 @@
+"""Theorems 3–5: the critical scaling ``r n = Theta(l log l)`` in one dimension.
+
+Theorem 5 of the paper states that for ``n`` nodes uniform on ``[0, l]``
+with ``1 << r << l``, the communication graph is asymptotically almost
+surely connected **iff** ``r n ∈ Ω(l log l)``.  The functions in this
+module turn that characterisation into usable predictors:
+
+* :func:`critical_product_1d` — the threshold value ``l log l`` of the
+  product ``r n``;
+* :func:`range_for_connectivity_1d` — the predicted critical range for a
+  given ``n`` (with an adjustable constant ``c``);
+* :func:`nodes_for_connectivity_1d` — the dual: nodes needed for a given
+  fixed transmitter range (the "dimensioning" formulation of Section 2);
+* :func:`range_upper_bound_1d` / :func:`range_lower_bound_1d` — the two
+  sides of the Theorem 5 sandwich, exposed separately so the benchmark can
+  show empirical critical ranges landing between them.
+
+There is also an exact finite-``n`` reference: the probability that a
+uniform 1-D placement is connected at range ``r`` has a closed form
+(the classical uniform-spacings result),
+``P(connected) = sum_{k} (-1)^k binom(n-1, k) (1 - k r / l)_+^{n}`` over
+``k <= l / r``, implemented in :func:`connectivity_probability_1d_exact`
+and used by the tests to validate both the simulator and the asymptotics.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.exceptions import AnalysisError
+
+
+def critical_product_1d(side: float) -> float:
+    """The Theorem 5 threshold ``l log l`` for the product ``r n``.
+
+    For ``side <= 1`` the logarithm is non-positive; the function returns 0
+    in that case (any positive product exceeds the threshold), mirroring the
+    asymptotic nature of the statement.
+    """
+    if side <= 0:
+        raise AnalysisError(f"side must be positive, got {side}")
+    return side * max(math.log(side), 0.0)
+
+
+def range_for_connectivity_1d(node_count: int, side: float, constant: float = 1.0) -> float:
+    """Predicted critical range ``r ≈ c · l log l / n`` from Theorem 5.
+
+    Args:
+        node_count: number of nodes ``n``.
+        side: line length ``l``.
+        constant: the multiplicative constant hidden in the Theta; empirical
+            calibration (and the simulations in [1, 11]) put it close to 1.
+    """
+    if node_count < 1:
+        raise AnalysisError(f"node_count must be at least 1, got {node_count}")
+    if constant <= 0:
+        raise AnalysisError(f"constant must be positive, got {constant}")
+    return constant * critical_product_1d(side) / node_count
+
+
+def nodes_for_connectivity_1d(
+    transmitting_range: float, side: float, constant: float = 1.0
+) -> int:
+    """Nodes needed for a.a.s. connectivity at a fixed range (dual form).
+
+    ``n ≈ c · l log l / r``, rounded up.  This is the dimensioning question
+    posed in Section 2: how many devices with a given transceiver must be
+    scattered over a region of length ``l``.
+    """
+    if transmitting_range <= 0:
+        raise AnalysisError(
+            f"transmitting_range must be positive, got {transmitting_range}"
+        )
+    if constant <= 0:
+        raise AnalysisError(f"constant must be positive, got {constant}")
+    product = critical_product_1d(side)
+    if product == 0.0:
+        return 1
+    return int(math.ceil(constant * product / transmitting_range))
+
+
+def range_upper_bound_1d(node_count: int, side: float, constant: float = 2.0) -> float:
+    """A range guaranteeing a.a.s. connectivity (Theorem 3 direction).
+
+    Any ``r`` with ``r n >= c · l log l`` for a sufficiently large constant
+    is enough; the default constant 2 is comfortably above the empirical
+    threshold.
+    """
+    return range_for_connectivity_1d(node_count, side, constant=constant)
+
+
+def range_lower_bound_1d(node_count: int, side: float, constant: float = 0.25) -> float:
+    """A range at which connectivity a.a.s. *fails* (Theorem 4 direction).
+
+    Any ``r`` with ``l << r n << l log l`` gives a non-vanishing probability
+    of disconnection; the default constant 0.25 of the threshold product is
+    well inside that window for the sizes used in the benchmarks.
+    """
+    return range_for_connectivity_1d(node_count, side, constant=constant)
+
+
+def connectivity_probability_1d_exact(
+    node_count: int, side: float, transmitting_range: float
+) -> float:
+    """Exact probability that a uniform 1-D placement is connected.
+
+    For ``n`` points uniform on ``[0, l]`` and range ``r``, the graph is
+    connected iff every one of the ``n - 1`` gaps between consecutive order
+    statistics is at most ``r``.  The probability that ``k`` specified
+    spacings all exceed ``r`` is ``(1 - k r / l)_+^n`` (uniform spacings),
+    so inclusion–exclusion over the interior gaps gives::
+
+        P = sum_{k=0}^{min(n-1, floor(l/r))} (-1)^k binom(n-1, k) (1 - k r / l)^n
+
+    This finite-``n`` formula is used as an oracle in tests and to draw the
+    "exact" curve in the Theorem 5 benchmark.
+    """
+    if node_count < 1:
+        raise AnalysisError(f"node_count must be at least 1, got {node_count}")
+    if side <= 0:
+        raise AnalysisError(f"side must be positive, got {side}")
+    if transmitting_range < 0:
+        raise AnalysisError(
+            f"transmitting_range must be non-negative, got {transmitting_range}"
+        )
+    if node_count == 1:
+        return 1.0
+    if transmitting_range == 0.0:
+        return 0.0
+    if transmitting_range >= side:
+        return 1.0
+    n = node_count
+    ratio = transmitting_range / side
+    total = 0.0
+    for k in range(n):
+        base = 1.0 - k * ratio
+        if base <= 0.0:
+            # (1 - k r / l)_+ vanishes for every larger k as well.
+            break
+        log_term = _log_binomial(n - 1, k) + n * math.log(base)
+        term = math.exp(log_term)
+        total += term if k % 2 == 0 else -term
+    return min(max(total, 0.0), 1.0)
+
+
+def range_for_connectivity_probability_1d(
+    node_count: int,
+    side: float,
+    probability: float,
+    tolerance: float = 1e-9,
+) -> float:
+    """Smallest range at which the exact 1-D connectivity probability reaches
+    ``probability`` (bisection on :func:`connectivity_probability_1d_exact`).
+
+    This gives a non-asymptotic "r such that P(connected) >= p" predictor
+    that the experiments compare against the Theorem 5 scaling.
+    """
+    if not 0.0 < probability < 1.0:
+        raise AnalysisError(f"probability must be in (0, 1), got {probability}")
+    low, high = 0.0, side
+    for _ in range(200):
+        mid = 0.5 * (low + high)
+        if connectivity_probability_1d_exact(node_count, side, mid) >= probability:
+            high = mid
+        else:
+            low = mid
+        if high - low <= tolerance:
+            break
+    return high
+
+
+def _log_binomial(a: int, b: int) -> float:
+    return math.lgamma(a + 1) - math.lgamma(b + 1) - math.lgamma(a - b + 1)

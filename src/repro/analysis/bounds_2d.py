@@ -1,0 +1,136 @@
+"""Two-dimensional critical-range asymptotics (Penrose / Gupta–Kumar).
+
+The paper's analytical contribution is one-dimensional, and it evaluates
+two-dimensional networks only by simulation.  The 2-D theory nevertheless
+exists — Penrose's longest-MST-edge limit law and the Gupta–Kumar critical
+power result — and this module implements it so the simulated
+``rstationary`` values of the 2-D experiments can be checked against
+analytical predictions, exactly as the 1-D experiment checks Theorem 5.
+
+For ``n`` points uniform in a square of area ``A``, Penrose (1997) shows
+that the longest edge ``M_n`` of the Euclidean MST (which equals the
+critical transmitting range of the placement) satisfies::
+
+    P( n * pi * M_n^2 / A - log n  <=  x )  ->  exp(-e^{-x})
+
+i.e. ``n pi M_n^2 / A - log n`` converges to a Gumbel distribution.  From
+this, the range at which a random placement is connected with probability
+``p`` is::
+
+    r(p) = sqrt( A * (log n - log(-log p)) / (pi * n) )
+
+which reduces to the Gupta–Kumar threshold for ``p`` fixed and ``n`` large.
+
+The limit law is stated for a boundary-free region (torus); on the square,
+border and corner nodes have fewer neighbours and push the critical range
+some tens of percent higher at the moderate ``n`` of the paper's
+simulations.  The tests therefore validate the law against the *toroidal*
+critical range (:func:`repro.connectivity.critical_range.critical_range_toroidal`)
+and treat the square-region comparison as order-of-magnitude only.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.exceptions import AnalysisError
+
+
+def _validate(node_count: int, side: float) -> None:
+    if node_count < 2:
+        raise AnalysisError(f"node_count must be at least 2, got {node_count}")
+    if side <= 0:
+        raise AnalysisError(f"side must be positive, got {side}")
+
+
+def critical_range_distribution_2d(
+    node_count: int, side: float, radius: float
+) -> float:
+    """Asymptotic ``P(critical range <= radius)`` for a uniform 2-D placement.
+
+    Uses the Penrose Gumbel limit; accurate already for a few dozen nodes,
+    which is the regime of the paper's 2-D simulations.
+    """
+    _validate(node_count, side)
+    if radius < 0:
+        raise AnalysisError(f"radius must be non-negative, got {radius}")
+    if radius == 0.0:
+        return 0.0
+    area = side * side
+    x = node_count * math.pi * radius * radius / area - math.log(node_count)
+    # Guard the double exponential against overflow for very small radii.
+    if x < -700.0:
+        return 0.0
+    return math.exp(-math.exp(-x))
+
+
+def range_for_connectivity_2d(
+    node_count: int, side: float, probability: float = 0.99
+) -> float:
+    """Range at which a uniform 2-D placement is connected with probability ``p``.
+
+    Inverts the Gumbel limit law:
+    ``r = sqrt(A (log n - log(-log p)) / (pi n))``.
+    """
+    _validate(node_count, side)
+    if not 0.0 < probability < 1.0:
+        raise AnalysisError(f"probability must be in (0, 1), got {probability}")
+    area = side * side
+    gumbel_term = -math.log(-math.log(probability))
+    value = area * (math.log(node_count) + gumbel_term) / (math.pi * node_count)
+    return math.sqrt(max(value, 0.0))
+
+
+def nodes_for_connectivity_2d(
+    transmitting_range: float, side: float, probability: float = 0.99
+) -> int:
+    """Nodes needed so a uniform 2-D placement connects with probability ``p``.
+
+    Numerically inverts :func:`range_for_connectivity_2d` in ``n`` (the
+    relation ``pi r^2 n = A (log n + c)`` has no closed form); uses a
+    fixed-point iteration that converges in a handful of steps for all
+    realistic parameters.
+    """
+    if transmitting_range <= 0:
+        raise AnalysisError(
+            f"transmitting_range must be positive, got {transmitting_range}"
+        )
+    if side <= 0:
+        raise AnalysisError(f"side must be positive, got {side}")
+    if not 0.0 < probability < 1.0:
+        raise AnalysisError(f"probability must be in (0, 1), got {probability}")
+    area = side * side
+    gumbel_term = -math.log(-math.log(probability))
+    ratio = area / (math.pi * transmitting_range * transmitting_range)
+    n = max(2.0, ratio)
+    for _ in range(200):
+        updated = max(2.0, ratio * (math.log(n) + gumbel_term))
+        if abs(updated - n) < 1e-9:
+            n = updated
+            break
+        n = updated
+    return int(math.ceil(n))
+
+
+def isolated_node_probability_2d(
+    node_count: int, side: float, transmitting_range: float
+) -> float:
+    """Union-bound probability that some node is isolated (2-D analogue).
+
+    A node in the interior of the square is isolated when no other node
+    falls in the disk of radius ``r`` around it, which happens with
+    probability ``(1 - pi r^2 / A)^{n-1}``; the union bound over nodes
+    gives the weaker disconnection criterion the paper contrasts its 1-D
+    analysis against.
+    """
+    _validate(node_count, side)
+    if transmitting_range < 0:
+        raise AnalysisError(
+            f"transmitting_range must be non-negative, got {transmitting_range}"
+        )
+    area = side * side
+    disk = math.pi * transmitting_range * transmitting_range
+    if disk >= area:
+        return 0.0
+    single = (1.0 - disk / area) ** (node_count - 1)
+    return min(node_count * single, 1.0)

@@ -1,0 +1,68 @@
+"""The Gupta–Kumar dense-network comparator.
+
+The related work discussed in Section 2 ([4] Gupta & Kumar) studies the
+critical transmitting range of ``n`` nodes uniform in a *fixed* unit-area
+region as ``n`` grows: connectivity w.h.p. requires
+
+    pi * r(n)^2 = (log n + c(n)) / n   with c(n) -> infinity.
+
+Rescaled to the paper's region of side ``l`` (area ``l^2``), the critical
+range becomes ``l * sqrt((log n + c) / (pi n))``.  The 2-D experiments use
+this as an analytical sanity check of the simulated ``rstationary`` values:
+the simulated stationary critical range for ``n = sqrt(l)`` nodes in
+``[0, l]^2`` should track this curve up to a modest constant.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.exceptions import AnalysisError
+
+
+def gupta_kumar_critical_range(
+    node_count: int, side: float = 1.0, constant: float = 0.0
+) -> float:
+    """Critical range ``l sqrt((log n + c) / (pi n))`` of Gupta & Kumar.
+
+    Args:
+        node_count: number of nodes ``n`` (at least 2 so ``log n > 0``).
+        side: side of the square deployment region (the original result is
+            stated for the unit square / disk; we rescale linearly).
+        constant: the additive term ``c`` — 0 gives the threshold itself,
+            positive values give ranges that are connected w.h.p.
+    """
+    if node_count < 2:
+        raise AnalysisError(f"node_count must be at least 2, got {node_count}")
+    if side <= 0:
+        raise AnalysisError(f"side must be positive, got {side}")
+    return side * math.sqrt((math.log(node_count) + constant) / (math.pi * node_count))
+
+
+def gupta_kumar_node_count(
+    transmitting_range: float, side: float = 1.0, constant: float = 0.0
+) -> int:
+    """Approximate node count needed for connectivity at a fixed range.
+
+    Numerically inverts :func:`gupta_kumar_critical_range` (the relation
+    ``pi r^2 n = l^2 (log n + c)`` has no closed form in ``n``); uses a
+    simple fixed-point iteration that converges quickly for realistic
+    parameters.
+    """
+    if transmitting_range <= 0:
+        raise AnalysisError(
+            f"transmitting_range must be positive, got {transmitting_range}"
+        )
+    if side <= 0:
+        raise AnalysisError(f"side must be positive, got {side}")
+    ratio = (side / transmitting_range) ** 2 / math.pi
+    # n = ratio * (log n + c); iterate from a sensible starting point.
+    n = max(2.0, ratio)
+    for _ in range(100):
+        updated = ratio * (math.log(n) + constant)
+        updated = max(updated, 2.0)
+        if abs(updated - n) < 1e-9:
+            n = updated
+            break
+        n = updated
+    return int(math.ceil(n))

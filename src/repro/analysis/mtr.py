@@ -1,0 +1,130 @@
+"""Problem statements as value objects.
+
+The paper defines two problems:
+
+* **MTR** (minimum transmitting range, stationary): given ``n`` nodes
+  placed in ``[0, l]^d``, what is the minimum ``r`` such that the resulting
+  communication graph is connected?
+* **MTRM** (minimum transmitting range, mobile): with nodes allowed to move
+  during ``[0, T]``, what is the minimum ``r`` such that the graph is
+  connected during a fraction ``f`` of the interval?
+
+:class:`MTRInstance` and :class:`MTRMInstance` capture the parameters of a
+concrete instance and provide the derived quantities (``C = l / r``,
+``alpha = r n / l``) the analysis keeps re-deriving.  They are deliberately
+plain dataclasses: solving them is the job of
+:mod:`repro.connectivity.critical_range` (exact, per placement),
+:mod:`repro.analysis.bounds_1d` (asymptotic, 1-D) and
+:mod:`repro.simulation.search` (Monte-Carlo, mobile).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+from repro.geometry.region import Region
+
+
+@dataclass(frozen=True)
+class MTRInstance:
+    """An instance of the stationary minimum-transmitting-range problem.
+
+    Attributes:
+        node_count: number of nodes ``n``.
+        side: region side ``l``.
+        dimension: region dimension ``d``.
+    """
+
+    node_count: int
+    side: float
+    dimension: int = 2
+
+    def __post_init__(self) -> None:
+        if self.node_count < 1:
+            raise ConfigurationError(
+                f"node_count must be at least 1, got {self.node_count}"
+            )
+        if self.side <= 0:
+            raise ConfigurationError(f"side must be positive, got {self.side}")
+        if self.dimension < 1:
+            raise ConfigurationError(
+                f"dimension must be at least 1, got {self.dimension}"
+            )
+
+    @property
+    def region(self) -> Region:
+        """The deployment region ``[0, side]^dimension``."""
+        return Region(side=self.side, dimension=self.dimension)
+
+    @property
+    def density(self) -> float:
+        """Node density ``n / l^d``."""
+        return self.node_count / self.region.volume
+
+    def cells_for_range(self, transmitting_range: float) -> float:
+        """``C = l / r`` — the occupancy cell count of Section 3 (1-D view)."""
+        if transmitting_range <= 0:
+            raise ConfigurationError(
+                f"transmitting_range must be positive, got {transmitting_range}"
+            )
+        return self.side / transmitting_range
+
+    def alpha_for_range(self, transmitting_range: float) -> float:
+        """``alpha = n / C = r n / l`` — the load factor of the occupancy model."""
+        return self.node_count / self.cells_for_range(transmitting_range)
+
+    def range_product(self, transmitting_range: float) -> float:
+        """The product ``r * n`` that Theorem 5 characterises."""
+        return transmitting_range * self.node_count
+
+
+@dataclass(frozen=True)
+class MTRMInstance:
+    """An instance of the mobile minimum-transmitting-range problem.
+
+    Attributes:
+        node_count: number of nodes ``n``.
+        side: region side ``l``.
+        dimension: region dimension ``d`` (the paper simulates ``d = 2``).
+        steps: number of mobility steps in the operational interval.
+        connectivity_fraction: required fraction ``f`` of steps during which
+            the graph must be connected (1.0 for ``r100``, 0.9 for ``r90``…).
+    """
+
+    node_count: int
+    side: float
+    steps: int
+    connectivity_fraction: float
+    dimension: int = 2
+
+    def __post_init__(self) -> None:
+        if self.node_count < 1:
+            raise ConfigurationError(
+                f"node_count must be at least 1, got {self.node_count}"
+            )
+        if self.side <= 0:
+            raise ConfigurationError(f"side must be positive, got {self.side}")
+        if self.steps < 1:
+            raise ConfigurationError(f"steps must be at least 1, got {self.steps}")
+        if not 0.0 < self.connectivity_fraction <= 1.0:
+            raise ConfigurationError(
+                "connectivity_fraction must be in (0, 1], got "
+                f"{self.connectivity_fraction}"
+            )
+        if self.dimension < 1:
+            raise ConfigurationError(
+                f"dimension must be at least 1, got {self.dimension}"
+            )
+
+    @property
+    def region(self) -> Region:
+        """The deployment region ``[0, side]^dimension``."""
+        return Region(side=self.side, dimension=self.dimension)
+
+    @property
+    def stationary_instance(self) -> MTRInstance:
+        """The stationary MTR instance with the same geometry."""
+        return MTRInstance(
+            node_count=self.node_count, side=self.side, dimension=self.dimension
+        )

@@ -1,0 +1,22 @@
+"""Availability estimation.
+
+Section 1 of the paper frames connectivity over time as a simple form of
+availability: the network is "up" when all nodes are connected (or, in the
+weaker reading, when a sufficiently large fraction is connected), and the
+percentage of time it is up estimates its availability.  This package turns
+connectivity time series and frame statistics into those estimates.
+"""
+
+from repro.availability.estimator import (
+    AvailabilityReport,
+    availability_from_connectivity_series,
+    availability_from_frames,
+    partial_availability_from_frames,
+)
+
+__all__ = [
+    "AvailabilityReport",
+    "availability_from_connectivity_series",
+    "availability_from_frames",
+    "partial_availability_from_frames",
+]

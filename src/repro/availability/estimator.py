@@ -1,0 +1,109 @@
+"""Availability estimators.
+
+Two notions are implemented, matching the two readings in Section 1:
+
+* **full availability** — fraction of time at which the communication graph
+  is connected ("the network is up if all nodes are connected");
+* **partial availability** — fraction of time at which at least a given
+  fraction of the nodes belongs to the largest connected component ("the
+  network might be functional if at least a given fraction of nodes are
+  connected").
+
+Besides the headline fraction, the report includes the mean lengths of the
+up and down periods, which tell a designer whether the downtime comes as
+many short glitches or a few long outages — a distinction that matters for
+the periodic-data-exchange scenario the paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.exceptions import ConfigurationError
+from repro.simulation.engine import FrameStatistics
+from repro.stats.series import fraction_true, longest_run, runs_of
+
+
+@dataclass(frozen=True)
+class AvailabilityReport:
+    """Availability summary of one connectivity time series."""
+
+    availability: float
+    step_count: int
+    up_periods: int
+    down_periods: int
+    mean_up_length: float
+    mean_down_length: float
+    longest_down_length: int
+
+    @property
+    def unavailability(self) -> float:
+        """``1 - availability``."""
+        return 1.0 - self.availability
+
+
+def _report_from_series(up_series: Sequence[bool]) -> AvailabilityReport:
+    series = [bool(value) for value in up_series]
+    up_runs = runs_of(series, True)
+    down_runs = runs_of(series, False)
+    mean_up = (
+        sum(length for _, length in up_runs) / len(up_runs) if up_runs else 0.0
+    )
+    mean_down = (
+        sum(length for _, length in down_runs) / len(down_runs) if down_runs else 0.0
+    )
+    return AvailabilityReport(
+        availability=fraction_true(series),
+        step_count=len(series),
+        up_periods=len(up_runs),
+        down_periods=len(down_runs),
+        mean_up_length=mean_up,
+        mean_down_length=mean_down,
+        longest_down_length=longest_run(series, False),
+    )
+
+
+def availability_from_connectivity_series(
+    connected_series: Sequence[bool],
+) -> AvailabilityReport:
+    """Availability report from a per-step "was connected" series."""
+    return _report_from_series(connected_series)
+
+
+def availability_from_frames(
+    frames: Sequence[FrameStatistics], transmitting_range: float
+) -> AvailabilityReport:
+    """Full availability of a trace at a given transmitting range."""
+    series = [frame.is_connected_at(transmitting_range) for frame in frames]
+    return _report_from_series(series)
+
+
+def partial_availability_from_frames(
+    frames: Sequence[FrameStatistics],
+    transmitting_range: float,
+    required_fraction: float,
+) -> AvailabilityReport:
+    """Partial availability: "up" means the largest component holds at least
+    ``required_fraction`` of the nodes.
+
+    Args:
+        frames: per-step frame statistics of a mobility run.
+        transmitting_range: the operating range.
+        required_fraction: fraction of nodes that must be in the largest
+            component for the step to count as up, in ``(0, 1]``.
+    """
+    if not 0.0 < required_fraction <= 1.0:
+        raise ConfigurationError(
+            f"required_fraction must be in (0, 1], got {required_fraction}"
+        )
+    series = []
+    for frame in frames:
+        if frame.node_count == 0:
+            series.append(False)
+            continue
+        fraction = (
+            frame.largest_component_size_at(transmitting_range) / frame.node_count
+        )
+        series.append(fraction >= required_fraction)
+    return _report_from_series(series)

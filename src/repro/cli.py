@@ -1,0 +1,119 @@
+"""Command line interface.
+
+``adhoc-connectivity`` (or ``python -m repro``) exposes the registered
+experiments::
+
+    adhoc-connectivity list
+    adhoc-connectivity run fig2 --scale smoke
+    adhoc-connectivity run fig7 --scale default --output fig7.json
+    adhoc-connectivity stationary --side 1024 --nodes 32
+
+The CLI is intentionally thin: it parses arguments, calls the experiment
+layer and prints the rendered tables.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments import (
+    get_experiment,
+    list_experiments,
+    render_sweep,
+    save_sweep,
+)
+from repro.simulation.runner import stationary_critical_range
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser for the CLI."""
+    parser = argparse.ArgumentParser(
+        prog="adhoc-connectivity",
+        description=(
+            "Reproduction of 'An Evaluation of Connectivity in Mobile "
+            "Wireless Ad Hoc Networks' (Santi & Blough, DSN 2002)."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list the registered experiments")
+
+    run_parser = subparsers.add_parser("run", help="run a registered experiment")
+    run_parser.add_argument("experiment", help="experiment identifier, e.g. fig2")
+    run_parser.add_argument(
+        "--scale",
+        default="default",
+        choices=["smoke", "default", "paper"],
+        help="size preset (smoke: seconds, default: minutes, paper: hours)",
+    )
+    run_parser.add_argument(
+        "--output",
+        default=None,
+        help="optional path (.json or .csv) to save the sweep result",
+    )
+
+    stationary_parser = subparsers.add_parser(
+        "stationary", help="estimate the stationary critical range"
+    )
+    stationary_parser.add_argument("--side", type=float, required=True, help="region side l")
+    stationary_parser.add_argument("--nodes", type=int, required=True, help="node count n")
+    stationary_parser.add_argument("--dimension", type=int, default=2)
+    stationary_parser.add_argument("--iterations", type=int, default=200)
+    stationary_parser.add_argument("--confidence", type=float, default=0.99)
+    stationary_parser.add_argument("--seed", type=int, default=None)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    arguments = parser.parse_args(argv)
+
+    if arguments.command == "list":
+        for experiment in list_experiments():
+            print(f"{experiment.identifier:28s} {experiment.title}")
+            print(f"{'':28s} ({experiment.paper_reference})")
+        return 0
+
+    if arguments.command == "run":
+        experiment = get_experiment(arguments.experiment)
+        print(f"Running {experiment.identifier}: {experiment.title}")
+        print(experiment.description)
+        sweep = experiment.run_at(arguments.scale)
+        print()
+        print(render_sweep(sweep, title=f"{experiment.identifier} ({arguments.scale} scale)"))
+        if arguments.output:
+            path = save_sweep(
+                sweep,
+                arguments.output,
+                metadata={
+                    "experiment": experiment.identifier,
+                    "scale": arguments.scale,
+                },
+            )
+            print(f"\nSaved results to {path}")
+        return 0
+
+    if arguments.command == "stationary":
+        value = stationary_critical_range(
+            node_count=arguments.nodes,
+            side=arguments.side,
+            dimension=arguments.dimension,
+            iterations=arguments.iterations,
+            seed=arguments.seed,
+            confidence=arguments.confidence,
+        )
+        print(
+            f"rstationary(n={arguments.nodes}, l={arguments.side}, "
+            f"d={arguments.dimension}, confidence={arguments.confidence}) = {value:.4f}"
+        )
+        return 0
+
+    parser.error(f"unknown command {arguments.command!r}")
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

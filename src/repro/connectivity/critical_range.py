@@ -1,0 +1,219 @@
+"""Exact critical transmitting ranges of a fixed placement.
+
+For a *given* placement the MTR problem of Section 2 has an exact answer:
+the minimum range making the point graph connected equals the longest edge
+of a Euclidean minimum spanning tree of the points (the "bottleneck" edge).
+This module computes that value directly — via Prim's algorithm on the
+dense distance matrix — as well as the analogous thresholds for partial
+connectivity (smallest range whose largest component reaches a target
+fraction of ``n``) and for k-connectivity (by bisection on candidate
+ranges).
+
+These exact per-placement values are the building blocks of the
+``rstationary`` estimates used as the denominator throughout Figures 2–9.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+import numpy as np
+
+from repro.exceptions import AnalysisError
+from repro.geometry.distance import pairwise_distances, squared_distance_matrix
+from repro.graph.builder import build_communication_graph
+from repro.graph.components import largest_component_fraction
+from repro.graph.properties import is_k_connected
+from repro.graph.union_find import UnionFind
+from repro.types import Positions, as_positions
+
+
+def range_reaching(squared_distance: float) -> float:
+    """The smallest float ``r`` with ``r * r >= squared_distance``.
+
+    The graph builder decides adjacency by comparing squared distances with
+    ``r**2``; taking a plain square root of a squared distance can land one
+    ulp *below* the true threshold, producing a range that fails to include
+    the edge it was derived from.  This helper rounds the square root up by
+    at most a couple of ulps so that every range the library reports really
+    does connect the pair it came from.
+    """
+    if squared_distance <= 0.0:
+        return 0.0
+    radius = math.sqrt(squared_distance)
+    while radius * radius < squared_distance:
+        radius = math.nextafter(radius, math.inf)
+    return radius
+
+
+def critical_range(positions: Positions) -> float:
+    """Minimum transmitting range that connects ``positions``.
+
+    This is the bottleneck (longest) edge of the Euclidean minimum spanning
+    tree.  Computed with Prim's algorithm on the dense distance matrix,
+    which is ``O(n^2)`` time and memory — fine for the network sizes used in
+    the paper (n up to 128) and exact, unlike a bisection over builds.
+
+    Returns 0.0 for zero or one node (such a network is trivially
+    connected at any range).
+    """
+    points = as_positions(positions)
+    n = points.shape[0]
+    if n <= 1:
+        return 0.0
+    squared = squared_distance_matrix(points)
+    in_tree = np.zeros(n, dtype=bool)
+    in_tree[0] = True
+    best = squared[0].copy()
+    best[0] = math.inf
+    bottleneck_squared = 0.0
+    for _ in range(n - 1):
+        candidate = int(np.argmin(np.where(in_tree, math.inf, best)))
+        bottleneck_squared = max(bottleneck_squared, float(best[candidate]))
+        in_tree[candidate] = True
+        best = np.minimum(best, squared[candidate])
+        best[in_tree] = math.inf
+    return range_reaching(bottleneck_squared)
+
+
+def critical_range_toroidal(positions: Positions, side: float) -> float:
+    """Minimum transmitting range connecting ``positions`` on a torus.
+
+    Identical to :func:`critical_range` but with wrap-around (toroidal)
+    distances on the cube of side ``side``.  Useful for comparing against
+    asymptotic results (e.g. the Penrose limit law in
+    :mod:`repro.analysis.bounds_2d`) that are stated without boundary
+    effects.
+    """
+    from repro.geometry.distance import toroidal_distance_matrix
+
+    points = as_positions(positions)
+    n = points.shape[0]
+    if n <= 1:
+        return 0.0
+    distances = toroidal_distance_matrix(points, side)
+    in_tree = np.zeros(n, dtype=bool)
+    in_tree[0] = True
+    best = distances[0].copy()
+    best[0] = math.inf
+    bottleneck = 0.0
+    for _ in range(n - 1):
+        candidate = int(np.argmin(np.where(in_tree, math.inf, best)))
+        bottleneck = max(bottleneck, float(best[candidate]))
+        in_tree[candidate] = True
+        best = np.minimum(best, distances[candidate])
+        best[in_tree] = math.inf
+    return bottleneck
+
+
+def critical_range_for_component_fraction(
+    positions: Positions, fraction: float
+) -> float:
+    """Smallest range whose largest connected component has ``>= fraction * n`` nodes.
+
+    Implemented with a Kruskal-style sweep: edges are added in order of
+    increasing length into a union-find structure, and the first edge length
+    at which the largest set reaches the target size is returned.  This is
+    exact and costs one sort of the ``O(n^2)`` candidate edges.
+
+    Args:
+        fraction: target fraction of nodes in the largest component, in
+            ``(0, 1]``; a value of 1.0 reproduces :func:`critical_range`.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise AnalysisError(f"fraction must be in (0, 1], got {fraction}")
+    points = as_positions(positions)
+    n = points.shape[0]
+    if n == 0:
+        return 0.0
+    target = max(1, int(math.ceil(fraction * n)))
+    if target <= 1:
+        return 0.0
+    squared = squared_distance_matrix(points)
+    rows, cols = np.triu_indices(n, k=1)
+    lengths = squared[rows, cols]
+    order = np.argsort(lengths)
+    structure = UnionFind(n)
+    for index in order:
+        u = int(rows[index])
+        v = int(cols[index])
+        structure.union(u, v)
+        if structure.set_size(u) >= target:
+            return range_reaching(float(lengths[index]))
+    # Unreachable for fraction <= 1, but keep a defensive return.
+    return range_reaching(float(lengths[order[-1]])) if lengths.size else 0.0
+
+
+def longest_gap_1d(positions: Positions) -> float:
+    """Largest spacing between consecutive nodes of a 1-D placement.
+
+    For a 1-dimensional network the critical range is exactly the longest
+    gap between consecutive sorted node positions; this specialised routine
+    is ``O(n log n)`` and is used by the 1-D theory benchmarks where ``n``
+    gets large.
+    """
+    points = as_positions(positions)
+    if points.shape[1] != 1:
+        raise AnalysisError(
+            f"longest_gap_1d requires a 1-D placement, got dimension {points.shape[1]}"
+        )
+    n = points.shape[0]
+    if n <= 1:
+        return 0.0
+    coordinates = np.sort(points[:, 0])
+    return float(np.max(np.diff(coordinates)))
+
+
+def range_for_k_connectivity(
+    positions: Positions,
+    k: int,
+    tolerance: float = 1e-6,
+    max_iterations: int = 64,
+) -> Optional[float]:
+    """Smallest range (to ``tolerance``) making the placement k-connected.
+
+    Uses bisection between the 1-connectivity critical range and the
+    placement diameter.  Returns ``None`` when even the complete graph on
+    the placement is not k-connected (i.e. ``n <= k``).
+    """
+    if k <= 0:
+        raise AnalysisError(f"k must be positive, got {k}")
+    points = as_positions(positions)
+    n = points.shape[0]
+    if n <= k:
+        return None
+    low = critical_range(points)
+    distances = pairwise_distances(points)
+    high = float(distances.max())
+    if high == 0.0:
+        return 0.0
+
+    def satisfied(radius: float) -> bool:
+        graph = build_communication_graph(points, radius)
+        return is_k_connected(graph, k)
+
+    if satisfied(low):
+        return low
+    if not satisfied(high):
+        return None
+    for _ in range(max_iterations):
+        mid = 0.5 * (low + high)
+        if satisfied(mid):
+            high = mid
+        else:
+            low = mid
+        if high - low <= tolerance:
+            break
+    return high
+
+
+def sorted_edge_lengths(positions: Positions) -> List[float]:
+    """All pairwise distances sorted ascending (helper for sweeps/tests)."""
+    points = as_positions(positions)
+    n = points.shape[0]
+    if n < 2:
+        return []
+    distances = pairwise_distances(points)
+    rows, cols = np.triu_indices(n, k=1)
+    return sorted(float(d) for d in distances[rows, cols])

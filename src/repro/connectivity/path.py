@@ -1,0 +1,75 @@
+"""Path-quality metrics.
+
+Connectivity says *whether* two nodes can communicate; these helpers say
+*how well* — how many hops a message needs on average, what the hop
+diameter of the network is, and what fraction of node pairs can reach each
+other when the network is disconnected.  They complement the availability
+view of Section 1 of the paper: "a sufficiently large number of nodes are
+connected" translates into a high reachability fraction.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.graph.adjacency import CommunicationGraph
+from repro.graph.traversal import hop_counts
+
+
+def average_hop_count(graph: CommunicationGraph) -> Optional[float]:
+    """Mean hop distance over all ordered pairs of distinct, mutually
+    reachable nodes.
+
+    Returns ``None`` when no pair of distinct nodes is reachable (fewer
+    than two nodes, or all nodes isolated).
+    """
+    total = 0
+    pairs = 0
+    for source in graph.nodes():
+        distances = hop_counts(graph, source)
+        for target, distance in enumerate(distances):
+            if target == source or distance is None:
+                continue
+            total += distance
+            pairs += 1
+    if pairs == 0:
+        return None
+    return total / pairs
+
+
+def network_diameter_hops(graph: CommunicationGraph) -> Optional[int]:
+    """Largest hop distance between any two mutually reachable nodes.
+
+    Returns ``None`` when no pair of distinct nodes is reachable.  For a
+    disconnected graph this is the diameter of the "largest-diameter"
+    component, which is the conventional reading for point graphs.
+    """
+    diameter: Optional[int] = None
+    for source in graph.nodes():
+        distances = hop_counts(graph, source)
+        for target, distance in enumerate(distances):
+            if target == source or distance is None:
+                continue
+            if diameter is None or distance > diameter:
+                diameter = distance
+    return diameter
+
+
+def reachability_fraction(graph: CommunicationGraph) -> float:
+    """Fraction of unordered node pairs that can reach each other.
+
+    Equals 1.0 exactly when the graph is connected; for a graph whose
+    largest component holds a fraction ``f`` of the nodes it is roughly
+    ``f**2``, which quantifies the communication capability that remains
+    when the paper's partial-connectivity thresholds (``rl90`` etc.) are
+    used.
+    """
+    n = graph.node_count
+    if n < 2:
+        return 1.0
+    from repro.graph.components import connected_components
+
+    components = connected_components(graph)
+    reachable_pairs = sum(len(c) * (len(c) - 1) // 2 for c in components)
+    total_pairs = n * (n - 1) // 2
+    return reachable_pairs / total_pairs

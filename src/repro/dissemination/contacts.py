@@ -1,0 +1,110 @@
+"""Contact and inter-contact statistics of a mobility trace.
+
+Delay-tolerant networking performance is governed by how often node pairs
+come within range ("contacts") and how long they stay out of range between
+contacts ("inter-contact times").  These helpers turn the raw contact
+events of :func:`repro.dissemination.epidemic.contact_events` into the
+summary statistics a designer would look at when deciding whether the
+paper's "exchange data during temporary connection periods" scenario is
+viable at a given transmitting range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.dissemination.epidemic import contact_events
+from repro.exceptions import ConfigurationError
+from repro.types import Positions
+
+
+@dataclass(frozen=True)
+class ContactStatistics:
+    """Aggregate contact behaviour of one trace at one transmitting range."""
+
+    transmitting_range: float
+    step_count: int
+    pair_count: int
+    pairs_with_contact: int
+    total_contacts: int
+    mean_contact_duration: float
+    mean_intercontact_time: float
+
+    @property
+    def contact_pair_fraction(self) -> float:
+        """Fraction of node pairs that met at least once during the trace."""
+        if self.pair_count == 0:
+            return 0.0
+        return self.pairs_with_contact / self.pair_count
+
+
+def _durations_and_gaps(steps: Sequence[int]) -> Tuple[List[int], List[int]]:
+    """Split a sorted list of contact steps into contact durations and
+    inter-contact gaps.
+
+    Consecutive steps belong to the same contact; a jump of more than one
+    step ends the contact and the jump length (minus one) is an
+    inter-contact time.
+    """
+    if not steps:
+        return [], []
+    durations: List[int] = []
+    gaps: List[int] = []
+    run_length = 1
+    for previous, current in zip(steps, steps[1:]):
+        if current == previous + 1:
+            run_length += 1
+        else:
+            durations.append(run_length)
+            gaps.append(current - previous - 1)
+            run_length = 1
+    durations.append(run_length)
+    return durations, gaps
+
+
+def contact_statistics(
+    frames: Sequence[Positions], transmitting_range: float
+) -> ContactStatistics:
+    """Compute :class:`ContactStatistics` for a trace at a given range."""
+    frame_list = list(frames)
+    if not frame_list:
+        raise ConfigurationError("at least one placement frame is required")
+    node_count = frame_list[0].shape[0]
+    pair_count = node_count * (node_count - 1) // 2
+    events = contact_events(frame_list, transmitting_range)
+
+    all_durations: List[int] = []
+    all_gaps: List[int] = []
+    total_contacts = 0
+    for steps in events.values():
+        durations, gaps = _durations_and_gaps(sorted(steps))
+        all_durations.extend(durations)
+        all_gaps.extend(gaps)
+        total_contacts += len(durations)
+
+    mean_duration = (
+        sum(all_durations) / len(all_durations) if all_durations else 0.0
+    )
+    mean_gap = sum(all_gaps) / len(all_gaps) if all_gaps else 0.0
+    return ContactStatistics(
+        transmitting_range=transmitting_range,
+        step_count=len(frame_list),
+        pair_count=pair_count,
+        pairs_with_contact=len(events),
+        total_contacts=total_contacts,
+        mean_contact_duration=mean_duration,
+        mean_intercontact_time=mean_gap,
+    )
+
+
+def intercontact_times(
+    frames: Sequence[Positions], transmitting_range: float
+) -> Dict[Tuple[int, int], List[int]]:
+    """Per-pair inter-contact times (gaps between successive contacts)."""
+    events = contact_events(list(frames), transmitting_range)
+    result: Dict[Tuple[int, int], List[int]] = {}
+    for pair, steps in events.items():
+        _, gaps = _durations_and_gaps(sorted(steps))
+        result[pair] = gaps
+    return result

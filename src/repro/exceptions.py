@@ -1,0 +1,41 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by the library derive from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish configuration problems from runtime
+simulation problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the library."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when a user-supplied configuration value is invalid.
+
+    Examples include a negative transmitting range, a zero-sized
+    deployment region, or a mobility parameter outside of its documented
+    domain (for instance ``pstationary`` outside ``[0, 1]``).
+    """
+
+
+class DimensionMismatchError(ConfigurationError):
+    """Raised when positions and a region disagree about dimensionality."""
+
+
+class SimulationError(ReproError):
+    """Raised when a simulation cannot be carried out as requested."""
+
+
+class SearchError(ReproError):
+    """Raised when a threshold search (e.g. for ``r100``) fails to bracket
+    or converge to a solution within its iteration budget."""
+
+
+class AnalysisError(ReproError):
+    """Raised when an analytical routine is asked to operate outside of the
+    regime in which it is defined (e.g. an occupancy domain query with
+    non-positive ``n`` or ``C``)."""

@@ -1,0 +1,43 @@
+"""Experiment definitions reproducing the paper's figures.
+
+Each figure of the evaluation section is a registered experiment that can
+be run at three scales:
+
+* ``smoke`` — seconds; used by the test-suite to validate plumbing;
+* ``default`` — a couple of minutes on a laptop; the benchmark harness uses
+  this scale and it is sufficient for the qualitative shape of every curve;
+* ``paper`` — the paper's own parameters (l up to 16 384, 50 iterations of
+  10 000 steps); hours of compute, provided for completeness.
+
+Use :func:`~repro.experiments.registry.get_experiment` /
+:func:`~repro.experiments.registry.list_experiments` to discover them, and
+:mod:`repro.experiments.report` to render the results as text tables.
+"""
+
+from repro.experiments.registry import (
+    Experiment,
+    ExperimentScale,
+    get_experiment,
+    list_experiments,
+    register_experiment,
+)
+from repro.experiments.report import ascii_chart, format_table, render_sweep
+from repro.experiments.io import load_sweep, save_sweep
+
+# Importing the figure modules registers their experiments.
+from repro.experiments import figures as _figures  # noqa: F401
+from repro.experiments import stationary_exp as _stationary  # noqa: F401
+from repro.experiments import theory_exp as _theory  # noqa: F401
+
+__all__ = [
+    "Experiment",
+    "ExperimentScale",
+    "ascii_chart",
+    "format_table",
+    "get_experiment",
+    "list_experiments",
+    "load_sweep",
+    "register_experiment",
+    "render_sweep",
+    "save_sweep",
+]

@@ -1,0 +1,326 @@
+"""Reproductions of Figures 2–9.
+
+Every function here measures exactly what the corresponding paper figure
+plots; the shared helper :func:`mobile_threshold_rows` runs the expensive
+part (one trace-statistics simulation per system size and mobility model)
+once and derives all the Figure 2–6 series from it.
+
+The experiments are registered in the global registry under the
+identifiers ``fig2`` … ``fig9``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Sequence
+
+from repro.experiments.registry import (
+    Experiment,
+    ExperimentScale,
+    register_experiment,
+)
+from repro.simulation.config import MobilitySpec, NetworkConfig, SimulationConfig
+from repro.simulation.runner import collect_frame_statistics, stationary_critical_range
+from repro.simulation.search import (
+    average_component_fraction_at_range,
+    estimate_component_thresholds_from_statistics,
+    estimate_thresholds_from_statistics,
+)
+from repro.simulation.sweep import SweepResult, sweep_parameter
+
+
+def paper_node_count(side: float) -> int:
+    """The paper's system-size scaling ``n = sqrt(l)``."""
+    return max(2, int(round(math.sqrt(side))))
+
+
+def _mobility_spec_for(model: str, side: float, **overrides) -> MobilitySpec:
+    """Build the Section 4.2 mobility specification for ``model``."""
+    if model == "waypoint":
+        return MobilitySpec.paper_waypoint(side, **overrides)
+    if model == "drunkard":
+        return MobilitySpec.paper_drunkard(side, **overrides)
+    raise ValueError(f"unsupported mobility model for the figures: {model!r}")
+
+
+def measure_system_size(
+    side: float,
+    model: str,
+    scale: ExperimentScale,
+    mobility_overrides: Dict | None = None,
+) -> Dict[str, float]:
+    """All Figure 2–6 quantities for one system size and mobility model.
+
+    Returns a row with the raw thresholds, their ratios to ``rstationary``,
+    and the average largest-component fractions at ``r90``, ``r10``, ``r0``.
+    """
+    node_count = paper_node_count(side)
+    rstationary = stationary_critical_range(
+        node_count=node_count,
+        side=side,
+        dimension=2,
+        iterations=scale.stationary_iterations,
+        seed=scale.seed,
+        confidence=0.99,
+    )
+    spec = _mobility_spec_for(model, side, **(mobility_overrides or {}))
+    config = SimulationConfig(
+        network=NetworkConfig(node_count=node_count, side=side, dimension=2),
+        mobility=spec,
+        steps=scale.steps,
+        iterations=scale.iterations,
+        seed=scale.seed,
+    )
+    statistics = collect_frame_statistics(config)
+    thresholds = estimate_thresholds_from_statistics(statistics)
+    components = estimate_component_thresholds_from_statistics(statistics)
+
+    row: Dict[str, float] = {
+        "n": float(node_count),
+        "rstationary": rstationary,
+        "r100": thresholds.r100,
+        "r90": thresholds.r90,
+        "r10": thresholds.r10,
+        "r0": thresholds.r0,
+        "rl90": components.rl90,
+        "rl75": components.rl75,
+        "rl50": components.rl50,
+    }
+    for label in ("r100", "r90", "r10", "r0", "rl90", "rl75", "rl50"):
+        row[f"{label}/rstationary"] = row[label] / rstationary if rstationary > 0 else 0.0
+    for label in ("r90", "r10", "r0"):
+        row[f"lcc_fraction@{label}"] = average_component_fraction_at_range(
+            statistics, row[label]
+        )
+    return row
+
+
+def mobile_threshold_rows(
+    model: str, scale: ExperimentScale, mobility_overrides: Dict | None = None
+) -> SweepResult:
+    """The full system-size sweep shared by Figures 2–6."""
+    return sweep_parameter(
+        "l",
+        scale.sides,
+        lambda side: measure_system_size(side, model, scale, mobility_overrides),
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Figures 2 and 3 — r_x / rstationary vs l
+# --------------------------------------------------------------------------- #
+def figure2(scale: ExperimentScale) -> SweepResult:
+    """Figure 2: ratios r100/r90/r10/r0 to rstationary, random waypoint."""
+    return mobile_threshold_rows("waypoint", scale)
+
+
+def figure3(scale: ExperimentScale) -> SweepResult:
+    """Figure 3: the same ratios under the drunkard model."""
+    return mobile_threshold_rows("drunkard", scale)
+
+
+# --------------------------------------------------------------------------- #
+# Figures 4 and 5 — largest component fraction at r90 / r10 / r0 vs l
+# --------------------------------------------------------------------------- #
+def figure4(scale: ExperimentScale) -> SweepResult:
+    """Figure 4: average largest-component fraction at r90/r10/r0, waypoint."""
+    return mobile_threshold_rows("waypoint", scale)
+
+
+def figure5(scale: ExperimentScale) -> SweepResult:
+    """Figure 5: average largest-component fraction at r90/r10/r0, drunkard."""
+    return mobile_threshold_rows("drunkard", scale)
+
+
+# --------------------------------------------------------------------------- #
+# Figure 6 — rl90 / rl75 / rl50 over rstationary vs l (waypoint)
+# --------------------------------------------------------------------------- #
+def figure6(scale: ExperimentScale) -> SweepResult:
+    """Figure 6: ratios rl90/rl75/rl50 to rstationary, random waypoint."""
+    return mobile_threshold_rows("waypoint", scale)
+
+
+# --------------------------------------------------------------------------- #
+# Figures 7–9 — r100 / rstationary as one mobility parameter varies
+# --------------------------------------------------------------------------- #
+#: System side used by the parameter studies of Section 4.3.
+PARAMETER_STUDY_SIDE = 4096.0
+
+
+def _parameter_study_values(scale: ExperimentScale) -> Dict[str, Sequence[float]]:
+    """The swept values of pstationary / tpause / vmax at a given scale.
+
+    The paper's points are pstationary in 0..1 (step 0.2, refined 0.02 in
+    [0.4, 0.6]), tpause in 0..10000, vmax in 0.01l..0.5l; the presets take
+    evenly spaced subsets of those intervals with ``parameter_points``
+    points.
+    """
+    points = scale.parameter_points
+    return {
+        "pstationary": [i / (points - 1) for i in range(points)],
+        "tpause": [i * 10000.0 / (points - 1) for i in range(points)],
+        "vmax_fraction": [
+            0.01 + i * (0.5 - 0.01) / (points - 1) for i in range(points)
+        ],
+    }
+
+
+def _parameter_study_side(scale: ExperimentScale) -> float:
+    """System side for Figures 7–9; smoke runs shrink it to stay fast."""
+    if scale.name == "smoke":
+        return 1024.0
+    return PARAMETER_STUDY_SIDE
+
+
+def _r100_ratio_row(
+    scale: ExperimentScale, mobility_overrides: Dict
+) -> Dict[str, float]:
+    """One Figure 7–9 measurement: r100 / rstationary at fixed geometry."""
+    side = _parameter_study_side(scale)
+    node_count = paper_node_count(side)
+    rstationary = stationary_critical_range(
+        node_count=node_count,
+        side=side,
+        dimension=2,
+        iterations=scale.stationary_iterations,
+        seed=scale.seed,
+        confidence=0.99,
+    )
+    spec = MobilitySpec.paper_waypoint(side, **mobility_overrides)
+    config = SimulationConfig(
+        network=NetworkConfig(node_count=node_count, side=side, dimension=2),
+        mobility=spec,
+        steps=scale.steps,
+        iterations=scale.iterations,
+        seed=scale.seed,
+    )
+    statistics = collect_frame_statistics(config)
+    thresholds = estimate_thresholds_from_statistics(statistics)
+    ratio = thresholds.r100 / rstationary if rstationary > 0 else 0.0
+    return {
+        "r100": thresholds.r100,
+        "rstationary": rstationary,
+        "r100/rstationary": ratio,
+    }
+
+
+def figure7(scale: ExperimentScale) -> SweepResult:
+    """Figure 7: r100/rstationary as pstationary sweeps 0 → 1."""
+    values = _parameter_study_values(scale)["pstationary"]
+    return sweep_parameter(
+        "pstationary",
+        values,
+        lambda p: _r100_ratio_row(scale, {"pstationary": float(p)}),
+    )
+
+
+def figure8(scale: ExperimentScale) -> SweepResult:
+    """Figure 8: r100/rstationary as tpause sweeps 0 → 10000."""
+    values = _parameter_study_values(scale)["tpause"]
+    return sweep_parameter(
+        "tpause",
+        values,
+        lambda t: _r100_ratio_row(scale, {"tpause": int(t)}),
+    )
+
+
+def figure9(scale: ExperimentScale) -> SweepResult:
+    """Figure 9: r100/rstationary as vmax sweeps 0.01l → 0.5l."""
+    values = _parameter_study_values(scale)["vmax_fraction"]
+    side = _parameter_study_side(scale)
+    return sweep_parameter(
+        "vmax_fraction",
+        values,
+        lambda f: _r100_ratio_row(scale, {"vmax": float(f) * side}),
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Registration
+# --------------------------------------------------------------------------- #
+def _register_all() -> None:
+    register_experiment(Experiment(
+        identifier="fig2",
+        title="r_x / rstationary vs system size (random waypoint)",
+        description=(
+            "Ratios of r100, r90, r10 and r0 to the stationary critical range "
+            "for l in {256, 1K, 4K, 16K}, n = sqrt(l), under the random "
+            "waypoint model with the Section 4.2 parameters."
+        ),
+        paper_reference="Figure 2",
+        run=figure2,
+    ))
+    register_experiment(Experiment(
+        identifier="fig3",
+        title="r_x / rstationary vs system size (drunkard)",
+        description=(
+            "Ratios of r100, r90, r10 and r0 to the stationary critical range "
+            "under the drunkard model (pstationary=0.1, ppause=0.3, m=0.01l)."
+        ),
+        paper_reference="Figure 3",
+        run=figure3,
+    ))
+    register_experiment(Experiment(
+        identifier="fig4",
+        title="Largest component fraction at r90/r10/r0 (random waypoint)",
+        description=(
+            "Average size of the largest connected component, as a fraction "
+            "of n, when the range is set to r90, r10 and r0 (waypoint model)."
+        ),
+        paper_reference="Figure 4",
+        run=figure4,
+    ))
+    register_experiment(Experiment(
+        identifier="fig5",
+        title="Largest component fraction at r90/r10/r0 (drunkard)",
+        description=(
+            "Average size of the largest connected component, as a fraction "
+            "of n, when the range is set to r90, r10 and r0 (drunkard model)."
+        ),
+        paper_reference="Figure 5",
+        run=figure5,
+    ))
+    register_experiment(Experiment(
+        identifier="fig6",
+        title="rl90 / rl75 / rl50 over rstationary vs system size",
+        description=(
+            "Ratios of the ranges achieving average largest-component "
+            "fractions of 0.9, 0.75 and 0.5 to the stationary critical range "
+            "(random waypoint model)."
+        ),
+        paper_reference="Figure 6",
+        run=figure6,
+    ))
+    register_experiment(Experiment(
+        identifier="fig7",
+        title="r100 / rstationary vs pstationary",
+        description=(
+            "Effect of the fraction of stationary nodes on the range needed "
+            "for permanent connectivity (random waypoint, l=4096, n=64)."
+        ),
+        paper_reference="Figure 7",
+        run=figure7,
+    ))
+    register_experiment(Experiment(
+        identifier="fig8",
+        title="r100 / rstationary vs tpause",
+        description=(
+            "Effect of the pause time on the range needed for permanent "
+            "connectivity (random waypoint, l=4096, n=64)."
+        ),
+        paper_reference="Figure 8",
+        run=figure8,
+    ))
+    register_experiment(Experiment(
+        identifier="fig9",
+        title="r100 / rstationary vs vmax",
+        description=(
+            "Effect of the maximum node velocity on the range needed for "
+            "permanent connectivity (random waypoint, l=4096, n=64)."
+        ),
+        paper_reference="Figure 9",
+        run=figure9,
+    ))
+
+
+_register_all()

@@ -1,0 +1,85 @@
+"""Persistence of experiment results.
+
+Sweeps are stored as JSON (one object with metadata plus the rows) or CSV
+(rows only).  Both formats round-trip through :func:`save_sweep` /
+:func:`load_sweep` and are stable enough to be checked into a results
+directory and diffed across runs.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.exceptions import ConfigurationError
+from repro.simulation.sweep import SweepResult
+
+PathLike = Union[str, Path]
+
+
+def save_sweep(
+    sweep: SweepResult,
+    path: PathLike,
+    metadata: Optional[Dict[str, object]] = None,
+) -> Path:
+    """Write ``sweep`` to ``path`` as JSON or CSV (chosen by file suffix).
+
+    Args:
+        sweep: the sweep to persist.
+        path: destination; ``.json`` or ``.csv``.
+        metadata: optional extra fields stored alongside JSON output
+            (ignored for CSV).
+
+    Returns:
+        The resolved path that was written.
+    """
+    destination = Path(path)
+    destination.parent.mkdir(parents=True, exist_ok=True)
+    suffix = destination.suffix.lower()
+    if suffix == ".json":
+        payload = {
+            "parameter_name": sweep.parameter_name,
+            "rows": sweep.rows,
+            "metadata": metadata or {},
+        }
+        destination.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    elif suffix == ".csv":
+        if not sweep.rows:
+            destination.write_text("")
+        else:
+            columns = [sweep.parameter_name] + sweep.series_names()
+            with destination.open("w", newline="") as handle:
+                writer = csv.DictWriter(handle, fieldnames=columns)
+                writer.writeheader()
+                for row in sweep.rows:
+                    writer.writerow({column: row.get(column, "") for column in columns})
+    else:
+        raise ConfigurationError(
+            f"unsupported result format {suffix!r}; use .json or .csv"
+        )
+    return destination
+
+
+def load_sweep(path: PathLike) -> SweepResult:
+    """Load a sweep previously written by :func:`save_sweep`."""
+    source = Path(path)
+    suffix = source.suffix.lower()
+    if suffix == ".json":
+        payload = json.loads(source.read_text())
+        return SweepResult(
+            parameter_name=payload["parameter_name"],
+            rows=[{key: value for key, value in row.items()} for row in payload["rows"]],
+        )
+    if suffix == ".csv":
+        with source.open() as handle:
+            reader = csv.DictReader(handle)
+            rows = []
+            parameter_name = reader.fieldnames[0] if reader.fieldnames else "parameter"
+            for raw in reader:
+                rows.append({key: float(value) for key, value in raw.items() if value != ""})
+        return SweepResult(parameter_name=parameter_name, rows=rows)
+    raise ConfigurationError(
+        f"unsupported result format {suffix!r}; use .json or .csv"
+    )

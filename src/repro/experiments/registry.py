@@ -1,0 +1,142 @@
+"""Experiment registry and scale presets.
+
+An :class:`Experiment` couples an identifier (``"fig2"``), a human readable
+description, and a ``run`` callable taking an :class:`ExperimentScale` and
+returning a :class:`repro.simulation.sweep.SweepResult`.  Experiments are
+registered at import time by the figure modules and looked up by the CLI
+and the benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.exceptions import ConfigurationError
+from repro.simulation.sweep import SweepResult
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Size knobs of an experiment run.
+
+    Attributes:
+        name: preset name (``smoke``, ``default``, ``paper`` or custom).
+        sides: the system sides ``l`` to sweep (Figures 2–6).
+        steps: mobility steps per iteration.
+        iterations: independent iterations per configuration.
+        stationary_iterations: placements drawn when estimating
+            ``rstationary``.
+        parameter_points: number of points in the parameter sweeps of
+            Figures 7–9.
+        seed: root random seed.
+    """
+
+    name: str
+    sides: Sequence[float]
+    steps: int
+    iterations: int
+    stationary_iterations: int
+    parameter_points: int
+    seed: Optional[int] = 20020623  # DSN 2002 conference date.
+
+    def __post_init__(self) -> None:
+        if self.steps < 1:
+            raise ConfigurationError(f"steps must be at least 1, got {self.steps}")
+        if self.iterations < 1:
+            raise ConfigurationError(
+                f"iterations must be at least 1, got {self.iterations}"
+            )
+        if self.stationary_iterations < 1:
+            raise ConfigurationError(
+                "stationary_iterations must be at least 1, got "
+                f"{self.stationary_iterations}"
+            )
+        if self.parameter_points < 2:
+            raise ConfigurationError(
+                f"parameter_points must be at least 2, got {self.parameter_points}"
+            )
+        if not self.sides:
+            raise ConfigurationError("sides must contain at least one system size")
+
+
+#: The three built-in scale presets.
+SCALES: Dict[str, ExperimentScale] = {
+    "smoke": ExperimentScale(
+        name="smoke",
+        sides=(256.0, 1024.0),
+        steps=25,
+        iterations=2,
+        stationary_iterations=30,
+        parameter_points=3,
+    ),
+    "default": ExperimentScale(
+        name="default",
+        sides=(256.0, 1024.0, 4096.0, 16384.0),
+        steps=600,
+        iterations=5,
+        stationary_iterations=400,
+        parameter_points=6,
+    ),
+    "paper": ExperimentScale(
+        name="paper",
+        sides=(256.0, 1024.0, 4096.0, 16384.0),
+        steps=10000,
+        iterations=50,
+        stationary_iterations=1000,
+        parameter_points=11,
+    ),
+}
+
+
+def scale_by_name(name: str) -> ExperimentScale:
+    """Look up a scale preset by name."""
+    try:
+        return SCALES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown scale {name!r}; expected one of {sorted(SCALES)}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """A registered, runnable reproduction of one paper figure/table."""
+
+    identifier: str
+    title: str
+    description: str
+    paper_reference: str
+    run: Callable[[ExperimentScale], SweepResult] = field(repr=False)
+
+    def run_at(self, scale: str = "default") -> SweepResult:
+        """Run the experiment at a named scale preset."""
+        return self.run(scale_by_name(scale))
+
+
+_REGISTRY: Dict[str, Experiment] = {}
+
+
+def register_experiment(experiment: Experiment) -> Experiment:
+    """Add ``experiment`` to the global registry (idempotent by identifier)."""
+    _REGISTRY[experiment.identifier] = experiment
+    return experiment
+
+
+def get_experiment(identifier: str) -> Experiment:
+    """Look up a registered experiment.
+
+    Raises:
+        ConfigurationError: if no experiment has that identifier.
+    """
+    try:
+        return _REGISTRY[identifier]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown experiment {identifier!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def list_experiments() -> List[Experiment]:
+    """All registered experiments, sorted by identifier."""
+    return [_REGISTRY[key] for key in sorted(_REGISTRY)]

@@ -1,0 +1,97 @@
+"""Distance computations.
+
+The communication graph has an edge between two nodes whenever their
+Euclidean distance is at most the transmitting range ``r``.  The routines
+here compute those distances efficiently for whole placements.  A toroidal
+variant is provided because wrap-around boundaries are a common modelling
+alternative (it removes border effects); it is used by some of the extended
+experiments and by tests.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.types import Positions, as_positions
+
+
+def squared_distance_matrix(positions: Positions) -> np.ndarray:
+    """All-pairs squared Euclidean distances as an ``(n, n)`` matrix.
+
+    Working with squared distances avoids ``sqrt`` in the hot path; callers
+    compare against ``r**2``.
+    """
+    points = as_positions(positions)
+    # ||a - b||^2 = ||a||^2 + ||b||^2 - 2 a.b ; computed with BLAS.
+    norms = np.einsum("ij,ij->i", points, points)
+    squared = norms[:, None] + norms[None, :] - 2.0 * points @ points.T
+    # Numerical noise can push tiny negatives; clamp them.
+    np.maximum(squared, 0.0, out=squared)
+    return squared
+
+
+def pairwise_distances(positions: Positions) -> np.ndarray:
+    """All-pairs Euclidean distances as an ``(n, n)`` matrix."""
+    return np.sqrt(squared_distance_matrix(positions))
+
+
+def euclidean_distance(a: Sequence[float], b: Sequence[float]) -> float:
+    """Euclidean distance between two individual points."""
+    pa = np.asarray(a, dtype=float)
+    pb = np.asarray(b, dtype=float)
+    if pa.shape != pb.shape:
+        raise ValueError(
+            f"points must have the same shape, got {pa.shape} and {pb.shape}"
+        )
+    return float(math.sqrt(float(np.sum((pa - pb) ** 2))))
+
+
+def toroidal_distance(
+    a: Sequence[float], b: Sequence[float], side: float
+) -> float:
+    """Distance between two points on the torus of side ``side``.
+
+    Each coordinate difference is reduced modulo ``side`` and the shorter of
+    the two ways around is used.
+    """
+    if side <= 0:
+        raise ValueError(f"side must be positive, got {side}")
+    pa = np.asarray(a, dtype=float)
+    pb = np.asarray(b, dtype=float)
+    if pa.shape != pb.shape:
+        raise ValueError(
+            f"points must have the same shape, got {pa.shape} and {pb.shape}"
+        )
+    delta = np.abs(pa - pb)
+    delta = np.minimum(delta, side - delta)
+    return float(math.sqrt(float(np.sum(delta**2))))
+
+
+def toroidal_distance_matrix(positions: Positions, side: float) -> np.ndarray:
+    """All-pairs toroidal distances for a placement on a torus of side ``side``."""
+    if side <= 0:
+        raise ValueError(f"side must be positive, got {side}")
+    points = as_positions(positions)
+    deltas = np.abs(points[:, None, :] - points[None, :, :])
+    deltas = np.minimum(deltas, side - deltas)
+    return np.sqrt(np.sum(deltas**2, axis=-1))
+
+
+def nearest_neighbor_distances(positions: Positions) -> np.ndarray:
+    """Distance from each node to its nearest other node.
+
+    For a single node the result is an array containing ``inf`` (there is
+    no neighbour to measure against).
+    """
+    points = as_positions(positions)
+    n = points.shape[0]
+    if n == 0:
+        return np.empty(0, dtype=float)
+    if n == 1:
+        return np.array([math.inf])
+    distances = pairwise_distances(points)
+    np.fill_diagonal(distances, math.inf)
+    return distances.min(axis=1)

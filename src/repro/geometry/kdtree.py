@@ -1,0 +1,141 @@
+"""A small, from-scratch KD-tree.
+
+The topology-control comparators (:mod:`repro.topology`) need k-nearest
+neighbour queries; this balanced KD-tree provides them without pulling in
+:mod:`scipy`.  It supports the two query types the library uses:
+
+* :meth:`KDTree.query_radius` — all points within a Euclidean radius.
+* :meth:`KDTree.query_knn` — the ``k`` nearest points.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.types import Positions, as_positions
+
+
+@dataclass
+class _Node:
+    """Internal tree node splitting on ``axis`` at the point ``index``."""
+
+    index: int
+    axis: int
+    left: Optional["_Node"]
+    right: Optional["_Node"]
+
+
+class KDTree:
+    """Balanced KD-tree over a fixed set of points.
+
+    Args:
+        positions: ``(n, d)`` array; the tree keeps a reference, it does not
+            copy, so callers must not mutate the array afterwards.
+    """
+
+    def __init__(self, positions: Positions) -> None:
+        self._positions = as_positions(positions)
+        self._dimension = self._positions.shape[1]
+        indices = list(range(self._positions.shape[0]))
+        self._root = self._build(indices, depth=0)
+
+    # ------------------------------------------------------------------ #
+    def _build(self, indices: List[int], depth: int) -> Optional[_Node]:
+        if not indices:
+            return None
+        axis = depth % self._dimension
+        indices.sort(key=lambda i: self._positions[i, axis])
+        median = len(indices) // 2
+        return _Node(
+            index=indices[median],
+            axis=axis,
+            left=self._build(indices[:median], depth + 1),
+            right=self._build(indices[median + 1:], depth + 1),
+        )
+
+    def __len__(self) -> int:
+        return self._positions.shape[0]
+
+    # ------------------------------------------------------------------ #
+    def query_radius(self, point: Sequence[float], radius: float) -> List[int]:
+        """Indices of points within ``radius`` of ``point`` (inclusive)."""
+        if radius < 0:
+            raise ValueError(f"radius must be non-negative, got {radius}")
+        target = np.asarray(point, dtype=float)
+        found: List[int] = []
+        self._radius_search(self._root, target, radius, found)
+        return found
+
+    def _radius_search(
+        self,
+        node: Optional[_Node],
+        target: np.ndarray,
+        radius: float,
+        found: List[int],
+    ) -> None:
+        if node is None:
+            return
+        position = self._positions[node.index]
+        if _distance(position, target) <= radius:
+            found.append(node.index)
+        delta = target[node.axis] - position[node.axis]
+        near, far = (node.left, node.right) if delta < 0 else (node.right, node.left)
+        self._radius_search(near, target, radius, found)
+        if abs(delta) <= radius:
+            self._radius_search(far, target, radius, found)
+
+    # ------------------------------------------------------------------ #
+    def query_knn(
+        self, point: Sequence[float], k: int, exclude: Optional[int] = None
+    ) -> List[Tuple[int, float]]:
+        """The ``k`` nearest points to ``point`` as ``(index, distance)`` pairs.
+
+        Args:
+            point: query location.
+            k: number of neighbours requested; if fewer points exist the
+                shorter list is returned.
+            exclude: optional index to skip (used to exclude the query node
+                itself when the query point is one of the indexed points).
+        """
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        target = np.asarray(point, dtype=float)
+        # Max-heap of (-distance, index) capped at size k.
+        heap: List[Tuple[float, int]] = []
+        self._knn_search(self._root, target, k, exclude, heap)
+        ordered = sorted(((-neg, idx) for neg, idx in heap))
+        return [(idx, dist) for dist, idx in ordered]
+
+    def _knn_search(
+        self,
+        node: Optional[_Node],
+        target: np.ndarray,
+        k: int,
+        exclude: Optional[int],
+        heap: List[Tuple[float, int]],
+    ) -> None:
+        if node is None:
+            return
+        position = self._positions[node.index]
+        if node.index != exclude:
+            distance = _distance(position, target)
+            if len(heap) < k:
+                heapq.heappush(heap, (-distance, node.index))
+            elif distance < -heap[0][0]:
+                heapq.heapreplace(heap, (-distance, node.index))
+        delta = target[node.axis] - position[node.axis]
+        near, far = (node.left, node.right) if delta < 0 else (node.right, node.left)
+        self._knn_search(near, target, k, exclude, heap)
+        worst = -heap[0][0] if heap else math.inf
+        if len(heap) < k or abs(delta) <= worst:
+            self._knn_search(far, target, k, exclude, heap)
+
+
+def _distance(a: np.ndarray, b: np.ndarray) -> float:
+    delta = a - b
+    return float(math.sqrt(float(np.dot(delta, delta))))

@@ -1,0 +1,161 @@
+"""Uniform-grid spatial index for range queries.
+
+Building the communication graph requires, for every node, the set of nodes
+within distance ``r``.  A brute-force all-pairs scan costs ``O(n^2)``; the
+grid index buckets nodes into cells of side ``r`` so each node only needs to
+inspect its own and the neighbouring cells, which is the standard
+acceleration used by ad hoc network simulators.  The graph builder falls
+back to brute force for very small ``n`` where the bucketing overhead is
+not worth it (see :mod:`repro.graph.builder`).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from collections import defaultdict
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.types import Positions, as_positions
+
+
+class GridIndex:
+    """Buckets points into axis-aligned cells of a fixed size.
+
+    Args:
+        positions: ``(n, d)`` array of points.
+        cell_size: side of each grid cell; usually the query radius.
+    """
+
+    def __init__(self, positions: Positions, cell_size: float) -> None:
+        if cell_size <= 0:
+            raise ConfigurationError(f"cell_size must be positive, got {cell_size}")
+        self._positions = as_positions(positions)
+        self._cell_size = float(cell_size)
+        self._dimension = self._positions.shape[1]
+        self._cells: Dict[Tuple[int, ...], List[int]] = defaultdict(list)
+        if self._positions.shape[0] > 0:
+            for index, key in enumerate(
+                map(tuple, self._cell_keys(self._positions))
+            ):
+                self._cells[key].append(index)
+
+    def _cell_keys(self, points: np.ndarray) -> np.ndarray:
+        """Integer cell coordinates of ``points``.
+
+        Cell indices are clamped to a safe integer range so that degenerate
+        inputs (a cell size many orders of magnitude below the coordinate
+        spread) cannot overflow the integer cast; clamped points simply
+        share a cell, which only enlarges the candidate sets and never
+        loses a true neighbour.
+        """
+        with np.errstate(over="ignore", invalid="ignore"):
+            raw = np.floor(points / self._cell_size)
+        limit = float(2**60)
+        raw = np.nan_to_num(raw, nan=0.0, posinf=limit, neginf=-limit)
+        return np.clip(raw, -limit, limit).astype(np.int64)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def cell_size(self) -> float:
+        """Side length of the grid cells."""
+        return self._cell_size
+
+    @property
+    def dimension(self) -> int:
+        """Dimensionality of the indexed points."""
+        return self._dimension
+
+    def __len__(self) -> int:
+        return self._positions.shape[0]
+
+    def cell_of(self, point: Sequence[float]) -> Tuple[int, ...]:
+        """Grid cell coordinates that contain ``point``."""
+        coords = np.asarray(point, dtype=float).reshape(1, -1)
+        return tuple(int(c) for c in self._cell_keys(coords)[0])
+
+    # ------------------------------------------------------------------ #
+    def candidates_near(self, point: Sequence[float], radius: float) -> List[int]:
+        """Indices of points whose cell is within ``radius`` of ``point``.
+
+        This is a superset of the true neighbours; callers must still filter
+        by exact distance.
+        """
+        if radius < 0:
+            raise ConfigurationError(f"radius must be non-negative, got {radius}")
+        coords = np.asarray(point, dtype=float)
+        reach = int(math.ceil(radius / self._cell_size))
+        center = self.cell_of(coords)
+        found: List[int] = []
+        offsets = itertools.product(range(-reach, reach + 1), repeat=self._dimension)
+        for offset in offsets:
+            key = tuple(center[i] + offset[i] for i in range(self._dimension))
+            bucket = self._cells.get(key)
+            if bucket:
+                found.extend(bucket)
+        return found
+
+    def query_radius(self, point: Sequence[float], radius: float) -> List[int]:
+        """Indices of points within Euclidean distance ``radius`` of ``point``."""
+        candidates = self.candidates_near(point, radius)
+        if not candidates:
+            return []
+        coords = np.asarray(point, dtype=float)
+        candidate_positions = self._positions[candidates]
+        squared = np.sum((candidate_positions - coords) ** 2, axis=1)
+        limit = radius * radius
+        return [candidates[i] for i in np.nonzero(squared <= limit)[0]]
+
+    def neighbor_pairs(self, radius: float) -> List[Tuple[int, int]]:
+        """All unordered pairs ``(i, j)`` with ``i < j`` within ``radius``.
+
+        This is the routine the graph builder uses; it walks each occupied
+        cell and compares its points against the points of the cell itself
+        and of the forward half of its neighbourhood so that every pair is
+        examined exactly once.
+        """
+        if radius < 0:
+            raise ConfigurationError(f"radius must be non-negative, got {radius}")
+        limit = radius * radius
+        reach = int(math.ceil(radius / self._cell_size))
+        pairs: List[Tuple[int, int]] = []
+        positions = self._positions
+
+        # Enumerate neighbour cell offsets once; keep only the "forward"
+        # half (lexicographically positive) plus the zero offset, so that
+        # each unordered cell pair is visited a single time.
+        all_offsets = list(
+            itertools.product(range(-reach, reach + 1), repeat=self._dimension)
+        )
+        forward_offsets = [off for off in all_offsets if off > tuple([0] * self._dimension)]
+
+        for key, members in self._cells.items():
+            # Pairs within the same cell.
+            for a_pos, a in enumerate(members):
+                for b in members[a_pos + 1:]:
+                    if _squared(positions[a], positions[b]) <= limit:
+                        pairs.append((a, b) if a < b else (b, a))
+            # Pairs with forward neighbour cells.
+            for offset in forward_offsets:
+                neighbor_key = tuple(key[i] + offset[i] for i in range(self._dimension))
+                others = self._cells.get(neighbor_key)
+                if not others:
+                    continue
+                for a in members:
+                    pa = positions[a]
+                    for b in others:
+                        if _squared(pa, positions[b]) <= limit:
+                            pairs.append((a, b) if a < b else (b, a))
+        return pairs
+
+    def occupied_cells(self) -> Iterable[Tuple[int, ...]]:
+        """Iterate over the coordinates of non-empty cells."""
+        return self._cells.keys()
+
+
+def _squared(a: np.ndarray, b: np.ndarray) -> float:
+    delta = a - b
+    return float(np.dot(delta, delta))

@@ -1,0 +1,50 @@
+"""Conversion between :class:`CommunicationGraph` and :mod:`networkx`.
+
+``networkx`` is an optional dependency used only as a cross-checking oracle
+in the test suite and for users who want to run their own graph analytics
+on the communication graphs produced by the simulator.  The import is done
+lazily so the core library works without it.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.graph.adjacency import CommunicationGraph
+
+
+def to_networkx(graph: CommunicationGraph) -> Any:
+    """Convert ``graph`` to a :class:`networkx.Graph`.
+
+    Node positions (if known) are attached as the ``pos`` node attribute.
+
+    Raises:
+        ImportError: if networkx is not installed.
+    """
+    import networkx as nx
+
+    result = nx.Graph()
+    result.add_nodes_from(range(graph.node_count))
+    result.add_edges_from(graph.edges())
+    if graph.positions is not None:
+        for node in graph.nodes():
+            result.nodes[node]["pos"] = tuple(graph.positions[node])
+    return result
+
+
+def from_networkx(nx_graph: Any) -> CommunicationGraph:
+    """Convert a :class:`networkx.Graph` with integer nodes ``0..n-1``.
+
+    Raises:
+        ValueError: if the node labels are not exactly ``0..n-1``.
+    """
+    nodes = sorted(nx_graph.nodes())
+    n = len(nodes)
+    if nodes != list(range(n)):
+        raise ValueError(
+            "from_networkx requires nodes labelled 0..n-1; relabel the graph first"
+        )
+    graph = CommunicationGraph(n)
+    for u, v in nx_graph.edges():
+        graph.add_edge(int(u), int(v))
+    return graph

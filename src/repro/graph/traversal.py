@@ -1,0 +1,114 @@
+"""Breadth-first traversal utilities.
+
+Hop-count metrics are not central to the paper but are natural companions
+of its connectivity metrics (a connected network with very long multi-hop
+paths has a different quality of service than a dense one), and the BFS
+component finder doubles as an independent oracle against which the
+union-find implementation is tested.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional
+
+from repro.graph.adjacency import CommunicationGraph
+
+
+def bfs_order(graph: CommunicationGraph, source: int) -> List[int]:
+    """Nodes reachable from ``source`` in breadth-first visitation order."""
+    _check_source(graph, source)
+    visited = [False] * graph.node_count
+    visited[source] = True
+    order = [source]
+    queue = deque([source])
+    adjacency = graph.adjacency_lists()
+    while queue:
+        node = queue.popleft()
+        for neighbor in adjacency[node]:
+            if not visited[neighbor]:
+                visited[neighbor] = True
+                order.append(neighbor)
+                queue.append(neighbor)
+    return order
+
+
+def bfs_tree(graph: CommunicationGraph, source: int) -> Dict[int, Optional[int]]:
+    """Parent pointers of a BFS tree rooted at ``source``.
+
+    The root maps to ``None``; unreachable nodes are absent from the result.
+    """
+    _check_source(graph, source)
+    parents: Dict[int, Optional[int]] = {source: None}
+    queue = deque([source])
+    adjacency = graph.adjacency_lists()
+    while queue:
+        node = queue.popleft()
+        for neighbor in adjacency[node]:
+            if neighbor not in parents:
+                parents[neighbor] = node
+                queue.append(neighbor)
+    return parents
+
+
+def hop_counts(graph: CommunicationGraph, source: int) -> List[Optional[int]]:
+    """Hop distance from ``source`` to every node (``None`` if unreachable)."""
+    _check_source(graph, source)
+    distances: List[Optional[int]] = [None] * graph.node_count
+    distances[source] = 0
+    queue = deque([source])
+    adjacency = graph.adjacency_lists()
+    while queue:
+        node = queue.popleft()
+        base = distances[node]
+        assert base is not None
+        for neighbor in adjacency[node]:
+            if distances[neighbor] is None:
+                distances[neighbor] = base + 1
+                queue.append(neighbor)
+    return distances
+
+
+def shortest_hop_path(
+    graph: CommunicationGraph, source: int, target: int
+) -> Optional[List[int]]:
+    """A minimum-hop path from ``source`` to ``target`` or ``None``.
+
+    The path includes both endpoints; a path from a node to itself is the
+    single-element list ``[source]``.
+    """
+    _check_source(graph, source)
+    _check_source(graph, target)
+    if source == target:
+        return [source]
+    parents = bfs_tree(graph, source)
+    if target not in parents:
+        return None
+    path = [target]
+    while path[-1] != source:
+        parent = parents[path[-1]]
+        assert parent is not None
+        path.append(parent)
+    path.reverse()
+    return path
+
+
+def components_by_bfs(graph: CommunicationGraph) -> List[List[int]]:
+    """Connected components found by repeated BFS (oracle for union-find)."""
+    seen = [False] * graph.node_count
+    components: List[List[int]] = []
+    for start in range(graph.node_count):
+        if seen[start]:
+            continue
+        members = bfs_order(graph, start)
+        for node in members:
+            seen[node] = True
+        components.append(sorted(members))
+    return components
+
+
+def _check_source(graph: CommunicationGraph, node: int) -> None:
+    if not 0 <= node < graph.node_count:
+        raise IndexError(
+            f"node {node} out of range for a graph with {graph.node_count} nodes"
+        )

@@ -1,0 +1,43 @@
+"""Boundary policies.
+
+Mobility models occasionally push a node past the edge of the deployment
+region.  Three standard remedies exist — clamp to the wall, reflect off it,
+or wrap around toroidally — and :class:`BoundaryPolicy` names them so that
+experiment configurations can select one declaratively.  The built-in
+models use clamping/reflection directly via :class:`repro.geometry.Region`,
+but the policy enum is part of the public API for custom models.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.geometry.region import Region
+from repro.types import Positions
+
+
+class BoundaryPolicy(enum.Enum):
+    """How out-of-region positions are corrected."""
+
+    CLAMP = "clamp"
+    REFLECT = "reflect"
+    WRAP = "wrap"
+
+    def apply(self, region: Region, positions: Positions) -> Positions:
+        """Apply the policy to ``positions`` with respect to ``region``."""
+        if self is BoundaryPolicy.CLAMP:
+            return region.clamp(positions)
+        if self is BoundaryPolicy.REFLECT:
+            return region.reflect(positions)
+        return region.wrap(positions)
+
+    @classmethod
+    def from_name(cls, name: str) -> "BoundaryPolicy":
+        """Look up a policy by its lowercase name (``clamp``/``reflect``/``wrap``)."""
+        try:
+            return cls(name.lower())
+        except ValueError:
+            valid = ", ".join(policy.value for policy in cls)
+            raise ValueError(
+                f"unknown boundary policy {name!r}; expected one of: {valid}"
+            ) from None

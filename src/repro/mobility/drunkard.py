@@ -1,0 +1,114 @@
+"""The drunkard (random walk) mobility model.
+
+The paper's second model represents non-intentional motion:
+
+* with probability ``pstationary`` a node never moves (base class);
+* at each step, a mobile node pauses with probability ``ppause``;
+* otherwise its next position is drawn uniformly at random from the disk of
+  radius ``m`` centred at its current position (intersected with the
+  deployment region — positions falling outside are re-drawn, falling back
+  to clamping after a bounded number of attempts so a node wedged exactly
+  in a corner cannot stall the simulation).
+
+The paper's "moderate but heterogeneous mobility" default is
+``pstationary=0.1, ppause=0.3, m=0.01*l``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.mobility.base import MobilityModel
+from repro.types import Positions
+
+#: How many times a fresh in-disk draw is attempted before clamping.
+_MAX_REDRAWS = 8
+
+
+class DrunkardModel(MobilityModel):
+    """Random-walk mobility with per-step pauses and stationary nodes.
+
+    Args:
+        step_radius: the radius ``m`` of the disk from which the next
+            position is drawn.
+        ppause: probability that a mobile node does not move at a step.
+        pstationary: probability that a node never moves.
+    """
+
+    def __init__(
+        self,
+        step_radius: float = 1.0,
+        ppause: float = 0.0,
+        pstationary: float = 0.0,
+    ) -> None:
+        super().__init__(pstationary=pstationary)
+        if step_radius <= 0:
+            raise ConfigurationError(
+                f"step_radius must be positive, got {step_radius}"
+            )
+        if not 0.0 <= ppause <= 1.0:
+            raise ConfigurationError(f"ppause must be in [0, 1], got {ppause}")
+        self.step_radius = float(step_radius)
+        self.ppause = float(ppause)
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def paper_defaults(cls, side: float) -> "DrunkardModel":
+        """The parameterisation used in Figure 3: ``pstationary=0.1``,
+        ``ppause=0.3``, ``m = 0.01 * l``."""
+        return cls(step_radius=max(0.01 * side, 1e-9), ppause=0.3, pstationary=0.1)
+
+    # ------------------------------------------------------------------ #
+    def _prepare(self, rng: np.random.Generator) -> None:
+        # The drunkard model is memoryless; no per-node state is needed.
+        return None
+
+    def _advance(self, rng: np.random.Generator) -> Positions:
+        state = self.state
+        positions = state.positions.copy()
+        n = state.node_count
+        if n == 0:
+            return positions
+
+        moving = rng.random(n) >= self.ppause
+        if not moving.any():
+            return positions
+
+        indices = np.nonzero(moving)[0]
+        new_points = self._draw_in_disk(positions[indices], rng)
+        region = state.region
+
+        # Redraw points that left the region; clamp the stubborn ones.
+        for _ in range(_MAX_REDRAWS):
+            outside = ~np.all(
+                (new_points >= 0.0) & (new_points <= region.side), axis=1
+            )
+            if not outside.any():
+                break
+            redraw = self._draw_in_disk(positions[indices[outside]], rng)
+            new_points[outside] = redraw
+        new_points = region.clamp(new_points)
+
+        positions[indices] = new_points
+        return positions
+
+    def _draw_in_disk(
+        self, centers: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Uniform draws from the d-ball of radius ``m`` around each centre."""
+        count, dimension = centers.shape
+        # Uniform direction: normalised Gaussian vector; uniform radius in a
+        # d-ball: U^(1/d) scaling.
+        directions = rng.normal(size=(count, dimension))
+        norms = np.linalg.norm(directions, axis=1, keepdims=True)
+        norms[norms == 0.0] = 1.0
+        directions /= norms
+        radii = self.step_radius * rng.random(count) ** (1.0 / dimension)
+        return centers + directions * radii[:, None]
+
+    def describe(self) -> str:
+        return (
+            f"DrunkardModel(m={self.step_radius}, ppause={self.ppause}, "
+            f"pstationary={self.pstationary})"
+        )

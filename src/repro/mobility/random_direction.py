@@ -1,0 +1,109 @@
+"""The random direction mobility model (extension).
+
+Not part of the paper's evaluation, but a standard third point of
+comparison for the "does the precise mobility model matter?" question that
+the paper raises: each node picks a direction uniformly at random and a
+travel duration, walks in that direction at a constant speed, and reflects
+off the region boundary; when the duration expires it pauses briefly and
+picks a new direction.  Unlike random waypoint, this model does not
+concentrate nodes in the centre of the region.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.mobility.base import MobilityModel
+from repro.types import Positions
+
+
+class RandomDirectionModel(MobilityModel):
+    """Constant-speed travel in a random direction with boundary reflection.
+
+    Args:
+        speed: distance travelled per step while moving.
+        travel_steps: mean number of steps of a travel leg (the actual leg
+            length is drawn uniformly from ``[1, 2 * travel_steps]``).
+        tpause: steps to pause between legs.
+        pstationary: probability that a node never moves.
+    """
+
+    def __init__(
+        self,
+        speed: float = 1.0,
+        travel_steps: int = 100,
+        tpause: int = 0,
+        pstationary: float = 0.0,
+    ) -> None:
+        super().__init__(pstationary=pstationary)
+        if speed <= 0:
+            raise ConfigurationError(f"speed must be positive, got {speed}")
+        if travel_steps <= 0:
+            raise ConfigurationError(
+                f"travel_steps must be positive, got {travel_steps}"
+            )
+        if tpause < 0:
+            raise ConfigurationError(f"tpause must be non-negative, got {tpause}")
+        self.speed = float(speed)
+        self.travel_steps = int(travel_steps)
+        self.tpause = int(tpause)
+        self._directions: Optional[np.ndarray] = None
+        self._legs_remaining: Optional[np.ndarray] = None
+        self._pause_remaining: Optional[np.ndarray] = None
+
+    def _prepare(self, rng: np.random.Generator) -> None:
+        state = self.state
+        n = state.node_count
+        self._directions = self._random_directions(n, state.region.dimension, rng)
+        self._legs_remaining = rng.integers(1, 2 * self.travel_steps + 1, size=n)
+        self._pause_remaining = np.zeros(n, dtype=int)
+
+    def _advance(self, rng: np.random.Generator) -> Positions:
+        state = self.state
+        assert self._directions is not None
+        assert self._legs_remaining is not None
+        assert self._pause_remaining is not None
+
+        positions = state.positions.copy()
+        n = state.node_count
+        if n == 0:
+            return positions
+
+        pausing = self._pause_remaining > 0
+        self._pause_remaining[pausing] -= 1
+        moving = ~pausing
+
+        if moving.any():
+            indices = np.nonzero(moving)[0]
+            stepped = positions[indices] + self.speed * self._directions[indices]
+            positions[indices] = state.region.reflect(stepped)
+            self._legs_remaining[indices] -= 1
+
+            finished = indices[self._legs_remaining[indices] <= 0]
+            if finished.size:
+                self._pause_remaining[finished] = self.tpause
+                self._directions[finished] = self._random_directions(
+                    finished.size, state.region.dimension, rng
+                )
+                self._legs_remaining[finished] = rng.integers(
+                    1, 2 * self.travel_steps + 1, size=finished.size
+                )
+        return positions
+
+    @staticmethod
+    def _random_directions(
+        count: int, dimension: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        vectors = rng.normal(size=(count, dimension))
+        norms = np.linalg.norm(vectors, axis=1, keepdims=True)
+        norms[norms == 0.0] = 1.0
+        return vectors / norms
+
+    def describe(self) -> str:
+        return (
+            f"RandomDirectionModel(speed={self.speed}, travel_steps={self.travel_steps}, "
+            f"tpause={self.tpause}, pstationary={self.pstationary})"
+        )

@@ -1,0 +1,33 @@
+"""The degenerate "no mobility" model.
+
+Setting ``#steps = 1`` in the paper's simulator corresponds to the
+stationary case; in this library the same effect is obtained either by
+running a single step or by using :class:`StationaryModel`, which never
+moves any node.  Having it as an explicit model keeps the simulator code
+free of special cases and lets the stationary critical range be computed by
+exactly the same machinery as the mobile thresholds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mobility.base import MobilityModel
+from repro.types import Positions
+
+
+class StationaryModel(MobilityModel):
+    """A mobility model in which no node ever moves."""
+
+    def __init__(self) -> None:
+        super().__init__(pstationary=1.0)
+
+    def _prepare(self, rng: np.random.Generator) -> None:
+        # Nothing to allocate — positions never change.
+        return None
+
+    def _advance(self, rng: np.random.Generator) -> Positions:
+        return self.state.positions.copy()
+
+    def describe(self) -> str:
+        return "StationaryModel()"

@@ -1,0 +1,135 @@
+"""The random waypoint mobility model.
+
+The classical model of Johnson & Maltz [2], as parameterised by the paper:
+
+* every node chooses a destination uniformly at random in the region and a
+  speed uniformly at random in ``[vmin, vmax]``;
+* it moves toward the destination in straight-line steps of length equal to
+  its speed (one step = one simulation time unit);
+* on arrival it pauses for ``tpause`` steps, then picks a new destination
+  and speed;
+* with probability ``pstationary`` a node never moves at all (handled by
+  the base class).
+
+The paper's "moderate mobility" default is ``pstationary=0, vmin=0.1,
+vmax=0.01*l, tpause=2000``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.mobility.base import MobilityModel
+from repro.types import Positions
+
+
+class RandomWaypointModel(MobilityModel):
+    """Random waypoint mobility with pauses and stationary nodes.
+
+    Args:
+        vmin: minimum speed (distance per step); must be positive.
+        vmax: maximum speed; must be at least ``vmin``.
+        tpause: number of steps a node rests after reaching its destination.
+        pstationary: probability that a node never moves.
+    """
+
+    def __init__(
+        self,
+        vmin: float = 0.1,
+        vmax: float = 1.0,
+        tpause: int = 0,
+        pstationary: float = 0.0,
+    ) -> None:
+        super().__init__(pstationary=pstationary)
+        if vmin <= 0:
+            raise ConfigurationError(f"vmin must be positive, got {vmin}")
+        if vmax < vmin:
+            raise ConfigurationError(
+                f"vmax ({vmax}) must be at least vmin ({vmin})"
+            )
+        if tpause < 0:
+            raise ConfigurationError(f"tpause must be non-negative, got {tpause}")
+        self.vmin = float(vmin)
+        self.vmax = float(vmax)
+        self.tpause = int(tpause)
+        self._destinations: Optional[np.ndarray] = None
+        self._speeds: Optional[np.ndarray] = None
+        self._pause_remaining: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def paper_defaults(cls, side: float, pstationary: float = 0.0) -> "RandomWaypointModel":
+        """The parameterisation used throughout Section 4.2 of the paper.
+
+        ``vmin = 0.1``, ``vmax = 0.01 * l``, ``tpause = 2000``.
+        """
+        vmax = max(0.01 * side, 0.1)
+        return cls(vmin=0.1, vmax=vmax, tpause=2000, pstationary=pstationary)
+
+    # ------------------------------------------------------------------ #
+    def _prepare(self, rng: np.random.Generator) -> None:
+        state = self.state
+        n = state.node_count
+        self._destinations = state.region.sample_uniform(n, rng)
+        self._speeds = rng.uniform(self.vmin, self.vmax, size=n)
+        self._pause_remaining = np.zeros(n, dtype=int)
+
+    def _advance(self, rng: np.random.Generator) -> Positions:
+        state = self.state
+        assert self._destinations is not None
+        assert self._speeds is not None
+        assert self._pause_remaining is not None
+
+        positions = state.positions.copy()
+        n = state.node_count
+        if n == 0:
+            return positions
+
+        # Nodes currently pausing simply count down.
+        pausing = self._pause_remaining > 0
+        self._pause_remaining[pausing] -= 1
+
+        moving = ~pausing
+        if moving.any():
+            deltas = self._destinations[moving] - positions[moving]
+            distances = np.linalg.norm(deltas, axis=1)
+            speeds = self._speeds[moving]
+            arrive = distances <= speeds
+
+            # Nodes that reach their destination this step snap to it and
+            # start pausing; a new destination is drawn when the pause ends.
+            moving_indices = np.nonzero(moving)[0]
+            arriving_indices = moving_indices[arrive]
+            cruising_indices = moving_indices[~arrive]
+
+            if arriving_indices.size:
+                positions[arriving_indices] = self._destinations[arriving_indices]
+                self._pause_remaining[arriving_indices] = self.tpause
+                # Draw the next leg immediately so that the node resumes as
+                # soon as the pause expires.
+                count = arriving_indices.size
+                self._destinations[arriving_indices] = state.region.sample_uniform(
+                    count, rng
+                )
+                self._speeds[arriving_indices] = rng.uniform(
+                    self.vmin, self.vmax, size=count
+                )
+
+            if cruising_indices.size:
+                legs = deltas[~arrive]
+                leg_lengths = distances[~arrive][:, None]
+                step_lengths = speeds[~arrive][:, None]
+                positions[cruising_indices] = (
+                    positions[cruising_indices] + legs / leg_lengths * step_lengths
+                )
+
+        return positions
+
+    def describe(self) -> str:
+        return (
+            f"RandomWaypointModel(vmin={self.vmin}, vmax={self.vmax}, "
+            f"tpause={self.tpause}, pstationary={self.pstationary})"
+        )

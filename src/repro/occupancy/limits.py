@@ -1,0 +1,141 @@
+"""Limit distributions of the number of empty cells (Theorem 2).
+
+Theorem 2 of the paper states that, as ``n, C -> infinity``:
+
+* in the **CD**, **RHID** and **LHID** domains, ``mu(n, C)`` is
+  asymptotically normal with parameters ``(E[mu], sqrt(Var[mu]))``;
+* in the **RHD**, ``mu(n, C)`` is asymptotically Poisson with rate
+  ``lambda = lim E[mu]``;
+* in the **LHD**, the recentred variable ``eta = mu - (C - n)`` is
+  asymptotically Poisson with rate ``rho = lim Var[mu]``.
+
+:func:`limit_law` packages this decision together with the appropriate
+parameters so callers can evaluate approximate probabilities such as
+``P(mu = k)``, which is exactly what the proof of Theorem 4 needs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.exceptions import AnalysisError
+from repro.occupancy.asymptotic import (
+    asymptotic_empty_cells_mean,
+    asymptotic_empty_cells_variance,
+)
+from repro.occupancy.domains import OccupancyDomain, classify_domain
+from repro.occupancy.exact import empty_cells_mean, empty_cells_variance
+from repro.stats.distributions import normal_cdf, normal_pdf, poisson_pmf
+
+
+@dataclass(frozen=True)
+class LimitLaw:
+    """A limit distribution for ``mu(n, C)`` in a particular domain.
+
+    Attributes:
+        domain: the growth domain the law applies to.
+        kind: ``"normal"`` or ``"poisson"``.
+        mean: mean of the limiting distribution (of ``mu`` itself, except in
+            the LHD where it refers to the recentred variable ``eta``).
+        std: standard deviation (normal laws only, else ``None``).
+        rate: Poisson rate (Poisson laws only, else ``None``).
+        recentered: ``True`` when the law describes ``eta = mu - (C - n)``
+            rather than ``mu`` (LHD case).
+    """
+
+    domain: OccupancyDomain
+    kind: str
+    mean: float
+    std: Optional[float] = None
+    rate: Optional[float] = None
+    recentered: bool = False
+
+    def pmf(self, k: int) -> float:
+        """Approximate ``P(mu = k)`` (or ``P(eta = k)`` when recentred).
+
+        For the normal laws a continuity-corrected interval of width one is
+        used, falling back to the density when the standard deviation is
+        extremely small.
+        """
+        if self.kind == "poisson":
+            assert self.rate is not None
+            return poisson_pmf(k, self.rate)
+        assert self.std is not None
+        if self.std <= 0.0:
+            return 1.0 if k == round(self.mean) else 0.0
+        lower = normal_cdf(k - 0.5, self.mean, self.std)
+        upper = normal_cdf(k + 0.5, self.mean, self.std)
+        estimate = upper - lower
+        if estimate > 0.0:
+            return estimate
+        return normal_pdf(float(k), self.mean, self.std)
+
+    def peak_probability(self) -> float:
+        """Approximate probability of the most likely value.
+
+        For a normal law this is ``~ 1 / (std * sqrt(2 pi))``, which is the
+        quantity the proof of Theorem 4 lower-bounds by a constant.
+        """
+        if self.kind == "poisson":
+            assert self.rate is not None
+            return poisson_pmf(int(math.floor(self.rate)), self.rate)
+        assert self.std is not None
+        if self.std <= 0.0:
+            return 1.0
+        return 1.0 / (self.std * math.sqrt(2.0 * math.pi))
+
+
+def rhd_poisson_rate(n: float, cells: float) -> float:
+    """The RHD Poisson rate ``lambda = lim E[mu(n, C)] ~ C e^{-n/C}``."""
+    if cells <= 0:
+        raise AnalysisError(f"number of cells must be positive, got {cells}")
+    return asymptotic_empty_cells_mean(n, cells)
+
+
+def limit_law(
+    n: int,
+    cells: int,
+    domain: Optional[OccupancyDomain] = None,
+    use_exact_moments: bool = True,
+) -> LimitLaw:
+    """Return the Theorem 2 limit law for the pair ``(n, C)``.
+
+    Args:
+        n: number of balls.
+        cells: number of cells.
+        domain: force a particular domain; by default it is classified with
+            :func:`repro.occupancy.domains.classify_domain`.
+        use_exact_moments: when ``True`` (default) the normal laws use the
+            exact finite-size mean and variance, which is the better
+            approximation away from the limit; when ``False`` the Theorem 1
+            asymptotics are used, matching the paper's manipulations.
+    """
+    if domain is None:
+        domain = classify_domain(n, cells)
+
+    if use_exact_moments:
+        mean = empty_cells_mean(n, cells)
+        variance = empty_cells_variance(n, cells)
+    else:
+        mean = asymptotic_empty_cells_mean(n, cells)
+        variance = asymptotic_empty_cells_variance(n, cells)
+
+    if domain == OccupancyDomain.RIGHT_HAND:
+        return LimitLaw(domain=domain, kind="poisson", mean=mean, rate=max(mean, 0.0))
+    if domain == OccupancyDomain.LEFT_HAND:
+        rate = max(variance, 0.0)
+        return LimitLaw(
+            domain=domain,
+            kind="poisson",
+            mean=rate,
+            rate=rate,
+            recentered=True,
+        )
+    return LimitLaw(
+        domain=domain,
+        kind="normal",
+        mean=mean,
+        std=math.sqrt(max(variance, 0.0)),
+    )

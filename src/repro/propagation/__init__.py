@@ -1,0 +1,39 @@
+"""Radio propagation models (extension).
+
+The paper abstracts the radio into a fixed transmitting range: node ``v``
+hears node ``u`` exactly when their distance is at most ``r``.  Section 1
+notes, however, that the power needed to reach a given distance depends on
+the environment ("proportional to the square (or, depending on
+environmental conditions, to a higher power) of the transmitting range").
+This package provides the standard propagation models behind that remark so
+that the connectivity machinery can also be exercised with more realistic,
+non-deterministic links:
+
+* :class:`~repro.propagation.pathloss.LogDistancePathLoss` — deterministic
+  log-distance path loss; together with a receiver sensitivity it induces
+  exactly the disk model the paper uses, so the paper's experiments are the
+  special case ``shadowing_std == 0``.
+* :class:`~repro.propagation.shadowing.LogNormalShadowing` — adds log-normal
+  shadowing, turning each link into a Bernoulli variable whose success
+  probability decays smoothly around the nominal range.
+* :func:`~repro.propagation.links.build_probabilistic_graph` — samples a
+  communication graph from a shadowing model, the drop-in replacement for
+  :func:`repro.graph.builder.build_communication_graph` in the extension
+  experiments.
+"""
+
+from repro.propagation.links import (
+    build_probabilistic_graph,
+    expected_degree,
+    link_probability_matrix,
+)
+from repro.propagation.pathloss import LogDistancePathLoss
+from repro.propagation.shadowing import LogNormalShadowing
+
+__all__ = [
+    "LogDistancePathLoss",
+    "LogNormalShadowing",
+    "build_probabilistic_graph",
+    "expected_degree",
+    "link_probability_matrix",
+]

@@ -1,0 +1,100 @@
+"""Probabilistic communication graphs from a shadowing model.
+
+The disk-model builder (:func:`repro.graph.builder.build_communication_graph`)
+is the ``shadowing_std == 0`` special case of
+:func:`build_probabilistic_graph`; the extension experiments use the latter
+to check how robust the paper's conclusions are to non-ideal radios.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.geometry.distance import pairwise_distances
+from repro.graph.adjacency import CommunicationGraph
+from repro.propagation.shadowing import LogNormalShadowing
+from repro.stats.rng import make_rng
+from repro.types import Positions, as_positions
+
+
+def link_probability_matrix(
+    positions: Positions, model: LogNormalShadowing
+) -> np.ndarray:
+    """Matrix of pairwise link probabilities under ``model``.
+
+    The diagonal is zero (no self links).
+    """
+    points = as_positions(positions)
+    n = points.shape[0]
+    probabilities = np.zeros((n, n), dtype=float)
+    if n < 2:
+        return probabilities
+    distances = pairwise_distances(points)
+    for u in range(n):
+        for v in range(u + 1, n):
+            probability = model.link_probability(float(distances[u, v]))
+            probabilities[u, v] = probability
+            probabilities[v, u] = probability
+    return probabilities
+
+
+def build_probabilistic_graph(
+    positions: Positions,
+    model: LogNormalShadowing,
+    rng: Optional[np.random.Generator] = None,
+) -> CommunicationGraph:
+    """Sample one communication graph realisation from ``model``.
+
+    Each unordered pair is an independent Bernoulli link with the
+    probability given by the shadowing model (links are assumed symmetric:
+    one draw decides both directions, the usual simplification for
+    symmetric-budget radios).
+    """
+    points = as_positions(positions)
+    n = points.shape[0]
+    graph = CommunicationGraph(
+        n, positions=points, transmitting_range=model.nominal_range
+    )
+    if n < 2:
+        return graph
+    generator = make_rng(rng)
+    distances = pairwise_distances(points)
+    for u in range(n):
+        for v in range(u + 1, n):
+            probability = model.link_probability(float(distances[u, v]))
+            if probability >= 1.0 or (
+                probability > 0.0 and generator.random() < probability
+            ):
+                graph.add_edge(u, v)
+    return graph
+
+
+def expected_degree(positions: Positions, model: LogNormalShadowing) -> np.ndarray:
+    """Expected number of neighbours of each node under ``model``."""
+    probabilities = link_probability_matrix(positions, model)
+    return probabilities.sum(axis=1)
+
+
+def connectivity_probability_monte_carlo(
+    positions: Positions,
+    model: LogNormalShadowing,
+    iterations: int = 200,
+    seed: Optional[int] = None,
+) -> float:
+    """Monte-Carlo probability that a placement is connected under ``model``.
+
+    Used by the extension benchmark to compare the disk model against
+    shadowed links at equal nominal range.
+    """
+    from repro.graph.components import is_connected
+
+    if iterations <= 0:
+        raise ValueError(f"iterations must be positive, got {iterations}")
+    generator = make_rng(seed)
+    connected = 0
+    for _ in range(iterations):
+        if is_connected(build_probabilistic_graph(positions, model, generator)):
+            connected += 1
+    return connected / iterations

@@ -1,0 +1,85 @@
+"""Deterministic log-distance path loss.
+
+The received power at distance ``d`` from a transmitter is modelled as
+
+    P_rx(d) [dB] = P_tx - PL(d0) - 10 * alpha * log10(d / d0)
+
+where ``alpha`` is the path-loss exponent and ``PL(d0)`` the loss at the
+reference distance ``d0``.  A link exists when the received power is at
+least the receiver sensitivity.  With no shadowing this is exactly the disk
+model of the paper: the induced "effective range" is the distance at which
+the received power equals the sensitivity.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class LogDistancePathLoss:
+    """Log-distance path-loss model (all powers in dB / dBm).
+
+    Attributes:
+        exponent: path-loss exponent ``alpha`` (2 free space, up to ~4-6
+            indoors or with ground reflections).
+        reference_distance: distance ``d0`` at which ``reference_loss`` was
+            measured.
+        reference_loss: path loss in dB at the reference distance.
+    """
+
+    exponent: float = 2.0
+    reference_distance: float = 1.0
+    reference_loss: float = 40.0
+
+    def __post_init__(self) -> None:
+        if self.exponent < 1.0:
+            raise ConfigurationError(f"exponent must be >= 1, got {self.exponent}")
+        if self.reference_distance <= 0.0:
+            raise ConfigurationError(
+                f"reference_distance must be positive, got {self.reference_distance}"
+            )
+        if self.reference_loss < 0.0:
+            raise ConfigurationError(
+                f"reference_loss must be non-negative, got {self.reference_loss}"
+            )
+
+    # ------------------------------------------------------------------ #
+    def path_loss_db(self, distance: float) -> float:
+        """Mean path loss in dB at ``distance``.
+
+        Distances below the reference distance are clamped to it (the model
+        is not defined in the near field).
+        """
+        if distance < 0.0:
+            raise ConfigurationError(f"distance must be non-negative, got {distance}")
+        effective = max(distance, self.reference_distance)
+        return self.reference_loss + 10.0 * self.exponent * math.log10(
+            effective / self.reference_distance
+        )
+
+    def received_power_dbm(self, tx_power_dbm: float, distance: float) -> float:
+        """Mean received power at ``distance`` for the given transmit power."""
+        return tx_power_dbm - self.path_loss_db(distance)
+
+    # ------------------------------------------------------------------ #
+    def effective_range(self, tx_power_dbm: float, sensitivity_dbm: float) -> float:
+        """Distance at which the mean received power hits the sensitivity.
+
+        This is the deterministic "transmitting range" the paper's disk
+        model assumes; it inverts :meth:`path_loss_db`.
+        """
+        budget = tx_power_dbm - sensitivity_dbm
+        if budget < 0.0:
+            return 0.0
+        exponent_term = (budget - self.reference_loss) / (10.0 * self.exponent)
+        return self.reference_distance * 10.0**max(exponent_term, 0.0)
+
+    def required_tx_power_dbm(self, distance: float, sensitivity_dbm: float) -> float:
+        """Transmit power needed for the mean received power to reach the
+        sensitivity at ``distance`` — the dB-domain analogue of the
+        ``r ** alpha`` energy rule used by :mod:`repro.energy`."""
+        return sensitivity_dbm + self.path_loss_db(distance)

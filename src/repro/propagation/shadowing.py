@@ -1,0 +1,120 @@
+"""Log-normal shadowing on top of log-distance path loss.
+
+Real links are not disks: obstacles add a random, roughly log-normal term
+to the path loss, so two nodes at the same distance may or may not hear
+each other.  With shadowing standard deviation ``sigma`` (dB), the link
+between nodes at distance ``d`` succeeds with probability
+
+    P(link) = P( PL(d) + X <= budget ),   X ~ Normal(0, sigma^2)
+            = Phi( (budget - PL(d)) / sigma )
+
+where ``budget = P_tx - sensitivity``.  Setting ``sigma = 0`` recovers the
+paper's deterministic disk model exactly, which is how the tests pin the
+extension to the core library.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.propagation.pathloss import LogDistancePathLoss
+from repro.stats.distributions import normal_cdf
+
+
+@dataclass(frozen=True)
+class LogNormalShadowing:
+    """Log-normal shadowing link model.
+
+    Attributes:
+        path_loss: the underlying deterministic path-loss model.
+        shadowing_std: standard deviation ``sigma`` of the shadowing term in
+            dB; 0 gives deterministic (disk) links.
+        tx_power_dbm: transmit power.
+        sensitivity_dbm: receiver sensitivity.
+    """
+
+    path_loss: LogDistancePathLoss = LogDistancePathLoss()
+    shadowing_std: float = 4.0
+    tx_power_dbm: float = 0.0
+    sensitivity_dbm: float = -90.0
+
+    def __post_init__(self) -> None:
+        if self.shadowing_std < 0.0:
+            raise ConfigurationError(
+                f"shadowing_std must be non-negative, got {self.shadowing_std}"
+            )
+        if self.tx_power_dbm <= self.sensitivity_dbm:
+            raise ConfigurationError(
+                "tx_power_dbm must exceed sensitivity_dbm for any link to exist"
+            )
+
+    # ------------------------------------------------------------------ #
+    @property
+    def link_budget_db(self) -> float:
+        """``P_tx - sensitivity`` — the total loss a link can absorb."""
+        return self.tx_power_dbm - self.sensitivity_dbm
+
+    @property
+    def nominal_range(self) -> float:
+        """The distance at which the *mean* link exactly closes.
+
+        With ``sigma = 0`` this is the deterministic transmitting range;
+        with shadowing, links beyond it still succeed with probability
+        below one half and links inside it fail with probability below one
+        half.
+        """
+        return self.path_loss.effective_range(self.tx_power_dbm, self.sensitivity_dbm)
+
+    def link_probability(self, distance: float) -> float:
+        """Probability that two nodes at ``distance`` share a usable link."""
+        if distance < 0.0:
+            raise ConfigurationError(f"distance must be non-negative, got {distance}")
+        margin = self.link_budget_db - self.path_loss.path_loss_db(distance)
+        if self.shadowing_std == 0.0:
+            return 1.0 if margin >= 0.0 else 0.0
+        return normal_cdf(margin, mean=0.0, std=self.shadowing_std)
+
+    def sample_link(
+        self, distance: float, rng: Optional[np.random.Generator] = None
+    ) -> bool:
+        """Draw one Bernoulli link realisation at ``distance``."""
+        probability = self.link_probability(distance)
+        if probability >= 1.0:
+            return True
+        if probability <= 0.0:
+            return False
+        generator = rng if rng is not None else np.random.default_rng()
+        return bool(generator.random() < probability)
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def with_nominal_range(
+        cls,
+        nominal_range: float,
+        shadowing_std: float = 4.0,
+        exponent: float = 2.0,
+    ) -> "LogNormalShadowing":
+        """Build a model whose mean link closes exactly at ``nominal_range``.
+
+        Convenience constructor used by the extension experiments: it lets
+        a shadowed model be compared directly against the paper's disk model
+        of range ``nominal_range``.
+        """
+        if nominal_range <= 0.0:
+            raise ConfigurationError(
+                f"nominal_range must be positive, got {nominal_range}"
+            )
+        path_loss = LogDistancePathLoss(exponent=exponent)
+        required = path_loss.path_loss_db(nominal_range)
+        # Choose tx power 0 dBm and set the sensitivity so the budget equals
+        # the loss at the nominal range.
+        return cls(
+            path_loss=path_loss,
+            shadowing_std=shadowing_std,
+            tx_power_dbm=0.0,
+            sensitivity_dbm=-required,
+        )

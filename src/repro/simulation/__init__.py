@@ -1,0 +1,83 @@
+"""Simulation engine for the mobile MTRM study (Section 4).
+
+The engine mirrors the simulator described in Section 4.1 of the paper:
+``n`` nodes are placed uniformly at random in ``[0, l]^d``, a mobility
+model moves them for ``#steps`` steps, and at every step the communication
+graph induced by the common transmitting range is examined.  The paper's
+outputs — percentage of connected graphs, average and minimum size of the
+largest connected component, per iteration and across iterations — are all
+available, plus a more efficient trace-statistics mode in which each frame
+is reduced to its exact critical range and component-growth curve so that
+*every* threshold (``r100``, ``r90``, ``r10``, ``r0``, ``rl90``, ``rl75``,
+``rl50``) can be extracted from a single mobility run.
+
+Main entry points:
+
+* :class:`~repro.simulation.config.SimulationConfig` — declarative
+  description of a run.
+* :func:`~repro.simulation.runner.run_fixed_range` — the paper's simulator:
+  fixed ``r``, returns connectivity percentages and component sizes.
+* :func:`~repro.simulation.runner.collect_frame_statistics` — one mobility
+  run, per-frame critical ranges and component curves.
+* :func:`~repro.simulation.search.estimate_thresholds` — the ``r_x`` and
+  ``rl_x`` values plotted in Figures 2–9.
+* :func:`~repro.simulation.search.stationary_critical_range` — the
+  ``rstationary`` denominator.
+"""
+
+from repro.simulation.config import MobilitySpec, NetworkConfig, SimulationConfig
+from repro.simulation.engine import (
+    FrameStatistics,
+    simulate_frame_statistics,
+    simulate_iteration,
+)
+from repro.simulation.metrics import (
+    average_largest_fraction_at,
+    connectivity_fraction_at,
+    largest_component_size_at,
+    minimum_largest_fraction_at,
+    range_for_component_fraction,
+    range_for_connectivity_fraction,
+    range_for_no_connectivity,
+)
+from repro.simulation.results import IterationResult, MobileRunResult, StepRecord
+from repro.simulation.runner import (
+    collect_frame_statistics,
+    run_fixed_range,
+    stationary_critical_range,
+)
+from repro.simulation.search import (
+    ComponentThresholds,
+    MobilityThresholds,
+    estimate_component_thresholds,
+    estimate_thresholds,
+)
+from repro.simulation.sweep import SweepResult, sweep_parameter
+
+__all__ = [
+    "ComponentThresholds",
+    "FrameStatistics",
+    "IterationResult",
+    "MobileRunResult",
+    "MobilitySpec",
+    "MobilityThresholds",
+    "NetworkConfig",
+    "SimulationConfig",
+    "StepRecord",
+    "SweepResult",
+    "average_largest_fraction_at",
+    "collect_frame_statistics",
+    "connectivity_fraction_at",
+    "estimate_component_thresholds",
+    "estimate_thresholds",
+    "largest_component_size_at",
+    "minimum_largest_fraction_at",
+    "range_for_component_fraction",
+    "range_for_connectivity_fraction",
+    "range_for_no_connectivity",
+    "run_fixed_range",
+    "simulate_frame_statistics",
+    "simulate_iteration",
+    "stationary_critical_range",
+    "sweep_parameter",
+]

@@ -1,0 +1,194 @@
+"""The simulation engine.
+
+Two modes are provided:
+
+* :func:`simulate_iteration` — the paper's simulator: a fixed transmitting
+  range is given, and the engine records at every mobility step whether the
+  communication graph is connected and how large its largest component is.
+* :func:`simulate_frame_statistics` — the trace-statistics mode: no range is
+  fixed; instead every frame is reduced to its exact critical range (the
+  longest MST edge) and its component-growth curve (largest component size
+  as a non-decreasing step function of the range).  From those two pieces
+  every threshold the paper studies can be recovered *for any range*
+  without re-running mobility, which is how the Figure 2–9 benchmarks stay
+  affordable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.connectivity.critical_range import critical_range, range_reaching
+from repro.geometry.distance import squared_distance_matrix
+from repro.graph.builder import build_communication_graph
+from repro.graph.components import summarize_components
+from repro.graph.union_find import UnionFind
+from repro.simulation.config import MobilitySpec, NetworkConfig
+from repro.simulation.results import IterationResult, StepRecord
+from repro.types import Positions
+
+
+@dataclass(frozen=True)
+class FrameStatistics:
+    """Range-independent connectivity summary of one placement (frame).
+
+    Attributes:
+        critical_range: the exact minimum range connecting the frame
+            (longest MST edge; 0 for fewer than two nodes).
+        component_curve: breakpoints ``(range, largest_component_size)`` of
+            the non-decreasing step function "largest component size at
+            range r"; between breakpoints the size is that of the previous
+            breakpoint, and below the first breakpoint it is 1 (every node
+            is its own component).
+        node_count: number of nodes in the frame.
+    """
+
+    critical_range: float
+    component_curve: Tuple[Tuple[float, int], ...]
+    node_count: int
+
+    def largest_component_size_at(self, transmitting_range: float) -> int:
+        """Largest component size of this frame at the given range."""
+        if self.node_count == 0:
+            return 0
+        size = 1
+        for breakpoint_range, breakpoint_size in self.component_curve:
+            if breakpoint_range <= transmitting_range:
+                size = breakpoint_size
+            else:
+                break
+        return size
+
+    def is_connected_at(self, transmitting_range: float) -> bool:
+        """``True`` if this frame's graph is connected at the given range."""
+        return transmitting_range >= self.critical_range
+
+
+def component_growth_curve(positions: Positions) -> Tuple[Tuple[float, int], ...]:
+    """Breakpoints of "largest component size as a function of the range".
+
+    Computed with a Kruskal-style sweep: pairwise distances are sorted and
+    merged into a union-find structure; every time the size of the largest
+    set grows, a breakpoint ``(distance, new_size)`` is emitted.  The final
+    breakpoint is always ``(critical_range, n)``.
+    """
+    points = np.asarray(positions, dtype=float)
+    if points.ndim == 1:
+        points = points.reshape(-1, 1)
+    n = points.shape[0]
+    if n <= 1:
+        return ()
+    squared = squared_distance_matrix(points)
+    rows, cols = np.triu_indices(n, k=1)
+    lengths = squared[rows, cols]
+    order = np.argsort(lengths, kind="stable")
+    structure = UnionFind(n)
+    breakpoints: List[Tuple[float, int]] = []
+    largest = 1
+    for index in order:
+        u = int(rows[index])
+        v = int(cols[index])
+        if structure.union(u, v):
+            size = structure.set_size(u)
+            if size > largest:
+                largest = size
+                breakpoints.append((range_reaching(float(lengths[index])), size))
+                if largest == n:
+                    break
+    return tuple(breakpoints)
+
+
+def frame_statistics(positions: Positions) -> FrameStatistics:
+    """Compute the :class:`FrameStatistics` of a single placement."""
+    points = np.asarray(positions, dtype=float)
+    if points.ndim == 1:
+        points = points.reshape(-1, 1)
+    curve = component_growth_curve(points)
+    if curve:
+        frame_critical = curve[-1][0]
+    else:
+        frame_critical = 0.0
+    return FrameStatistics(
+        critical_range=frame_critical,
+        component_curve=curve,
+        node_count=points.shape[0],
+    )
+
+
+def simulate_iteration(
+    network: NetworkConfig,
+    mobility: MobilitySpec,
+    steps: int,
+    transmitting_range: float,
+    rng: np.random.Generator,
+    iteration: int = 0,
+) -> IterationResult:
+    """Run one iteration of the paper's fixed-range simulator.
+
+    A fresh placement is drawn, a fresh mobility model instance is bound to
+    it, and for each of ``steps`` mobility steps (the initial placement
+    counts as step 0, matching the paper's ``#steps = 1`` = stationary
+    convention) the connectivity of the induced graph is recorded.
+    """
+    region = network.region
+    placement = network.placement_strategy(network.node_count, region, rng)
+    model = mobility.create()
+    positions = model.initialize(placement, region, rng)
+
+    records: List[StepRecord] = []
+    for step in range(steps):
+        if step > 0:
+            positions = model.step(rng)
+        graph = build_communication_graph(positions, transmitting_range)
+        summary = summarize_components(graph)
+        records.append(
+            StepRecord(
+                step=step,
+                connected=summary.is_connected,
+                largest_component_size=summary.largest_size,
+            )
+        )
+    return IterationResult(
+        iteration=iteration,
+        node_count=network.node_count,
+        transmitting_range=transmitting_range,
+        records=tuple(records),
+    )
+
+
+def simulate_frame_statistics(
+    network: NetworkConfig,
+    mobility: MobilitySpec,
+    steps: int,
+    rng: np.random.Generator,
+) -> List[FrameStatistics]:
+    """Run one mobility iteration and reduce every frame to its statistics.
+
+    The returned list has one :class:`FrameStatistics` per step (step 0 is
+    the initial placement).  All range thresholds of the paper can then be
+    derived with :mod:`repro.simulation.metrics` without re-simulating.
+    """
+    region = network.region
+    placement = network.placement_strategy(network.node_count, region, rng)
+    model = mobility.create()
+    positions = model.initialize(placement, region, rng)
+
+    statistics: List[FrameStatistics] = []
+    for step in range(steps):
+        if step > 0:
+            positions = model.step(rng)
+        statistics.append(frame_statistics(positions))
+    return statistics
+
+
+def exact_critical_range_of_placement(positions: Positions) -> float:
+    """Thin wrapper over :func:`repro.connectivity.critical_range.critical_range`.
+
+    Exposed here so simulation code has a single import point for the
+    per-frame exact value (and so it can be monkeypatched in tests that
+    exercise the engine's control flow without the geometry cost).
+    """
+    return critical_range(positions)

@@ -1,0 +1,168 @@
+"""Result containers of the fixed-range simulator.
+
+These mirror the outputs the paper's simulator reports (Section 4.1): the
+percentage of connected graphs, the average size of the largest connected
+component *over the runs that yield a disconnected graph*, and the minimum
+size of the largest connected component — each with reference to a single
+iteration and to all iterations together.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class StepRecord:
+    """Connectivity facts observed at one mobility step."""
+
+    step: int
+    connected: bool
+    largest_component_size: int
+
+
+@dataclass(frozen=True)
+class IterationResult:
+    """All step records of one simulation iteration at a fixed range."""
+
+    iteration: int
+    node_count: int
+    transmitting_range: float
+    records: Sequence[StepRecord]
+
+    # ------------------------------------------------------------------ #
+    @property
+    def step_count(self) -> int:
+        """Number of mobility steps observed."""
+        return len(self.records)
+
+    @property
+    def connected_fraction(self) -> float:
+        """Fraction of steps at which the graph was connected."""
+        if not self.records:
+            return 0.0
+        return sum(1 for record in self.records if record.connected) / len(self.records)
+
+    @property
+    def largest_component_sizes(self) -> List[int]:
+        """Largest component size at each step."""
+        return [record.largest_component_size for record in self.records]
+
+    @property
+    def average_largest_component_when_disconnected(self) -> Optional[float]:
+        """Mean largest-component size over the *disconnected* steps.
+
+        ``None`` when the network stayed connected for the whole iteration
+        (the paper's simulator reports the average only over runs that
+        yield a disconnected graph).
+        """
+        sizes = [
+            record.largest_component_size
+            for record in self.records
+            if not record.connected
+        ]
+        if not sizes:
+            return None
+        return sum(sizes) / len(sizes)
+
+    @property
+    def minimum_largest_component(self) -> int:
+        """Smallest largest-component size seen during the iteration."""
+        if not self.records:
+            return 0
+        return min(record.largest_component_size for record in self.records)
+
+    @property
+    def average_largest_component(self) -> float:
+        """Mean largest-component size over all steps."""
+        if not self.records:
+            return 0.0
+        return sum(record.largest_component_size for record in self.records) / len(
+            self.records
+        )
+
+
+@dataclass(frozen=True)
+class MobileRunResult:
+    """Aggregate of all iterations of a fixed-range simulation."""
+
+    transmitting_range: float
+    node_count: int
+    iterations: Sequence[IterationResult]
+
+    # ------------------------------------------------------------------ #
+    @property
+    def iteration_count(self) -> int:
+        """Number of iterations that were run."""
+        return len(self.iterations)
+
+    @property
+    def connected_fraction(self) -> float:
+        """Fraction of all observed steps at which the graph was connected."""
+        total_steps = sum(result.step_count for result in self.iterations)
+        if total_steps == 0:
+            return 0.0
+        connected = sum(
+            sum(1 for record in result.records if record.connected)
+            for result in self.iterations
+        )
+        return connected / total_steps
+
+    @property
+    def per_iteration_connected_fraction(self) -> List[float]:
+        """The connected fraction of each iteration, in order."""
+        return [result.connected_fraction for result in self.iterations]
+
+    @property
+    def average_largest_component_when_disconnected(self) -> Optional[float]:
+        """Mean largest-component size over every disconnected step.
+
+        ``None`` if no step in any iteration was disconnected.
+        """
+        sizes = [
+            record.largest_component_size
+            for result in self.iterations
+            for record in result.records
+            if not record.connected
+        ]
+        if not sizes:
+            return None
+        return sum(sizes) / len(sizes)
+
+    @property
+    def average_largest_component_fraction(self) -> float:
+        """Mean largest-component size over all steps, as a fraction of ``n``."""
+        sizes = [
+            record.largest_component_size
+            for result in self.iterations
+            for record in result.records
+        ]
+        if not sizes or self.node_count == 0:
+            return 0.0
+        return sum(sizes) / len(sizes) / self.node_count
+
+    @property
+    def minimum_largest_component(self) -> int:
+        """Smallest largest-component size seen over all iterations."""
+        if not self.iterations:
+            return 0
+        return min(result.minimum_largest_component for result in self.iterations)
+
+    @property
+    def always_connected(self) -> bool:
+        """``True`` if every step of every iteration was connected."""
+        return all(
+            record.connected
+            for result in self.iterations
+            for record in result.records
+        )
+
+    @property
+    def never_connected(self) -> bool:
+        """``True`` if no step of any iteration was connected."""
+        return all(
+            not record.connected
+            for result in self.iterations
+            for record in result.records
+        )

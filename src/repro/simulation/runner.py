@@ -1,0 +1,126 @@
+"""Multi-iteration simulation runners.
+
+The paper averages every reported quantity over 50 independent simulations
+of 10 000 mobility steps each.  The runners here execute those iterations
+with independent, reproducible random streams derived from a single root
+seed (see :class:`repro.stats.rng.RandomSource`).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.exceptions import ConfigurationError
+from repro.simulation.config import SimulationConfig
+from repro.simulation.engine import (
+    FrameStatistics,
+    simulate_frame_statistics,
+    simulate_iteration,
+)
+from repro.simulation.results import MobileRunResult
+from repro.stats.rng import RandomSource
+
+
+def run_fixed_range(config: SimulationConfig) -> MobileRunResult:
+    """Run the paper's simulator: fixed range, all iterations.
+
+    Raises:
+        ConfigurationError: if ``config.transmitting_range`` is not set.
+    """
+    if config.transmitting_range is None:
+        raise ConfigurationError(
+            "run_fixed_range requires config.transmitting_range to be set; "
+            "use collect_frame_statistics / estimate_thresholds to derive ranges"
+        )
+    source = RandomSource(config.seed)
+    iterations = []
+    for index in range(config.iterations):
+        rng = source.child(index)
+        iterations.append(
+            simulate_iteration(
+                network=config.network,
+                mobility=config.mobility,
+                steps=config.steps,
+                transmitting_range=config.transmitting_range,
+                rng=rng,
+                iteration=index,
+            )
+        )
+    return MobileRunResult(
+        transmitting_range=config.transmitting_range,
+        node_count=config.network.node_count,
+        iterations=tuple(iterations),
+    )
+
+
+def collect_frame_statistics(config: SimulationConfig) -> List[List[FrameStatistics]]:
+    """Run all iterations in trace-statistics mode.
+
+    Returns one list of :class:`FrameStatistics` per iteration.  The random
+    streams are the same as :func:`run_fixed_range` uses for the same seed,
+    so thresholds derived from these statistics are consistent with
+    fixed-range runs on the same configuration.
+    """
+    source = RandomSource(config.seed)
+    all_statistics: List[List[FrameStatistics]] = []
+    for index in range(config.iterations):
+        rng = source.child(index)
+        all_statistics.append(
+            simulate_frame_statistics(
+                network=config.network,
+                mobility=config.mobility,
+                steps=config.steps,
+                rng=rng,
+            )
+        )
+    return all_statistics
+
+
+def stationary_critical_range(
+    node_count: int,
+    side: float,
+    dimension: int = 2,
+    iterations: int = 100,
+    seed: Optional[int] = None,
+    confidence: float = 0.99,
+    placement: str = "uniform",
+) -> float:
+    """Estimate ``rstationary``: the range connecting random static placements.
+
+    The paper takes its ``rstationary`` values from the stationary
+    simulations of [1, 11], where the critical range is the value at which
+    the great majority of random placements are connected.  Here we draw
+    ``iterations`` independent placements, compute the exact critical range
+    of each (longest MST edge), and return the ``confidence``-quantile of
+    those values — i.e. the range at which a fraction ``confidence`` of
+    random placements is connected.
+
+    Args:
+        node_count: number of nodes ``n``.
+        side: region side ``l``.
+        dimension: region dimension (2 in the paper's mobile study).
+        iterations: number of independent placements to draw.
+        seed: root seed for reproducibility.
+        confidence: the quantile of per-placement critical ranges returned;
+            1.0 returns the maximum observed.
+        placement: placement strategy name (default ``uniform``).
+    """
+    from repro.simulation.config import MobilitySpec, NetworkConfig
+    from repro.simulation.metrics import range_for_connectivity_fraction
+
+    if not 0.0 < confidence <= 1.0:
+        raise ConfigurationError(f"confidence must be in (0, 1], got {confidence}")
+    network = NetworkConfig(
+        node_count=node_count, side=side, dimension=dimension, placement=placement
+    )
+    config = SimulationConfig(
+        network=network,
+        mobility=MobilitySpec.stationary(),
+        steps=1,
+        iterations=iterations,
+        seed=seed,
+    )
+    statistics = collect_frame_statistics(config)
+    # Each iteration contributes exactly one frame (steps == 1); pool them.
+    pooled = [frame for iteration in statistics for frame in iteration]
+    return range_for_connectivity_fraction(pooled, confidence)

@@ -1,0 +1,68 @@
+"""Parameter sweeps.
+
+Every figure of the paper is a sweep of one parameter (system side ``l``,
+``pstationary``, ``tpause`` or ``vmax``) against one or more derived
+quantities.  :func:`sweep_parameter` runs such a sweep generically and
+returns a :class:`SweepResult` that the experiment layer renders as a
+table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence
+
+
+@dataclass
+class SweepResult:
+    """Tabular result of a one-parameter sweep.
+
+    Attributes:
+        parameter_name: name of the swept parameter (e.g. ``"l"``).
+        rows: one dict per parameter value; every dict contains the
+            parameter value under ``parameter_name`` plus one entry per
+            measured series.
+    """
+
+    parameter_name: str
+    rows: List[Dict[str, float]] = field(default_factory=list)
+
+    @property
+    def parameter_values(self) -> List[float]:
+        """The swept values, in row order."""
+        return [row[self.parameter_name] for row in self.rows]
+
+    def series(self, name: str) -> List[float]:
+        """One measured series across the sweep, in row order."""
+        return [row[name] for row in self.rows]
+
+    def series_names(self) -> List[str]:
+        """Names of all measured series (excluding the parameter itself)."""
+        if not self.rows:
+            return []
+        return [key for key in self.rows[0] if key != self.parameter_name]
+
+    def as_dicts(self) -> List[Dict[str, float]]:
+        """The raw rows (shared reference; callers should not mutate)."""
+        return self.rows
+
+
+def sweep_parameter(
+    parameter_name: str,
+    parameter_values: Sequence[float],
+    measure: Callable[[float], Dict[str, float]],
+) -> SweepResult:
+    """Run ``measure`` at every parameter value and tabulate the results.
+
+    Args:
+        parameter_name: column name of the swept parameter.
+        parameter_values: values to sweep, in order.
+        measure: callable returning a dict of measured series for one value.
+    """
+    result = SweepResult(parameter_name=parameter_name)
+    for value in parameter_values:
+        measurements = dict(measure(value))
+        row: Dict[str, float] = {parameter_name: float(value)}
+        row.update(measurements)
+        result.rows.append(row)
+    return result

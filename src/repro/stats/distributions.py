@@ -1,0 +1,55 @@
+"""Probability distribution helpers.
+
+The occupancy-theory limit laws (Theorem 2 of the paper) state that the
+number of empty cells converges either to a normal or to a Poisson
+distribution depending on the growth domain of ``(n, C)``.  These helpers
+provide the pmf/cdf routines needed to evaluate and test those limit laws
+without depending on :mod:`scipy` in the core library.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def normal_pdf(x: float, mean: float = 0.0, std: float = 1.0) -> float:
+    """Density of the normal distribution ``N(mean, std**2)`` at ``x``."""
+    if std <= 0.0:
+        raise ValueError(f"std must be positive, got {std}")
+    z = (x - mean) / std
+    return math.exp(-0.5 * z * z) / (std * math.sqrt(2.0 * math.pi))
+
+
+def normal_cdf(x: float, mean: float = 0.0, std: float = 1.0) -> float:
+    """Cumulative distribution of ``N(mean, std**2)`` at ``x``."""
+    if std <= 0.0:
+        raise ValueError(f"std must be positive, got {std}")
+    z = (x - mean) / (std * math.sqrt(2.0))
+    return 0.5 * (1.0 + math.erf(z))
+
+
+def poisson_pmf(k: int, lam: float) -> float:
+    """Probability that a Poisson(``lam``) variable equals ``k``.
+
+    Computed in log space so that large rates do not overflow.
+    """
+    if lam < 0.0:
+        raise ValueError(f"lam must be non-negative, got {lam}")
+    if k < 0:
+        return 0.0
+    if lam == 0.0:
+        return 1.0 if k == 0 else 0.0
+    log_p = -lam + k * math.log(lam) - math.lgamma(k + 1)
+    return math.exp(log_p)
+
+
+def poisson_cdf(k: int, lam: float) -> float:
+    """Probability that a Poisson(``lam``) variable is at most ``k``."""
+    if lam < 0.0:
+        raise ValueError(f"lam must be non-negative, got {lam}")
+    if k < 0:
+        return 0.0
+    total = 0.0
+    for i in range(int(k) + 1):
+        total += poisson_pmf(i, lam)
+    return min(total, 1.0)

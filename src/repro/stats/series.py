@@ -1,0 +1,85 @@
+"""Helpers for boolean and scalar time series.
+
+A mobile simulation produces one observation per mobility step — most
+importantly the boolean "was the communication graph connected at this
+step".  The availability estimators and the figure experiments all consume
+these series through the small utilities defined here.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+
+def fraction_true(series: Sequence[bool]) -> float:
+    """Fraction of entries of ``series`` that are truthy.
+
+    Returns 0.0 for an empty series (a simulation with zero steps observed
+    nothing, which the callers treat as "never connected").
+    """
+    values = list(series)
+    if not values:
+        return 0.0
+    return sum(1 for value in values if value) / len(values)
+
+
+def runs_of(series: Sequence[bool], value: bool = True) -> List[Tuple[int, int]]:
+    """Return ``(start, length)`` pairs of maximal runs equal to ``value``.
+
+    Useful for analysing how long the network stays connected or
+    disconnected at a time, which is the basis of the availability
+    discussion in Section 1 of the paper.
+    """
+    runs: List[Tuple[int, int]] = []
+    start = None
+    for index, entry in enumerate(series):
+        if bool(entry) == value:
+            if start is None:
+                start = index
+        else:
+            if start is not None:
+                runs.append((start, index - start))
+                start = None
+    if start is not None:
+        runs.append((start, len(series) - start))
+    return runs
+
+
+def longest_run(series: Sequence[bool], value: bool = True) -> int:
+    """Length of the longest maximal run of ``value`` in ``series``."""
+    runs = runs_of(series, value)
+    if not runs:
+        return 0
+    return max(length for _, length in runs)
+
+
+def sliding_window_fraction(
+    series: Sequence[bool], window: int
+) -> List[float]:
+    """Fraction of truthy entries inside each sliding window of ``window``.
+
+    Raises:
+        ValueError: if ``window`` is not a positive integer.
+    """
+    if window <= 0:
+        raise ValueError(f"window must be positive, got {window}")
+    values = np.asarray([1.0 if v else 0.0 for v in series], dtype=float)
+    if values.size < window:
+        return []
+    cumulative = np.concatenate(([0.0], np.cumsum(values)))
+    sums = cumulative[window:] - cumulative[:-window]
+    return list(sums / window)
+
+
+def moving_average(values: Iterable[float], window: int) -> List[float]:
+    """Simple moving average of ``values`` with the given ``window``."""
+    if window <= 0:
+        raise ValueError(f"window must be positive, got {window}")
+    data = np.asarray(list(values), dtype=float)
+    if data.size < window:
+        return []
+    cumulative = np.concatenate(([0.0], np.cumsum(data)))
+    sums = cumulative[window:] - cumulative[:-window]
+    return list(sums / window)

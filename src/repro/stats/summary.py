@@ -1,0 +1,120 @@
+"""Summary statistics for Monte-Carlo estimates.
+
+The simulator reports quantities such as "fraction of steps during which the
+graph was connected" averaged over many independent iterations.  This module
+provides the small amount of statistics needed to report those estimates
+with confidence intervals.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+# Two-sided critical values of the standard normal distribution for the
+# confidence levels used in the experiment reports.
+_Z_VALUES = {
+    0.80: 1.2815515655446004,
+    0.90: 1.6448536269514722,
+    0.95: 1.959963984540054,
+    0.98: 2.3263478740408408,
+    0.99: 2.5758293035489004,
+}
+
+
+@dataclass(frozen=True)
+class SummaryStatistics:
+    """Summary of a sample of scalar observations."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    median: float
+
+    def standard_error(self) -> float:
+        """Standard error of the mean (0 for samples of size < 2)."""
+        if self.count < 2:
+            return 0.0
+        return self.std / math.sqrt(self.count)
+
+    def confidence_interval(self, level: float = 0.95) -> Tuple[float, float]:
+        """Normal-approximation confidence interval for the mean."""
+        z = _z_for_level(level)
+        half_width = z * self.standard_error()
+        return (self.mean - half_width, self.mean + half_width)
+
+
+def _z_for_level(level: float) -> float:
+    """Critical value for a two-sided interval at confidence ``level``."""
+    if level in _Z_VALUES:
+        return _Z_VALUES[level]
+    if not 0.0 < level < 1.0:
+        raise ValueError(f"confidence level must be in (0, 1), got {level}")
+    # Fall back to a rational approximation of the normal quantile
+    # (Beasley-Springer-Moro is overkill here; Acklam's simpler bound works
+    # well for the levels used in reports).
+    return _normal_quantile(0.5 + level / 2.0)
+
+
+def _normal_quantile(p: float) -> float:
+    """Approximate inverse CDF of the standard normal distribution.
+
+    Uses Peter Acklam's rational approximation, accurate to ~1e-9 which is
+    far more than needed for reporting confidence intervals.
+    """
+    if not 0.0 < p < 1.0:
+        raise ValueError(f"p must be in (0, 1), got {p}")
+    a = [-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
+         1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00]
+    b = [-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
+         6.680131188771972e+01, -1.328068155288572e+01]
+    c = [-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
+         -2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00]
+    d = [7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00,
+         3.754408661907416e+00]
+    p_low = 0.02425
+    p_high = 1.0 - p_low
+    if p < p_low:
+        q = math.sqrt(-2.0 * math.log(p))
+        return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / \
+               ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0)
+    if p <= p_high:
+        q = p - 0.5
+        r = q * q
+        return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q / \
+               (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0)
+    q = math.sqrt(-2.0 * math.log(1.0 - p))
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / \
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0)
+
+
+def summarize(samples: Sequence[float]) -> SummaryStatistics:
+    """Compute :class:`SummaryStatistics` for ``samples``.
+
+    Raises:
+        ValueError: if ``samples`` is empty.
+    """
+    values = np.asarray(list(samples), dtype=float)
+    if values.size == 0:
+        raise ValueError("cannot summarise an empty sample")
+    std = float(values.std(ddof=1)) if values.size > 1 else 0.0
+    return SummaryStatistics(
+        count=int(values.size),
+        mean=float(values.mean()),
+        std=std,
+        minimum=float(values.min()),
+        maximum=float(values.max()),
+        median=float(np.median(values)),
+    )
+
+
+def confidence_interval(
+    samples: Sequence[float], level: float = 0.95
+) -> Tuple[float, float]:
+    """Normal-approximation confidence interval for the mean of ``samples``."""
+    return summarize(samples).confidence_interval(level)

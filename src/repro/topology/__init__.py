@@ -1,0 +1,33 @@
+"""Topology-control comparators.
+
+The paper's introduction motivates the MTR analysis as a guide for
+"topology control" protocols that adjust per-node transmitting ranges at
+run time to save energy [6, 9, 10].  This package implements three simple
+representatives so that the homogeneous-range results of the paper can be
+compared against per-node range assignment:
+
+* :func:`~repro.topology.range_assignment.mst_range_assignment` — each node
+  transmits just far enough to cover its incident MST edges (the classic
+  minimum-energy broadcast lower bound construction);
+* :func:`~repro.topology.knn.knn_topology` — each node reaches its ``k``
+  nearest neighbours (the "k-neighbours" protocol family);
+* :func:`~repro.topology.cbtc.cone_based_topology` — a simplified
+  cone-based topology control (CBTC-style): grow the range until every cone
+  of a given angle contains a neighbour.
+"""
+
+from repro.topology.cbtc import cone_based_topology
+from repro.topology.knn import knn_topology
+from repro.topology.range_assignment import (
+    RangeAssignment,
+    mst_range_assignment,
+    uniform_range_assignment,
+)
+
+__all__ = [
+    "RangeAssignment",
+    "cone_based_topology",
+    "knn_topology",
+    "mst_range_assignment",
+    "uniform_range_assignment",
+]

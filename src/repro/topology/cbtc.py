@@ -1,0 +1,86 @@
+"""Cone-based topology control (CBTC-style), simplified.
+
+The cone-based protocol of Li, Halpern, Bahl, Wang & Wattenhofer [6 in the
+paper] has each node grow its transmitting power until every cone of angle
+``alpha`` around it contains at least one neighbour (or the maximum power
+is reached).  With ``alpha <= 2*pi/3`` the resulting symmetric graph
+preserves the connectivity of the maximum-power graph.
+
+This simplified 2-D implementation works directly on geometric ranges
+rather than powers: for every node it sorts the other nodes by distance and
+grows the range until the angular gaps between in-range neighbours are all
+below ``cone_angle``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+import numpy as np
+
+from repro.exceptions import AnalysisError
+from repro.geometry.distance import pairwise_distances
+from repro.topology.range_assignment import RangeAssignment
+from repro.types import Positions, as_positions
+
+
+def _max_angular_gap(angles: List[float]) -> float:
+    """Largest gap between consecutive angles on the circle (radians)."""
+    if not angles:
+        return 2.0 * math.pi
+    ordered = sorted(angles)
+    gaps = [
+        ordered[i + 1] - ordered[i] for i in range(len(ordered) - 1)
+    ]
+    gaps.append(2.0 * math.pi - (ordered[-1] - ordered[0]))
+    return max(gaps)
+
+
+def cone_based_topology(
+    positions: Positions,
+    cone_angle: float = 2.0 * math.pi / 3.0,
+    max_range: float = math.inf,
+) -> RangeAssignment:
+    """CBTC-style range assignment on a 2-D placement.
+
+    Args:
+        positions: ``(n, 2)`` placement; only two dimensions are supported
+            because the cone condition is angular.
+        cone_angle: the angle ``alpha``; connectivity is preserved for
+            ``alpha <= 2*pi/3``.
+        max_range: cap on the per-node range (the protocol's maximum power);
+            nodes that cannot satisfy the cone condition stop at this cap.
+    """
+    if not 0.0 < cone_angle <= 2.0 * math.pi:
+        raise AnalysisError(f"cone_angle must be in (0, 2*pi], got {cone_angle}")
+    if max_range <= 0:
+        raise AnalysisError(f"max_range must be positive, got {max_range}")
+    points = as_positions(positions)
+    if points.shape[0] and points.shape[1] != 2:
+        raise AnalysisError(
+            f"cone-based topology control requires 2-D positions, got dimension {points.shape[1]}"
+        )
+    n = points.shape[0]
+    if n < 2:
+        return RangeAssignment(ranges=tuple([0.0] * n), positions=points)
+
+    distances = pairwise_distances(points)
+    ranges = []
+    for node in range(n):
+        order = np.argsort(distances[node])
+        in_range_angles: List[float] = []
+        chosen = min(float(distances[node][order[-1]]), max_range)
+        for other in order:
+            if other == node:
+                continue
+            distance = float(distances[node][other])
+            if distance > max_range:
+                break
+            delta = points[other] - points[node]
+            in_range_angles.append(math.atan2(float(delta[1]), float(delta[0])))
+            if _max_angular_gap(in_range_angles) <= cone_angle:
+                chosen = distance
+                break
+        ranges.append(chosen)
+    return RangeAssignment(ranges=tuple(ranges), positions=points)

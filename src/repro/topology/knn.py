@@ -1,0 +1,59 @@
+"""K-nearest-neighbour topology control.
+
+Each node sets its range to the distance of its ``k``-th nearest neighbour.
+This is the family of protocols analysed by Xue & Kumar and others: with
+``k = Theta(log n)`` neighbours the network is connected w.h.p.  It serves
+as a per-node counterpoint to the paper's common-range analysis.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import AnalysisError
+from repro.geometry.kdtree import KDTree
+from repro.topology.range_assignment import RangeAssignment
+from repro.types import Positions, as_positions
+
+
+def knn_topology(positions: Positions, k: int) -> RangeAssignment:
+    """Range assignment reaching each node's ``k`` nearest neighbours.
+
+    Args:
+        positions: ``(n, d)`` placement.
+        k: number of neighbours each node must reach; must be positive and
+            at most ``n - 1``.
+
+    Returns:
+        A :class:`~repro.topology.range_assignment.RangeAssignment` whose
+        per-node range is the distance to that node's ``k``-th nearest
+        neighbour.
+    """
+    points = as_positions(positions)
+    n = points.shape[0]
+    if k <= 0:
+        raise AnalysisError(f"k must be positive, got {k}")
+    if n == 0:
+        return RangeAssignment(ranges=(), positions=points)
+    if k > n - 1:
+        raise AnalysisError(
+            f"k = {k} neighbours requested but only {n - 1} other nodes exist"
+        )
+    tree = KDTree(points)
+    ranges = []
+    for index in range(n):
+        neighbors = tree.query_knn(points[index], k, exclude=index)
+        ranges.append(neighbors[-1][1] if neighbors else 0.0)
+    return RangeAssignment(ranges=tuple(ranges), positions=points)
+
+
+def recommended_neighbor_count(node_count: int) -> int:
+    """The ``Theta(log n)`` neighbour count recommended by the k-NN literature.
+
+    Uses the constant from Xue & Kumar's sufficiency result
+    (``5.1774 log n``), clamped to at least 1 and at most ``n - 1``.
+    """
+    import math
+
+    if node_count < 2:
+        return 0
+    suggestion = int(round(5.1774 * math.log(node_count)))
+    return max(1, min(suggestion, node_count - 1))

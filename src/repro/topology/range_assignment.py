@@ -1,0 +1,121 @@
+"""Per-node range assignment.
+
+The *range assignment problem* generalises MTR: instead of one common
+range, each node ``i`` is assigned its own range ``r_i``, and the goal is a
+strongly connected communication graph minimising the total energy
+``sum_i r_i ** alpha``.  The MST-based assignment implemented here is the
+standard 2-approximation: each node's range is the length of the longest
+MST edge incident to it, which guarantees that the (symmetric) closure of
+the induced directed graph is connected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.energy.model import EnergyModel
+from repro.exceptions import AnalysisError
+from repro.geometry.distance import pairwise_distances
+from repro.graph.adjacency import CommunicationGraph
+from repro.types import Positions, as_positions
+
+
+@dataclass(frozen=True)
+class RangeAssignment:
+    """A per-node assignment of transmitting ranges.
+
+    Attributes:
+        ranges: range of each node, indexed by node id.
+        positions: the placement the assignment was computed for.
+    """
+
+    ranges: Tuple[float, ...]
+    positions: Positions
+
+    @property
+    def node_count(self) -> int:
+        """Number of nodes."""
+        return len(self.ranges)
+
+    def total_energy(self, model: EnergyModel = EnergyModel()) -> float:
+        """Total transmission power ``sum_i power(r_i)`` under ``model``."""
+        return sum(model.node_power(r) for r in self.ranges)
+
+    def max_range(self) -> float:
+        """The largest assigned range (compare against the common-range MTR)."""
+        return max(self.ranges) if self.ranges else 0.0
+
+    def symmetric_graph(self) -> CommunicationGraph:
+        """The *symmetric* communication graph induced by the assignment.
+
+        Edge ``(u, v)`` exists iff ``dist(u, v) <= min(r_u, r_v)`` — both
+        endpoints can hear each other.  The MST assignment keeps this graph
+        connected.
+        """
+        points = as_positions(self.positions)
+        n = points.shape[0]
+        graph = CommunicationGraph(n, positions=points)
+        if n < 2:
+            return graph
+        distances = pairwise_distances(points)
+        for u in range(n):
+            for v in range(u + 1, n):
+                if distances[u, v] <= min(self.ranges[u], self.ranges[v]):
+                    graph.add_edge(u, v)
+        return graph
+
+
+def _mst_edges(positions: Positions) -> List[Tuple[int, int, float]]:
+    """Edges ``(u, v, length)`` of a Euclidean MST via Prim's algorithm."""
+    points = as_positions(positions)
+    n = points.shape[0]
+    if n < 2:
+        return []
+    distances = pairwise_distances(points)
+    in_tree = np.zeros(n, dtype=bool)
+    best = distances[0].copy()
+    parent = np.zeros(n, dtype=int)
+    in_tree[0] = True
+    best[0] = np.inf
+    edges: List[Tuple[int, int, float]] = []
+    for _ in range(n - 1):
+        candidate = int(np.argmin(np.where(in_tree, np.inf, best)))
+        edges.append((int(parent[candidate]), candidate, float(best[candidate])))
+        in_tree[candidate] = True
+        improved = distances[candidate] < best
+        improved &= ~in_tree
+        parent[improved] = candidate
+        best = np.where(improved, distances[candidate], best)
+        best[in_tree] = np.inf
+    return edges
+
+
+def mst_range_assignment(positions: Positions) -> RangeAssignment:
+    """Assign each node the length of its longest incident MST edge.
+
+    The resulting symmetric communication graph contains the MST and is
+    therefore connected; the total energy is at most twice the optimum of
+    the range assignment problem (the classical argument of Kirousis et al.).
+    """
+    points = as_positions(positions)
+    n = points.shape[0]
+    ranges = [0.0] * n
+    for u, v, length in _mst_edges(points):
+        ranges[u] = max(ranges[u], length)
+        ranges[v] = max(ranges[v], length)
+    return RangeAssignment(ranges=tuple(ranges), positions=points)
+
+
+def uniform_range_assignment(positions: Positions, transmitting_range: float) -> RangeAssignment:
+    """The homogeneous assignment studied by the paper (every node gets ``r``)."""
+    if transmitting_range < 0:
+        raise AnalysisError(
+            f"transmitting_range must be non-negative, got {transmitting_range}"
+        )
+    points = as_positions(positions)
+    return RangeAssignment(
+        ranges=tuple([transmitting_range] * points.shape[0]), positions=points
+    )

@@ -1,0 +1,47 @@
+"""Shared type aliases and light-weight value objects.
+
+The library passes node positions around as ``numpy`` arrays of shape
+``(n, d)`` where ``n`` is the number of nodes and ``d`` the dimension of the
+deployment region.  This module centralises the aliases used in type hints
+throughout the code base so that signatures stay short and consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+import numpy as np
+
+#: A position array of shape ``(n, d)``; ``float64`` throughout the library.
+Positions = np.ndarray
+
+#: A single node index.
+NodeId = int
+
+#: An undirected edge between two node indices.
+Edge = tuple[int, int]
+
+#: Anything accepted as a seed for the library's random number generators.
+SeedLike = Union[int, np.random.Generator, None]
+
+#: A sequence of scalar samples (used by the statistics helpers).
+Samples = Sequence[float]
+
+
+def as_positions(points: Union[Positions, Sequence[Sequence[float]]]) -> Positions:
+    """Coerce ``points`` into a ``(n, d)`` ``float64`` array.
+
+    One-dimensional input of length ``n`` is interpreted as ``n`` points on a
+    line and reshaped to ``(n, 1)``.
+
+    Raises:
+        ValueError: if the input has more than two dimensions.
+    """
+    array = np.asarray(points, dtype=float)
+    if array.ndim == 1:
+        array = array.reshape(-1, 1)
+    if array.ndim != 2:
+        raise ValueError(
+            f"positions must be a (n, d) array, got shape {array.shape!r}"
+        )
+    return array

@@ -1,0 +1,19 @@
+"""Terminal visualisation helpers.
+
+The library is plotting-free by design; for quick inspection of placements,
+communication graphs and traces it renders small ASCII pictures instead.
+These are used by the examples and are handy in a REPL when debugging a
+mobility model or a placement strategy.
+"""
+
+from repro.visualization.ascii_art import (
+    render_connectivity_timeline,
+    render_graph,
+    render_placement,
+)
+
+__all__ = [
+    "render_connectivity_timeline",
+    "render_graph",
+    "render_placement",
+]

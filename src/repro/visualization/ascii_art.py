@@ -1,0 +1,151 @@
+"""ASCII rendering of placements, graphs and connectivity timelines.
+
+The renderings are intentionally coarse — a terminal-sized grid of
+characters — but they answer the questions one actually asks when eyeballing
+a simulation: are the nodes clustered or spread out, which nodes form the
+big component, and when was the network down.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.geometry.region import Region
+from repro.graph.adjacency import CommunicationGraph
+from repro.graph.components import connected_components
+from repro.types import Positions, as_positions
+
+
+def _character_grid(width: int, height: int) -> List[List[str]]:
+    return [[" " for _ in range(width)] for _ in range(height)]
+
+
+def _to_cell(
+    point: np.ndarray, region_side: float, width: int, height: int
+) -> tuple:
+    """Map a 2-D point in [0, side]^2 to a character cell (row, column)."""
+    column = int(point[0] / region_side * (width - 1))
+    # Rows grow downward; flip the y axis so the picture is not mirrored.
+    row = int((1.0 - point[1] / region_side) * (height - 1))
+    return (
+        min(max(row, 0), height - 1),
+        min(max(column, 0), width - 1),
+    )
+
+
+def render_placement(
+    positions: Positions,
+    region: Region,
+    width: int = 60,
+    height: int = 24,
+    marker: str = "o",
+) -> str:
+    """Render a 2-D placement as an ASCII scatter plot inside a frame.
+
+    Args:
+        positions: ``(n, 2)`` placement.
+        region: the deployment region (defines the plot bounds).
+        width, height: character dimensions of the drawing area.
+        marker: character used for nodes (overlapping nodes show ``*``).
+    """
+    if width < 2 or height < 2:
+        raise ConfigurationError("width and height must both be at least 2")
+    if region.dimension != 2:
+        raise ConfigurationError("render_placement only supports 2-D regions")
+    points = as_positions(positions)
+    if points.shape[0] and points.shape[1] != 2:
+        raise ConfigurationError("render_placement expects (n, 2) positions")
+
+    grid = _character_grid(width, height)
+    for point in points:
+        row, column = _to_cell(point, region.side, width, height)
+        grid[row][column] = marker if grid[row][column] == " " else "*"
+
+    border = "+" + "-" * width + "+"
+    lines = [border]
+    for row in grid:
+        lines.append("|" + "".join(row) + "|")
+    lines.append(border)
+    return "\n".join(lines)
+
+
+def render_graph(
+    graph: CommunicationGraph,
+    region: Optional[Region] = None,
+    width: int = 60,
+    height: int = 24,
+) -> str:
+    """Render a communication graph: nodes labelled by component.
+
+    Nodes of the largest connected component are drawn as ``#``, nodes of
+    every other component as ``o``, and isolated nodes as ``.`` — a quick
+    visual answer to "how fragmented is the network right now?".
+
+    The graph must carry positions (built by
+    :func:`repro.graph.builder.build_communication_graph`).
+    """
+    if graph.positions is None:
+        raise ConfigurationError("render_graph requires a graph with positions")
+    points = graph.positions
+    if points.shape[1] != 2:
+        raise ConfigurationError("render_graph only supports 2-D positions")
+    if region is None:
+        side = float(points.max()) if points.size else 1.0
+        region = Region.square(max(side, 1e-9))
+
+    components = connected_components(graph)
+    largest = max(components, key=len) if components else []
+    largest_set = set(largest)
+
+    grid = _character_grid(width, height)
+    for node in graph.nodes():
+        row, column = _to_cell(points[node], region.side, width, height)
+        if graph.degree(node) == 0:
+            symbol = "."
+        elif node in largest_set:
+            symbol = "#"
+        else:
+            symbol = "o"
+        grid[row][column] = symbol
+
+    border = "+" + "-" * width + "+"
+    lines = [border]
+    for row in grid:
+        lines.append("|" + "".join(row) + "|")
+    lines.append(border)
+    lines.append(
+        f"# largest component ({len(largest)}/{graph.node_count} nodes), "
+        "o other components, . isolated"
+    )
+    return "\n".join(lines)
+
+
+def render_connectivity_timeline(
+    connected_series: Sequence[bool], width: int = 72
+) -> str:
+    """Render a per-step connectivity series as a one-line timeline.
+
+    Each character summarises a bucket of steps: ``#`` all connected,
+    ``-`` none connected, ``+`` mixed.  The availability percentage is
+    appended.
+    """
+    if width < 1:
+        raise ConfigurationError(f"width must be positive, got {width}")
+    series = [bool(value) for value in connected_series]
+    if not series:
+        return "(empty timeline)"
+    bucket_count = min(width, len(series))
+    buckets = np.array_split(np.asarray(series, dtype=bool), bucket_count)
+    characters = []
+    for bucket in buckets:
+        if bucket.all():
+            characters.append("#")
+        elif not bucket.any():
+            characters.append("-")
+        else:
+            characters.append("+")
+    availability = sum(series) / len(series)
+    return "".join(characters) + f"  ({availability:.1%} connected)"

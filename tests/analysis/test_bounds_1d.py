@@ -1,0 +1,144 @@
+"""Tests for repro.analysis.bounds_1d (Theorems 3-5)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.bounds_1d import (
+    connectivity_probability_1d_exact,
+    critical_product_1d,
+    nodes_for_connectivity_1d,
+    range_for_connectivity_1d,
+    range_for_connectivity_probability_1d,
+    range_lower_bound_1d,
+    range_upper_bound_1d,
+)
+from repro.connectivity.metrics import is_placement_connected
+from repro.exceptions import AnalysisError
+
+
+class TestCriticalProduct:
+    def test_value(self):
+        assert critical_product_1d(np.e) == pytest.approx(np.e)
+        assert critical_product_1d(100.0) == pytest.approx(100.0 * np.log(100.0))
+
+    def test_small_side_clamped_to_zero(self):
+        assert critical_product_1d(1.0) == 0.0
+        assert critical_product_1d(0.5) == 0.0
+
+    def test_invalid(self):
+        with pytest.raises(AnalysisError):
+            critical_product_1d(0.0)
+
+
+class TestPredictors:
+    def test_range_and_nodes_are_duals(self):
+        side = 10000.0
+        n = 500
+        r = range_for_connectivity_1d(n, side)
+        assert nodes_for_connectivity_1d(r, side) == pytest.approx(n, abs=1)
+
+    def test_upper_bound_exceeds_lower_bound(self):
+        assert range_upper_bound_1d(100, 1000.0) > range_lower_bound_1d(100, 1000.0)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(AnalysisError):
+            range_for_connectivity_1d(0, 100.0)
+        with pytest.raises(AnalysisError):
+            range_for_connectivity_1d(10, 100.0, constant=0.0)
+        with pytest.raises(AnalysisError):
+            nodes_for_connectivity_1d(0.0, 100.0)
+
+
+class TestExactProbability:
+    def test_trivial_cases(self):
+        assert connectivity_probability_1d_exact(1, 100.0, 0.0) == 1.0
+        assert connectivity_probability_1d_exact(5, 100.0, 0.0) == 0.0
+        assert connectivity_probability_1d_exact(5, 100.0, 100.0) == 1.0
+        assert connectivity_probability_1d_exact(5, 100.0, 200.0) == 1.0
+
+    def test_monotone_in_range(self):
+        # Allow a tiny tolerance: the alternating inclusion-exclusion sum
+        # leaves ~1e-10 cancellation noise at very small probabilities.
+        probabilities = [
+            connectivity_probability_1d_exact(20, 100.0, r) for r in np.linspace(1, 60, 30)
+        ]
+        assert all(b >= a - 1e-9 for a, b in zip(probabilities, probabilities[1:]))
+
+    def test_monotone_in_nodes_when_dense(self):
+        # In the dense regime (r comfortably above l/n) adding nodes helps;
+        # note this is NOT true in the sparse regime, where extra nodes add
+        # extra gaps that must also be covered.
+        values = [connectivity_probability_1d_exact(n, 100.0, 30.0) for n in (5, 10, 20, 40)]
+        assert all(b >= a - 1e-9 for a, b in zip(values, values[1:]))
+
+    def test_two_nodes_closed_form(self):
+        # For n=2, P(connected) = P(|X1 - X2| <= r) = 2r/l - (r/l)^2.
+        side, r = 10.0, 3.0
+        expected = 2 * r / side - (r / side) ** 2
+        assert connectivity_probability_1d_exact(2, side, r) == pytest.approx(expected)
+
+    def test_matches_monte_carlo(self):
+        rng = np.random.default_rng(0)
+        side, n, r = 100.0, 15, 15.0
+        trials = 3000
+        connected = 0
+        for _ in range(trials):
+            points = np.sort(rng.uniform(0, side, size=n))
+            if np.max(np.diff(points)) <= r:
+                connected += 1
+        empirical = connected / trials
+        assert connectivity_probability_1d_exact(n, side, r) == pytest.approx(
+            empirical, abs=0.03
+        )
+
+    def test_invalid_arguments(self):
+        with pytest.raises(AnalysisError):
+            connectivity_probability_1d_exact(0, 10.0, 1.0)
+        with pytest.raises(AnalysisError):
+            connectivity_probability_1d_exact(5, -1.0, 1.0)
+        with pytest.raises(AnalysisError):
+            connectivity_probability_1d_exact(5, 10.0, -1.0)
+
+
+class TestRangeForProbability:
+    def test_achieves_requested_probability(self):
+        side, n = 1000.0, 50
+        r = range_for_connectivity_probability_1d(n, side, 0.9)
+        assert connectivity_probability_1d_exact(n, side, r) >= 0.9
+        assert connectivity_probability_1d_exact(n, side, r * 0.95) < 0.9
+
+    def test_higher_probability_needs_larger_range(self):
+        side, n = 1000.0, 50
+        assert range_for_connectivity_probability_1d(
+            n, side, 0.99
+        ) > range_for_connectivity_probability_1d(n, side, 0.5)
+
+    def test_invalid_probability(self):
+        with pytest.raises(AnalysisError):
+            range_for_connectivity_probability_1d(10, 100.0, 1.0)
+
+
+class TestTheorem5Empirically:
+    """The headline result: r n ~ l log l separates connectivity regimes."""
+
+    def test_upper_bound_connects_with_high_probability(self):
+        rng = np.random.default_rng(42)
+        side = 2000.0
+        n = 200
+        r = range_upper_bound_1d(n, side, constant=2.0)
+        connected = sum(
+            is_placement_connected(rng.uniform(0, side, size=(n, 1)), r)
+            for _ in range(40)
+        )
+        assert connected >= 36  # At least 90% of placements connected.
+
+    def test_lower_bound_disconnects_frequently(self):
+        rng = np.random.default_rng(43)
+        side = 2000.0
+        n = 200
+        r = range_lower_bound_1d(n, side, constant=0.15)
+        connected = sum(
+            is_placement_connected(rng.uniform(0, side, size=(n, 1)), r)
+            for _ in range(40)
+        )
+        assert connected <= 20  # Far from always connected.

@@ -1,0 +1,159 @@
+"""Tests for repro.analysis.bounds_2d (Penrose / Gupta-Kumar 2-D theory)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.bounds_2d import (
+    critical_range_distribution_2d,
+    isolated_node_probability_2d,
+    nodes_for_connectivity_2d,
+    range_for_connectivity_2d,
+)
+from repro.analysis.gupta_kumar import gupta_kumar_critical_range
+from repro.connectivity.critical_range import critical_range
+from repro.exceptions import AnalysisError
+
+
+class TestCriticalRangeDistribution:
+    def test_bounds(self):
+        for r in (0.0, 10.0, 100.0, 1000.0):
+            value = critical_range_distribution_2d(50, 1000.0, r)
+            assert 0.0 <= value <= 1.0
+
+    def test_monotone_in_radius(self):
+        values = [
+            critical_range_distribution_2d(50, 1000.0, r)
+            for r in np.linspace(1.0, 600.0, 40)
+        ]
+        assert all(b >= a - 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_zero_radius(self):
+        assert critical_range_distribution_2d(50, 1000.0, 0.0) == 0.0
+
+    def test_large_radius_near_one(self):
+        assert critical_range_distribution_2d(50, 1000.0, 900.0) > 0.999
+
+    def test_matches_monte_carlo_on_torus(self):
+        """The predicted critical-range quantiles track the empirical
+        quantiles of the *toroidal* critical range (the law is stated
+        without boundary effects).  The comparison is made on the range
+        scale because the probability scale converges only at a
+        log-log-slow rate."""
+        from repro.connectivity.critical_range import critical_range_toroidal
+
+        rng = np.random.default_rng(0)
+        n, side = 80, 1000.0
+        samples = [
+            critical_range_toroidal(rng.uniform(0, side, size=(n, 2)), side)
+            for _ in range(300)
+        ]
+        for quantile in (0.5, 0.9, 0.99):
+            empirical = float(np.quantile(samples, quantile))
+            predicted = range_for_connectivity_2d(n, side, quantile)
+            assert predicted == pytest.approx(empirical, rel=0.15)
+
+    def test_square_region_needs_larger_range_than_torus(self):
+        """Boundary effects: the square's critical range exceeds the torus's."""
+        from repro.connectivity.critical_range import critical_range_toroidal
+
+        rng = np.random.default_rng(5)
+        n, side = 60, 1000.0
+        square = []
+        torus = []
+        for _ in range(60):
+            points = rng.uniform(0, side, size=(n, 2))
+            square.append(critical_range(points))
+            torus.append(critical_range_toroidal(points, side))
+        assert np.mean(square) > np.mean(torus)
+        # The toroidal range never exceeds the Euclidean one for the same
+        # placement (wrap-around can only shorten links).
+        assert all(t <= s + 1e-9 for s, t in zip(square, torus))
+
+    def test_invalid_arguments(self):
+        with pytest.raises(AnalysisError):
+            critical_range_distribution_2d(1, 100.0, 10.0)
+        with pytest.raises(AnalysisError):
+            critical_range_distribution_2d(10, 0.0, 10.0)
+        with pytest.raises(AnalysisError):
+            critical_range_distribution_2d(10, 100.0, -1.0)
+
+
+class TestRangeForConnectivity:
+    def test_round_trip_with_distribution(self):
+        n, side, p = 60, 500.0, 0.95
+        r = range_for_connectivity_2d(n, side, p)
+        assert critical_range_distribution_2d(n, side, r) == pytest.approx(p, abs=1e-9)
+
+    def test_monotone_in_probability(self):
+        assert range_for_connectivity_2d(60, 500.0, 0.99) > range_for_connectivity_2d(
+            60, 500.0, 0.5
+        )
+
+    def test_reduces_to_gupta_kumar_order(self):
+        n, side = 500, 1000.0
+        penrose = range_for_connectivity_2d(n, side, 0.5)
+        gk = gupta_kumar_critical_range(n, side)
+        assert 0.5 * gk < penrose < 2.0 * gk
+
+    def test_tracks_simulated_rstationary(self):
+        from repro.simulation.runner import stationary_critical_range
+
+        n, side = 64, 1000.0
+        simulated = stationary_critical_range(
+            n, side, dimension=2, iterations=150, seed=4, confidence=0.9
+        )
+        predicted = range_for_connectivity_2d(n, side, 0.9)
+        assert predicted == pytest.approx(simulated, rel=0.35)
+
+    def test_invalid_probability(self):
+        with pytest.raises(AnalysisError):
+            range_for_connectivity_2d(10, 100.0, 1.0)
+
+
+class TestNodesForConnectivity:
+    def test_inverts_range(self):
+        n, side, p = 300, 1000.0, 0.9
+        r = range_for_connectivity_2d(n, side, p)
+        recovered = nodes_for_connectivity_2d(r, side, p)
+        assert recovered == pytest.approx(n, rel=0.05)
+
+    def test_smaller_range_needs_more_nodes(self):
+        assert nodes_for_connectivity_2d(20.0, 1000.0) > nodes_for_connectivity_2d(
+            80.0, 1000.0
+        )
+
+    def test_invalid_arguments(self):
+        with pytest.raises(AnalysisError):
+            nodes_for_connectivity_2d(0.0, 100.0)
+        with pytest.raises(AnalysisError):
+            nodes_for_connectivity_2d(10.0, 100.0, probability=0.0)
+
+
+class TestIsolatedNodeProbability:
+    def test_bounds_and_monotonicity(self):
+        values = [
+            isolated_node_probability_2d(50, 1000.0, r) for r in (10.0, 50.0, 150.0, 400.0)
+        ]
+        assert all(0.0 <= v <= 1.0 for v in values)
+        assert all(b <= a + 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_huge_range_no_isolation(self):
+        assert isolated_node_probability_2d(10, 100.0, 100.0) == 0.0
+
+    def test_isolation_lower_bounds_disconnection(self):
+        """P(some isolated node) <= P(disconnected): isolated nodes are the
+        weaker criterion the paper improves on in 1-D."""
+        rng = np.random.default_rng(1)
+        n, side, r = 40, 1000.0, 150.0
+        trials = 300
+        disconnected = 0
+        for _ in range(trials):
+            points = rng.uniform(0, side, size=(n, 2))
+            if critical_range(points) > r:
+                disconnected += 1
+        empirical_disconnection = disconnected / trials
+        estimate = isolated_node_probability_2d(n, side, r)
+        # The union bound can overshoot; only check it is not wildly above
+        # the empirical disconnection probability when it is informative.
+        if estimate < 0.5:
+            assert estimate <= empirical_disconnection + 0.15

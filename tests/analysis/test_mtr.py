@@ -1,0 +1,58 @@
+"""Tests for repro.analysis.mtr."""
+
+import pytest
+
+from repro.analysis.mtr import MTRInstance, MTRMInstance
+from repro.exceptions import ConfigurationError
+
+
+class TestMTRInstance:
+    def test_basic_properties(self):
+        instance = MTRInstance(node_count=100, side=1000.0, dimension=2)
+        assert instance.region.side == 1000.0
+        assert instance.density == pytest.approx(100 / 1000.0**2)
+
+    def test_cells_and_alpha(self):
+        instance = MTRInstance(node_count=50, side=100.0, dimension=1)
+        assert instance.cells_for_range(10.0) == pytest.approx(10.0)
+        assert instance.alpha_for_range(10.0) == pytest.approx(5.0)
+        assert instance.range_product(10.0) == pytest.approx(500.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            MTRInstance(node_count=0, side=10.0)
+        with pytest.raises(ConfigurationError):
+            MTRInstance(node_count=5, side=0.0)
+        with pytest.raises(ConfigurationError):
+            MTRInstance(node_count=5, side=10.0, dimension=0)
+        instance = MTRInstance(node_count=5, side=10.0)
+        with pytest.raises(ConfigurationError):
+            instance.cells_for_range(0.0)
+
+
+class TestMTRMInstance:
+    def test_basic_properties(self):
+        instance = MTRMInstance(
+            node_count=64, side=4096.0, steps=10000, connectivity_fraction=0.9
+        )
+        assert instance.region.dimension == 2
+        stationary = instance.stationary_instance
+        assert stationary.node_count == 64
+        assert stationary.side == 4096.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            MTRMInstance(node_count=0, side=10.0, steps=10, connectivity_fraction=0.5)
+        with pytest.raises(ConfigurationError):
+            MTRMInstance(node_count=5, side=10.0, steps=0, connectivity_fraction=0.5)
+        with pytest.raises(ConfigurationError):
+            MTRMInstance(node_count=5, side=10.0, steps=10, connectivity_fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            MTRMInstance(node_count=5, side=10.0, steps=10, connectivity_fraction=1.2)
+
+    def test_frozen(self):
+        instance = MTRMInstance(
+            node_count=5, side=10.0, steps=10, connectivity_fraction=1.0
+        )
+        with pytest.raises(AttributeError):
+            instance.steps = 20

@@ -1,0 +1,87 @@
+"""Tests for repro.availability.estimator."""
+
+import pytest
+
+from repro.availability.estimator import (
+    availability_from_connectivity_series,
+    availability_from_frames,
+    partial_availability_from_frames,
+)
+from repro.exceptions import ConfigurationError
+from repro.simulation.engine import frame_statistics
+
+
+class TestFromSeries:
+    def test_fully_available(self):
+        report = availability_from_connectivity_series([True] * 10)
+        assert report.availability == 1.0
+        assert report.down_periods == 0
+        assert report.up_periods == 1
+        assert report.longest_down_length == 0
+
+    def test_fully_unavailable(self):
+        report = availability_from_connectivity_series([False] * 5)
+        assert report.availability == 0.0
+        assert report.unavailability == 1.0
+        assert report.mean_down_length == 5.0
+
+    def test_mixed_series(self):
+        series = [True, True, False, True, False, False, True, True]
+        report = availability_from_connectivity_series(series)
+        assert report.availability == pytest.approx(5 / 8)
+        assert report.up_periods == 3
+        assert report.down_periods == 2
+        assert report.longest_down_length == 2
+        assert report.mean_up_length == pytest.approx(5 / 3)
+        assert report.mean_down_length == pytest.approx(1.5)
+
+    def test_empty_series(self):
+        report = availability_from_connectivity_series([])
+        assert report.availability == 0.0
+        assert report.step_count == 0
+
+
+class TestFromFrames:
+    def _frames(self, rng):
+        placements = [rng.uniform(0, 100, size=(12, 2)) for _ in range(25)]
+        return [frame_statistics(p) for p in placements]
+
+    def test_availability_monotone_in_range(self, rng):
+        frames = self._frames(rng)
+        values = [
+            availability_from_frames(frames, r).availability for r in (5, 20, 50, 200)
+        ]
+        assert values == sorted(values)
+        assert values[-1] == 1.0
+
+    def test_availability_matches_connectivity_fraction(self, rng):
+        from repro.simulation.metrics import connectivity_fraction_at
+
+        frames = self._frames(rng)
+        radius = 40.0
+        assert availability_from_frames(frames, radius).availability == pytest.approx(
+            connectivity_fraction_at(frames, radius)
+        )
+
+    def test_partial_availability_at_least_full(self, rng):
+        frames = self._frames(rng)
+        radius = 35.0
+        full = availability_from_frames(frames, radius).availability
+        partial = partial_availability_from_frames(frames, radius, 0.5).availability
+        assert partial >= full
+
+    def test_partial_availability_monotone_in_required_fraction(self, rng):
+        frames = self._frames(rng)
+        radius = 35.0
+        values = [
+            partial_availability_from_frames(frames, radius, f).availability
+            for f in (0.25, 0.5, 0.75, 1.0)
+        ]
+        assert values == sorted(values, reverse=True)
+
+    def test_invalid_required_fraction(self, rng):
+        frames = self._frames(rng)
+        with pytest.raises(ConfigurationError):
+            partial_availability_from_frames(frames, 10.0, 0.0)
+        with pytest.raises(ConfigurationError):
+            partial_availability_from_frames(frames, 10.0, 1.5)

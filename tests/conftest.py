@@ -1,0 +1,33 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.geometry.region import Region
+from repro.placement.strategies import uniform_placement
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def square_region() -> Region:
+    """A 2-D region of side 100."""
+    return Region.square(100.0)
+
+
+@pytest.fixture
+def line_region() -> Region:
+    """A 1-D region of length 1000."""
+    return Region.line(1000.0)
+
+
+@pytest.fixture
+def small_placement(square_region, rng) -> np.ndarray:
+    """A reproducible uniform placement of 30 nodes in the square region."""
+    return uniform_placement(30, square_region, rng)

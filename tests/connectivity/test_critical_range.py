@@ -1,0 +1,143 @@
+"""Tests for repro.connectivity.critical_range."""
+
+import numpy as np
+import pytest
+
+from repro.connectivity.critical_range import (
+    critical_range,
+    critical_range_for_component_fraction,
+    longest_gap_1d,
+    range_for_k_connectivity,
+    sorted_edge_lengths,
+)
+from repro.connectivity.metrics import (
+    is_placement_connected,
+    largest_component_fraction_of_placement,
+)
+from repro.exceptions import AnalysisError
+
+
+class TestCriticalRange:
+    def test_two_points(self):
+        points = np.array([[0.0, 0.0], [3.0, 4.0]])
+        assert critical_range(points) == pytest.approx(5.0)
+
+    def test_line_of_points(self):
+        points = np.array([[0.0], [1.0], [3.0], [6.0]])
+        assert critical_range(points) == pytest.approx(3.0)
+
+    def test_single_point_and_empty(self):
+        assert critical_range(np.array([[1.0, 2.0]])) == 0.0
+        assert critical_range(np.empty((0, 2))) == 0.0
+
+    def test_is_exact_threshold(self, small_placement):
+        r_star = critical_range(small_placement)
+        assert is_placement_connected(small_placement, r_star)
+        assert not is_placement_connected(small_placement, r_star - 1e-9)
+
+    def test_matches_mst_bottleneck_from_networkx(self, rng):
+        networkx = pytest.importorskip("networkx")
+        points = rng.uniform(0, 100, size=(40, 2))
+        complete = networkx.Graph()
+        for i in range(40):
+            for j in range(i + 1, 40):
+                complete.add_edge(i, j, weight=float(np.linalg.norm(points[i] - points[j])))
+        mst = networkx.minimum_spanning_tree(complete)
+        bottleneck = max(data["weight"] for _, _, data in mst.edges(data=True))
+        assert critical_range(points) == pytest.approx(bottleneck)
+
+    def test_duplicate_points(self):
+        points = np.array([[1.0, 1.0], [1.0, 1.0], [2.0, 1.0]])
+        assert critical_range(points) == pytest.approx(1.0)
+
+
+class TestComponentFractionRange:
+    def test_full_fraction_equals_critical_range(self, small_placement):
+        assert critical_range_for_component_fraction(
+            small_placement, 1.0
+        ) == pytest.approx(critical_range(small_placement))
+
+    def test_is_exact_threshold(self, small_placement):
+        target = 0.5
+        r_half = critical_range_for_component_fraction(small_placement, target)
+        assert largest_component_fraction_of_placement(small_placement, r_half) >= target
+        assert (
+            largest_component_fraction_of_placement(small_placement, r_half - 1e-9)
+            < target
+        )
+
+    def test_monotone_in_fraction(self, small_placement):
+        values = [
+            critical_range_for_component_fraction(small_placement, f)
+            for f in (0.25, 0.5, 0.75, 1.0)
+        ]
+        assert values == sorted(values)
+
+    def test_trivial_targets(self):
+        points = np.array([[0.0, 0.0], [10.0, 0.0]])
+        # One node out of two is always "connected" at range 0.
+        assert critical_range_for_component_fraction(points, 0.5) == 0.0
+        assert critical_range_for_component_fraction(np.empty((0, 2)), 0.9) == 0.0
+
+    def test_invalid_fraction(self, small_placement):
+        with pytest.raises(AnalysisError):
+            critical_range_for_component_fraction(small_placement, 0.0)
+        with pytest.raises(AnalysisError):
+            critical_range_for_component_fraction(small_placement, 1.1)
+
+
+class TestLongestGap1d:
+    def test_matches_critical_range_in_1d(self, rng):
+        points = rng.uniform(0, 1000, size=(60, 1))
+        assert longest_gap_1d(points) == pytest.approx(critical_range(points))
+
+    def test_rejects_2d(self, small_placement):
+        with pytest.raises(AnalysisError):
+            longest_gap_1d(small_placement)
+
+    def test_single_point(self):
+        assert longest_gap_1d(np.array([[5.0]])) == 0.0
+
+
+class TestKConnectivityRange:
+    def test_k1_matches_critical_range(self, rng):
+        points = rng.uniform(0, 50, size=(12, 2))
+        assert range_for_k_connectivity(points, 1) == pytest.approx(
+            critical_range(points), abs=1e-4
+        )
+
+    def test_k2_at_least_k1(self, rng):
+        points = rng.uniform(0, 50, size=(12, 2))
+        r1 = range_for_k_connectivity(points, 1)
+        r2 = range_for_k_connectivity(points, 2)
+        assert r2 is not None and r1 is not None
+        assert r2 >= r1 - 1e-9
+
+    def test_k2_result_is_2_connected(self, rng):
+        from repro.graph.builder import build_communication_graph
+        from repro.graph.properties import is_k_connected
+
+        points = rng.uniform(0, 50, size=(10, 2))
+        r2 = range_for_k_connectivity(points, 2, tolerance=1e-4)
+        assert r2 is not None
+        assert is_k_connected(build_communication_graph(points, r2), 2)
+
+    def test_too_few_nodes(self):
+        points = np.array([[0.0, 0.0], [1.0, 0.0]])
+        assert range_for_k_connectivity(points, 2) is None
+
+    def test_invalid_k(self, small_placement):
+        with pytest.raises(AnalysisError):
+            range_for_k_connectivity(small_placement, 0)
+
+
+class TestSortedEdgeLengths:
+    def test_count_and_order(self, small_placement):
+        lengths = sorted_edge_lengths(small_placement)
+        n = small_placement.shape[0]
+        assert len(lengths) == n * (n - 1) // 2
+        assert lengths == sorted(lengths)
+
+    def test_small_inputs(self):
+        assert sorted_edge_lengths(np.array([[0.0, 0.0]])) == []
+        assert sorted_edge_lengths(np.empty((0, 2))) == []

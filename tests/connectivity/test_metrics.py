@@ -1,0 +1,79 @@
+"""Tests for repro.connectivity.metrics."""
+
+import numpy as np
+import pytest
+
+from repro.connectivity.metrics import (
+    connectivity_fraction_over_trace,
+    is_placement_connected,
+    largest_component_fraction_of_placement,
+    observe_placement,
+    observe_trace,
+)
+
+
+class TestObservePlacement:
+    def test_connected_cluster(self):
+        points = np.array([[0.0, 0.0], [1.0, 0.0], [2.0, 0.0]])
+        observation = observe_placement(points, 1.5)
+        assert observation.connected
+        assert observation.largest_component_size == 3
+        assert observation.component_count == 1
+        assert observation.largest_component_fraction == 1.0
+
+    def test_disconnected(self):
+        points = np.array([[0.0, 0.0], [1.0, 0.0], [50.0, 50.0]])
+        observation = observe_placement(points, 1.5)
+        assert not observation.connected
+        assert observation.largest_component_size == 2
+        assert observation.component_count == 2
+        assert observation.largest_component_fraction == pytest.approx(2 / 3)
+
+    def test_zero_range_all_isolated(self, small_placement):
+        observation = observe_placement(small_placement, 0.0)
+        assert observation.largest_component_size == 1
+        assert observation.component_count == small_placement.shape[0]
+
+    def test_empty_placement(self):
+        observation = observe_placement(np.empty((0, 2)), 1.0)
+        assert observation.connected
+        assert observation.largest_component_fraction == 0.0
+
+    def test_records_range(self, small_placement):
+        assert observe_placement(small_placement, 7.5).transmitting_range == 7.5
+
+
+class TestPlacementPredicates:
+    def test_is_placement_connected_monotone(self, small_placement):
+        from repro.connectivity.critical_range import critical_range
+
+        r_star = critical_range(small_placement)
+        assert is_placement_connected(small_placement, r_star)
+        assert is_placement_connected(small_placement, r_star * 1.5)
+        assert not is_placement_connected(small_placement, r_star * 0.99)
+
+    def test_largest_fraction_increases_with_range(self, small_placement):
+        fractions = [
+            largest_component_fraction_of_placement(small_placement, r)
+            for r in (0.0, 10.0, 30.0, 200.0)
+        ]
+        assert fractions == sorted(fractions)
+        assert fractions[-1] == 1.0
+
+
+class TestTraceObservation:
+    def test_observe_trace_length(self, small_placement):
+        frames = [small_placement, small_placement + 1.0]
+        observations = observe_trace(frames, 20.0)
+        assert len(observations) == 2
+
+    def test_connectivity_fraction(self):
+        connected = np.array([[0.0, 0.0], [1.0, 0.0]])
+        disconnected = np.array([[0.0, 0.0], [50.0, 0.0]])
+        fraction = connectivity_fraction_over_trace(
+            [connected, disconnected, connected, connected], 2.0
+        )
+        assert fraction == pytest.approx(0.75)
+
+    def test_empty_trace(self):
+        assert connectivity_fraction_over_trace([], 1.0) == 0.0

@@ -1,0 +1,77 @@
+"""Tests for repro.connectivity.path."""
+
+import numpy as np
+import pytest
+
+from repro.connectivity.path import (
+    average_hop_count,
+    network_diameter_hops,
+    reachability_fraction,
+)
+from repro.graph.adjacency import CommunicationGraph
+from repro.graph.builder import build_communication_graph
+
+
+def path_graph(n: int) -> CommunicationGraph:
+    return CommunicationGraph(n, edges=[(i, i + 1) for i in range(n - 1)])
+
+
+class TestAverageHopCount:
+    def test_path_graph(self):
+        # For a path on 3 nodes, pairwise hop distances are 1, 1, 2 -> mean 4/3.
+        assert average_hop_count(path_graph(3)) == pytest.approx(4 / 3)
+
+    def test_complete_graph(self):
+        graph = CommunicationGraph(4, edges=[(i, j) for i in range(4) for j in range(i + 1, 4)])
+        assert average_hop_count(graph) == pytest.approx(1.0)
+
+    def test_no_edges(self):
+        assert average_hop_count(CommunicationGraph(3)) is None
+
+    def test_disconnected_ignores_unreachable_pairs(self):
+        graph = CommunicationGraph(4, edges=[(0, 1), (2, 3)])
+        assert average_hop_count(graph) == pytest.approx(1.0)
+
+
+class TestDiameter:
+    def test_path_graph(self):
+        assert network_diameter_hops(path_graph(5)) == 4
+
+    def test_no_edges(self):
+        assert network_diameter_hops(CommunicationGraph(2)) is None
+
+    def test_matches_networkx(self, small_placement):
+        networkx = pytest.importorskip("networkx")
+        from repro.graph.convert import to_networkx
+
+        graph = build_communication_graph(small_placement, 40.0)
+        nx_graph = to_networkx(graph)
+        if networkx.is_connected(nx_graph):
+            assert network_diameter_hops(graph) == networkx.diameter(nx_graph)
+
+
+class TestReachability:
+    def test_connected_graph(self):
+        assert reachability_fraction(path_graph(6)) == 1.0
+
+    def test_fully_disconnected(self):
+        assert reachability_fraction(CommunicationGraph(4)) == 0.0
+
+    def test_half_split(self):
+        graph = CommunicationGraph(4, edges=[(0, 1), (2, 3)])
+        # 2 reachable pairs out of 6.
+        assert reachability_fraction(graph) == pytest.approx(1 / 3)
+
+    def test_single_node(self):
+        assert reachability_fraction(CommunicationGraph(1)) == 1.0
+
+    def test_tracks_square_of_largest_fraction(self, small_placement):
+        graph = build_communication_graph(small_placement, 12.0)
+        from repro.graph.components import largest_component_fraction
+
+        fraction = largest_component_fraction(graph)
+        # Reachability is at least the pairs within the largest component.
+        n = graph.node_count
+        largest = round(fraction * n)
+        minimum = largest * (largest - 1) / 2 / (n * (n - 1) / 2)
+        assert reachability_fraction(graph) >= minimum - 1e-9

@@ -1,0 +1,95 @@
+"""Tests for repro.dissemination.contacts."""
+
+import numpy as np
+import pytest
+
+from repro.dissemination.contacts import (
+    ContactStatistics,
+    contact_statistics,
+    intercontact_times,
+)
+from repro.exceptions import ConfigurationError
+from repro.geometry.region import Region
+from repro.mobility.drunkard import DrunkardModel
+from repro.mobility.trace import record_trace
+
+
+def oscillating_frames():
+    """Two nodes alternating between in-range and out-of-range positions."""
+    near = np.array([[0.0, 0.0], [1.0, 0.0]])
+    far = np.array([[0.0, 0.0], [50.0, 0.0]])
+    # Steps: contact, contact, gap, gap, contact, gap, contact
+    return [near, near, far, far, near, far, near]
+
+
+class TestContactStatistics:
+    def test_oscillating_pair(self):
+        stats = contact_statistics(oscillating_frames(), 2.0)
+        assert stats.pair_count == 1
+        assert stats.pairs_with_contact == 1
+        assert stats.total_contacts == 3       # {0,1}, {4}, {6}
+        assert stats.mean_contact_duration == pytest.approx((2 + 1 + 1) / 3)
+        assert stats.mean_intercontact_time == pytest.approx((2 + 1) / 2)
+        assert stats.contact_pair_fraction == 1.0
+
+    def test_always_in_contact(self):
+        near = np.array([[0.0, 0.0], [1.0, 0.0]])
+        stats = contact_statistics([near] * 5, 2.0)
+        assert stats.total_contacts == 1
+        assert stats.mean_contact_duration == 5.0
+        assert stats.mean_intercontact_time == 0.0
+
+    def test_never_in_contact(self):
+        far = np.array([[0.0, 0.0], [50.0, 0.0]])
+        stats = contact_statistics([far] * 5, 2.0)
+        assert stats.pairs_with_contact == 0
+        assert stats.total_contacts == 0
+        assert stats.contact_pair_fraction == 0.0
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ConfigurationError):
+            contact_statistics([], 1.0)
+
+    def test_single_node(self):
+        stats = contact_statistics([np.array([[0.0, 0.0]])] * 3, 1.0)
+        assert stats.pair_count == 0
+        assert stats.contact_pair_fraction == 0.0
+
+    def test_larger_range_more_contact_pairs(self):
+        region = Region.square(100.0)
+        rng = np.random.default_rng(8)
+        trace = record_trace(
+            DrunkardModel(step_radius=8.0),
+            region.sample_uniform(12, rng),
+            region,
+            steps=40,
+            seed=8,
+        )
+        short = contact_statistics(trace.frames, 10.0)
+        long = contact_statistics(trace.frames, 60.0)
+        assert long.pairs_with_contact >= short.pairs_with_contact
+        assert long.contact_pair_fraction >= short.contact_pair_fraction
+
+
+class TestIntercontactTimes:
+    def test_oscillating_pair(self):
+        gaps = intercontact_times(oscillating_frames(), 2.0)
+        assert gaps == {(0, 1): [2, 1]}
+
+    def test_no_contacts(self):
+        far = np.array([[0.0, 0.0], [50.0, 0.0]])
+        assert intercontact_times([far] * 3, 2.0) == {}
+
+    def test_gap_lengths_bounded_by_trace(self):
+        region = Region.square(100.0)
+        rng = np.random.default_rng(9)
+        trace = record_trace(
+            DrunkardModel(step_radius=10.0),
+            region.sample_uniform(8, rng),
+            region,
+            steps=30,
+            seed=9,
+        )
+        gaps = intercontact_times(trace.frames, 20.0)
+        for pair_gaps in gaps.values():
+            assert all(0 < gap < 30 for gap in pair_gaps)

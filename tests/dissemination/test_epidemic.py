@@ -1,0 +1,134 @@
+"""Tests for repro.dissemination.epidemic."""
+
+import numpy as np
+import pytest
+
+from repro.dissemination.epidemic import (
+    contact_events,
+    simulate_epidemic_dissemination,
+)
+from repro.exceptions import ConfigurationError
+from repro.geometry.region import Region
+from repro.mobility.drunkard import DrunkardModel
+from repro.mobility.stationary import StationaryModel
+from repro.mobility.trace import record_trace
+
+
+def static_frames(positions, steps):
+    return [np.asarray(positions, dtype=float)] * steps
+
+
+class TestValidation:
+    def test_empty_trace(self):
+        with pytest.raises(ConfigurationError):
+            simulate_epidemic_dissemination([], 1.0)
+
+    def test_bad_source(self):
+        frames = static_frames([[0.0, 0.0], [1.0, 0.0]], 2)
+        with pytest.raises(ConfigurationError):
+            simulate_epidemic_dissemination(frames, 1.0, source=5)
+
+    def test_negative_range(self):
+        frames = static_frames([[0.0, 0.0]], 1)
+        with pytest.raises(ConfigurationError):
+            simulate_epidemic_dissemination(frames, -1.0)
+
+    def test_inconsistent_frames(self):
+        frames = [np.zeros((2, 2)), np.zeros((3, 2))]
+        with pytest.raises(ConfigurationError):
+            simulate_epidemic_dissemination(frames, 1.0)
+
+
+class TestStaticNetworks:
+    def test_connected_network_delivers_in_one_step(self):
+        positions = [[0.0, 0.0], [1.0, 0.0], [2.0, 0.0], [3.0, 0.0]]
+        result = simulate_epidemic_dissemination(static_frames(positions, 3), 1.5)
+        assert result.fully_delivered
+        assert result.coverage_by_step[0] == 1.0
+        assert result.steps_to_reach(1.0) == 0
+        assert all(delay == 0 for delay in result.delivery_times)
+
+    def test_disconnected_network_never_delivers_to_far_component(self):
+        positions = [[0.0, 0.0], [1.0, 0.0], [100.0, 0.0]]
+        result = simulate_epidemic_dissemination(static_frames(positions, 5), 2.0)
+        assert not result.fully_delivered
+        assert result.final_coverage == pytest.approx(2 / 3)
+        assert result.delivery_times[2] is None
+        assert result.steps_to_reach(1.0) is None
+
+    def test_source_in_other_component(self):
+        positions = [[0.0, 0.0], [1.0, 0.0], [100.0, 0.0]]
+        result = simulate_epidemic_dissemination(
+            static_frames(positions, 3), 2.0, source=2
+        )
+        assert result.final_coverage == pytest.approx(1 / 3)
+
+    def test_zero_range_only_source_informed(self):
+        positions = [[0.0, 0.0], [5.0, 0.0]]
+        result = simulate_epidemic_dissemination(static_frames(positions, 4), 0.0)
+        assert result.final_coverage == pytest.approx(0.5)
+        assert result.mean_delivery_delay() == 0.0
+
+
+class TestMobileNetworks:
+    def _trace(self, seed=4, steps=120, node_count=15, side=100.0):
+        region = Region.square(side)
+        rng = np.random.default_rng(seed)
+        initial = region.sample_uniform(node_count, rng)
+        return record_trace(
+            DrunkardModel(step_radius=10.0), initial, region, steps=steps, seed=seed
+        )
+
+    def test_mobility_spreads_message_beyond_initial_component(self):
+        trace = self._trace()
+        small_range = 20.0
+        static = simulate_epidemic_dissemination(
+            [trace.positions_at(0)] * trace.step_count, small_range
+        )
+        mobile = simulate_epidemic_dissemination(trace.frames, small_range)
+        # Movement can only help an epidemic: coverage is at least as large.
+        assert mobile.final_coverage >= static.final_coverage
+
+    def test_coverage_monotone_over_time(self):
+        trace = self._trace()
+        result = simulate_epidemic_dissemination(trace.frames, 15.0)
+        coverage = list(result.coverage_by_step)
+        assert coverage == sorted(coverage)
+
+    def test_larger_range_faster_delivery(self):
+        trace = self._trace()
+        slow = simulate_epidemic_dissemination(trace.frames, 12.0)
+        fast = simulate_epidemic_dissemination(trace.frames, 60.0)
+        assert fast.final_coverage >= slow.final_coverage
+        target = 0.8
+        fast_steps = fast.steps_to_reach(target)
+        slow_steps = slow.steps_to_reach(target)
+        if fast_steps is not None and slow_steps is not None:
+            assert fast_steps <= slow_steps
+
+    def test_delivery_times_consistent_with_coverage(self):
+        trace = self._trace()
+        result = simulate_epidemic_dissemination(trace.frames, 18.0)
+        delivered = [d for d in result.delivery_times if d is not None]
+        assert len(delivered) == round(result.final_coverage * result.node_count)
+        assert result.mean_delivery_delay() is not None
+
+
+class TestContactEvents:
+    def test_static_contacts_every_step(self):
+        positions = [[0.0, 0.0], [1.0, 0.0], [50.0, 0.0]]
+        contacts = contact_events(static_frames(positions, 4), 2.0)
+        assert contacts == {(0, 1): [0, 1, 2, 3]}
+
+    def test_contact_count_grows_with_range(self):
+        region = Region.square(100.0)
+        rng = np.random.default_rng(9)
+        initial = region.sample_uniform(10, rng)
+        trace = record_trace(StationaryModel(), initial, region, steps=3, seed=9)
+        few = sum(len(v) for v in contact_events(trace.frames, 10.0).values())
+        many = sum(len(v) for v in contact_events(trace.frames, 60.0).values())
+        assert many >= few
+
+    def test_negative_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            contact_events([np.zeros((2, 2))], -1.0)

@@ -1,0 +1,66 @@
+"""Tests for repro.energy.model."""
+
+import pytest
+
+from repro.energy.model import (
+    EnergyModel,
+    FREE_SPACE_EXPONENT,
+    TWO_RAY_GROUND_EXPONENT,
+    transmission_power,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestTransmissionPower:
+    def test_free_space_square_law(self):
+        assert transmission_power(3.0) == pytest.approx(9.0)
+
+    def test_exponent(self):
+        assert transmission_power(2.0, path_loss_exponent=4.0) == pytest.approx(16.0)
+
+    def test_coefficient(self):
+        assert transmission_power(2.0, coefficient=0.5) == pytest.approx(2.0)
+
+    def test_zero_range(self):
+        assert transmission_power(0.0) == 0.0
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ConfigurationError):
+            transmission_power(-1.0)
+        with pytest.raises(ConfigurationError):
+            transmission_power(1.0, path_loss_exponent=0.5)
+        with pytest.raises(ConfigurationError):
+            transmission_power(1.0, coefficient=0.0)
+
+    def test_exponent_constants(self):
+        assert FREE_SPACE_EXPONENT == 2.0
+        assert TWO_RAY_GROUND_EXPONENT == 4.0
+
+
+class TestEnergyModel:
+    def test_node_power_includes_electronics(self):
+        model = EnergyModel(electronics_power=5.0)
+        assert model.node_power(0.0) == 5.0
+        assert model.node_power(2.0) == pytest.approx(9.0)
+
+    def test_power_ratio(self):
+        model = EnergyModel()
+        assert model.power_ratio(1.0, 2.0) == pytest.approx(0.25)
+
+    def test_power_ratio_zero_denominator(self):
+        model = EnergyModel()
+        with pytest.raises(ConfigurationError):
+            model.power_ratio(1.0, 0.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            EnergyModel(path_loss_exponent=0.0)
+        with pytest.raises(ConfigurationError):
+            EnergyModel(amplifier_coefficient=-1.0)
+        with pytest.raises(ConfigurationError):
+            EnergyModel(electronics_power=-1.0)
+
+    def test_higher_exponent_amplifies_savings(self):
+        free_space = EnergyModel(path_loss_exponent=2.0)
+        two_ray = EnergyModel(path_loss_exponent=4.0)
+        assert two_ray.power_ratio(0.5, 1.0) < free_space.power_ratio(0.5, 1.0)

@@ -1,0 +1,102 @@
+"""Tests for repro.energy.savings."""
+
+import math
+
+import pytest
+
+from repro.energy.model import EnergyModel
+from repro.energy.savings import (
+    energy_savings_fraction,
+    equivalent_lifetime_factor,
+    network_energy,
+    range_reduction_for_savings,
+    savings_table,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestNetworkEnergy:
+    def test_scales_with_nodes(self):
+        assert network_energy(10, 2.0) == pytest.approx(10 * 4.0)
+
+    def test_zero_nodes(self):
+        assert network_energy(0, 5.0) == 0.0
+
+    def test_invalid_node_count(self):
+        with pytest.raises(ConfigurationError):
+            network_energy(-1, 5.0)
+
+
+class TestSavingsFraction:
+    def test_halving_range_saves_75_percent(self):
+        assert energy_savings_fraction(0.5, 1.0) == pytest.approx(0.75)
+
+    def test_no_reduction_no_savings(self):
+        assert energy_savings_fraction(1.0, 1.0) == pytest.approx(0.0)
+
+    def test_paper_scenario_r90(self):
+        # The paper reports r90 is ~35-40% below r100; at alpha=2 that is a
+        # 58-64% transmission-energy saving.
+        saving = energy_savings_fraction(0.62, 1.0)
+        assert 0.55 < saving < 0.65
+
+    def test_negative_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            energy_savings_fraction(-0.1, 1.0)
+
+    def test_zero_reference_rejected(self):
+        with pytest.raises(ConfigurationError):
+            energy_savings_fraction(0.5, 0.0)
+
+    def test_electronics_power_dampens_savings(self):
+        pure = energy_savings_fraction(0.5, 1.0, EnergyModel())
+        with_overhead = energy_savings_fraction(
+            0.5, 1.0, EnergyModel(electronics_power=1.0)
+        )
+        assert with_overhead < pure
+
+
+class TestRangeReduction:
+    def test_inverts_savings(self):
+        ratio = range_reduction_for_savings(0.75)
+        assert ratio == pytest.approx(0.5)
+        assert energy_savings_fraction(ratio, 1.0) == pytest.approx(0.75)
+
+    def test_higher_exponent_needs_smaller_reduction(self):
+        alpha2 = range_reduction_for_savings(0.5, EnergyModel(path_loss_exponent=2.0))
+        alpha4 = range_reduction_for_savings(0.5, EnergyModel(path_loss_exponent=4.0))
+        assert alpha4 > alpha2
+
+    def test_invalid_target(self):
+        with pytest.raises(ConfigurationError):
+            range_reduction_for_savings(1.0)
+
+    def test_rejects_electronics_term(self):
+        with pytest.raises(ConfigurationError):
+            range_reduction_for_savings(0.5, EnergyModel(electronics_power=1.0))
+
+
+class TestSavingsTable:
+    def test_pure_path_loss(self):
+        table = savings_table({"r90": 0.6, "r10": 0.4})
+        assert table["r90"] == pytest.approx(1 - 0.36)
+        assert table["r10"] == pytest.approx(1 - 0.16)
+
+    def test_reference_ratio_gives_zero(self):
+        assert savings_table({"r100": 1.0})["r100"] == pytest.approx(0.0)
+
+    def test_invalid_ratio(self):
+        with pytest.raises(ConfigurationError):
+            savings_table({"bad": -0.5})
+
+    def test_with_electronics_term(self):
+        table = savings_table({"r90": 0.5}, EnergyModel(electronics_power=1.0))
+        assert 0.0 < table["r90"] < 0.75
+
+
+class TestLifetimeFactor:
+    def test_halving_range_quadruples_lifetime(self):
+        assert equivalent_lifetime_factor(0.5, 1.0) == pytest.approx(4.0)
+
+    def test_zero_reduced_power_is_infinite(self):
+        assert math.isinf(equivalent_lifetime_factor(0.0, 1.0))

@@ -1,0 +1,51 @@
+"""Tests for repro.experiments.io."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.experiments.io import load_sweep, save_sweep
+from repro.simulation.sweep import SweepResult
+
+
+@pytest.fixture
+def sweep():
+    return SweepResult(
+        parameter_name="l",
+        rows=[
+            {"l": 256.0, "r100": 1.2, "r90": 0.8},
+            {"l": 1024.0, "r100": 1.25, "r90": 0.82},
+        ],
+    )
+
+
+class TestJsonRoundTrip:
+    def test_round_trip(self, sweep, tmp_path):
+        path = save_sweep(sweep, tmp_path / "result.json", metadata={"scale": "smoke"})
+        loaded = load_sweep(path)
+        assert loaded.parameter_name == "l"
+        assert loaded.rows == sweep.rows
+
+    def test_creates_parent_directories(self, sweep, tmp_path):
+        path = save_sweep(sweep, tmp_path / "nested" / "dir" / "result.json")
+        assert path.exists()
+
+
+class TestCsvRoundTrip:
+    def test_round_trip(self, sweep, tmp_path):
+        path = save_sweep(sweep, tmp_path / "result.csv")
+        loaded = load_sweep(path)
+        assert loaded.parameter_name == "l"
+        assert loaded.series("r100") == pytest.approx([1.2, 1.25])
+
+    def test_empty_sweep(self, tmp_path):
+        empty = SweepResult(parameter_name="x", rows=[])
+        path = save_sweep(empty, tmp_path / "empty.csv")
+        assert path.read_text() == ""
+
+
+class TestErrors:
+    def test_unsupported_format(self, sweep, tmp_path):
+        with pytest.raises(ConfigurationError):
+            save_sweep(sweep, tmp_path / "result.xlsx")
+        with pytest.raises(ConfigurationError):
+            load_sweep(tmp_path / "result.parquet")

@@ -1,0 +1,86 @@
+"""Tests for repro.experiments.report."""
+
+import pytest
+
+from repro.experiments.report import (
+    ascii_chart,
+    compare_to_paper,
+    format_table,
+    render_sweep,
+)
+from repro.simulation.sweep import SweepResult
+
+
+class TestFormatTable:
+    def test_contains_headers_and_values(self):
+        rows = [{"l": 256.0, "ratio": 1.21}, {"l": 1024.0, "ratio": 1.18}]
+        table = format_table(rows)
+        assert "l" in table and "ratio" in table
+        assert "256" in table and "1.21" in table
+
+    def test_column_selection(self):
+        rows = [{"a": 1.0, "b": 2.0}]
+        table = format_table(rows, columns=["b"])
+        assert "b" in table
+        assert "a" not in table.splitlines()[0]
+
+    def test_empty_rows(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_missing_values_rendered_blank(self):
+        rows = [{"a": 1.0}, {"a": 2.0, "b": 3.0}]
+        table = format_table(rows, columns=["a", "b"])
+        assert table.count("\n") == 3  # header, separator, two rows
+
+    def test_non_float_values(self):
+        table = format_table([{"name": "fig2", "value": 1.5}])
+        assert "fig2" in table
+
+
+class TestRenderSweep:
+    def test_title_rendered(self):
+        sweep = SweepResult(parameter_name="l", rows=[{"l": 1.0, "y": 2.0}])
+        rendered = render_sweep(sweep, title="Figure 2")
+        assert rendered.startswith("Figure 2")
+        assert "=" in rendered
+
+    def test_without_title(self):
+        sweep = SweepResult(parameter_name="l", rows=[{"l": 1.0, "y": 2.0}])
+        assert "l" in render_sweep(sweep)
+
+
+class TestAsciiChart:
+    def test_bar_lengths_proportional(self):
+        chart = ascii_chart([1.0, 2.0], labels=["a", "b"], width=10)
+        lines = chart.splitlines()
+        assert lines[1].count("#") == 10
+        assert lines[0].count("#") == 5
+
+    def test_zero_values(self):
+        chart = ascii_chart([0.0, 0.0])
+        assert "#" not in chart
+
+    def test_empty(self):
+        assert ascii_chart([]) == "(no data)"
+
+    def test_label_mismatch(self):
+        with pytest.raises(ValueError):
+            ascii_chart([1.0], labels=["a", "b"])
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            ascii_chart([1.0], width=0)
+
+
+class TestCompareToPaper:
+    def test_flags_large_deviation(self):
+        report = compare_to_paper({"r100": 2.0}, {"r100": 1.2}, tolerance=0.3)
+        assert "off" in report
+
+    def test_accepts_close_values(self):
+        report = compare_to_paper({"r100": 1.25}, {"r100": 1.2}, tolerance=0.3)
+        assert "ok" in report
+
+    def test_missing_measurement(self):
+        report = compare_to_paper({}, {"r100": 1.2})
+        assert "nan" in report or "off" in report

@@ -1,0 +1,77 @@
+"""Tests for repro.geometry.kdtree."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.kdtree import KDTree
+
+
+class TestQueryRadius:
+    def test_matches_brute_force(self, small_placement):
+        tree = KDTree(small_placement)
+        radius = 25.0
+        for node in range(small_placement.shape[0]):
+            found = set(tree.query_radius(small_placement[node], radius))
+            distances = np.linalg.norm(small_placement - small_placement[node], axis=1)
+            expected = set(np.nonzero(distances <= radius)[0])
+            assert found == expected
+
+    def test_zero_radius_finds_the_point_itself(self):
+        points = np.array([[1.0, 1.0], [2.0, 2.0]])
+        tree = KDTree(points)
+        assert tree.query_radius([1.0, 1.0], 0.0) == [0]
+
+    def test_negative_radius_raises(self):
+        tree = KDTree(np.array([[0.0, 0.0]]))
+        with pytest.raises(ValueError):
+            tree.query_radius([0.0, 0.0], -1.0)
+
+    def test_empty_tree(self):
+        tree = KDTree(np.empty((0, 2)))
+        assert tree.query_radius([0.0, 0.0], 10.0) == []
+        assert len(tree) == 0
+
+
+class TestQueryKnn:
+    def test_matches_brute_force(self, small_placement):
+        tree = KDTree(small_placement)
+        k = 5
+        for node in range(small_placement.shape[0]):
+            neighbors = tree.query_knn(small_placement[node], k, exclude=node)
+            found = [index for index, _ in neighbors]
+            distances = np.linalg.norm(small_placement - small_placement[node], axis=1)
+            distances[node] = np.inf
+            expected = list(np.argsort(distances)[:k])
+            assert set(found) == set(int(i) for i in expected)
+
+    def test_distances_sorted_ascending(self, small_placement):
+        tree = KDTree(small_placement)
+        neighbors = tree.query_knn(small_placement[0], 8, exclude=0)
+        distances = [distance for _, distance in neighbors]
+        assert distances == sorted(distances)
+
+    def test_k_larger_than_points(self):
+        points = np.array([[0.0, 0.0], [1.0, 0.0], [2.0, 0.0]])
+        tree = KDTree(points)
+        neighbors = tree.query_knn([0.0, 0.0], 10)
+        assert len(neighbors) == 3
+
+    def test_exclude(self):
+        points = np.array([[0.0, 0.0], [1.0, 0.0]])
+        tree = KDTree(points)
+        neighbors = tree.query_knn(points[0], 1, exclude=0)
+        assert neighbors[0][0] == 1
+
+    def test_invalid_k(self):
+        tree = KDTree(np.array([[0.0, 0.0]]))
+        with pytest.raises(ValueError):
+            tree.query_knn([0.0, 0.0], 0)
+
+    def test_1d_points(self, rng):
+        points = rng.uniform(0, 100, size=(50, 1))
+        tree = KDTree(points)
+        neighbors = tree.query_knn(points[10], 3, exclude=10)
+        distances = np.abs(points[:, 0] - points[10, 0])
+        distances[10] = np.inf
+        expected_nearest = int(np.argmin(distances))
+        assert neighbors[0][0] == expected_nearest

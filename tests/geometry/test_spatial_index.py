@@ -1,0 +1,95 @@
+"""Tests for repro.geometry.spatial_index."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.geometry.distance import pairwise_distances
+from repro.geometry.spatial_index import GridIndex
+
+
+def brute_force_pairs(points: np.ndarray, radius: float):
+    distances = pairwise_distances(points)
+    n = points.shape[0]
+    return {
+        (i, j)
+        for i in range(n)
+        for j in range(i + 1, n)
+        if distances[i, j] <= radius
+    }
+
+
+class TestConstruction:
+    def test_invalid_cell_size(self):
+        with pytest.raises(ConfigurationError):
+            GridIndex(np.array([[0.0, 0.0]]), cell_size=0.0)
+
+    def test_len(self, small_placement):
+        index = GridIndex(small_placement, cell_size=10.0)
+        assert len(index) == small_placement.shape[0]
+
+    def test_empty_input(self):
+        index = GridIndex(np.empty((0, 2)), cell_size=1.0)
+        assert len(index) == 0
+        assert index.neighbor_pairs(1.0) == []
+
+    def test_cell_of(self):
+        index = GridIndex(np.array([[0.5, 0.5]]), cell_size=1.0)
+        assert index.cell_of([2.3, 0.1]) == (2, 0)
+        assert index.cell_of([0.0, 0.0]) == (0, 0)
+
+
+class TestQueryRadius:
+    def test_matches_brute_force(self, small_placement):
+        radius = 20.0
+        index = GridIndex(small_placement, cell_size=radius)
+        for node in range(small_placement.shape[0]):
+            found = set(index.query_radius(small_placement[node], radius))
+            distances = np.linalg.norm(small_placement - small_placement[node], axis=1)
+            expected = set(np.nonzero(distances <= radius)[0])
+            assert found == expected
+
+    def test_negative_radius_raises(self, small_placement):
+        index = GridIndex(small_placement, cell_size=5.0)
+        with pytest.raises(ConfigurationError):
+            index.query_radius(small_placement[0], -1.0)
+
+    def test_query_far_from_points(self, small_placement):
+        index = GridIndex(small_placement, cell_size=5.0)
+        assert index.query_radius([1e6, 1e6], 5.0) == []
+
+
+class TestNeighborPairs:
+    @pytest.mark.parametrize("radius", [5.0, 15.0, 40.0])
+    def test_matches_brute_force(self, small_placement, radius):
+        index = GridIndex(small_placement, cell_size=radius)
+        pairs = set(index.neighbor_pairs(radius))
+        assert pairs == brute_force_pairs(small_placement, radius)
+
+    def test_cell_size_smaller_than_radius(self, small_placement):
+        radius = 25.0
+        index = GridIndex(small_placement, cell_size=10.0)
+        pairs = set(index.neighbor_pairs(radius))
+        assert pairs == brute_force_pairs(small_placement, radius)
+
+    def test_pairs_are_ordered(self, small_placement):
+        index = GridIndex(small_placement, cell_size=10.0)
+        for u, v in index.neighbor_pairs(10.0):
+            assert u < v
+
+    def test_no_duplicates(self, small_placement):
+        index = GridIndex(small_placement, cell_size=10.0)
+        pairs = index.neighbor_pairs(10.0)
+        assert len(pairs) == len(set(pairs))
+
+    def test_one_dimensional_points(self, rng):
+        points = rng.uniform(0.0, 100.0, size=(40, 1))
+        index = GridIndex(points, cell_size=7.0)
+        pairs = set(index.neighbor_pairs(7.0))
+        assert pairs == brute_force_pairs(points, 7.0)
+
+    def test_three_dimensional_points(self, rng):
+        points = rng.uniform(0.0, 20.0, size=(30, 3))
+        index = GridIndex(points, cell_size=4.0)
+        pairs = set(index.neighbor_pairs(4.0))
+        assert pairs == brute_force_pairs(points, 4.0)

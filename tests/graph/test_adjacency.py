@@ -1,0 +1,114 @@
+"""Tests for repro.graph.adjacency."""
+
+import numpy as np
+import pytest
+
+from repro.graph.adjacency import CommunicationGraph
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        graph = CommunicationGraph(0)
+        assert graph.node_count == 0
+        assert graph.edge_count == 0
+
+    def test_with_edges(self):
+        graph = CommunicationGraph(4, edges=[(0, 1), (1, 2)])
+        assert graph.edge_count == 2
+        assert graph.has_edge(0, 1)
+        assert graph.has_edge(2, 1)
+        assert not graph.has_edge(0, 3)
+
+    def test_negative_node_count(self):
+        with pytest.raises(ValueError):
+            CommunicationGraph(-1)
+
+    def test_positions_length_mismatch(self):
+        with pytest.raises(ValueError):
+            CommunicationGraph(3, positions=np.zeros((2, 2)))
+
+    def test_positions_stored(self):
+        positions = np.array([[0.0, 0.0], [1.0, 1.0]])
+        graph = CommunicationGraph(2, positions=positions, transmitting_range=2.0)
+        assert np.allclose(graph.positions, positions)
+        assert graph.transmitting_range == 2.0
+
+
+class TestEdges:
+    def test_self_loop_ignored(self):
+        graph = CommunicationGraph(3)
+        graph.add_edge(1, 1)
+        assert graph.edge_count == 0
+
+    def test_duplicate_edges_collapsed(self):
+        graph = CommunicationGraph(3, edges=[(0, 1), (1, 0), (0, 1)])
+        assert graph.edge_count == 1
+
+    def test_out_of_range_node(self):
+        graph = CommunicationGraph(3)
+        with pytest.raises(IndexError):
+            graph.add_edge(0, 3)
+
+    def test_remove_edge(self):
+        graph = CommunicationGraph(3, edges=[(0, 1)])
+        graph.remove_edge(1, 0)
+        assert graph.edge_count == 0
+        assert graph.degree(0) == 0
+
+    def test_remove_missing_edge_is_noop(self):
+        graph = CommunicationGraph(3, edges=[(0, 1)])
+        graph.remove_edge(0, 2)
+        assert graph.edge_count == 1
+
+    def test_edges_sorted(self):
+        graph = CommunicationGraph(4, edges=[(3, 2), (1, 0)])
+        assert graph.edges() == [(0, 1), (2, 3)]
+
+
+class TestDegreesAndNeighbors:
+    def test_degree(self):
+        graph = CommunicationGraph(4, edges=[(0, 1), (0, 2), (0, 3)])
+        assert graph.degree(0) == 3
+        assert graph.degree(1) == 1
+
+    def test_degrees_list(self):
+        graph = CommunicationGraph(3, edges=[(0, 1)])
+        assert graph.degrees() == [1, 1, 0]
+
+    def test_neighbors_is_copy(self):
+        graph = CommunicationGraph(3, edges=[(0, 1)])
+        neighbors = graph.neighbors(0)
+        neighbors.add(2)
+        assert graph.degree(0) == 1
+
+    def test_adjacency_matrix(self):
+        graph = CommunicationGraph(3, edges=[(0, 2)])
+        matrix = graph.adjacency_matrix()
+        assert matrix[0, 2] and matrix[2, 0]
+        assert not matrix[0, 1]
+        assert not matrix.diagonal().any()
+
+
+class TestSubgraphAndCopy:
+    def test_subgraph_relabels(self):
+        graph = CommunicationGraph(5, edges=[(0, 1), (1, 4), (2, 3)])
+        sub = graph.subgraph([1, 4])
+        assert sub.node_count == 2
+        assert sub.has_edge(0, 1)
+
+    def test_subgraph_keeps_positions(self):
+        positions = np.arange(10.0).reshape(5, 2)
+        graph = CommunicationGraph(5, positions=positions)
+        sub = graph.subgraph([2, 4])
+        assert np.allclose(sub.positions, positions[[2, 4]])
+
+    def test_copy_is_independent(self):
+        graph = CommunicationGraph(3, edges=[(0, 1)])
+        clone = graph.copy()
+        clone.add_edge(1, 2)
+        assert graph.edge_count == 1
+        assert clone.edge_count == 2
+
+    def test_iteration(self):
+        graph = CommunicationGraph(4)
+        assert list(graph) == [0, 1, 2, 3]

@@ -1,0 +1,87 @@
+"""Tests for repro.graph.builder."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.graph.builder import (
+    adjacency_from_pairs,
+    build_communication_graph,
+    neighbor_pairs,
+)
+
+
+class TestNeighborPairs:
+    def test_simple_line(self):
+        points = np.array([[0.0], [1.0], [3.0]])
+        assert neighbor_pairs(points, 1.5) == [(0, 1)]
+        assert neighbor_pairs(points, 2.0) == [(0, 1), (1, 2)]
+        assert neighbor_pairs(points, 3.0) == [(0, 1), (0, 2), (1, 2)]
+
+    def test_zero_range(self, small_placement):
+        assert neighbor_pairs(small_placement, 0.0) == []
+
+    def test_negative_range_raises(self, small_placement):
+        with pytest.raises(ConfigurationError):
+            neighbor_pairs(small_placement, -1.0)
+
+    def test_single_node(self):
+        assert neighbor_pairs(np.array([[1.0, 1.0]]), 10.0) == []
+
+    def test_brute_and_grid_agree(self, rng):
+        points = rng.uniform(0, 500, size=(250, 2))
+        radius = 40.0
+        brute = neighbor_pairs(points, radius, method="brute")
+        grid = neighbor_pairs(points, radius, method="grid")
+        assert brute == grid
+
+    def test_brute_and_grid_agree_1d(self, rng):
+        points = rng.uniform(0, 1000, size=(300, 1))
+        radius = 12.0
+        assert neighbor_pairs(points, radius, method="brute") == neighbor_pairs(
+            points, radius, method="grid"
+        )
+
+    def test_unknown_method(self, small_placement):
+        with pytest.raises(ConfigurationError):
+            neighbor_pairs(small_placement, 5.0, method="quadtree")
+
+    def test_boundary_inclusive(self):
+        points = np.array([[0.0, 0.0], [3.0, 4.0]])
+        assert neighbor_pairs(points, 5.0) == [(0, 1)]
+        assert neighbor_pairs(points, 4.999) == []
+
+
+class TestBuildCommunicationGraph:
+    def test_graph_metadata(self, small_placement):
+        graph = build_communication_graph(small_placement, 20.0)
+        assert graph.node_count == small_placement.shape[0]
+        assert graph.transmitting_range == 20.0
+        assert np.allclose(graph.positions, small_placement)
+
+    def test_larger_range_superset_edges(self, small_placement):
+        small = set(build_communication_graph(small_placement, 10.0).edges())
+        large = set(build_communication_graph(small_placement, 30.0).edges())
+        assert small <= large
+
+    def test_full_range_gives_complete_graph(self, small_placement):
+        n = small_placement.shape[0]
+        graph = build_communication_graph(small_placement, 1e6)
+        assert graph.edge_count == n * (n - 1) // 2
+
+    def test_matches_networkx_random_geometric_semantics(self, rng):
+        networkx = pytest.importorskip("networkx")
+        points = rng.uniform(0, 1, size=(40, 2))
+        radius = 0.25
+        graph = build_communication_graph(points, radius)
+        positions = {i: tuple(points[i]) for i in range(40)}
+        reference = networkx.random_geometric_graph(40, radius, pos=positions)
+        assert set(graph.edges()) == {tuple(sorted(e)) for e in reference.edges()}
+
+
+class TestAdjacencyFromPairs:
+    def test_basic(self):
+        adjacency = adjacency_from_pairs(4, [(0, 1), (1, 2)])
+        assert adjacency[0] == [1]
+        assert sorted(adjacency[1]) == [0, 2]
+        assert adjacency[3] == []

@@ -1,0 +1,54 @@
+"""Tests for repro.graph.convert (requires networkx)."""
+
+import numpy as np
+import pytest
+
+networkx = pytest.importorskip("networkx")
+
+from repro.graph.adjacency import CommunicationGraph
+from repro.graph.builder import build_communication_graph
+from repro.graph.components import is_connected
+from repro.graph.convert import from_networkx, to_networkx
+
+
+class TestToNetworkx:
+    def test_nodes_and_edges_preserved(self):
+        graph = CommunicationGraph(4, edges=[(0, 1), (2, 3)])
+        nx_graph = to_networkx(graph)
+        assert set(nx_graph.nodes()) == {0, 1, 2, 3}
+        assert {tuple(sorted(e)) for e in nx_graph.edges()} == {(0, 1), (2, 3)}
+
+    def test_positions_attached(self, small_placement):
+        graph = build_communication_graph(small_placement, 10.0)
+        nx_graph = to_networkx(graph)
+        assert np.allclose(nx_graph.nodes[0]["pos"], small_placement[0])
+
+    def test_connectivity_agrees(self, small_placement):
+        for radius in (5.0, 20.0, 60.0):
+            graph = build_communication_graph(small_placement, radius)
+            assert is_connected(graph) == networkx.is_connected(to_networkx(graph)) or (
+                graph.node_count == 0
+            )
+
+
+class TestFromNetworkx:
+    def test_round_trip(self):
+        original = CommunicationGraph(5, edges=[(0, 1), (1, 2), (3, 4)])
+        recovered = from_networkx(to_networkx(original))
+        assert recovered.edges() == original.edges()
+        assert recovered.node_count == original.node_count
+
+    def test_rejects_non_contiguous_labels(self):
+        nx_graph = networkx.Graph()
+        nx_graph.add_edge("a", "b")
+        with pytest.raises(ValueError):
+            from_networkx(nx_graph)
+
+    def test_component_counts_match(self, small_placement):
+        graph = build_communication_graph(small_placement, 12.0)
+        nx_graph = to_networkx(graph)
+        from repro.graph.components import connected_components
+
+        assert len(connected_components(graph)) == networkx.number_connected_components(
+            nx_graph
+        )

@@ -1,0 +1,124 @@
+"""Tests for repro.graph.properties."""
+
+import pytest
+
+from repro.graph.adjacency import CommunicationGraph
+from repro.graph.properties import (
+    articulation_points,
+    degree_sequence,
+    degree_statistics,
+    has_isolated_node,
+    is_k_connected,
+    isolated_nodes,
+    minimum_degree,
+)
+
+
+def path_graph(n: int) -> CommunicationGraph:
+    return CommunicationGraph(n, edges=[(i, i + 1) for i in range(n - 1)])
+
+
+def cycle_graph(n: int) -> CommunicationGraph:
+    edges = [(i, (i + 1) % n) for i in range(n)]
+    return CommunicationGraph(n, edges=edges)
+
+
+def complete_graph(n: int) -> CommunicationGraph:
+    edges = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    return CommunicationGraph(n, edges=edges)
+
+
+class TestIsolation:
+    def test_isolated_nodes(self):
+        graph = CommunicationGraph(4, edges=[(0, 1)])
+        assert isolated_nodes(graph) == [2, 3]
+        assert has_isolated_node(graph)
+
+    def test_no_isolated_nodes(self):
+        assert not has_isolated_node(path_graph(4))
+        assert isolated_nodes(path_graph(4)) == []
+
+    def test_single_node_not_isolated(self):
+        # For n < 2 isolation does not imply disconnection.
+        assert not has_isolated_node(CommunicationGraph(1))
+
+
+class TestDegrees:
+    def test_degree_sequence_sorted(self):
+        graph = CommunicationGraph(4, edges=[(0, 1), (0, 2), (0, 3)])
+        assert degree_sequence(graph) == [3, 1, 1, 1]
+
+    def test_minimum_degree(self):
+        graph = CommunicationGraph(4, edges=[(0, 1), (1, 2), (2, 3)])
+        assert minimum_degree(graph) == 1
+        assert minimum_degree(CommunicationGraph(0)) == 0
+
+    def test_degree_statistics(self):
+        stats = degree_statistics(path_graph(4))
+        assert stats.minimum == 1
+        assert stats.maximum == 2
+        assert stats.mean == pytest.approx(1.5)
+
+    def test_degree_statistics_empty(self):
+        stats = degree_statistics(CommunicationGraph(0))
+        assert stats.minimum == 0 and stats.maximum == 0 and stats.mean == 0.0
+
+
+class TestArticulationPoints:
+    def test_path_interior_nodes(self):
+        assert articulation_points(path_graph(5)) == [1, 2, 3]
+
+    def test_cycle_has_none(self):
+        assert articulation_points(cycle_graph(6)) == []
+
+    def test_bridge_node(self):
+        # Two triangles joined at node 2.
+        graph = CommunicationGraph(
+            5, edges=[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)]
+        )
+        assert articulation_points(graph) == [2]
+
+    def test_star_center(self):
+        graph = CommunicationGraph(5, edges=[(0, i) for i in range(1, 5)])
+        assert articulation_points(graph) == [0]
+
+    def test_disconnected_graph(self):
+        graph = CommunicationGraph(6, edges=[(0, 1), (1, 2), (3, 4), (4, 5)])
+        assert articulation_points(graph) == [1, 4]
+
+    def test_matches_networkx(self, small_placement):
+        networkx = pytest.importorskip("networkx")
+        from repro.graph.builder import build_communication_graph
+        from repro.graph.convert import to_networkx
+
+        graph = build_communication_graph(small_placement, 25.0)
+        ours = set(articulation_points(graph))
+        theirs = set(networkx.articulation_points(to_networkx(graph)))
+        assert ours == theirs
+
+
+class TestKConnectivity:
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            is_k_connected(path_graph(3), 0)
+
+    def test_1_connected_is_connectivity(self):
+        assert is_k_connected(path_graph(4), 1)
+        assert not is_k_connected(CommunicationGraph(4, edges=[(0, 1)]), 1)
+
+    def test_path_not_2_connected(self):
+        assert not is_k_connected(path_graph(4), 2)
+
+    def test_cycle_is_2_connected(self):
+        assert is_k_connected(cycle_graph(5), 2)
+
+    def test_cycle_not_3_connected(self):
+        assert not is_k_connected(cycle_graph(6), 3)
+
+    def test_complete_graph_highly_connected(self):
+        assert is_k_connected(complete_graph(5), 3)
+        assert is_k_connected(complete_graph(5), 4)
+
+    def test_too_few_nodes(self):
+        assert not is_k_connected(complete_graph(3), 3)
+        assert is_k_connected(complete_graph(4), 3)

@@ -1,0 +1,98 @@
+"""Tests for repro.graph.traversal."""
+
+import pytest
+
+from repro.graph.adjacency import CommunicationGraph
+from repro.graph.traversal import (
+    bfs_order,
+    bfs_tree,
+    components_by_bfs,
+    hop_counts,
+    shortest_hop_path,
+)
+
+
+def path_graph(n: int) -> CommunicationGraph:
+    return CommunicationGraph(n, edges=[(i, i + 1) for i in range(n - 1)])
+
+
+class TestBfsOrder:
+    def test_visits_reachable_nodes(self):
+        graph = path_graph(5)
+        assert sorted(bfs_order(graph, 0)) == [0, 1, 2, 3, 4]
+
+    def test_starts_at_source(self):
+        graph = path_graph(5)
+        assert bfs_order(graph, 2)[0] == 2
+
+    def test_unreachable_nodes_excluded(self):
+        graph = CommunicationGraph(4, edges=[(0, 1)])
+        assert sorted(bfs_order(graph, 0)) == [0, 1]
+
+    def test_invalid_source(self):
+        with pytest.raises(IndexError):
+            bfs_order(path_graph(3), 5)
+
+
+class TestBfsTree:
+    def test_root_has_no_parent(self):
+        parents = bfs_tree(path_graph(4), 0)
+        assert parents[0] is None
+
+    def test_parents_are_closer_to_root(self):
+        graph = path_graph(5)
+        parents = bfs_tree(graph, 0)
+        distances = hop_counts(graph, 0)
+        for node, parent in parents.items():
+            if parent is not None:
+                assert distances[parent] == distances[node] - 1
+
+
+class TestHopCounts:
+    def test_path_distances(self):
+        graph = path_graph(5)
+        assert hop_counts(graph, 0) == [0, 1, 2, 3, 4]
+
+    def test_unreachable_is_none(self):
+        graph = CommunicationGraph(3, edges=[(0, 1)])
+        assert hop_counts(graph, 0)[2] is None
+
+    def test_star_graph(self):
+        graph = CommunicationGraph(5, edges=[(0, i) for i in range(1, 5)])
+        distances = hop_counts(graph, 1)
+        assert distances[0] == 1
+        assert distances[2] == 2
+
+
+class TestShortestHopPath:
+    def test_path_endpoints(self):
+        graph = path_graph(6)
+        path = shortest_hop_path(graph, 0, 5)
+        assert path[0] == 0
+        assert path[-1] == 5
+        assert len(path) == 6
+
+    def test_consecutive_nodes_adjacent(self):
+        graph = CommunicationGraph(
+            6, edges=[(0, 1), (1, 2), (2, 5), (0, 3), (3, 4), (4, 5)]
+        )
+        path = shortest_hop_path(graph, 0, 5)
+        for a, b in zip(path, path[1:]):
+            assert graph.has_edge(a, b)
+        assert len(path) == 4  # 0-1-2-5 or 0-3-4-5
+
+    def test_same_node(self):
+        assert shortest_hop_path(path_graph(3), 1, 1) == [1]
+
+    def test_unreachable(self):
+        graph = CommunicationGraph(4, edges=[(0, 1), (2, 3)])
+        assert shortest_hop_path(graph, 0, 3) is None
+
+
+class TestComponentsByBfs:
+    def test_partition(self):
+        graph = CommunicationGraph(6, edges=[(0, 1), (2, 3), (3, 4)])
+        components = components_by_bfs(graph)
+        flattened = sorted(node for component in components for node in component)
+        assert flattened == list(range(6))
+        assert sorted(len(c) for c in components) == [1, 2, 3]

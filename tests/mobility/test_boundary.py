@@ -1,0 +1,40 @@
+"""Tests for repro.mobility.boundary."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.region import Region
+from repro.mobility.boundary import BoundaryPolicy
+
+
+class TestBoundaryPolicy:
+    def test_clamp(self):
+        region = Region.square(10.0)
+        out = np.array([[12.0, -3.0]])
+        assert np.allclose(BoundaryPolicy.CLAMP.apply(region, out), [[10.0, 0.0]])
+
+    def test_reflect(self):
+        region = Region.square(10.0)
+        out = np.array([[12.0, -3.0]])
+        assert np.allclose(BoundaryPolicy.REFLECT.apply(region, out), [[8.0, 3.0]])
+
+    def test_wrap(self):
+        region = Region.square(10.0)
+        out = np.array([[12.0, -3.0]])
+        assert np.allclose(BoundaryPolicy.WRAP.apply(region, out), [[2.0, 7.0]])
+
+    def test_all_policies_produce_points_in_region(self, rng):
+        region = Region.square(10.0)
+        wild = rng.uniform(-50.0, 60.0, size=(100, 2))
+        for policy in BoundaryPolicy:
+            corrected = policy.apply(region, wild)
+            assert region.contains(corrected)
+
+    def test_from_name(self):
+        assert BoundaryPolicy.from_name("clamp") is BoundaryPolicy.CLAMP
+        assert BoundaryPolicy.from_name("REFLECT") is BoundaryPolicy.REFLECT
+        assert BoundaryPolicy.from_name("Wrap") is BoundaryPolicy.WRAP
+
+    def test_from_name_invalid(self):
+        with pytest.raises(ValueError):
+            BoundaryPolicy.from_name("bounce")

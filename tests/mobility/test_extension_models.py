@@ -1,0 +1,120 @@
+"""Tests for the extension mobility models (random direction, Gauss-Markov)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.mobility.gauss_markov import GaussMarkovModel
+from repro.mobility.random_direction import RandomDirectionModel
+
+
+class TestRandomDirection:
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            RandomDirectionModel(speed=0.0)
+        with pytest.raises(ConfigurationError):
+            RandomDirectionModel(speed=1.0, travel_steps=0)
+        with pytest.raises(ConfigurationError):
+            RandomDirectionModel(speed=1.0, tpause=-2)
+
+    def test_stays_in_region(self, square_region):
+        rng = np.random.default_rng(21)
+        model = RandomDirectionModel(speed=7.0, travel_steps=20, tpause=1)
+        model.initialize(square_region.sample_uniform(20, rng), square_region, rng)
+        for _ in range(100):
+            assert square_region.contains(model.step(rng))
+
+    def test_constant_speed_while_travelling(self, square_region):
+        rng = np.random.default_rng(22)
+        speed = 2.5
+        model = RandomDirectionModel(speed=speed, travel_steps=1000, tpause=0)
+        previous = model.initialize(
+            square_region.sample_uniform(10, rng), square_region, rng
+        )
+        for _ in range(20):
+            current = model.step(rng)
+            jumps = np.linalg.norm(current - previous, axis=1)
+            # Reflection can shorten the apparent displacement but never
+            # lengthen it beyond the speed.
+            assert np.all(jumps <= speed + 1e-9)
+            previous = current
+
+    def test_nodes_move(self, square_region):
+        rng = np.random.default_rng(23)
+        model = RandomDirectionModel(speed=5.0, travel_steps=50)
+        initial = model.initialize(
+            square_region.sample_uniform(10, rng), square_region, rng
+        )
+        final = model.run(30, rng)
+        assert np.all(np.linalg.norm(final - initial, axis=1) > 0.0)
+
+    def test_describe(self):
+        assert "RandomDirectionModel" in RandomDirectionModel().describe()
+
+
+class TestGaussMarkov:
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            GaussMarkovModel(mean_speed=-1.0)
+        with pytest.raises(ConfigurationError):
+            GaussMarkovModel(alpha=1.2)
+        with pytest.raises(ConfigurationError):
+            GaussMarkovModel(noise_std=-0.5)
+
+    def test_stays_in_region(self, square_region):
+        rng = np.random.default_rng(31)
+        model = GaussMarkovModel(mean_speed=3.0, alpha=0.7, noise_std=1.0)
+        model.initialize(square_region.sample_uniform(20, rng), square_region, rng)
+        for _ in range(100):
+            assert square_region.contains(model.step(rng))
+
+    def test_alpha_one_gives_straight_lines(self, square_region):
+        rng = np.random.default_rng(32)
+        model = GaussMarkovModel(mean_speed=1.0, alpha=1.0, noise_std=5.0)
+        previous = model.initialize(
+            square_region.sample_uniform(5, rng), square_region, rng
+        )
+        first_step = model.step(rng) - previous
+        second_step = model.step(rng) - (previous + first_step)
+        # Away from walls, consecutive displacements are identical when alpha=1.
+        interior = np.all(
+            (previous > 10) & (previous < square_region.side - 10), axis=1
+        )
+        if interior.any():
+            assert np.allclose(first_step[interior], second_step[interior], atol=1e-6)
+
+    def test_nodes_move(self, square_region):
+        rng = np.random.default_rng(33)
+        model = GaussMarkovModel(mean_speed=2.0, alpha=0.5, noise_std=0.5)
+        initial = model.initialize(
+            square_region.sample_uniform(10, rng), square_region, rng
+        )
+        final = model.run(40, rng)
+        assert np.linalg.norm(final - initial, axis=1).mean() > 0.0
+
+    def test_describe(self):
+        assert "GaussMarkovModel" in GaussMarkovModel().describe()
+
+
+class TestModelByName:
+    def test_all_registered_names(self):
+        from repro.mobility import model_by_name
+
+        for name in ["stationary", "waypoint", "drunkard", "random-direction", "gauss-markov"]:
+            model = model_by_name(name) if name != "waypoint" else model_by_name(
+                name, vmin=0.1, vmax=1.0
+            )
+            assert model is not None
+
+    def test_unknown_name(self):
+        from repro.mobility import model_by_name
+
+        with pytest.raises(ConfigurationError):
+            model_by_name("levy-flight")
+
+    def test_parameters_forwarded(self):
+        from repro.mobility import model_by_name
+
+        model = model_by_name("drunkard", step_radius=9.0, ppause=0.4)
+        assert model.step_radius == 9.0
+        assert model.ppause == 0.4

@@ -1,0 +1,96 @@
+"""Tests for repro.mobility.group (reference-point group mobility)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.geometry.region import Region
+from repro.mobility.group import ReferencePointGroupModel
+
+
+class TestConstruction:
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            ReferencePointGroupModel(group_count=0)
+        with pytest.raises(ConfigurationError):
+            ReferencePointGroupModel(member_radius=0.0)
+
+    def test_registered_by_name(self):
+        from repro.mobility import model_by_name
+
+        model = model_by_name("rpgm", group_count=3, vmin=0.5, vmax=2.0)
+        assert isinstance(model, ReferencePointGroupModel)
+        assert model.group_count == 3
+
+    def test_describe(self):
+        assert "ReferencePointGroupModel" in ReferencePointGroupModel().describe()
+
+
+class TestMovement:
+    def _model(self, **kwargs):
+        defaults = dict(group_count=3, vmin=1.0, vmax=5.0, tpause=0, member_radius=8.0)
+        defaults.update(kwargs)
+        return ReferencePointGroupModel(**defaults)
+
+    def test_positions_stay_in_region(self, square_region):
+        rng = np.random.default_rng(41)
+        model = self._model()
+        model.initialize(square_region.sample_uniform(24, rng), square_region, rng)
+        for _ in range(80):
+            assert square_region.contains(model.step(rng))
+
+    def test_group_assignment_round_robin(self, square_region, rng):
+        model = self._model(group_count=3)
+        model.initialize(square_region.sample_uniform(9, rng), square_region, rng)
+        assert [model.group_of(i) for i in range(9)] == [0, 1, 2, 0, 1, 2, 0, 1, 2]
+
+    def test_group_members_stay_close_together(self, square_region):
+        rng = np.random.default_rng(42)
+        member_radius = 6.0
+        model = self._model(group_count=2, member_radius=member_radius)
+        model.initialize(square_region.sample_uniform(12, rng), square_region, rng)
+        positions = model.run(30, rng)
+        for group in range(2):
+            members = positions[[i for i in range(12) if model.group_of(i) == group]]
+            # Every pair within a group is within 2 * member_radius of each
+            # other (both lie in the same disk around the reference point).
+            spread = np.linalg.norm(members[:, None, :] - members[None, :, :], axis=-1)
+            assert spread.max() <= 2 * member_radius + 1e-9
+
+    def test_groups_move(self, square_region):
+        rng = np.random.default_rng(43)
+        model = self._model(vmin=2.0, vmax=6.0)
+        initial = model.initialize(
+            square_region.sample_uniform(12, rng), square_region, rng
+        )
+        final = model.run(40, rng)
+        assert np.linalg.norm(final - initial, axis=1).mean() > 1.0
+
+    def test_more_groups_than_nodes(self, square_region, rng):
+        model = self._model(group_count=50)
+        model.initialize(square_region.sample_uniform(5, rng), square_region, rng)
+        positions = model.step(rng)
+        assert positions.shape == (5, 2)
+
+    def test_reproducible(self, square_region):
+        def run(seed):
+            rng = np.random.default_rng(seed)
+            model = self._model()
+            model.initialize(square_region.sample_uniform(10, rng), square_region, rng)
+            return model.run(20, rng)
+
+        assert np.allclose(run(7), run(7))
+
+    def test_group_mobility_keeps_intra_group_connectivity(self, square_region):
+        """Members of one group always form a connected cluster at a range
+        of twice the member radius — the property that makes group mobility
+        interesting for the paper's connectivity question."""
+        from repro.connectivity.metrics import is_placement_connected
+
+        rng = np.random.default_rng(44)
+        member_radius = 5.0
+        model = self._model(group_count=1, member_radius=member_radius)
+        model.initialize(square_region.sample_uniform(8, rng), square_region, rng)
+        for _ in range(20):
+            positions = model.step(rng)
+            assert is_placement_connected(positions, 2 * member_radius)

@@ -1,0 +1,91 @@
+"""Tests for repro.mobility.trace."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, SimulationError
+from repro.geometry.region import Region
+from repro.mobility.drunkard import DrunkardModel
+from repro.mobility.stationary import StationaryModel
+from repro.mobility.trace import MobilityTrace, record_trace
+from repro.mobility.waypoint import RandomWaypointModel
+
+
+class TestRecordTrace:
+    def test_shape(self, square_region, rng):
+        initial = square_region.sample_uniform(12, rng)
+        trace = record_trace(
+            RandomWaypointModel(vmin=0.5, vmax=5.0), initial, square_region, steps=20, seed=3
+        )
+        assert trace.step_count == 20
+        assert trace.node_count == 12
+        assert trace.dimension == 2
+        assert len(trace) == 20
+
+    def test_first_frame_is_initial_placement(self, square_region, rng):
+        initial = square_region.sample_uniform(8, rng)
+        trace = record_trace(
+            DrunkardModel(step_radius=3.0), initial, square_region, steps=5, seed=1
+        )
+        assert np.allclose(trace.positions_at(0), initial)
+
+    def test_single_step_is_stationary_convention(self, square_region, rng):
+        initial = square_region.sample_uniform(8, rng)
+        trace = record_trace(
+            RandomWaypointModel(vmin=0.5, vmax=5.0), initial, square_region, steps=1, seed=1
+        )
+        assert trace.step_count == 1
+        assert np.allclose(trace.positions_at(0), initial)
+
+    def test_all_frames_in_region(self, square_region, rng):
+        initial = square_region.sample_uniform(10, rng)
+        trace = record_trace(
+            DrunkardModel(step_radius=20.0), initial, square_region, steps=50, seed=2
+        )
+        for frame in trace:
+            assert square_region.contains(frame)
+
+    def test_invalid_steps(self, square_region, rng):
+        with pytest.raises(SimulationError):
+            record_trace(
+                StationaryModel(), square_region.sample_uniform(3, rng), square_region, steps=0
+            )
+
+    def test_reproducible_by_seed(self, square_region, rng):
+        initial = square_region.sample_uniform(6, rng)
+        a = record_trace(DrunkardModel(step_radius=2.0), initial, square_region, 10, seed=9)
+        b = record_trace(DrunkardModel(step_radius=2.0), initial, square_region, 10, seed=9)
+        assert np.allclose(a.frames, b.frames)
+
+
+class TestMobilityTrace:
+    def test_invalid_frames_shape(self):
+        with pytest.raises(ConfigurationError):
+            MobilityTrace(frames=np.zeros((3, 4)), region=Region.square(10.0))
+
+    def test_displacement_stationary_is_zero(self, square_region, rng):
+        initial = square_region.sample_uniform(5, rng)
+        trace = record_trace(StationaryModel(), initial, square_region, steps=10, seed=0)
+        assert np.allclose(trace.displacement(), 0.0)
+
+    def test_displacement_positive_for_mobile(self, square_region, rng):
+        initial = square_region.sample_uniform(5, rng)
+        trace = record_trace(
+            DrunkardModel(step_radius=5.0), initial, square_region, steps=20, seed=0
+        )
+        assert np.all(trace.displacement() > 0.0)
+
+    def test_dict_round_trip(self, square_region, rng):
+        initial = square_region.sample_uniform(4, rng)
+        trace = record_trace(StationaryModel(), initial, square_region, steps=3, seed=0)
+        rebuilt = MobilityTrace.from_dict(trace.to_dict())
+        assert np.allclose(rebuilt.frames, trace.frames)
+        assert rebuilt.region.side == square_region.side
+        assert rebuilt.region.dimension == square_region.dimension
+
+    def test_negative_index_access(self, square_region, rng):
+        initial = square_region.sample_uniform(4, rng)
+        trace = record_trace(
+            DrunkardModel(step_radius=2.0), initial, square_region, steps=5, seed=0
+        )
+        assert np.allclose(trace.positions_at(-1), trace.frames[4])

@@ -1,0 +1,94 @@
+"""Tests for repro.occupancy.limits (Theorem 2)."""
+
+import numpy as np
+import pytest
+
+from repro.occupancy.cells import simulate_empty_cells
+from repro.occupancy.domains import OccupancyDomain
+from repro.occupancy.exact import empty_cells_distribution, empty_cells_mean
+from repro.occupancy.limits import LimitLaw, limit_law, rhd_poisson_rate
+
+
+class TestLimitLawSelection:
+    def test_central_domain_is_normal(self):
+        law = limit_law(1000, 1000)
+        assert law.kind == "normal"
+        assert law.domain == OccupancyDomain.CENTRAL
+        assert law.std is not None
+
+    def test_rhd_is_poisson(self):
+        import math
+
+        cells = 500
+        n = int(cells * math.log(cells))
+        law = limit_law(n, cells)
+        assert law.kind == "poisson"
+        assert law.domain == OccupancyDomain.RIGHT_HAND
+        assert law.rate is not None and law.rate >= 0.0
+
+    def test_lhd_is_recentred_poisson(self):
+        cells = 10000
+        n = 100
+        law = limit_law(n, cells, domain=OccupancyDomain.LEFT_HAND)
+        assert law.kind == "poisson"
+        assert law.recentered
+
+    def test_forced_domain(self):
+        law = limit_law(100, 100, domain=OccupancyDomain.RIGHT_HAND)
+        assert law.domain == OccupancyDomain.RIGHT_HAND
+
+    def test_asymptotic_moments_option(self):
+        exact_law = limit_law(2000, 1000, use_exact_moments=True)
+        asymptotic_law = limit_law(2000, 1000, use_exact_moments=False)
+        assert exact_law.mean == pytest.approx(asymptotic_law.mean, rel=0.05)
+
+
+class TestLimitLawPmf:
+    def test_normal_pmf_close_to_exact(self):
+        n, cells = 60, 30
+        law = limit_law(n, cells, domain=OccupancyDomain.CENTRAL)
+        exact = empty_cells_distribution(n, cells)
+        k = int(round(empty_cells_mean(n, cells)))
+        assert law.pmf(k) == pytest.approx(exact[k], abs=0.05)
+
+    def test_pmf_is_probability(self):
+        law = limit_law(100, 50)
+        for k in range(0, 50, 5):
+            assert 0.0 <= law.pmf(k) <= 1.0
+
+    def test_degenerate_normal(self):
+        law = LimitLaw(domain=OccupancyDomain.CENTRAL, kind="normal", mean=3.0, std=0.0)
+        assert law.pmf(3) == 1.0
+        assert law.pmf(4) == 0.0
+
+    def test_peak_probability_positive(self):
+        law = limit_law(200, 100)
+        assert law.peak_probability() > 0.0
+
+    def test_poisson_pmf_matches_simulation_in_rhd(self):
+        import math
+
+        cells = 100
+        n = int(cells * math.log(cells))
+        law = limit_law(n, cells)
+        rng = np.random.default_rng(3)
+        samples = simulate_empty_cells(n, cells, 20000, rng)
+        empirical_p0 = float(np.mean(np.asarray(samples) == 0))
+        assert law.pmf(0) == pytest.approx(empirical_p0, abs=0.03)
+
+
+class TestRhdRate:
+    def test_rate_matches_asymptotic_mean(self):
+        import math
+
+        cells = 1000
+        n = int(cells * math.log(cells))
+        assert rhd_poisson_rate(n, cells) == pytest.approx(
+            empty_cells_mean(n, cells), rel=0.05
+        )
+
+    def test_invalid_cells(self):
+        from repro.exceptions import AnalysisError
+
+        with pytest.raises(AnalysisError):
+            rhd_poisson_rate(10, 0)

@@ -1,0 +1,67 @@
+"""Tests for repro.propagation.pathloss."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.propagation.pathloss import LogDistancePathLoss
+
+
+class TestPathLoss:
+    def test_loss_at_reference_distance(self):
+        model = LogDistancePathLoss(exponent=2.0, reference_distance=1.0, reference_loss=40.0)
+        assert model.path_loss_db(1.0) == pytest.approx(40.0)
+
+    def test_loss_grows_with_distance(self):
+        model = LogDistancePathLoss()
+        values = [model.path_loss_db(d) for d in (1.0, 10.0, 100.0, 1000.0)]
+        assert values == sorted(values)
+
+    def test_ten_times_distance_adds_10_alpha_db(self):
+        model = LogDistancePathLoss(exponent=3.0)
+        assert model.path_loss_db(10.0) - model.path_loss_db(1.0) == pytest.approx(30.0)
+
+    def test_near_field_clamped(self):
+        model = LogDistancePathLoss(reference_distance=1.0)
+        assert model.path_loss_db(0.1) == model.path_loss_db(1.0)
+
+    def test_received_power(self):
+        model = LogDistancePathLoss(reference_loss=40.0)
+        assert model.received_power_dbm(10.0, 1.0) == pytest.approx(-30.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            LogDistancePathLoss(exponent=0.5)
+        with pytest.raises(ConfigurationError):
+            LogDistancePathLoss(reference_distance=0.0)
+        with pytest.raises(ConfigurationError):
+            LogDistancePathLoss(reference_loss=-1.0)
+        with pytest.raises(ConfigurationError):
+            LogDistancePathLoss().path_loss_db(-1.0)
+
+
+class TestEffectiveRange:
+    def test_round_trip_with_path_loss(self):
+        model = LogDistancePathLoss(exponent=2.5, reference_loss=40.0)
+        tx, sensitivity = 5.0, -85.0
+        r = model.effective_range(tx, sensitivity)
+        # At the effective range the received power equals the sensitivity.
+        assert model.received_power_dbm(tx, r) == pytest.approx(sensitivity, abs=1e-9)
+
+    def test_zero_when_budget_negative(self):
+        model = LogDistancePathLoss()
+        assert model.effective_range(-100.0, -90.0) == 0.0
+
+    def test_larger_budget_larger_range(self):
+        model = LogDistancePathLoss()
+        assert model.effective_range(10.0, -90.0) > model.effective_range(0.0, -90.0)
+
+    def test_higher_exponent_smaller_range(self):
+        free_space = LogDistancePathLoss(exponent=2.0)
+        cluttered = LogDistancePathLoss(exponent=4.0)
+        assert cluttered.effective_range(0.0, -90.0) < free_space.effective_range(0.0, -90.0)
+
+    def test_required_power_inverts_range(self):
+        model = LogDistancePathLoss(exponent=3.0)
+        sensitivity = -80.0
+        needed = model.required_tx_power_dbm(123.0, sensitivity)
+        assert model.effective_range(needed, sensitivity) == pytest.approx(123.0, rel=1e-9)

@@ -1,0 +1,67 @@
+"""Tests for repro.propagation.shadowing."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.propagation.pathloss import LogDistancePathLoss
+from repro.propagation.shadowing import LogNormalShadowing
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            LogNormalShadowing(shadowing_std=-1.0)
+        with pytest.raises(ConfigurationError):
+            LogNormalShadowing(tx_power_dbm=-100.0, sensitivity_dbm=-90.0)
+
+    def test_with_nominal_range(self):
+        model = LogNormalShadowing.with_nominal_range(150.0, shadowing_std=6.0)
+        assert model.nominal_range == pytest.approx(150.0, rel=1e-9)
+        with pytest.raises(ConfigurationError):
+            LogNormalShadowing.with_nominal_range(0.0)
+
+
+class TestLinkProbability:
+    def test_zero_shadowing_is_disk_model(self):
+        model = LogNormalShadowing.with_nominal_range(100.0, shadowing_std=0.0)
+        assert model.link_probability(99.0) == 1.0
+        assert model.link_probability(101.0) == 0.0
+
+    def test_half_at_nominal_range(self):
+        model = LogNormalShadowing.with_nominal_range(100.0, shadowing_std=6.0)
+        assert model.link_probability(100.0) == pytest.approx(0.5, abs=1e-6)
+
+    def test_monotone_decreasing_in_distance(self):
+        model = LogNormalShadowing.with_nominal_range(100.0, shadowing_std=4.0)
+        values = [model.link_probability(d) for d in (1.0, 50.0, 100.0, 150.0, 400.0)]
+        assert values == sorted(values, reverse=True)
+
+    def test_more_shadowing_softens_the_edge(self):
+        sharp = LogNormalShadowing.with_nominal_range(100.0, shadowing_std=1.0)
+        soft = LogNormalShadowing.with_nominal_range(100.0, shadowing_std=10.0)
+        # Inside the nominal range, shadowing can only hurt; outside it can
+        # only help.
+        assert soft.link_probability(60.0) < sharp.link_probability(60.0)
+        assert soft.link_probability(160.0) > sharp.link_probability(160.0)
+
+    def test_invalid_distance(self):
+        with pytest.raises(ConfigurationError):
+            LogNormalShadowing().link_probability(-1.0)
+
+
+class TestSampling:
+    def test_sample_frequency_matches_probability(self):
+        model = LogNormalShadowing.with_nominal_range(100.0, shadowing_std=6.0)
+        rng = np.random.default_rng(3)
+        distance = 110.0
+        trials = 4000
+        successes = sum(model.sample_link(distance, rng) for _ in range(trials))
+        assert successes / trials == pytest.approx(
+            model.link_probability(distance), abs=0.03
+        )
+
+    def test_deterministic_extremes_need_no_rng(self):
+        model = LogNormalShadowing.with_nominal_range(100.0, shadowing_std=0.0)
+        assert model.sample_link(10.0) is True
+        assert model.sample_link(1000.0) is False

@@ -1,0 +1,107 @@
+"""Tests for repro.simulation.config."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.mobility.drunkard import DrunkardModel
+from repro.mobility.stationary import StationaryModel
+from repro.mobility.waypoint import RandomWaypointModel
+from repro.simulation.config import MobilitySpec, NetworkConfig, SimulationConfig
+
+
+class TestNetworkConfig:
+    def test_region_and_strategy(self):
+        config = NetworkConfig(node_count=10, side=100.0, dimension=2)
+        assert config.region.side == 100.0
+        assert callable(config.placement_strategy)
+
+    def test_paper_scaling(self):
+        config = NetworkConfig.paper_scaling(4096.0)
+        assert config.node_count == 64
+        assert config.side == 4096.0
+
+    def test_paper_scaling_small_side(self):
+        assert NetworkConfig.paper_scaling(256.0).node_count == 16
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            NetworkConfig(node_count=0, side=10.0)
+        with pytest.raises(ConfigurationError):
+            NetworkConfig(node_count=5, side=-1.0)
+        with pytest.raises(ConfigurationError):
+            NetworkConfig(node_count=5, side=10.0, dimension=0)
+        with pytest.raises(ConfigurationError):
+            NetworkConfig(node_count=5, side=10.0, placement="voronoi")
+
+
+class TestMobilitySpec:
+    def test_stationary_factory(self):
+        model = MobilitySpec.stationary().create()
+        assert isinstance(model, StationaryModel)
+
+    def test_paper_waypoint_defaults(self):
+        spec = MobilitySpec.paper_waypoint(4096.0)
+        model = spec.create()
+        assert isinstance(model, RandomWaypointModel)
+        assert model.vmax == pytest.approx(40.96)
+        assert model.tpause == 2000
+        assert model.pstationary == 0.0
+
+    def test_paper_waypoint_overrides(self):
+        spec = MobilitySpec.paper_waypoint(1024.0, pstationary=0.4, tpause=100)
+        model = spec.create()
+        assert model.pstationary == pytest.approx(0.4)
+        assert model.tpause == 100
+
+    def test_paper_drunkard_defaults(self):
+        model = MobilitySpec.paper_drunkard(4096.0).create()
+        assert isinstance(model, DrunkardModel)
+        assert model.step_radius == pytest.approx(40.96)
+        assert model.ppause == pytest.approx(0.3)
+        assert model.pstationary == pytest.approx(0.1)
+
+    def test_create_returns_fresh_instances(self):
+        spec = MobilitySpec.paper_drunkard(100.0)
+        assert spec.create() is not spec.create()
+
+
+class TestSimulationConfig:
+    def test_defaults(self):
+        config = SimulationConfig(network=NetworkConfig(node_count=5, side=10.0))
+        assert config.steps == 1
+        assert config.iterations == 1
+        assert config.is_stationary
+
+    def test_is_stationary_detection(self):
+        network = NetworkConfig(node_count=5, side=10.0)
+        mobile = SimulationConfig(
+            network=network, mobility=MobilitySpec.paper_drunkard(10.0), steps=10
+        )
+        assert not mobile.is_stationary
+        single_step = SimulationConfig(
+            network=network, mobility=MobilitySpec.paper_drunkard(10.0), steps=1
+        )
+        assert single_step.is_stationary
+
+    def test_with_range(self):
+        config = SimulationConfig(network=NetworkConfig(node_count=5, side=10.0))
+        updated = config.with_range(3.0)
+        assert updated.transmitting_range == 3.0
+        assert config.transmitting_range is None
+        assert updated.network is config.network
+
+    def test_validation(self):
+        network = NetworkConfig(node_count=5, side=10.0)
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(network=network, steps=0)
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(network=network, iterations=0)
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(network=network, transmitting_range=-1.0)
+
+    def test_paper_presets(self):
+        waypoint = SimulationConfig.paper_waypoint(1024.0, steps=50, iterations=2, seed=1)
+        assert waypoint.network.node_count == 32
+        assert waypoint.mobility.name == "waypoint"
+        drunkard = SimulationConfig.paper_drunkard(1024.0, steps=50, iterations=2, seed=1)
+        assert drunkard.mobility.name == "drunkard"

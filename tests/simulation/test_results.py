@@ -1,0 +1,105 @@
+"""Tests for repro.simulation.results."""
+
+import pytest
+
+from repro.simulation.results import IterationResult, MobileRunResult, StepRecord
+
+
+def make_iteration(records, iteration=0, node_count=10, transmitting_range=5.0):
+    return IterationResult(
+        iteration=iteration,
+        node_count=node_count,
+        transmitting_range=transmitting_range,
+        records=tuple(records),
+    )
+
+
+class TestIterationResult:
+    def test_connected_fraction(self):
+        records = [
+            StepRecord(0, True, 10),
+            StepRecord(1, False, 7),
+            StepRecord(2, True, 10),
+            StepRecord(3, True, 10),
+        ]
+        result = make_iteration(records)
+        assert result.connected_fraction == pytest.approx(0.75)
+        assert result.step_count == 4
+
+    def test_average_largest_when_disconnected(self):
+        records = [
+            StepRecord(0, True, 10),
+            StepRecord(1, False, 6),
+            StepRecord(2, False, 8),
+        ]
+        result = make_iteration(records)
+        assert result.average_largest_component_when_disconnected == pytest.approx(7.0)
+
+    def test_average_when_never_disconnected(self):
+        result = make_iteration([StepRecord(0, True, 10)])
+        assert result.average_largest_component_when_disconnected is None
+
+    def test_minimum_largest_component(self):
+        records = [StepRecord(0, True, 10), StepRecord(1, False, 4)]
+        assert make_iteration(records).minimum_largest_component == 4
+
+    def test_empty_records(self):
+        result = make_iteration([])
+        assert result.connected_fraction == 0.0
+        assert result.minimum_largest_component == 0
+        assert result.average_largest_component == 0.0
+
+    def test_average_largest_component(self):
+        records = [StepRecord(0, True, 10), StepRecord(1, False, 5)]
+        assert make_iteration(records).average_largest_component == pytest.approx(7.5)
+
+
+class TestMobileRunResult:
+    def _run(self):
+        first = make_iteration(
+            [StepRecord(0, True, 10), StepRecord(1, False, 6)], iteration=0
+        )
+        second = make_iteration(
+            [StepRecord(0, False, 8), StepRecord(1, False, 4)], iteration=1
+        )
+        return MobileRunResult(transmitting_range=5.0, node_count=10, iterations=(first, second))
+
+    def test_connected_fraction_pools_steps(self):
+        assert self._run().connected_fraction == pytest.approx(0.25)
+
+    def test_per_iteration_fractions(self):
+        assert self._run().per_iteration_connected_fraction == [0.5, 0.0]
+
+    def test_average_largest_when_disconnected(self):
+        assert self._run().average_largest_component_when_disconnected == pytest.approx(6.0)
+
+    def test_average_largest_fraction(self):
+        assert self._run().average_largest_component_fraction == pytest.approx(
+            (10 + 6 + 8 + 4) / 4 / 10
+        )
+
+    def test_minimum_largest_component(self):
+        assert self._run().minimum_largest_component == 4
+
+    def test_flags(self):
+        run = self._run()
+        assert not run.always_connected
+        assert not run.never_connected
+        all_connected = MobileRunResult(
+            transmitting_range=5.0,
+            node_count=10,
+            iterations=(make_iteration([StepRecord(0, True, 10)]),),
+        )
+        assert all_connected.always_connected
+        never = MobileRunResult(
+            transmitting_range=5.0,
+            node_count=10,
+            iterations=(make_iteration([StepRecord(0, False, 3)]),),
+        )
+        assert never.never_connected
+
+    def test_empty_run(self):
+        empty = MobileRunResult(transmitting_range=1.0, node_count=5, iterations=())
+        assert empty.connected_fraction == 0.0
+        assert empty.average_largest_component_when_disconnected is None
+        assert empty.minimum_largest_component == 0

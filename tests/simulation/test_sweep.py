@@ -1,0 +1,40 @@
+"""Tests for repro.simulation.sweep."""
+
+from repro.simulation.sweep import SweepResult, sweep_parameter
+
+
+class TestSweepParameter:
+    def test_rows_and_series(self):
+        sweep = sweep_parameter("x", [1.0, 2.0, 3.0], lambda x: {"square": x * x})
+        assert sweep.parameter_values == [1.0, 2.0, 3.0]
+        assert sweep.series("square") == [1.0, 4.0, 9.0]
+        assert sweep.series_names() == ["square"]
+
+    def test_multiple_series(self):
+        sweep = sweep_parameter(
+            "x", [2.0], lambda x: {"double": 2 * x, "half": x / 2}
+        )
+        assert set(sweep.series_names()) == {"double", "half"}
+        assert sweep.rows[0]["x"] == 2.0
+
+    def test_measure_called_in_order(self):
+        calls = []
+
+        def measure(value):
+            calls.append(value)
+            return {"v": value}
+
+        sweep_parameter("p", [3, 1, 2], measure)
+        assert calls == [3, 1, 2]
+
+    def test_empty_sweep(self):
+        sweep = sweep_parameter("x", [], lambda x: {"y": x})
+        assert sweep.rows == []
+        assert sweep.series_names() == []
+        assert sweep.parameter_values == []
+
+
+class TestSweepResult:
+    def test_as_dicts(self):
+        sweep = SweepResult(parameter_name="l", rows=[{"l": 1.0, "y": 2.0}])
+        assert sweep.as_dicts()[0]["y"] == 2.0

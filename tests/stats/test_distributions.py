@@ -1,0 +1,70 @@
+"""Tests for repro.stats.distributions."""
+
+import math
+
+import pytest
+
+from repro.stats.distributions import normal_cdf, normal_pdf, poisson_cdf, poisson_pmf
+
+
+class TestNormal:
+    def test_pdf_peak_at_mean(self):
+        assert normal_pdf(0.0) == pytest.approx(1.0 / math.sqrt(2 * math.pi))
+
+    def test_pdf_symmetry(self):
+        assert normal_pdf(1.3) == pytest.approx(normal_pdf(-1.3))
+
+    def test_cdf_at_mean(self):
+        assert normal_cdf(5.0, mean=5.0, std=2.0) == pytest.approx(0.5)
+
+    def test_cdf_monotone(self):
+        assert normal_cdf(-1.0) < normal_cdf(0.0) < normal_cdf(1.0)
+
+    def test_cdf_known_value(self):
+        # P(Z <= 1.96) for the standard normal.
+        assert normal_cdf(1.96) == pytest.approx(0.975, abs=1e-3)
+
+    def test_invalid_std_raises(self):
+        with pytest.raises(ValueError):
+            normal_pdf(0.0, std=0.0)
+        with pytest.raises(ValueError):
+            normal_cdf(0.0, std=-1.0)
+
+    def test_scaling(self):
+        # Scaling the std scales the density at the mean inversely.
+        assert normal_pdf(0.0, std=2.0) == pytest.approx(normal_pdf(0.0) / 2.0)
+
+
+class TestPoisson:
+    def test_pmf_sums_to_one(self):
+        lam = 3.5
+        total = sum(poisson_pmf(k, lam) for k in range(60))
+        assert total == pytest.approx(1.0, abs=1e-9)
+
+    def test_pmf_zero_rate(self):
+        assert poisson_pmf(0, 0.0) == 1.0
+        assert poisson_pmf(1, 0.0) == 0.0
+
+    def test_pmf_negative_k(self):
+        assert poisson_pmf(-1, 2.0) == 0.0
+
+    def test_pmf_known_value(self):
+        # P(X = 2) for Poisson(1) is e^-1 / 2.
+        assert poisson_pmf(2, 1.0) == pytest.approx(math.exp(-1) / 2)
+
+    def test_cdf_monotone(self):
+        values = [poisson_cdf(k, 4.0) for k in range(10)]
+        assert values == sorted(values)
+
+    def test_cdf_converges_to_one(self):
+        assert poisson_cdf(100, 4.0) == pytest.approx(1.0, abs=1e-9)
+
+    def test_negative_rate_raises(self):
+        with pytest.raises(ValueError):
+            poisson_pmf(1, -1.0)
+        with pytest.raises(ValueError):
+            poisson_cdf(1, -1.0)
+
+    def test_large_rate_no_overflow(self):
+        value = poisson_pmf(500, 500.0)
+        assert 0.0 < value < 1.0

@@ -1,0 +1,88 @@
+"""Tests for repro.stats.rng."""
+
+import numpy as np
+import pytest
+
+from repro.stats.rng import RandomSource, make_rng, spawn_rngs
+
+
+class TestMakeRng:
+    def test_none_returns_generator(self):
+        assert isinstance(make_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = make_rng(42).random(5)
+        b = make_rng(42).random(5)
+        assert np.allclose(a, b)
+
+    def test_different_seeds_differ(self):
+        a = make_rng(1).random(5)
+        b = make_rng(2).random(5)
+        assert not np.allclose(a, b)
+
+    def test_generator_passthrough(self):
+        generator = np.random.default_rng(3)
+        assert make_rng(generator) is generator
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(7, 4)) == 4
+
+    def test_zero_count(self):
+        assert spawn_rngs(7, 0) == []
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(7, -1)
+
+    def test_children_are_independent_streams(self):
+        children = spawn_rngs(7, 2)
+        a = children[0].random(10)
+        b = children[1].random(10)
+        assert not np.allclose(a, b)
+
+    def test_deterministic_for_same_seed(self):
+        first = [g.random(3) for g in spawn_rngs(11, 3)]
+        second = [g.random(3) for g in spawn_rngs(11, 3)]
+        for a, b in zip(first, second):
+            assert np.allclose(a, b)
+
+    def test_spawn_from_generator(self):
+        parent = np.random.default_rng(5)
+        children = spawn_rngs(parent, 3)
+        assert len(children) == 3
+
+
+class TestRandomSource:
+    def test_child_is_deterministic(self):
+        source = RandomSource(99)
+        a = source.child(3).random(5)
+        b = source.child(3).random(5)
+        assert np.allclose(a, b)
+
+    def test_children_differ_by_index(self):
+        source = RandomSource(99)
+        a = source.child(0).random(5)
+        b = source.child(1).random(5)
+        assert not np.allclose(a, b)
+
+    def test_independent_of_request_order(self):
+        source = RandomSource(42)
+        late = source.child(5).random(4)
+        fresh_source = RandomSource(42)
+        for index in range(5):
+            fresh_source.child(index)
+        assert np.allclose(late, fresh_source.child(5).random(4))
+
+    def test_children_helper(self):
+        source = RandomSource(1)
+        assert len(source.children(4)) == 4
+
+    def test_negative_index_raises(self):
+        with pytest.raises(ValueError):
+            RandomSource(1).child(-1)
+
+    def test_seed_property(self):
+        assert RandomSource(17).seed == 17
+        assert RandomSource().seed is None

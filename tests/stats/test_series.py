@@ -1,0 +1,79 @@
+"""Tests for repro.stats.series."""
+
+import pytest
+
+from repro.stats.series import (
+    fraction_true,
+    longest_run,
+    moving_average,
+    runs_of,
+    sliding_window_fraction,
+)
+
+
+class TestFractionTrue:
+    def test_all_true(self):
+        assert fraction_true([True, True, True]) == 1.0
+
+    def test_mixed(self):
+        assert fraction_true([True, False, True, False]) == 0.5
+
+    def test_empty(self):
+        assert fraction_true([]) == 0.0
+
+    def test_accepts_ints(self):
+        assert fraction_true([1, 0, 1, 1]) == 0.75
+
+
+class TestRunsOf:
+    def test_single_run(self):
+        assert runs_of([True, True, True]) == [(0, 3)]
+
+    def test_alternating(self):
+        assert runs_of([True, False, True]) == [(0, 1), (2, 1)]
+
+    def test_run_ending_at_boundary(self):
+        assert runs_of([False, True, True]) == [(1, 2)]
+
+    def test_runs_of_false(self):
+        assert runs_of([True, False, False, True], value=False) == [(1, 2)]
+
+    def test_empty(self):
+        assert runs_of([]) == []
+
+
+class TestLongestRun:
+    def test_basic(self):
+        series = [True, True, False, True, True, True, False]
+        assert longest_run(series) == 3
+
+    def test_no_true(self):
+        assert longest_run([False, False]) == 0
+
+    def test_false_runs(self):
+        assert longest_run([True, False, False, False, True], value=False) == 3
+
+
+class TestSlidingWindowFraction:
+    def test_window_of_two(self):
+        result = sliding_window_fraction([True, False, True, True], window=2)
+        assert result == [0.5, 0.5, 1.0]
+
+    def test_window_larger_than_series(self):
+        assert sliding_window_fraction([True], window=5) == []
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            sliding_window_fraction([True], window=0)
+
+
+class TestMovingAverage:
+    def test_basic(self):
+        assert moving_average([1.0, 2.0, 3.0, 4.0], window=2) == [1.5, 2.5, 3.5]
+
+    def test_window_equal_to_length(self):
+        assert moving_average([2.0, 4.0], window=2) == [3.0]
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            moving_average([1.0], window=-1)

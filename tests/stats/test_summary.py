@@ -1,0 +1,70 @@
+"""Tests for repro.stats.summary."""
+
+import math
+
+import pytest
+
+from repro.stats.summary import SummaryStatistics, confidence_interval, summarize
+
+
+class TestSummarize:
+    def test_basic_statistics(self):
+        stats = summarize([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert stats.count == 5
+        assert stats.mean == pytest.approx(3.0)
+        assert stats.minimum == 1.0
+        assert stats.maximum == 5.0
+        assert stats.median == 3.0
+
+    def test_std_is_sample_std(self):
+        stats = summarize([2.0, 4.0])
+        assert stats.std == pytest.approx(math.sqrt(2.0))
+
+    def test_single_value(self):
+        stats = summarize([7.0])
+        assert stats.count == 1
+        assert stats.std == 0.0
+        assert stats.standard_error() == 0.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_constant_sample(self):
+        stats = summarize([3.0] * 10)
+        assert stats.std == 0.0
+        assert stats.mean == 3.0
+
+
+class TestConfidenceInterval:
+    def test_interval_contains_mean(self):
+        low, high = confidence_interval([1.0, 2.0, 3.0, 4.0], level=0.95)
+        assert low <= 2.5 <= high
+
+    def test_wider_level_gives_wider_interval(self):
+        sample = [float(i) for i in range(20)]
+        narrow = confidence_interval(sample, level=0.80)
+        wide = confidence_interval(sample, level=0.99)
+        assert (wide[1] - wide[0]) > (narrow[1] - narrow[0])
+
+    def test_zero_variance_gives_degenerate_interval(self):
+        low, high = confidence_interval([5.0, 5.0, 5.0])
+        assert low == pytest.approx(5.0)
+        assert high == pytest.approx(5.0)
+
+    def test_unusual_level_uses_quantile_approximation(self):
+        stats = summarize([1.0, 2.0, 3.0, 4.0, 5.0])
+        low, high = stats.confidence_interval(level=0.93)
+        assert low < stats.mean < high
+
+    def test_invalid_level_raises(self):
+        stats = summarize([1.0, 2.0])
+        with pytest.raises(ValueError):
+            stats.confidence_interval(level=1.5)
+
+
+class TestSummaryStatisticsDataclass:
+    def test_frozen(self):
+        stats = SummaryStatistics(1, 1.0, 0.0, 1.0, 1.0, 1.0)
+        with pytest.raises(AttributeError):
+            stats.mean = 2.0

@@ -1,0 +1,76 @@
+"""Tests for the command line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_list_command(self):
+        arguments = build_parser().parse_args(["list"])
+        assert arguments.command == "list"
+
+    def test_run_command_defaults(self):
+        arguments = build_parser().parse_args(["run", "fig2"])
+        assert arguments.experiment == "fig2"
+        assert arguments.scale == "default"
+        assert arguments.output is None
+
+    def test_stationary_command(self):
+        arguments = build_parser().parse_args(
+            ["stationary", "--side", "100", "--nodes", "20"]
+        )
+        assert arguments.side == 100.0
+        assert arguments.nodes == 20
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestMain:
+    def test_list_prints_experiments(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "fig2" in output
+        assert "Figure 2" in output
+
+    def test_stationary_prints_value(self, capsys):
+        exit_code = main(
+            ["stationary", "--side", "200", "--nodes", "15", "--iterations", "20",
+             "--seed", "3"]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "rstationary" in output
+
+    def test_run_smoke_with_output(self, capsys, tmp_path, monkeypatch):
+        # Shrink the smoke preset further so the CLI test stays fast.
+        from repro.experiments import registry
+
+        tiny = registry.ExperimentScale(
+            name="smoke",
+            sides=(256.0,),
+            steps=8,
+            iterations=1,
+            stationary_iterations=15,
+            parameter_points=2,
+            seed=5,
+        )
+        monkeypatch.setitem(registry.SCALES, "smoke", tiny)
+        destination = tmp_path / "fig2.json"
+        exit_code = main(["run", "fig2", "--scale", "smoke", "--output", str(destination)])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "fig2" in output
+        payload = json.loads(destination.read_text())
+        assert payload["metadata"]["experiment"] == "fig2"
+        assert payload["rows"]
+
+    def test_run_unknown_experiment(self):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            main(["run", "fig99", "--scale", "smoke"])

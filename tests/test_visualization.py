@@ -1,0 +1,93 @@
+"""Tests for repro.visualization.ascii_art."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.geometry.region import Region
+from repro.graph.builder import build_communication_graph
+from repro.visualization.ascii_art import (
+    render_connectivity_timeline,
+    render_graph,
+    render_placement,
+)
+
+
+class TestRenderPlacement:
+    def test_dimensions(self, square_region, small_placement):
+        picture = render_placement(small_placement, square_region, width=40, height=10)
+        lines = picture.splitlines()
+        assert len(lines) == 12  # top border + 10 rows + bottom border
+        assert all(len(line) == 42 for line in lines)
+
+    def test_marker_count_bounded_by_nodes(self, square_region, small_placement):
+        picture = render_placement(small_placement, square_region, marker="o")
+        drawn = picture.count("o") + picture.count("*")
+        assert 0 < drawn <= small_placement.shape[0]
+
+    def test_empty_placement(self, square_region):
+        picture = render_placement(np.empty((0, 2)), square_region)
+        assert "o" not in picture
+
+    def test_corner_nodes_land_in_corners(self):
+        region = Region.square(100.0)
+        picture = render_placement(
+            np.array([[0.0, 0.0], [100.0, 100.0]]), region, width=10, height=5
+        )
+        lines = picture.splitlines()
+        assert lines[1][-2] == "o"   # top-right corner (max x, max y)
+        assert lines[-2][1] == "o"   # bottom-left corner (min x, min y)
+
+    def test_invalid_arguments(self, square_region, small_placement):
+        with pytest.raises(ConfigurationError):
+            render_placement(small_placement, square_region, width=1)
+        with pytest.raises(ConfigurationError):
+            render_placement(small_placement, Region.line(10.0))
+
+
+class TestRenderGraph:
+    def test_symbols_present(self, square_region, small_placement):
+        graph = build_communication_graph(small_placement, 25.0)
+        picture = render_graph(graph, square_region)
+        assert "#" in picture
+        assert "largest component" in picture
+
+    def test_isolated_nodes_marked(self, square_region):
+        positions = np.array([[10.0, 10.0], [12.0, 10.0], [90.0, 90.0]])
+        graph = build_communication_graph(positions, 5.0)
+        picture = render_graph(graph, square_region)
+        assert "." in picture
+
+    def test_requires_positions(self):
+        from repro.graph.adjacency import CommunicationGraph
+
+        with pytest.raises(ConfigurationError):
+            render_graph(CommunicationGraph(3, edges=[(0, 1)]))
+
+    def test_region_inferred_when_missing(self, small_placement):
+        graph = build_communication_graph(small_placement, 25.0)
+        picture = render_graph(graph)
+        assert picture.count("\n") > 5
+
+
+class TestRenderTimeline:
+    def test_all_connected(self):
+        timeline = render_connectivity_timeline([True] * 20, width=10)
+        assert timeline.startswith("#" * 10)
+        assert "100.0%" in timeline
+
+    def test_never_connected(self):
+        timeline = render_connectivity_timeline([False] * 20, width=10)
+        assert timeline.startswith("-" * 10)
+
+    def test_mixed_bucket(self):
+        timeline = render_connectivity_timeline([True, False], width=1)
+        assert timeline.startswith("+")
+        assert "50.0%" in timeline
+
+    def test_empty_series(self):
+        assert render_connectivity_timeline([]) == "(empty timeline)"
+
+    def test_invalid_width(self):
+        with pytest.raises(ConfigurationError):
+            render_connectivity_timeline([True], width=0)

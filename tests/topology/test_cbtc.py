@@ -1,0 +1,56 @@
+"""Tests for repro.topology.cbtc."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import AnalysisError
+from repro.graph.components import is_connected
+from repro.topology.cbtc import cone_based_topology
+
+
+class TestConeBasedTopology:
+    def test_preserves_connectivity_with_two_thirds_pi(self, rng):
+        points = rng.uniform(0, 100, size=(40, 2))
+        assignment = cone_based_topology(points, cone_angle=2 * math.pi / 3)
+        assert is_connected(assignment.symmetric_graph())
+
+    def test_ranges_not_above_max_distance(self, small_placement):
+        from repro.geometry.distance import pairwise_distances
+
+        assignment = cone_based_topology(small_placement)
+        maximum = pairwise_distances(small_placement).max()
+        assert all(r <= maximum + 1e-9 for r in assignment.ranges)
+
+    def test_smaller_cone_angle_larger_ranges(self, small_placement):
+        narrow = cone_based_topology(small_placement, cone_angle=math.pi / 2)
+        wide = cone_based_topology(small_placement, cone_angle=2 * math.pi)
+        assert sum(narrow.ranges) >= sum(wide.ranges) - 1e-9
+
+    def test_full_circle_angle_needs_single_neighbor(self, small_placement):
+        from repro.geometry.distance import nearest_neighbor_distances
+
+        assignment = cone_based_topology(small_placement, cone_angle=2 * math.pi)
+        nearest = nearest_neighbor_distances(small_placement)
+        for radius, nn in zip(assignment.ranges, nearest):
+            assert radius == pytest.approx(nn)
+
+    def test_max_range_cap_respected(self, small_placement):
+        cap = 15.0
+        assignment = cone_based_topology(small_placement, max_range=cap)
+        assert all(r <= cap + 1e-9 for r in assignment.ranges)
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(AnalysisError):
+            cone_based_topology(np.zeros((5, 3)))
+
+    def test_invalid_parameters(self, small_placement):
+        with pytest.raises(AnalysisError):
+            cone_based_topology(small_placement, cone_angle=0.0)
+        with pytest.raises(AnalysisError):
+            cone_based_topology(small_placement, max_range=0.0)
+
+    def test_small_inputs(self):
+        assert cone_based_topology(np.empty((0, 2))).ranges == ()
+        assert cone_based_topology(np.array([[1.0, 1.0]])).ranges == (0.0,)

@@ -1,0 +1,67 @@
+"""Tests for repro.topology.knn."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import AnalysisError
+from repro.graph.components import is_connected
+from repro.topology.knn import knn_topology, recommended_neighbor_count
+
+
+class TestKnnTopology:
+    def test_each_node_reaches_k_neighbors(self, small_placement):
+        k = 3
+        assignment = knn_topology(small_placement, k)
+        from repro.geometry.distance import pairwise_distances
+
+        distances = pairwise_distances(small_placement)
+        np.fill_diagonal(distances, np.inf)
+        for node, radius in enumerate(assignment.ranges):
+            reachable = int(np.sum(distances[node] <= radius + 1e-9))
+            assert reachable >= k
+
+    def test_range_is_exactly_kth_neighbor_distance(self, small_placement):
+        from repro.geometry.distance import pairwise_distances
+
+        k = 4
+        assignment = knn_topology(small_placement, k)
+        distances = pairwise_distances(small_placement)
+        np.fill_diagonal(distances, np.inf)
+        for node, radius in enumerate(assignment.ranges):
+            expected = np.sort(distances[node])[k - 1]
+            assert radius == pytest.approx(expected)
+
+    def test_larger_k_larger_ranges(self, small_placement):
+        small_k = knn_topology(small_placement, 2)
+        large_k = knn_topology(small_placement, 6)
+        assert all(
+            large >= small - 1e-12
+            for small, large in zip(small_k.ranges, large_k.ranges)
+        )
+
+    def test_recommended_k_connects_random_networks(self, rng):
+        points = rng.uniform(0, 200, size=(60, 2))
+        k = recommended_neighbor_count(60)
+        assignment = knn_topology(points, k)
+        assert is_connected(assignment.symmetric_graph())
+
+    def test_invalid_k(self, small_placement):
+        with pytest.raises(AnalysisError):
+            knn_topology(small_placement, 0)
+        with pytest.raises(AnalysisError):
+            knn_topology(small_placement, small_placement.shape[0])
+
+    def test_empty_placement(self):
+        assignment = knn_topology(np.empty((0, 2)), 3)
+        assert assignment.ranges == ()
+
+
+class TestRecommendedNeighborCount:
+    def test_grows_logarithmically(self):
+        assert recommended_neighbor_count(1000) > recommended_neighbor_count(100)
+        assert recommended_neighbor_count(100) > recommended_neighbor_count(10)
+
+    def test_clamped(self):
+        assert recommended_neighbor_count(1) == 0
+        assert recommended_neighbor_count(2) == 1
+        assert recommended_neighbor_count(5) <= 4

@@ -1,0 +1,69 @@
+"""Tests for repro.topology.range_assignment."""
+
+import numpy as np
+import pytest
+
+from repro.connectivity.critical_range import critical_range
+from repro.energy.model import EnergyModel
+from repro.exceptions import AnalysisError
+from repro.graph.components import is_connected
+from repro.topology.range_assignment import (
+    mst_range_assignment,
+    uniform_range_assignment,
+)
+
+
+class TestMstRangeAssignment:
+    def test_symmetric_graph_connected(self, small_placement):
+        assignment = mst_range_assignment(small_placement)
+        assert is_connected(assignment.symmetric_graph())
+
+    def test_max_range_equals_critical_range(self, small_placement):
+        assignment = mst_range_assignment(small_placement)
+        assert assignment.max_range() == pytest.approx(critical_range(small_placement))
+
+    def test_total_energy_below_uniform(self, small_placement):
+        mst = mst_range_assignment(small_placement)
+        uniform = uniform_range_assignment(
+            small_placement, critical_range(small_placement)
+        )
+        assert mst.total_energy() <= uniform.total_energy() + 1e-9
+
+    def test_every_range_non_negative(self, small_placement):
+        assignment = mst_range_assignment(small_placement)
+        assert all(r >= 0.0 for r in assignment.ranges)
+        assert assignment.node_count == small_placement.shape[0]
+
+    def test_two_nodes(self):
+        points = np.array([[0.0, 0.0], [3.0, 4.0]])
+        assignment = mst_range_assignment(points)
+        assert assignment.ranges == (5.0, 5.0)
+
+    def test_single_node_and_empty(self):
+        assert mst_range_assignment(np.array([[0.0, 0.0]])).ranges == (0.0,)
+        assert mst_range_assignment(np.empty((0, 2))).ranges == ()
+
+
+class TestUniformRangeAssignment:
+    def test_all_equal(self, small_placement):
+        assignment = uniform_range_assignment(small_placement, 12.5)
+        assert set(assignment.ranges) == {12.5}
+
+    def test_energy_model_applied(self, small_placement):
+        assignment = uniform_range_assignment(small_placement, 2.0)
+        model = EnergyModel(path_loss_exponent=4.0)
+        expected = small_placement.shape[0] * 16.0
+        assert assignment.total_energy(model) == pytest.approx(expected)
+
+    def test_negative_range_rejected(self, small_placement):
+        with pytest.raises(AnalysisError):
+            uniform_range_assignment(small_placement, -1.0)
+
+    def test_symmetric_graph_matches_builder(self, small_placement):
+        from repro.graph.builder import build_communication_graph
+
+        radius = 20.0
+        assignment = uniform_range_assignment(small_placement, radius)
+        assert set(assignment.symmetric_graph().edges()) == set(
+            build_communication_graph(small_placement, radius).edges()
+        )
