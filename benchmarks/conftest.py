@@ -1,0 +1,14 @@
+"""Benchmark-harness conftest.
+
+The repo-wide pytest configuration uses ``--import-mode=importlib`` (see
+pyproject.toml), which does not put a test file's directory on ``sys.path``
+the way the legacy prepend mode did.  The benchmark modules import their
+shared helpers as ``from _helpers import ...``, so make that resolvable.
+"""
+
+import os
+import sys
+
+_BENCHMARKS_DIR = os.path.dirname(os.path.abspath(__file__))
+if _BENCHMARKS_DIR not in sys.path:
+    sys.path.insert(0, _BENCHMARKS_DIR)

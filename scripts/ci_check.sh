@@ -1,0 +1,18 @@
+#!/usr/bin/env sh
+# Mechanical checks for collection and performance regressions.
+#
+#   sh scripts/ci_check.sh
+#
+# 1. The full tier-1 suite must collect and pass from a clean checkout
+#    (guards against the pytest basename-collision regression this repo
+#    shipped with).
+# 2. The parallel/vectorized perf smoke benchmark must pass at smoke
+#    scale: parallel results bit-identical to serial, vectorized frame
+#    reduction faster than the dense reference sweep.
+set -eu
+cd "$(dirname "$0")/.."
+
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest -x -q
+
+REPRO_BENCH_SCALE=smoke PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
+    python -m pytest benchmarks/bench_parallel_scaling.py -q

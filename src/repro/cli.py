@@ -6,7 +6,8 @@ experiments::
     adhoc-connectivity list
     adhoc-connectivity run fig2 --scale smoke
     adhoc-connectivity run fig7 --scale default --output fig7.json
-    adhoc-connectivity stationary --side 1024 --nodes 32
+    adhoc-connectivity run fig2 --scale paper --workers 8
+    adhoc-connectivity stationary --side 1024 --nodes 32 --workers 4
 
 The CLI is intentionally thin: it parses arguments, calls the experiment
 layer and prints the rendered tables.
@@ -24,6 +25,7 @@ from repro.experiments import (
     render_sweep,
     save_sweep,
 )
+from repro.experiments.registry import scale_by_name
 from repro.simulation.runner import stationary_critical_range
 
 
@@ -53,6 +55,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="optional path (.json or .csv) to save the sweep result",
     )
+    run_parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help=(
+            "worker processes for the simulation iterations "
+            "(results are bit-identical for every value)"
+        ),
+    )
 
     stationary_parser = subparsers.add_parser(
         "stationary", help="estimate the stationary critical range"
@@ -63,6 +74,12 @@ def build_parser() -> argparse.ArgumentParser:
     stationary_parser.add_argument("--iterations", type=int, default=200)
     stationary_parser.add_argument("--confidence", type=float, default=0.99)
     stationary_parser.add_argument("--seed", type=int, default=None)
+    stationary_parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for the placement draws",
+    )
     return parser
 
 
@@ -81,7 +98,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         experiment = get_experiment(arguments.experiment)
         print(f"Running {experiment.identifier}: {experiment.title}")
         print(experiment.description)
-        sweep = experiment.run_at(arguments.scale)
+        scale = scale_by_name(arguments.scale)
+        if arguments.workers is not None:
+            scale = scale.with_workers(arguments.workers)
+        sweep = experiment.run(scale)
         print()
         print(render_sweep(sweep, title=f"{experiment.identifier} ({arguments.scale} scale)"))
         if arguments.output:
@@ -104,6 +124,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             iterations=arguments.iterations,
             seed=arguments.seed,
             confidence=arguments.confidence,
+            workers=arguments.workers,
         )
         print(
             f"rstationary(n={arguments.nodes}, l={arguments.side}, "

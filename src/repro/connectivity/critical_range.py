@@ -16,7 +16,7 @@ These exact per-placement values are the building blocks of the
 from __future__ import annotations
 
 import math
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -47,34 +47,140 @@ def range_reaching(squared_distance: float) -> float:
     return radius
 
 
-def critical_range(positions: Positions) -> float:
-    """Minimum transmitting range that connects ``positions``.
+def minimum_spanning_edges(
+    positions: Positions,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Edges of a Euclidean minimum spanning tree, sorted by length.
 
-    This is the bottleneck (longest) edge of the Euclidean minimum spanning
-    tree.  Computed with Prim's algorithm on the dense distance matrix,
-    which is ``O(n^2)`` time and memory — fine for the network sizes used in
-    the paper (n up to 128) and exact, unlike a bisection over builds.
+    Returns three aligned arrays ``(us, vs, squared_lengths)`` of length
+    ``n - 1`` (empty for fewer than two nodes): the endpoints of each MST
+    edge and its *squared* Euclidean length, in non-decreasing length order.
 
-    Returns 0.0 for zero or one node (such a network is trivially
-    connected at any range).
+    Computed with Prim's algorithm on the dense squared distance matrix;
+    every inner scan is a whole-array NumPy operation, so the Python-level
+    work is ``O(n)`` loop iterations rather than ``O(n^2)`` per-edge steps.
+
+    The component structure of the communication graph at *any* range can
+    be recovered from these edges alone (adding the MST edges of length at
+    most ``r`` yields exactly the connected components of the full graph at
+    range ``r``), which is what makes the per-frame reductions in
+    :mod:`repro.simulation.engine` cheap.
     """
     points = as_positions(positions)
-    n = points.shape[0]
+    return minimum_spanning_edges_from_squared(squared_distance_matrix(points))
+
+
+def minimum_spanning_edges_from_squared(
+    squared: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """:func:`minimum_spanning_edges` over a precomputed squared-distance matrix.
+
+    This is the reusable Prim core: metrics other than plain Euclidean
+    (e.g. toroidal wrap-around) pass their own ``(n, n)`` squared-distance
+    matrix and get the same sorted MST edges back.
+    """
+    n = squared.shape[0]
+    empty = (
+        np.empty(0, dtype=np.intp),
+        np.empty(0, dtype=np.intp),
+        np.empty(0, dtype=float),
+    )
     if n <= 1:
-        return 0.0
-    squared = squared_distance_matrix(points)
+        return empty
     in_tree = np.zeros(n, dtype=bool)
     in_tree[0] = True
     best = squared[0].copy()
     best[0] = math.inf
-    bottleneck_squared = 0.0
-    for _ in range(n - 1):
+    parent = np.zeros(n, dtype=np.intp)
+    us = np.empty(n - 1, dtype=np.intp)
+    vs = np.empty(n - 1, dtype=np.intp)
+    lengths = np.empty(n - 1, dtype=float)
+    for index in range(n - 1):
         candidate = int(np.argmin(np.where(in_tree, math.inf, best)))
-        bottleneck_squared = max(bottleneck_squared, float(best[candidate]))
+        us[index] = parent[candidate]
+        vs[index] = candidate
+        lengths[index] = best[candidate]
         in_tree[candidate] = True
-        best = np.minimum(best, squared[candidate])
+        closer = squared[candidate] < best
+        parent[closer] = candidate
+        np.minimum(best, squared[candidate], out=best)
         best[in_tree] = math.inf
-    return range_reaching(bottleneck_squared)
+    order = np.argsort(lengths, kind="stable")
+    return us[order], vs[order], lengths[order]
+
+
+def minimum_spanning_edges_batch(
+    frames: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Batched :func:`minimum_spanning_edges` over ``(B, n, d)`` frames.
+
+    Returns ``(us, vs, squared_lengths)`` as ``(B, n - 1)`` arrays, each row
+    sorted by squared length.  One Prim iteration here advances *every*
+    frame at once with ``(B, n)`` array operations, so the NumPy call
+    overhead of the ``n - 1`` loop iterations is amortised across the whole
+    batch — this is what makes reducing a 10 000-step trajectory cheap.
+
+    Per-frame squared distance matrices are computed with
+    :func:`repro.geometry.distance.squared_distance_matrix`, so every edge
+    length (and therefore every derived threshold) is bit-identical to the
+    single-frame code path.
+    """
+    points = np.asarray(frames, dtype=float)
+    if points.ndim != 3:
+        raise AnalysisError(
+            f"expected a (B, n, d) batch of frames, got shape {points.shape}"
+        )
+    batch, n, _ = points.shape
+    if n <= 1 or batch == 0:
+        return (
+            np.empty((batch, 0), dtype=np.intp),
+            np.empty((batch, 0), dtype=np.intp),
+            np.empty((batch, 0), dtype=float),
+        )
+    squared = np.stack([squared_distance_matrix(frame) for frame in points])
+    batch_index = np.arange(batch)
+    in_tree = np.zeros((batch, n), dtype=bool)
+    in_tree[:, 0] = True
+    best = squared[:, 0, :].copy()
+    best[:, 0] = math.inf
+    parent = np.zeros((batch, n), dtype=np.intp)
+    us = np.empty((batch, n - 1), dtype=np.intp)
+    vs = np.empty((batch, n - 1), dtype=np.intp)
+    lengths = np.empty((batch, n - 1), dtype=float)
+    for index in range(n - 1):
+        candidate = np.argmin(best, axis=1)
+        us[:, index] = parent[batch_index, candidate]
+        vs[:, index] = candidate
+        lengths[:, index] = best[batch_index, candidate]
+        in_tree[batch_index, candidate] = True
+        best[batch_index, candidate] = math.inf
+        row = np.where(in_tree, math.inf, squared[batch_index, candidate, :])
+        closer = row < best
+        parent = np.where(closer, candidate[:, None], parent)
+        best = np.where(closer, row, best)
+    order = np.argsort(lengths, axis=1, kind="stable")
+    return (
+        np.take_along_axis(us, order, axis=1),
+        np.take_along_axis(vs, order, axis=1),
+        np.take_along_axis(lengths, order, axis=1),
+    )
+
+
+def critical_range(positions: Positions) -> float:
+    """Minimum transmitting range that connects ``positions``.
+
+    This is the bottleneck (longest) edge of the Euclidean minimum spanning
+    tree, read off :func:`minimum_spanning_edges` — ``O(n^2)`` time and
+    memory, fine for the network sizes used in the paper (n up to 128) and
+    exact, unlike a bisection over builds.
+
+    Returns 0.0 for zero or one node (such a network is trivially
+    connected at any range).
+    """
+    _, _, lengths = minimum_spanning_edges(positions)
+    if lengths.size == 0:
+        return 0.0
+    return range_reaching(float(lengths[-1]))
 
 
 def critical_range_toroidal(positions: Positions, side: float) -> float:
@@ -84,27 +190,18 @@ def critical_range_toroidal(positions: Positions, side: float) -> float:
     distances on the cube of side ``side``.  Useful for comparing against
     asymptotic results (e.g. the Penrose limit law in
     :mod:`repro.analysis.bounds_2d`) that are stated without boundary
-    effects.
+    effects.  Like its Euclidean sibling, the returned radius is rounded up
+    with :func:`range_reaching` so it really reaches the bottleneck pair.
     """
-    from repro.geometry.distance import toroidal_distance_matrix
+    from repro.geometry.distance import toroidal_squared_distance_matrix
 
     points = as_positions(positions)
-    n = points.shape[0]
-    if n <= 1:
+    if points.shape[0] <= 1:
         return 0.0
-    distances = toroidal_distance_matrix(points, side)
-    in_tree = np.zeros(n, dtype=bool)
-    in_tree[0] = True
-    best = distances[0].copy()
-    best[0] = math.inf
-    bottleneck = 0.0
-    for _ in range(n - 1):
-        candidate = int(np.argmin(np.where(in_tree, math.inf, best)))
-        bottleneck = max(bottleneck, float(best[candidate]))
-        in_tree[candidate] = True
-        best = np.minimum(best, distances[candidate])
-        best[in_tree] = math.inf
-    return bottleneck
+    _, _, lengths = minimum_spanning_edges_from_squared(
+        toroidal_squared_distance_matrix(points, side)
+    )
+    return range_reaching(float(lengths[-1]))
 
 
 def critical_range_for_component_fraction(
@@ -112,10 +209,10 @@ def critical_range_for_component_fraction(
 ) -> float:
     """Smallest range whose largest connected component has ``>= fraction * n`` nodes.
 
-    Implemented with a Kruskal-style sweep: edges are added in order of
-    increasing length into a union-find structure, and the first edge length
-    at which the largest set reaches the target size is returned.  This is
-    exact and costs one sort of the ``O(n^2)`` candidate edges.
+    Implemented with a Kruskal-style sweep over the sorted MST edges from
+    :func:`minimum_spanning_edges` — the component partition at every
+    length threshold is fully determined by the MST, so only ``n - 1``
+    union operations run in Python instead of one per candidate edge.
 
     Args:
         fraction: target fraction of nodes in the largest component, in
@@ -130,19 +227,14 @@ def critical_range_for_component_fraction(
     target = max(1, int(math.ceil(fraction * n)))
     if target <= 1:
         return 0.0
-    squared = squared_distance_matrix(points)
-    rows, cols = np.triu_indices(n, k=1)
-    lengths = squared[rows, cols]
-    order = np.argsort(lengths)
+    us, vs, lengths = minimum_spanning_edges(points)
     structure = UnionFind(n)
-    for index in order:
-        u = int(rows[index])
-        v = int(cols[index])
+    for u, v, squared_length in zip(us.tolist(), vs.tolist(), lengths.tolist()):
         structure.union(u, v)
         if structure.set_size(u) >= target:
-            return range_reaching(float(lengths[index]))
+            return range_reaching(squared_length)
     # Unreachable for fraction <= 1, but keep a defensive return.
-    return range_reaching(float(lengths[order[-1]])) if lengths.size else 0.0
+    return range_reaching(float(lengths[-1])) if lengths.size else 0.0
 
 
 def longest_gap_1d(positions: Positions) -> float:
@@ -216,4 +308,4 @@ def sorted_edge_lengths(positions: Positions) -> List[float]:
         return []
     distances = pairwise_distances(points)
     rows, cols = np.triu_indices(n, k=1)
-    return sorted(float(d) for d in distances[rows, cols])
+    return np.sort(distances[rows, cols]).tolist()

@@ -62,6 +62,7 @@ def measure_system_size(
         iterations=scale.stationary_iterations,
         seed=scale.seed,
         confidence=0.99,
+        workers=scale.workers,
     )
     spec = _mobility_spec_for(model, side, **(mobility_overrides or {}))
     config = SimulationConfig(
@@ -70,6 +71,7 @@ def measure_system_size(
         steps=scale.steps,
         iterations=scale.iterations,
         seed=scale.seed,
+        workers=scale.workers,
     )
     statistics = collect_frame_statistics(config)
     thresholds = estimate_thresholds_from_statistics(statistics)
@@ -185,6 +187,7 @@ def _r100_ratio_row(
         iterations=scale.stationary_iterations,
         seed=scale.seed,
         confidence=0.99,
+        workers=scale.workers,
     )
     spec = MobilitySpec.paper_waypoint(side, **mobility_overrides)
     config = SimulationConfig(
@@ -193,6 +196,7 @@ def _r100_ratio_row(
         steps=scale.steps,
         iterations=scale.iterations,
         seed=scale.seed,
+        workers=scale.workers,
     )
     statistics = collect_frame_statistics(config)
     thresholds = estimate_thresholds_from_statistics(statistics)

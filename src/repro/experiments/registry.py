@@ -9,7 +9,7 @@ and the benchmarks.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.exceptions import ConfigurationError
@@ -30,6 +30,9 @@ class ExperimentScale:
         parameter_points: number of points in the parameter sweeps of
             Figures 7–9.
         seed: root random seed.
+        workers: worker processes for the simulation iterations (see
+            :class:`repro.simulation.config.SimulationConfig`; results are
+            bit-identical for every value).
     """
 
     name: str
@@ -39,6 +42,11 @@ class ExperimentScale:
     stationary_iterations: int
     parameter_points: int
     seed: Optional[int] = 20020623  # DSN 2002 conference date.
+    workers: int = 1
+
+    def with_workers(self, workers: int) -> "ExperimentScale":
+        """Copy of this scale running on ``workers`` processes."""
+        return replace(self, workers=workers)
 
     def __post_init__(self) -> None:
         if self.steps < 1:
@@ -58,6 +66,10 @@ class ExperimentScale:
             )
         if not self.sides:
             raise ConfigurationError("sides must contain at least one system size")
+        if self.workers < 1:
+            raise ConfigurationError(
+                f"workers must be at least 1, got {self.workers}"
+            )
 
 
 #: The three built-in scale presets.

@@ -41,6 +41,7 @@ def stationary_experiment(scale: ExperimentScale) -> SweepResult:
             iterations=scale.stationary_iterations,
             seed=scale.seed,
             confidence=0.99,
+            workers=scale.workers,
         )
         return {
             "n": float(node_count),

@@ -70,14 +70,25 @@ def toroidal_distance(
     return float(math.sqrt(float(np.sum(delta**2))))
 
 
-def toroidal_distance_matrix(positions: Positions, side: float) -> np.ndarray:
-    """All-pairs toroidal distances for a placement on a torus of side ``side``."""
+def toroidal_squared_distance_matrix(positions: Positions, side: float) -> np.ndarray:
+    """All-pairs squared toroidal distances on a torus of side ``side``.
+
+    The squared form is what range comparisons use (adjacency is decided by
+    ``distance**2 <= r**2``), so exact threshold extraction — e.g.
+    :func:`repro.connectivity.critical_range.critical_range_toroidal` —
+    works on this matrix and only rounds to a radius at the very end.
+    """
     if side <= 0:
         raise ValueError(f"side must be positive, got {side}")
     points = as_positions(positions)
     deltas = np.abs(points[:, None, :] - points[None, :, :])
     deltas = np.minimum(deltas, side - deltas)
-    return np.sqrt(np.sum(deltas**2, axis=-1))
+    return np.sum(deltas**2, axis=-1)
+
+
+def toroidal_distance_matrix(positions: Positions, side: float) -> np.ndarray:
+    """All-pairs toroidal distances for a placement on a torus of side ``side``."""
+    return np.sqrt(toroidal_squared_distance_matrix(positions, side))
 
 
 def nearest_neighbor_distances(positions: Positions) -> np.ndarray:

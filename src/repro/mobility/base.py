@@ -137,6 +137,31 @@ class MobilityModel(abc.ABC):
         state.step_index += 1
         return new_positions.copy()
 
+    def trajectory(
+        self, steps: int, rng: Optional[np.random.Generator] = None
+    ) -> np.ndarray:
+        """The next ``steps`` frames as one ``(steps, n, d)`` array.
+
+        Frame 0 is the *current* position array; frames ``1 .. steps - 1``
+        are produced by advancing the model ``steps - 1`` times, consuming
+        exactly the same random draws as that many :meth:`step` calls — so
+        batched and per-step simulation are bit-identical.  Models whose
+        dynamics allow it (e.g. :class:`~repro.mobility.stationary.
+        StationaryModel`) override this with a fully vectorized
+        implementation; the simulation engine consumes trajectories in
+        bounded-size batches, so such models skip the per-step Python
+        overhead entirely.
+        """
+        if steps < 1:
+            raise ConfigurationError(f"steps must be at least 1, got {steps}")
+        state = self.state
+        generator = make_rng(rng)
+        frames = np.empty((steps,) + state.positions.shape, dtype=float)
+        frames[0] = state.positions
+        for index in range(1, steps):
+            frames[index] = self.step(generator)
+        return frames
+
     def run(
         self, steps: int, rng: Optional[np.random.Generator] = None
     ) -> Positions:

@@ -10,8 +10,11 @@ exactly the same machinery as the mobile thresholds.
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
+from repro.exceptions import ConfigurationError
 from repro.mobility.base import MobilityModel
 from repro.types import Positions
 
@@ -28,6 +31,22 @@ class StationaryModel(MobilityModel):
 
     def _advance(self, rng: np.random.Generator) -> Positions:
         return self.state.positions.copy()
+
+    def trajectory(
+        self, steps: int, rng: Optional[np.random.Generator] = None
+    ) -> np.ndarray:
+        """Vectorized batch: every frame repeats the current positions.
+
+        Neither :meth:`_advance` nor the base-class stepping consumes any
+        random draws for a stationary model, so this broadcast is
+        bit-identical to ``steps - 1`` individual :meth:`step` calls.
+        """
+        if steps < 1:
+            raise ConfigurationError(f"steps must be at least 1, got {steps}")
+        state = self.state
+        frames = np.repeat(state.positions[None, :, :], steps, axis=0)
+        state.step_index += steps - 1
+        return frames
 
     def describe(self) -> str:
         return "StationaryModel()"

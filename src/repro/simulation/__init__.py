@@ -23,11 +23,21 @@ Main entry points:
   ``rl_x`` values plotted in Figures 2–9.
 * :func:`~repro.simulation.search.stationary_critical_range` — the
   ``rstationary`` denominator.
+
+Execution scales with two orthogonal knobs: ``SimulationConfig.workers``
+fans the independent iterations out over worker processes (bit-identical
+to serial for the same seed — each iteration owns child stream ``i`` of the
+root seed), and the per-frame hot path is vectorized (batched mobility
+trajectories + batched MST reduction, see
+:func:`~repro.simulation.engine.frame_statistics_batch`).
 """
 
 from repro.simulation.config import MobilitySpec, NetworkConfig, SimulationConfig
 from repro.simulation.engine import (
     FrameStatistics,
+    component_growth_curve,
+    frame_statistics,
+    frame_statistics_batch,
     simulate_frame_statistics,
     simulate_iteration,
 )
@@ -67,9 +77,12 @@ __all__ = [
     "SweepResult",
     "average_largest_fraction_at",
     "collect_frame_statistics",
+    "component_growth_curve",
     "connectivity_fraction_at",
     "estimate_component_thresholds",
     "estimate_thresholds",
+    "frame_statistics",
+    "frame_statistics_batch",
     "largest_component_size_at",
     "minimum_largest_fraction_at",
     "range_for_component_fraction",

@@ -15,7 +15,7 @@ The paper's experiment of Section 4.2 corresponds to
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Dict, Optional
 
 from repro.exceptions import ConfigurationError
@@ -124,7 +124,14 @@ class MobilitySpec:
 
 @dataclass(frozen=True)
 class SimulationConfig:
-    """Everything needed to reproduce a mobile-connectivity run."""
+    """Everything needed to reproduce a mobile-connectivity run.
+
+    ``workers`` selects the execution backend of the multi-iteration
+    runners: 1 (the default) runs iterations serially in-process, larger
+    values fan the iterations out over a pool of worker processes.  Because
+    every iteration owns an independent child random stream derived from
+    ``seed``, results are bit-identical for every ``workers`` value.
+    """
 
     network: NetworkConfig
     mobility: MobilitySpec = field(default_factory=MobilitySpec.stationary)
@@ -132,6 +139,7 @@ class SimulationConfig:
     iterations: int = 1
     seed: Optional[int] = None
     transmitting_range: Optional[float] = None
+    workers: int = 1
 
     def __post_init__(self) -> None:
         if self.steps < 1:
@@ -145,6 +153,10 @@ class SimulationConfig:
                 "transmitting_range must be non-negative, got "
                 f"{self.transmitting_range}"
             )
+        if self.workers < 1:
+            raise ConfigurationError(
+                f"workers must be at least 1, got {self.workers}"
+            )
 
     @property
     def is_stationary(self) -> bool:
@@ -153,14 +165,15 @@ class SimulationConfig:
 
     def with_range(self, transmitting_range: float) -> "SimulationConfig":
         """Copy of this configuration with a different transmitting range."""
-        return SimulationConfig(
-            network=self.network,
-            mobility=self.mobility,
-            steps=self.steps,
-            iterations=self.iterations,
-            seed=self.seed,
-            transmitting_range=transmitting_range,
-        )
+        return replace(self, transmitting_range=transmitting_range)
+
+    def with_workers(self, workers: int) -> "SimulationConfig":
+        """Copy of this configuration with a different worker count.
+
+        The copy produces bit-identical results for any ``workers`` value;
+        only the wall-clock execution strategy changes.
+        """
+        return replace(self, workers=workers)
 
     # Paper presets ------------------------------------------------------ #
     @classmethod
@@ -171,6 +184,7 @@ class SimulationConfig:
         iterations: int = 50,
         seed: Optional[int] = None,
         pstationary: float = 0.0,
+        workers: int = 1,
     ) -> "SimulationConfig":
         """The Figure 2 configuration (scaled sizes can override steps/iterations)."""
         return cls(
@@ -179,6 +193,7 @@ class SimulationConfig:
             steps=steps,
             iterations=iterations,
             seed=seed,
+            workers=workers,
         )
 
     @classmethod
@@ -188,6 +203,7 @@ class SimulationConfig:
         steps: int = 10000,
         iterations: int = 50,
         seed: Optional[int] = None,
+        workers: int = 1,
     ) -> "SimulationConfig":
         """The Figure 3 configuration."""
         return cls(
@@ -196,4 +212,5 @@ class SimulationConfig:
             steps=steps,
             iterations=iterations,
             seed=seed,
+            workers=workers,
         )

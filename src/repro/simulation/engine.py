@@ -12,23 +12,40 @@ Two modes are provided:
   every threshold the paper studies can be recovered *for any range*
   without re-running mobility, which is how the Figure 2–9 benchmarks stay
   affordable.
+
+Both modes are vectorized: mobility trajectories are produced as batched
+``(steps, n, d)`` arrays (see :meth:`repro.mobility.base.MobilityModel.
+trajectory`), and each frame is reduced through the sorted MST edges of
+:func:`repro.connectivity.critical_range.minimum_spanning_edges`, so only
+``n - 1`` union-find operations — not one per ``O(n^2)`` candidate edge —
+run in Python per frame.  The pre-vectorization reduction is kept as
+:func:`component_growth_curve_reference` for property tests and the
+micro-benchmark in ``benchmarks/bench_parallel_scaling.py``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Iterator, List, Tuple
 
 import numpy as np
 
-from repro.connectivity.critical_range import critical_range, range_reaching
+from repro.connectivity.critical_range import (
+    critical_range,
+    minimum_spanning_edges,
+    minimum_spanning_edges_batch,
+    range_reaching,
+)
+from repro.exceptions import SimulationError
 from repro.geometry.distance import squared_distance_matrix
-from repro.graph.builder import build_communication_graph
-from repro.graph.components import summarize_components
 from repro.graph.union_find import UnionFind
+from repro.mobility.base import MobilityModel
 from repro.simulation.config import MobilitySpec, NetworkConfig
 from repro.simulation.results import IterationResult, StepRecord
 from repro.types import Positions
+
+#: Upper bound on the floats buffered per trajectory batch (~16 MB).
+_TRAJECTORY_BATCH_ELEMENTS = 2_000_000
 
 
 @dataclass(frozen=True)
@@ -70,10 +87,73 @@ class FrameStatistics:
 def component_growth_curve(positions: Positions) -> Tuple[Tuple[float, int], ...]:
     """Breakpoints of "largest component size as a function of the range".
 
-    Computed with a Kruskal-style sweep: pairwise distances are sorted and
-    merged into a union-find structure; every time the size of the largest
-    set grows, a breakpoint ``(distance, new_size)`` is emitted.  The final
+    Computed with a Kruskal-style sweep over the sorted MST edges of
+    :func:`repro.connectivity.critical_range.minimum_spanning_edges`: the
+    component partition at every length threshold is fully determined by
+    the MST, so only its ``n - 1`` edges are merged into the union-find
+    structure.  Every time the size of the largest set grows, a breakpoint
+    ``(distance, new_size)`` is emitted; breakpoints sharing a range value
+    (tied edge lengths) are coalesced into the last one.  The final
     breakpoint is always ``(critical_range, n)``.
+    """
+    points = np.asarray(positions, dtype=float)
+    if points.ndim == 1:
+        points = points.reshape(-1, 1)
+    n = points.shape[0]
+    if n <= 1:
+        return ()
+    us, vs, lengths = minimum_spanning_edges(points)
+    return _curve_from_sorted_mst_edges(
+        us.tolist(), vs.tolist(), lengths.tolist(), n
+    )
+
+
+def _curve_from_sorted_mst_edges(
+    us: List[int], vs: List[int], lengths: List[float], n: int
+) -> Tuple[Tuple[float, int], ...]:
+    """Union-find sweep over sorted MST edges, emitting growth breakpoints.
+
+    This runs once per simulated frame over plain Python lists, so the
+    union-find is inlined (path halving, union by size) rather than paying
+    a method call per edge.
+    """
+    parent = list(range(n))
+    size = [1] * n
+    breakpoints: List[Tuple[float, int]] = []
+    largest = 1
+    for u, v, squared_length in zip(us, vs, lengths):
+        while parent[u] != u:
+            parent[u] = parent[parent[u]]
+            u = parent[u]
+        while parent[v] != v:
+            parent[v] = parent[parent[v]]
+            v = parent[v]
+        # MST edges always join two distinct components (u != v here).
+        if size[u] < size[v]:
+            u, v = v, u
+        parent[v] = u
+        size[u] += size[v]
+        if size[u] > largest:
+            largest = size[u]
+            breakpoint_range = range_reaching(squared_length)
+            if breakpoints and breakpoints[-1][0] == breakpoint_range:
+                breakpoints[-1] = (breakpoint_range, largest)
+            else:
+                breakpoints.append((breakpoint_range, largest))
+    return tuple(breakpoints)
+
+
+def component_growth_curve_reference(
+    positions: Positions,
+) -> Tuple[Tuple[float, int], ...]:
+    """Pre-vectorization :func:`component_growth_curve` (dense edge sweep).
+
+    Sweeps all ``O(n^2)`` candidate edges in sorted order instead of just
+    the MST edges.  Kept as the independent ground truth for the property
+    tests and for the vectorized-vs-seed micro-benchmark; both
+    implementations produce identical curves away from exact ties in the
+    pairwise distances (ties have probability zero for the continuous
+    placements the simulations draw).
     """
     points = np.asarray(positions, dtype=float)
     if points.ndim == 1:
@@ -118,6 +198,71 @@ def frame_statistics(positions: Positions) -> FrameStatistics:
     )
 
 
+def frame_statistics_batch(frames: np.ndarray) -> List[FrameStatistics]:
+    """Compute :class:`FrameStatistics` for a ``(B, n, d)`` batch of frames.
+
+    Bit-identical to calling :func:`frame_statistics` on each frame, but the
+    MST construction runs batched across all frames
+    (:func:`repro.connectivity.critical_range.minimum_spanning_edges_batch`),
+    so the per-frame Python cost is one ``n - 1``-edge sweep instead of a
+    full Prim loop.  This is the per-frame hot path of both simulation
+    modes.
+    """
+    points = np.asarray(frames, dtype=float)
+    if points.ndim != 3:
+        raise SimulationError(
+            f"expected a (B, n, d) batch of frames, got shape {points.shape}"
+        )
+    batch, n = points.shape[0], points.shape[1]
+    if n <= 1:
+        return [
+            FrameStatistics(critical_range=0.0, component_curve=(), node_count=n)
+            for _ in range(batch)
+        ]
+    all_us, all_vs, all_lengths = minimum_spanning_edges_batch(points)
+    statistics: List[FrameStatistics] = []
+    for us, vs, lengths in zip(all_us, all_vs, all_lengths):
+        curve = _curve_from_sorted_mst_edges(
+            us.tolist(), vs.tolist(), lengths.tolist(), n
+        )
+        statistics.append(
+            FrameStatistics(
+                critical_range=curve[-1][0] if curve else 0.0,
+                component_curve=curve,
+                node_count=n,
+            )
+        )
+    return statistics
+
+
+def _iter_trajectory_batches(
+    model: MobilityModel, steps: int, rng: np.random.Generator
+) -> Iterator[np.ndarray]:
+    """Yield the run's ``steps`` frames as bounded ``(k, n, d)`` batches.
+
+    The first batch starts at the model's current positions (step 0); later
+    batches continue from wherever the previous one left the model.  Batch
+    sizes are capped so a 10 000-step trajectory never buffers more than
+    ``_TRAJECTORY_BATCH_ELEMENTS`` floats at once — counting the per-frame
+    ``(n, n)`` squared distance matrices the batched reduction stacks, not
+    just the ``(n, d)`` positions.
+    """
+    n, dimension = model.state.positions.shape
+    per_frame = max(1, n * n, n * dimension)
+    batch_size = max(1, _TRAJECTORY_BATCH_ELEMENTS // per_frame)
+    produced = 0
+    while produced < steps:
+        count = min(batch_size, steps - produced)
+        if produced == 0:
+            frames = model.trajectory(count, rng)
+        else:
+            # Frame 0 of a trajectory is the current (already yielded)
+            # position array, so request one extra frame and drop it.
+            frames = model.trajectory(count + 1, rng)[1:]
+        produced += frames.shape[0]
+        yield frames
+
+
 def simulate_iteration(
     network: NetworkConfig,
     mobility: MobilitySpec,
@@ -131,26 +276,31 @@ def simulate_iteration(
     A fresh placement is drawn, a fresh mobility model instance is bound to
     it, and for each of ``steps`` mobility steps (the initial placement
     counts as step 0, matching the paper's ``#steps = 1`` = stationary
-    convention) the connectivity of the induced graph is recorded.
+    convention) the connectivity of the induced graph is recorded.  Each
+    frame is reduced through its MST edges (:func:`frame_statistics`),
+    which answers both "connected?" and "largest component size?" at the
+    fixed range exactly — a graph is connected at ``r`` iff ``r`` reaches
+    its bottleneck MST edge.
     """
     region = network.region
     placement = network.placement_strategy(network.node_count, region, rng)
     model = mobility.create()
-    positions = model.initialize(placement, region, rng)
+    model.initialize(placement, region, rng)
 
     records: List[StepRecord] = []
-    for step in range(steps):
-        if step > 0:
-            positions = model.step(rng)
-        graph = build_communication_graph(positions, transmitting_range)
-        summary = summarize_components(graph)
-        records.append(
-            StepRecord(
-                step=step,
-                connected=summary.is_connected,
-                largest_component_size=summary.largest_size,
+    step = 0
+    for batch in _iter_trajectory_batches(model, steps, rng):
+        for statistics in frame_statistics_batch(batch):
+            records.append(
+                StepRecord(
+                    step=step,
+                    connected=statistics.is_connected_at(transmitting_range),
+                    largest_component_size=statistics.largest_component_size_at(
+                        transmitting_range
+                    ),
+                )
             )
-        )
+            step += 1
     return IterationResult(
         iteration=iteration,
         node_count=network.node_count,
@@ -170,17 +320,18 @@ def simulate_frame_statistics(
     The returned list has one :class:`FrameStatistics` per step (step 0 is
     the initial placement).  All range thresholds of the paper can then be
     derived with :mod:`repro.simulation.metrics` without re-simulating.
+    Frames are produced as batched ``(k, n, d)`` trajectory arrays, so
+    models with a vectorized :meth:`~repro.mobility.base.MobilityModel.
+    trajectory` (e.g. stationary) skip the per-step Python overhead.
     """
     region = network.region
     placement = network.placement_strategy(network.node_count, region, rng)
     model = mobility.create()
-    positions = model.initialize(placement, region, rng)
+    model.initialize(placement, region, rng)
 
     statistics: List[FrameStatistics] = []
-    for step in range(steps):
-        if step > 0:
-            positions = model.step(rng)
-        statistics.append(frame_statistics(positions))
+    for batch in _iter_trajectory_batches(model, steps, rng):
+        statistics.extend(frame_statistics_batch(batch))
     return statistics
 
 

@@ -51,15 +51,21 @@ def connectivity_fraction_at(
 def average_largest_fraction_at(
     frames: Sequence[FrameStatistics], transmitting_range: float
 ) -> float:
-    """Mean largest-component fraction over all frames at the given range."""
-    if not frames:
-        return 0.0
+    """Mean largest-component fraction over all frames at the given range.
+
+    Frames with zero nodes carry no component information and are excluded
+    from both the numerator and the denominator (matching
+    :func:`minimum_largest_fraction_at`); if every frame is empty the
+    average is 0.0.
+    """
     total = 0.0
+    counted = 0
     for frame in frames:
         if frame.node_count == 0:
             continue
         total += frame.largest_component_size_at(transmitting_range) / frame.node_count
-    return total / len(frames)
+        counted += 1
+    return total / counted if counted else 0.0
 
 
 def minimum_largest_fraction_at(

@@ -4,11 +4,27 @@ The paper averages every reported quantity over 50 independent simulations
 of 10 000 mobility steps each.  The runners here execute those iterations
 with independent, reproducible random streams derived from a single root
 seed (see :class:`repro.stats.rng.RandomSource`).
+
+Execution backend
+-----------------
+``SimulationConfig.workers`` selects how the iterations run:
+
+* ``workers == 1`` (default) — a serial in-process loop;
+* ``workers > 1`` — the iterations fan out over a
+  :class:`concurrent.futures.ProcessPoolExecutor`.
+
+Iteration ``i`` always consumes the stream ``RandomSource(seed).child(i)``
+regardless of which process executes it, and the root entropy is resolved
+*once* in the parent (so even ``seed=None`` runs hand every worker the same
+root).  Parallel results are therefore bit-identical to serial results —
+only the wall-clock time changes.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from concurrent.futures import ProcessPoolExecutor
+from functools import partial
+from typing import Callable, List, Optional, TypeVar
 
 from repro.exceptions import ConfigurationError
 from repro.simulation.config import SimulationConfig
@@ -17,12 +33,66 @@ from repro.simulation.engine import (
     simulate_frame_statistics,
     simulate_iteration,
 )
-from repro.simulation.results import MobileRunResult
+from repro.simulation.results import IterationResult, MobileRunResult
 from repro.stats.rng import RandomSource
+
+ResultT = TypeVar("ResultT")
+
+
+def _fixed_range_iteration(
+    index: int, config: SimulationConfig, entropy: int
+) -> IterationResult:
+    """Run fixed-range iteration ``index`` on its own child stream."""
+    rng = RandomSource.from_entropy(entropy).child(index)
+    return simulate_iteration(
+        network=config.network,
+        mobility=config.mobility,
+        steps=config.steps,
+        transmitting_range=config.transmitting_range,
+        rng=rng,
+        iteration=index,
+    )
+
+
+def _frame_statistics_iteration(
+    index: int, config: SimulationConfig, entropy: int
+) -> List[FrameStatistics]:
+    """Run trace-statistics iteration ``index`` on its own child stream."""
+    rng = RandomSource.from_entropy(entropy).child(index)
+    return simulate_frame_statistics(
+        network=config.network,
+        mobility=config.mobility,
+        steps=config.steps,
+        rng=rng,
+    )
+
+
+def _map_iterations(
+    task: Callable[[int, SimulationConfig, int], ResultT],
+    config: SimulationConfig,
+) -> List[ResultT]:
+    """Run ``task`` for every iteration index, serially or in a process pool.
+
+    ``task`` must be a module-level callable (it is pickled to worker
+    processes).  Results are returned in iteration order and are
+    bit-identical for every ``config.workers`` value.
+    """
+    entropy = RandomSource(config.seed).entropy
+    bound = partial(task, config=config, entropy=entropy)
+    worker_count = min(config.workers, config.iterations)
+    if worker_count <= 1:
+        return [bound(index) for index in range(config.iterations)]
+    # A large chunksize amortises pickling without starving workers.
+    chunksize = max(1, config.iterations // (worker_count * 4))
+    with ProcessPoolExecutor(max_workers=worker_count) as pool:
+        return list(pool.map(bound, range(config.iterations), chunksize=chunksize))
 
 
 def run_fixed_range(config: SimulationConfig) -> MobileRunResult:
     """Run the paper's simulator: fixed range, all iterations.
+
+    Honours ``config.workers`` (parallel execution is bit-identical to
+    serial — see the module docstring).
 
     Raises:
         ConfigurationError: if ``config.transmitting_range`` is not set.
@@ -32,20 +102,7 @@ def run_fixed_range(config: SimulationConfig) -> MobileRunResult:
             "run_fixed_range requires config.transmitting_range to be set; "
             "use collect_frame_statistics / estimate_thresholds to derive ranges"
         )
-    source = RandomSource(config.seed)
-    iterations = []
-    for index in range(config.iterations):
-        rng = source.child(index)
-        iterations.append(
-            simulate_iteration(
-                network=config.network,
-                mobility=config.mobility,
-                steps=config.steps,
-                transmitting_range=config.transmitting_range,
-                rng=rng,
-                iteration=index,
-            )
-        )
+    iterations = _map_iterations(_fixed_range_iteration, config)
     return MobileRunResult(
         transmitting_range=config.transmitting_range,
         node_count=config.network.node_count,
@@ -59,21 +116,10 @@ def collect_frame_statistics(config: SimulationConfig) -> List[List[FrameStatist
     Returns one list of :class:`FrameStatistics` per iteration.  The random
     streams are the same as :func:`run_fixed_range` uses for the same seed,
     so thresholds derived from these statistics are consistent with
-    fixed-range runs on the same configuration.
+    fixed-range runs on the same configuration.  Honours ``config.workers``
+    (parallel execution is bit-identical to serial).
     """
-    source = RandomSource(config.seed)
-    all_statistics: List[List[FrameStatistics]] = []
-    for index in range(config.iterations):
-        rng = source.child(index)
-        all_statistics.append(
-            simulate_frame_statistics(
-                network=config.network,
-                mobility=config.mobility,
-                steps=config.steps,
-                rng=rng,
-            )
-        )
-    return all_statistics
+    return _map_iterations(_frame_statistics_iteration, config)
 
 
 def stationary_critical_range(
@@ -84,6 +130,7 @@ def stationary_critical_range(
     seed: Optional[int] = None,
     confidence: float = 0.99,
     placement: str = "uniform",
+    workers: int = 1,
 ) -> float:
     """Estimate ``rstationary``: the range connecting random static placements.
 
@@ -104,6 +151,8 @@ def stationary_critical_range(
         confidence: the quantile of per-placement critical ranges returned;
             1.0 returns the maximum observed.
         placement: placement strategy name (default ``uniform``).
+        workers: process count for the placement draws (1 = serial;
+            results are bit-identical for every value).
     """
     from repro.simulation.config import MobilitySpec, NetworkConfig
     from repro.simulation.metrics import range_for_connectivity_fraction
@@ -119,6 +168,7 @@ def stationary_critical_range(
         steps=1,
         iterations=iterations,
         seed=seed,
+        workers=workers,
     )
     statistics = collect_frame_statistics(config)
     # Each iteration contributes exactly one frame (steps == 1); pool them.

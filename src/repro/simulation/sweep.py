@@ -54,6 +54,14 @@ def sweep_parameter(
 ) -> SweepResult:
     """Run ``measure`` at every parameter value and tabulate the results.
 
+    The sweep itself is intentionally serial: the heavy parallelism lives
+    one level down, in ``SimulationConfig.workers`` (every registered
+    experiment's ``measure`` fans its simulation iterations out over a
+    process pool).  Parallelising across parameter values as well would
+    fork worker pools from multiple threads, which is unsafe on POSIX;
+    sweep-level fan-out needs picklable measures and is tracked as a
+    ROADMAP follow-up.
+
     Args:
         parameter_name: column name of the swept parameter.
         parameter_values: values to sweep, in order.

@@ -64,6 +64,27 @@ class RandomSource:
         """The root seed this source was created with (``None`` if entropy)."""
         return self._seed
 
+    @property
+    def entropy(self) -> int:
+        """The resolved root entropy (always an integer).
+
+        For an integer seed this is the seed itself; for ``seed=None`` it is
+        the entropy NumPy drew from the OS pool.  Feeding it back through
+        :meth:`from_entropy` reproduces exactly the same child streams,
+        which is how the parallel simulation runner hands every worker
+        process the same root even for entropy-seeded runs.
+        """
+        return self._sequence.entropy
+
+    @classmethod
+    def from_entropy(cls, entropy: int) -> "RandomSource":
+        """A source whose children match those of the source ``entropy`` came from.
+
+        ``RandomSource.from_entropy(source.entropy).child(i)`` produces the
+        same stream as ``source.child(i)`` for every ``i``.
+        """
+        return cls(entropy)
+
     def child(self, index: int) -> np.random.Generator:
         """Return the generator for child ``index`` (deterministic)."""
         if index < 0:

@@ -6,6 +6,7 @@ import pytest
 from repro.connectivity.critical_range import (
     critical_range,
     critical_range_for_component_fraction,
+    critical_range_toroidal,
     longest_gap_1d,
     range_for_k_connectivity,
     sorted_edge_lengths,
@@ -49,6 +50,55 @@ class TestCriticalRange:
     def test_duplicate_points(self):
         points = np.array([[1.0, 1.0], [1.0, 1.0], [2.0, 1.0]])
         assert critical_range(points) == pytest.approx(1.0)
+
+
+class TestCriticalRangeToroidal:
+    def test_wraparound_shorter_than_euclidean(self):
+        points = np.array([[0.5, 0.5], [99.5, 0.5]])
+        assert critical_range_toroidal(points, 100.0) == pytest.approx(1.0)
+
+    def test_trivial_inputs(self):
+        assert critical_range_toroidal(np.array([[1.0, 2.0]]), 10.0) == 0.0
+        assert critical_range_toroidal(np.empty((0, 2)), 10.0) == 0.0
+
+    def test_range_reaches_bottleneck_pair(self):
+        """Regression: the returned range must satisfy ``r**2 >= d**2`` for
+        the bottleneck pair it was derived from.
+
+        This separation is a concrete case where ``math.sqrt(d_squared)``
+        squares to strictly less than ``d_squared``, so the pre-fix code
+        (plain square root, no ulp round-up) returned a range that failed
+        the squared-distance adjacency test for its own bottleneck edge.
+        """
+        dx, dy = 0.40036971481613076, 0.44812267709330644
+        squared = dx * dx + dy * dy
+        assert np.sqrt(squared) ** 2 < squared  # the regression's trigger
+        points = np.array([[0.0, 0.0], [dx, dy]])
+        value = critical_range_toroidal(points, 1.0)
+        assert value * value >= squared
+
+    def test_connects_random_placements_under_squared_comparison(self, rng):
+        from repro.geometry.distance import toroidal_squared_distance_matrix
+        from repro.graph.union_find import UnionFind
+
+        side = 100.0
+        for _ in range(5):
+            points = rng.uniform(0, side, size=(20, 2))
+            value = critical_range_toroidal(points, side)
+            squared = toroidal_squared_distance_matrix(points, side)
+            structure = UnionFind(points.shape[0])
+            rows, cols = np.nonzero(squared <= value * value)
+            for u, v in zip(rows, cols):
+                structure.union(int(u), int(v))
+            assert structure.component_count == 1
+
+    def test_agrees_with_euclidean_without_wraparound(self, rng):
+        # On a torus much larger than the placement spread no pair wraps, so
+        # the toroidal bottleneck equals the Euclidean one.
+        points = rng.uniform(0, 10, size=(15, 2))
+        assert critical_range_toroidal(points, 1000.0) == pytest.approx(
+            critical_range(points)
+        )
 
 
 class TestComponentFractionRange:

@@ -55,6 +55,17 @@ class TestPointwiseMetrics:
         assert average_largest_fraction_at([], 1.0) == 0.0
         assert minimum_largest_fraction_at([], 1.0) == 0.0
 
+    def test_zero_node_frames_do_not_deflate_average(self, frames):
+        """Regression: empty frames must be excluded from the denominator
+        too, not just the numerator."""
+        empty = frame_statistics(np.empty((0, 2)))
+        for r in (0.0, 30.0, 200.0):
+            expected = average_largest_fraction_at(frames, r)
+            assert average_largest_fraction_at(
+                frames + [empty, empty], r
+            ) == pytest.approx(expected)
+        assert average_largest_fraction_at([empty], 10.0) == 0.0
+
 
 class TestConnectivityThresholds:
     def test_r100_is_max_critical_range(self, frames):
