@@ -9,6 +9,9 @@
 # 2. The parallel/vectorized perf smoke benchmark must pass at smoke
 #    scale: parallel results bit-identical to serial, vectorized frame
 #    reduction faster than the dense reference sweep.
+# 3. The sweep fan-out / columnar payload smoke benchmark must pass at
+#    smoke scale: parallel sweeps exactly equal to serial, fixed-range
+#    result payload >= 10x smaller than the object-list containers.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -16,3 +19,6 @@ PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest -x -q
 
 REPRO_BENCH_SCALE=smoke PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
     python -m pytest benchmarks/bench_parallel_scaling.py -q
+
+REPRO_BENCH_SCALE=smoke PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
+    python -m pytest benchmarks/bench_sweep_scaling.py -q

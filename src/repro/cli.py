@@ -7,6 +7,8 @@ experiments::
     adhoc-connectivity run fig2 --scale smoke
     adhoc-connectivity run fig7 --scale default --output fig7.json
     adhoc-connectivity run fig2 --scale paper --workers 8
+    adhoc-connectivity run fig2 --scale paper --sweep-workers 4 --workers 2
+    adhoc-connectivity run fig2 --scale paper --total-workers 8
     adhoc-connectivity stationary --side 1024 --nodes 32 --workers 4
 
 The CLI is intentionally thin: it parses arguments, calls the experiment
@@ -60,8 +62,27 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help=(
-            "worker processes for the simulation iterations "
-            "(results are bit-identical for every value)"
+            "worker processes for the simulation iterations within one "
+            "parameter value (results are bit-identical for every value)"
+        ),
+    )
+    run_parser.add_argument(
+        "--sweep-workers",
+        type=int,
+        default=None,
+        help=(
+            "parameter values of the sweep measured concurrently, each in "
+            "its own process; the total budget is sweep-workers x workers"
+        ),
+    )
+    run_parser.add_argument(
+        "--total-workers",
+        type=int,
+        default=None,
+        help=(
+            "split one total process budget between the sweep and "
+            "iteration levels automatically (overrides --workers and "
+            "--sweep-workers)"
         ),
     )
 
@@ -99,8 +120,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"Running {experiment.identifier}: {experiment.title}")
         print(experiment.description)
         scale = scale_by_name(arguments.scale)
-        if arguments.workers is not None:
-            scale = scale.with_workers(arguments.workers)
+        if arguments.total_workers is not None:
+            # Split for this experiment's actual sweep width (system sides
+            # for fig2-6, parameter points for fig7-9).
+            scale = experiment.with_worker_budget(scale, arguments.total_workers)
+        else:
+            if arguments.workers is not None:
+                scale = scale.with_workers(arguments.workers)
+            if arguments.sweep_workers is not None:
+                scale = scale.with_sweep_workers(arguments.sweep_workers)
         sweep = experiment.run(scale)
         print()
         print(render_sweep(sweep, title=f"{experiment.identifier} ({arguments.scale} scale)"))

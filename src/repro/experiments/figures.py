@@ -5,6 +5,14 @@ plots; the shared helper :func:`mobile_threshold_rows` runs the expensive
 part (one trace-statistics simulation per system size and mobility model)
 once and derives all the Figure 2–6 series from it.
 
+The per-value work is packaged in module-level measure dataclasses
+(:class:`SystemSizeMeasure`, :class:`ParameterStudyMeasure`) so sweeps can
+fan parameter values out over worker processes
+(``ExperimentScale.sweep_workers``) — a lambda closing over the scale
+would not pickle.  Each measure honours ``scale.workers`` for its nested
+iteration pool, so the total process budget is
+``sweep_workers * workers``.
+
 The experiments are registered in the global registry under the
 identifiers ``fig2`` … ``fig9``.
 """
@@ -12,11 +20,13 @@ identifiers ``fig2`` … ``fig9``.
 from __future__ import annotations
 
 import math
-from typing import Callable, Dict, List, Sequence
+from dataclasses import dataclass, replace
+from typing import Dict, Optional, Sequence
 
 from repro.experiments.registry import (
     Experiment,
     ExperimentScale,
+    parameter_sweep_width,
     register_experiment,
 )
 from repro.simulation.config import MobilitySpec, NetworkConfig, SimulationConfig
@@ -97,6 +107,27 @@ def measure_system_size(
     return row
 
 
+@dataclass(frozen=True)
+class SystemSizeMeasure:
+    """Picklable sweep measure: all Figure 2–6 series at one system size.
+
+    Implements the :class:`repro.simulation.sweep.Measure` protocol so the
+    system-size sweep can run its sides in parallel worker processes.
+    """
+
+    model: str
+    scale: ExperimentScale
+    mobility_overrides: Optional[Dict] = None
+
+    def __call__(self, side: float) -> Dict[str, float]:
+        return measure_system_size(
+            side, self.model, self.scale, self.mobility_overrides
+        )
+
+    def with_iteration_workers(self, count: int) -> "SystemSizeMeasure":
+        return replace(self, scale=self.scale.with_workers(count))
+
+
 def mobile_threshold_rows(
     model: str, scale: ExperimentScale, mobility_overrides: Dict | None = None
 ) -> SweepResult:
@@ -104,7 +135,8 @@ def mobile_threshold_rows(
     return sweep_parameter(
         "l",
         scale.sides,
-        lambda side: measure_system_size(side, model, scale, mobility_overrides),
+        SystemSizeMeasure(model=model, scale=scale, mobility_overrides=mobility_overrides),
+        workers=scale.sweep_workers,
     )
 
 
@@ -208,13 +240,44 @@ def _r100_ratio_row(
     }
 
 
+@dataclass(frozen=True)
+class ParameterStudyMeasure:
+    """Picklable sweep measure for the Figure 7–9 parameter studies.
+
+    Maps one swept value to the waypoint mobility override it controls
+    (``pstationary`` → probability, ``tpause`` → integer pause time,
+    ``vmax_fraction`` → ``vmax = fraction * l``) and measures
+    ``r100 / rstationary`` at the Section 4.3 geometry.
+    """
+
+    scale: ExperimentScale
+    parameter: str
+
+    def __call__(self, value: float) -> Dict[str, float]:
+        if self.parameter == "pstationary":
+            overrides: Dict = {"pstationary": float(value)}
+        elif self.parameter == "tpause":
+            overrides = {"tpause": int(value)}
+        elif self.parameter == "vmax_fraction":
+            overrides = {"vmax": float(value) * _parameter_study_side(self.scale)}
+        else:
+            raise ValueError(
+                f"unsupported parameter study parameter: {self.parameter!r}"
+            )
+        return _r100_ratio_row(self.scale, overrides)
+
+    def with_iteration_workers(self, count: int) -> "ParameterStudyMeasure":
+        return replace(self, scale=self.scale.with_workers(count))
+
+
 def figure7(scale: ExperimentScale) -> SweepResult:
     """Figure 7: r100/rstationary as pstationary sweeps 0 → 1."""
     values = _parameter_study_values(scale)["pstationary"]
     return sweep_parameter(
         "pstationary",
         values,
-        lambda p: _r100_ratio_row(scale, {"pstationary": float(p)}),
+        ParameterStudyMeasure(scale=scale, parameter="pstationary"),
+        workers=scale.sweep_workers,
     )
 
 
@@ -224,18 +287,19 @@ def figure8(scale: ExperimentScale) -> SweepResult:
     return sweep_parameter(
         "tpause",
         values,
-        lambda t: _r100_ratio_row(scale, {"tpause": int(t)}),
+        ParameterStudyMeasure(scale=scale, parameter="tpause"),
+        workers=scale.sweep_workers,
     )
 
 
 def figure9(scale: ExperimentScale) -> SweepResult:
     """Figure 9: r100/rstationary as vmax sweeps 0.01l → 0.5l."""
     values = _parameter_study_values(scale)["vmax_fraction"]
-    side = _parameter_study_side(scale)
     return sweep_parameter(
         "vmax_fraction",
         values,
-        lambda f: _r100_ratio_row(scale, {"vmax": float(f) * side}),
+        ParameterStudyMeasure(scale=scale, parameter="vmax_fraction"),
+        workers=scale.sweep_workers,
     )
 
 
@@ -304,6 +368,7 @@ def _register_all() -> None:
         ),
         paper_reference="Figure 7",
         run=figure7,
+        sweep_width=parameter_sweep_width,
     ))
     register_experiment(Experiment(
         identifier="fig8",
@@ -314,6 +379,7 @@ def _register_all() -> None:
         ),
         paper_reference="Figure 8",
         run=figure8,
+        sweep_width=parameter_sweep_width,
     ))
     register_experiment(Experiment(
         identifier="fig9",
@@ -324,6 +390,7 @@ def _register_all() -> None:
         ),
         paper_reference="Figure 9",
         run=figure9,
+        sweep_width=parameter_sweep_width,
     ))
 
 

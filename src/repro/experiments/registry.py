@@ -13,7 +13,7 @@ from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.exceptions import ConfigurationError
-from repro.simulation.sweep import SweepResult
+from repro.simulation.sweep import SweepResult, split_worker_budget
 
 
 @dataclass(frozen=True)
@@ -30,9 +30,15 @@ class ExperimentScale:
         parameter_points: number of points in the parameter sweeps of
             Figures 7–9.
         seed: root random seed.
-        workers: worker processes for the simulation iterations (see
-            :class:`repro.simulation.config.SimulationConfig`; results are
-            bit-identical for every value).
+        workers: worker processes for the simulation iterations *inside
+            one parameter value* (see :class:`repro.simulation.config.
+            SimulationConfig`; results are bit-identical for every value).
+        sweep_workers: parameter values of a figure sweep measured
+            concurrently, each in its own worker process (see
+            :func:`repro.simulation.sweep.sweep_parameter`; bit-identical
+            for every value).  The two levels multiply — a run occupies up
+            to ``sweep_workers * workers`` processes, so split one total
+            budget with :meth:`with_worker_budget`.
     """
 
     name: str
@@ -43,10 +49,35 @@ class ExperimentScale:
     parameter_points: int
     seed: Optional[int] = 20020623  # DSN 2002 conference date.
     workers: int = 1
+    sweep_workers: int = 1
 
     def with_workers(self, workers: int) -> "ExperimentScale":
-        """Copy of this scale running on ``workers`` processes."""
+        """Copy of this scale with ``workers`` iteration-level processes."""
         return replace(self, workers=workers)
+
+    def with_sweep_workers(self, sweep_workers: int) -> "ExperimentScale":
+        """Copy of this scale with ``sweep_workers`` value-level processes."""
+        return replace(self, sweep_workers=sweep_workers)
+
+    def with_worker_budget(
+        self, total: int, value_count: Optional[int] = None
+    ) -> "ExperimentScale":
+        """Copy of this scale splitting ``total`` processes between levels.
+
+        The sweep level gets up to one process per swept value and the
+        iteration pools share the rest, so
+        ``sweep_workers * workers <= total`` (see
+        :func:`repro.simulation.sweep.split_worker_budget`).
+
+        ``value_count`` is the width of the sweep the experiment will run;
+        it defaults to ``len(sides)`` (the Figure 2–6 system-size sweeps).
+        Pass ``parameter_points`` when tuning a Figure 7–9 parameter study,
+        whose sweeps are that wide instead.
+        """
+        sweep_workers, iteration_workers = split_worker_budget(
+            total, value_count if value_count is not None else len(self.sides)
+        )
+        return replace(self, workers=iteration_workers, sweep_workers=sweep_workers)
 
     def __post_init__(self) -> None:
         if self.steps < 1:
@@ -69,6 +100,10 @@ class ExperimentScale:
         if self.workers < 1:
             raise ConfigurationError(
                 f"workers must be at least 1, got {self.workers}"
+            )
+        if self.sweep_workers < 1:
+            raise ConfigurationError(
+                f"sweep_workers must be at least 1, got {self.sweep_workers}"
             )
 
 
@@ -111,19 +146,45 @@ def scale_by_name(name: str) -> ExperimentScale:
         ) from None
 
 
+def _side_sweep_width(scale: ExperimentScale) -> int:
+    """Sweep width of the system-size experiments (one value per side)."""
+    return len(scale.sides)
+
+
+def parameter_sweep_width(scale: ExperimentScale) -> int:
+    """Sweep width of the Figure 7–9 parameter studies."""
+    return scale.parameter_points
+
+
 @dataclass(frozen=True)
 class Experiment:
-    """A registered, runnable reproduction of one paper figure/table."""
+    """A registered, runnable reproduction of one paper figure/table.
+
+    ``sweep_width`` reports how many parameter values the experiment's
+    sweep runs at a given scale — what :meth:`ExperimentScale.
+    with_worker_budget` needs to split a total worker budget sensibly.
+    Defaults to one value per system side; the parameter studies register
+    :func:`parameter_sweep_width` instead.
+    """
 
     identifier: str
     title: str
     description: str
     paper_reference: str
     run: Callable[[ExperimentScale], SweepResult] = field(repr=False)
+    sweep_width: Callable[[ExperimentScale], int] = field(
+        default=_side_sweep_width, repr=False
+    )
 
     def run_at(self, scale: str = "default") -> SweepResult:
         """Run the experiment at a named scale preset."""
         return self.run(scale_by_name(scale))
+
+    def with_worker_budget(
+        self, scale: ExperimentScale, total: int
+    ) -> ExperimentScale:
+        """Split ``total`` processes for *this* experiment's sweep width."""
+        return scale.with_worker_budget(total, self.sweep_width(scale))
 
 
 _REGISTRY: Dict[str, Experiment] = {}

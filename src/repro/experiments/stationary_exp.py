@@ -13,6 +13,7 @@ Two registered experiments complement the mobile figures:
 
 from __future__ import annotations
 
+from dataclasses import dataclass, replace
 from typing import Dict
 
 from repro.analysis.gupta_kumar import gupta_kumar_critical_range
@@ -29,19 +30,22 @@ from repro.simulation.runner import stationary_critical_range
 from repro.simulation.sweep import SweepResult, sweep_parameter
 
 
-def stationary_experiment(scale: ExperimentScale) -> SweepResult:
-    """``rstationary`` per system size, with analytical comparators."""
+@dataclass(frozen=True)
+class StationaryRangeMeasure:
+    """Picklable sweep measure: ``rstationary`` plus analytical comparators."""
 
-    def measure(side: float) -> Dict[str, float]:
+    scale: ExperimentScale
+
+    def __call__(self, side: float) -> Dict[str, float]:
         node_count = paper_node_count(side)
         simulated = stationary_critical_range(
             node_count=node_count,
             side=side,
             dimension=2,
-            iterations=scale.stationary_iterations,
-            seed=scale.seed,
+            iterations=self.scale.stationary_iterations,
+            seed=self.scale.seed,
             confidence=0.99,
-            workers=scale.workers,
+            workers=self.scale.workers,
         )
         return {
             "n": float(node_count),
@@ -52,20 +56,26 @@ def stationary_experiment(scale: ExperimentScale) -> SweepResult:
             "rstationary/l": simulated / side,
         }
 
-    return sweep_parameter("l", scale.sides, measure)
+    def with_iteration_workers(self, count: int) -> "StationaryRangeMeasure":
+        return replace(self, scale=self.scale.with_workers(count))
 
 
-def energy_tradeoff_experiment(scale: ExperimentScale) -> SweepResult:
-    """Energy savings of the relaxed connectivity requirements.
+def stationary_experiment(scale: ExperimentScale) -> SweepResult:
+    """``rstationary`` per system size, with analytical comparators."""
+    return sweep_parameter(
+        "l", scale.sides, StationaryRangeMeasure(scale=scale),
+        workers=scale.sweep_workers,
+    )
 
-    For each system size the waypoint thresholds are measured and the
-    transmission-energy saving of each relaxed threshold relative to
-    ``r100`` is reported for the free-space (``alpha = 2``) and two-ray
-    (``alpha = 4``) path-loss models.
-    """
 
-    def measure(side: float) -> Dict[str, float]:
-        row = measure_system_size(side, "waypoint", scale)
+@dataclass(frozen=True)
+class EnergyTradeoffMeasure:
+    """Picklable sweep measure: energy savings of relaxed thresholds."""
+
+    scale: ExperimentScale
+
+    def __call__(self, side: float) -> Dict[str, float]:
+        row = measure_system_size(side, "waypoint", self.scale)
         ratios = {
             label: row[label] / row["r100"] if row["r100"] > 0 else 0.0
             for label in ("r90", "r10", "rl90", "rl75", "rl50")
@@ -81,7 +91,22 @@ def energy_tradeoff_experiment(scale: ExperimentScale) -> SweepResult:
             result[f"savings_alpha4@{label}"] = value
         return result
 
-    return sweep_parameter("l", scale.sides, measure)
+    def with_iteration_workers(self, count: int) -> "EnergyTradeoffMeasure":
+        return replace(self, scale=self.scale.with_workers(count))
+
+
+def energy_tradeoff_experiment(scale: ExperimentScale) -> SweepResult:
+    """Energy savings of the relaxed connectivity requirements.
+
+    For each system size the waypoint thresholds are measured and the
+    transmission-energy saving of each relaxed threshold relative to
+    ``r100`` is reported for the free-space (``alpha = 2``) and two-ray
+    (``alpha = 4``) path-loss models.
+    """
+    return sweep_parameter(
+        "l", scale.sides, EnergyTradeoffMeasure(scale=scale),
+        workers=scale.sweep_workers,
+    )
 
 
 register_experiment(Experiment(

@@ -19,6 +19,7 @@ from typing import Dict, Iterable, List, Sequence, Tuple
 import numpy as np
 
 from repro.exceptions import ConfigurationError
+from repro.geometry.distance import _accumulate_squared, squared_distance
 from repro.types import Positions, as_positions
 
 
@@ -105,7 +106,7 @@ class GridIndex:
             return []
         coords = np.asarray(point, dtype=float)
         candidate_positions = self._positions[candidates]
-        squared = np.sum((candidate_positions - coords) ** 2, axis=1)
+        squared = _accumulate_squared(candidate_positions - coords)
         limit = radius * radius
         return [candidates[i] for i in np.nonzero(squared <= limit)[0]]
 
@@ -157,5 +158,7 @@ class GridIndex:
 
 
 def _squared(a: np.ndarray, b: np.ndarray) -> float:
-    delta = a - b
-    return float(np.dot(delta, delta))
+    # Accumulated coordinate by coordinate so grid filtering rounds exactly
+    # like the dense squared_distance_matrix the brute-force builder and
+    # the critical-range MST use (see repro.geometry.distance).
+    return squared_distance(a, b)

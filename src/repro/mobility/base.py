@@ -124,8 +124,17 @@ class MobilityModel(abc.ABC):
             The new positions as an ``(n, d)`` array (a copy; mutating the
             result does not affect the model).
         """
+        return self._step_in_place(make_rng(rng)).copy()
+
+    def _step_in_place(self, generator: np.random.Generator) -> Positions:
+        """Advance one step and return ``state.positions`` *without* copying.
+
+        The batched :meth:`trajectory` / :meth:`run` loops copy the result
+        into their own buffers (or discard it) anyway, so the defensive copy
+        :meth:`step` makes would be pure overhead there.  Callers must not
+        mutate the returned array.
+        """
         state = self.state
-        generator = make_rng(rng)
         new_positions = self._advance(generator)
         # Stationary nodes are pinned to wherever they started.
         mask = state.stationary_mask
@@ -135,7 +144,7 @@ class MobilityModel(abc.ABC):
             new_positions = state.region.clamp(new_positions)
         state.positions = new_positions
         state.step_index += 1
-        return new_positions.copy()
+        return new_positions
 
     def trajectory(
         self, steps: int, rng: Optional[np.random.Generator] = None
@@ -159,20 +168,19 @@ class MobilityModel(abc.ABC):
         frames = np.empty((steps,) + state.positions.shape, dtype=float)
         frames[0] = state.positions
         for index in range(1, steps):
-            frames[index] = self.step(generator)
+            frames[index] = self._step_in_place(generator)
         return frames
 
     def run(
         self, steps: int, rng: Optional[np.random.Generator] = None
     ) -> Positions:
-        """Advance ``steps`` times and return the final positions."""
+        """Advance ``steps`` times and return the final positions (a copy)."""
         if steps < 0:
             raise ConfigurationError(f"steps must be non-negative, got {steps}")
         generator = make_rng(rng)
-        positions = self.state.positions.copy()
         for _ in range(steps):
-            positions = self.step(generator)
-        return positions
+            self._step_in_place(generator)
+        return self.state.positions.copy()
 
     # ------------------------------------------------------------------ #
     # Subclass hooks

@@ -24,12 +24,23 @@ Main entry points:
 * :func:`~repro.simulation.search.stationary_critical_range` — the
   ``rstationary`` denominator.
 
-Execution scales with two orthogonal knobs: ``SimulationConfig.workers``
-fans the independent iterations out over worker processes (bit-identical
-to serial for the same seed — each iteration owns child stream ``i`` of the
-root seed), and the per-frame hot path is vectorized (batched mobility
-trajectories + batched MST reduction, see
-:func:`~repro.simulation.engine.frame_statistics_batch`).
+Execution scales along three orthogonal axes, all bit-identical to a
+serial run for the same seed:
+
+* ``SimulationConfig.workers`` fans the independent iterations out over
+  worker processes (each iteration owns child stream ``i`` of the root
+  seed);
+* :func:`~repro.simulation.sweep.sweep_parameter` can additionally fan the
+  *parameter values* of a figure sweep out over processes (its ``workers``
+  argument); the two multiply, so callers split one worker budget between
+  them (see :func:`~repro.simulation.sweep.split_worker_budget`);
+* the per-frame hot path is vectorized (batched mobility trajectories +
+  batched MST reduction into columnar containers, see
+  :func:`~repro.simulation.engine.frame_statistics_columns`), and results
+  cross process boundaries as struct-of-arrays
+  (:class:`~repro.simulation.results.StepColumns`,
+  :class:`~repro.simulation.results.FrameStatisticsColumns`) instead of
+  per-step objects.
 """
 
 from repro.simulation.config import MobilitySpec, NetworkConfig, SimulationConfig
@@ -38,6 +49,7 @@ from repro.simulation.engine import (
     component_growth_curve,
     frame_statistics,
     frame_statistics_batch,
+    frame_statistics_columns,
     simulate_frame_statistics,
     simulate_iteration,
 )
@@ -50,7 +62,14 @@ from repro.simulation.metrics import (
     range_for_connectivity_fraction,
     range_for_no_connectivity,
 )
-from repro.simulation.results import IterationResult, MobileRunResult, StepRecord
+from repro.simulation.results import (
+    FrameStatisticsColumns,
+    IterationResult,
+    MobileRunResult,
+    StepColumns,
+    StepRecord,
+    pool_frame_statistics,
+)
 from repro.simulation.runner import (
     collect_frame_statistics,
     run_fixed_range,
@@ -62,17 +81,25 @@ from repro.simulation.search import (
     estimate_component_thresholds,
     estimate_thresholds,
 )
-from repro.simulation.sweep import SweepResult, sweep_parameter
+from repro.simulation.sweep import (
+    Measure,
+    SweepResult,
+    split_worker_budget,
+    sweep_parameter,
+)
 
 __all__ = [
     "ComponentThresholds",
     "FrameStatistics",
+    "Measure",
+    "FrameStatisticsColumns",
     "IterationResult",
     "MobileRunResult",
     "MobilitySpec",
     "MobilityThresholds",
     "NetworkConfig",
     "SimulationConfig",
+    "StepColumns",
     "StepRecord",
     "SweepResult",
     "average_largest_fraction_at",
@@ -83,14 +110,17 @@ __all__ = [
     "estimate_thresholds",
     "frame_statistics",
     "frame_statistics_batch",
+    "frame_statistics_columns",
     "largest_component_size_at",
     "minimum_largest_fraction_at",
+    "pool_frame_statistics",
     "range_for_component_fraction",
     "range_for_connectivity_fraction",
     "range_for_no_connectivity",
     "run_fixed_range",
     "simulate_frame_statistics",
     "simulate_iteration",
+    "split_worker_budget",
     "stationary_critical_range",
     "sweep_parameter",
 ]

@@ -131,6 +131,13 @@ class SimulationConfig:
     values fan the iterations out over a pool of worker processes.  Because
     every iteration owns an independent child random stream derived from
     ``seed``, results are bit-identical for every ``workers`` value.
+
+    ``workers`` is the *iteration-level* half of the worker budget: when a
+    configuration runs inside a parallel parameter sweep
+    (:func:`repro.simulation.sweep.sweep_parameter` with ``workers > 1``),
+    each sweep worker process owns one iteration pool of this size, so the
+    run occupies up to ``sweep_workers * workers`` processes in total (see
+    :func:`repro.simulation.sweep.split_worker_budget`).
     """
 
     network: NetworkConfig

@@ -13,19 +13,25 @@ Two modes are provided:
   without re-running mobility, which is how the Figure 2–9 benchmarks stay
   affordable.
 
-Both modes are vectorized: mobility trajectories are produced as batched
-``(steps, n, d)`` arrays (see :meth:`repro.mobility.base.MobilityModel.
-trajectory`), and each frame is reduced through the sorted MST edges of
+Both modes are vectorized end to end: mobility trajectories are produced as
+batched ``(steps, n, d)`` arrays (see :meth:`repro.mobility.base.
+MobilityModel.trajectory` — the paper's waypoint and drunkard models both
+override it, so no paper configuration falls back to the per-step Python
+loop), each frame is reduced through the sorted MST edges of
 :func:`repro.connectivity.critical_range.minimum_spanning_edges`, so only
 ``n - 1`` union-find operations — not one per ``O(n^2)`` candidate edge —
-run in Python per frame.  The pre-vectorization reduction is kept as
+run in Python per frame, and the per-frame outputs are accumulated into the
+columnar containers of :mod:`repro.simulation.results`
+(:class:`~repro.simulation.results.StepColumns` /
+:class:`~repro.simulation.results.FrameStatisticsColumns`), which ship
+between worker processes as a handful of arrays instead of one pickled
+dataclass per step.  The pre-vectorization reduction is kept as
 :func:`component_growth_curve_reference` for property tests and the
 micro-benchmark in ``benchmarks/bench_parallel_scaling.py``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Iterator, List, Tuple
 
 import numpy as np
@@ -41,47 +47,29 @@ from repro.geometry.distance import squared_distance_matrix
 from repro.graph.union_find import UnionFind
 from repro.mobility.base import MobilityModel
 from repro.simulation.config import MobilitySpec, NetworkConfig
-from repro.simulation.results import IterationResult, StepRecord
+from repro.simulation.results import (
+    FrameStatistics,
+    FrameStatisticsColumns,
+    IterationResult,
+    StepColumns,
+)
 from repro.types import Positions
+
+__all__ = [
+    "FrameStatistics",
+    "FrameStatisticsColumns",
+    "component_growth_curve",
+    "component_growth_curve_reference",
+    "exact_critical_range_of_placement",
+    "frame_statistics",
+    "frame_statistics_batch",
+    "frame_statistics_columns",
+    "simulate_frame_statistics",
+    "simulate_iteration",
+]
 
 #: Upper bound on the floats buffered per trajectory batch (~16 MB).
 _TRAJECTORY_BATCH_ELEMENTS = 2_000_000
-
-
-@dataclass(frozen=True)
-class FrameStatistics:
-    """Range-independent connectivity summary of one placement (frame).
-
-    Attributes:
-        critical_range: the exact minimum range connecting the frame
-            (longest MST edge; 0 for fewer than two nodes).
-        component_curve: breakpoints ``(range, largest_component_size)`` of
-            the non-decreasing step function "largest component size at
-            range r"; between breakpoints the size is that of the previous
-            breakpoint, and below the first breakpoint it is 1 (every node
-            is its own component).
-        node_count: number of nodes in the frame.
-    """
-
-    critical_range: float
-    component_curve: Tuple[Tuple[float, int], ...]
-    node_count: int
-
-    def largest_component_size_at(self, transmitting_range: float) -> int:
-        """Largest component size of this frame at the given range."""
-        if self.node_count == 0:
-            return 0
-        size = 1
-        for breakpoint_range, breakpoint_size in self.component_curve:
-            if breakpoint_range <= transmitting_range:
-                size = breakpoint_size
-            else:
-                break
-        return size
-
-    def is_connected_at(self, transmitting_range: float) -> bool:
-        """``True`` if this frame's graph is connected at the given range."""
-        return transmitting_range >= self.critical_range
 
 
 def component_growth_curve(positions: Positions) -> Tuple[Tuple[float, int], ...]:
@@ -198,15 +186,17 @@ def frame_statistics(positions: Positions) -> FrameStatistics:
     )
 
 
-def frame_statistics_batch(frames: np.ndarray) -> List[FrameStatistics]:
-    """Compute :class:`FrameStatistics` for a ``(B, n, d)`` batch of frames.
+def frame_statistics_columns(frames: np.ndarray) -> FrameStatisticsColumns:
+    """Reduce a ``(B, n, d)`` batch of frames to columnar statistics.
 
     Bit-identical to calling :func:`frame_statistics` on each frame, but the
     MST construction runs batched across all frames
     (:func:`repro.connectivity.critical_range.minimum_spanning_edges_batch`),
     so the per-frame Python cost is one ``n - 1``-edge sweep instead of a
-    full Prim loop.  This is the per-frame hot path of both simulation
-    modes.
+    full Prim loop, and the breakpoints land directly in the flattened
+    columns of :class:`~repro.simulation.results.FrameStatisticsColumns`
+    (no per-step objects are materialised).  This is the per-frame hot path
+    of both simulation modes.
     """
     points = np.asarray(frames, dtype=float)
     if points.ndim != 3:
@@ -215,24 +205,46 @@ def frame_statistics_batch(frames: np.ndarray) -> List[FrameStatistics]:
         )
     batch, n = points.shape[0], points.shape[1]
     if n <= 1:
-        return [
-            FrameStatistics(critical_range=0.0, component_curve=(), node_count=n)
-            for _ in range(batch)
-        ]
+        return FrameStatisticsColumns(
+            node_count=n,
+            critical_ranges=np.zeros(batch),
+            curve_offsets=np.zeros(batch + 1, dtype=np.int64),
+            curve_ranges=np.empty(0),
+            curve_sizes=np.empty(0, dtype=np.int64),
+        )
     all_us, all_vs, all_lengths = minimum_spanning_edges_batch(points)
-    statistics: List[FrameStatistics] = []
-    for us, vs, lengths in zip(all_us, all_vs, all_lengths):
+    critical_ranges = np.empty(batch)
+    offsets = np.empty(batch + 1, dtype=np.int64)
+    offsets[0] = 0
+    flat_ranges: List[float] = []
+    flat_sizes: List[int] = []
+    for index, (us, vs, lengths) in enumerate(zip(all_us, all_vs, all_lengths)):
         curve = _curve_from_sorted_mst_edges(
             us.tolist(), vs.tolist(), lengths.tolist(), n
         )
-        statistics.append(
-            FrameStatistics(
-                critical_range=curve[-1][0] if curve else 0.0,
-                component_curve=curve,
-                node_count=n,
-            )
-        )
-    return statistics
+        for breakpoint_range, breakpoint_size in curve:
+            flat_ranges.append(breakpoint_range)
+            flat_sizes.append(breakpoint_size)
+        offsets[index + 1] = len(flat_ranges)
+        critical_ranges[index] = curve[-1][0] if curve else 0.0
+    return FrameStatisticsColumns(
+        node_count=n,
+        critical_ranges=critical_ranges,
+        curve_offsets=offsets,
+        curve_ranges=np.array(flat_ranges),
+        curve_sizes=np.array(flat_sizes, dtype=np.int64),
+    )
+
+
+def frame_statistics_batch(frames: np.ndarray) -> List[FrameStatistics]:
+    """Compute :class:`FrameStatistics` for a ``(B, n, d)`` batch of frames.
+
+    Object-list view of :func:`frame_statistics_columns`, bit-identical to
+    calling :func:`frame_statistics` on each frame.  The engine itself keeps
+    the columnar form; this helper serves callers that want per-frame
+    dataclasses.
+    """
+    return list(frame_statistics_columns(frames))
 
 
 def _iter_trajectory_batches(
@@ -280,32 +292,30 @@ def simulate_iteration(
     frame is reduced through its MST edges (:func:`frame_statistics`),
     which answers both "connected?" and "largest component size?" at the
     fixed range exactly — a graph is connected at ``r`` iff ``r`` reaches
-    its bottleneck MST edge.
+    its bottleneck MST edge.  The records come back as columnar
+    :class:`~repro.simulation.results.StepColumns` (two arrays per
+    iteration) rather than per-step objects.
     """
     region = network.region
     placement = network.placement_strategy(network.node_count, region, rng)
     model = mobility.create()
     model.initialize(placement, region, rng)
 
-    records: List[StepRecord] = []
-    step = 0
+    # Seeded with empties so a steps=0 call still concatenates cleanly.
+    connected_parts: List[np.ndarray] = [np.empty(0, dtype=bool)]
+    size_parts: List[np.ndarray] = [np.empty(0, dtype=np.int64)]
     for batch in _iter_trajectory_batches(model, steps, rng):
-        for statistics in frame_statistics_batch(batch):
-            records.append(
-                StepRecord(
-                    step=step,
-                    connected=statistics.is_connected_at(transmitting_range),
-                    largest_component_size=statistics.largest_component_size_at(
-                        transmitting_range
-                    ),
-                )
-            )
-            step += 1
+        columns = frame_statistics_columns(batch)
+        connected_parts.append(columns.connected_at(transmitting_range))
+        size_parts.append(columns.largest_component_sizes_at(transmitting_range))
     return IterationResult(
         iteration=iteration,
         node_count=network.node_count,
         transmitting_range=transmitting_range,
-        records=tuple(records),
+        records=StepColumns(
+            connected=np.concatenate(connected_parts),
+            largest_component=np.concatenate(size_parts),
+        ),
     )
 
 
@@ -314,25 +324,27 @@ def simulate_frame_statistics(
     mobility: MobilitySpec,
     steps: int,
     rng: np.random.Generator,
-) -> List[FrameStatistics]:
+) -> FrameStatisticsColumns:
     """Run one mobility iteration and reduce every frame to its statistics.
 
-    The returned list has one :class:`FrameStatistics` per step (step 0 is
-    the initial placement).  All range thresholds of the paper can then be
-    derived with :mod:`repro.simulation.metrics` without re-simulating.
-    Frames are produced as batched ``(k, n, d)`` trajectory arrays, so
-    models with a vectorized :meth:`~repro.mobility.base.MobilityModel.
-    trajectory` (e.g. stationary) skip the per-step Python overhead.
+    The returned :class:`~repro.simulation.results.FrameStatisticsColumns`
+    holds one entry per step (step 0 is the initial placement) and behaves
+    as a sequence of :class:`FrameStatistics`.  All range thresholds of the
+    paper can then be derived with :mod:`repro.simulation.metrics` without
+    re-simulating.  Frames are produced as batched ``(k, n, d)`` trajectory
+    arrays, so models with a vectorized :meth:`~repro.mobility.base.
+    MobilityModel.trajectory` (the stationary, waypoint and drunkard models
+    — every model the paper uses) skip the per-step Python overhead.
     """
     region = network.region
     placement = network.placement_strategy(network.node_count, region, rng)
     model = mobility.create()
     model.initialize(placement, region, rng)
 
-    statistics: List[FrameStatistics] = []
+    parts: List[FrameStatisticsColumns] = []
     for batch in _iter_trajectory_batches(model, steps, rng):
-        statistics.extend(frame_statistics_batch(batch))
-    return statistics
+        parts.append(frame_statistics_columns(batch))
+    return FrameStatisticsColumns.concatenate(parts)
 
 
 def exact_critical_range_of_placement(positions: Positions) -> float:

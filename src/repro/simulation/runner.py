@@ -18,6 +18,13 @@ regardless of which process executes it, and the root entropy is resolved
 *once* in the parent (so even ``seed=None`` runs hand every worker the same
 root).  Parallel results are therefore bit-identical to serial results —
 only the wall-clock time changes.
+
+Results cross the process boundary in the columnar containers of
+:mod:`repro.simulation.results` (:class:`~repro.simulation.results.
+StepColumns` per fixed-range iteration, :class:`~repro.simulation.results.
+FrameStatisticsColumns` per trace-statistics iteration), so a 10 000-step
+iteration pickles as a handful of NumPy arrays instead of 10 000 per-step
+dataclasses.
 """
 
 from __future__ import annotations
@@ -29,11 +36,15 @@ from typing import Callable, List, Optional, TypeVar
 from repro.exceptions import ConfigurationError
 from repro.simulation.config import SimulationConfig
 from repro.simulation.engine import (
-    FrameStatistics,
+    FrameStatisticsColumns,
     simulate_frame_statistics,
     simulate_iteration,
 )
-from repro.simulation.results import IterationResult, MobileRunResult
+from repro.simulation.results import (
+    IterationResult,
+    MobileRunResult,
+    pool_frame_statistics,
+)
 from repro.stats.rng import RandomSource
 
 ResultT = TypeVar("ResultT")
@@ -56,7 +67,7 @@ def _fixed_range_iteration(
 
 def _frame_statistics_iteration(
     index: int, config: SimulationConfig, entropy: int
-) -> List[FrameStatistics]:
+) -> FrameStatisticsColumns:
     """Run trace-statistics iteration ``index`` on its own child stream."""
     rng = RandomSource.from_entropy(entropy).child(index)
     return simulate_frame_statistics(
@@ -110,10 +121,11 @@ def run_fixed_range(config: SimulationConfig) -> MobileRunResult:
     )
 
 
-def collect_frame_statistics(config: SimulationConfig) -> List[List[FrameStatistics]]:
+def collect_frame_statistics(config: SimulationConfig) -> List[FrameStatisticsColumns]:
     """Run all iterations in trace-statistics mode.
 
-    Returns one list of :class:`FrameStatistics` per iteration.  The random
+    Returns one columnar sequence of :class:`FrameStatistics` per
+    iteration.  The random
     streams are the same as :func:`run_fixed_range` uses for the same seed,
     so thresholds derived from these statistics are consistent with
     fixed-range runs on the same configuration.  Honours ``config.workers``
@@ -172,5 +184,5 @@ def stationary_critical_range(
     )
     statistics = collect_frame_statistics(config)
     # Each iteration contributes exactly one frame (steps == 1); pool them.
-    pooled = [frame for iteration in statistics for frame in iteration]
+    pooled = pool_frame_statistics(statistics)
     return range_for_connectivity_fraction(pooled, confidence)

@@ -20,6 +20,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.exceptions import SearchError
 from repro.simulation.config import SimulationConfig
 from repro.simulation.engine import FrameStatistics
+from repro.simulation.results import pool_frame_statistics
 from repro.simulation.metrics import (
     average_largest_fraction_at,
     range_for_component_fraction,
@@ -148,8 +149,9 @@ def average_component_fraction_at_range(
     report "the average size of the largest connected component" at the
     ranges ``r90``, ``r10`` and ``r0``.
     """
-    pooled = [frame for frames in per_iteration for frame in frames]
-    return average_largest_fraction_at(pooled, transmitting_range)
+    return average_largest_fraction_at(
+        pool_frame_statistics(per_iteration), transmitting_range
+    )
 
 
 def r100_for_parameter(

@@ -5,12 +5,57 @@ Every figure of the paper is a sweep of one parameter (system side ``l``,
 quantities.  :func:`sweep_parameter` runs such a sweep generically and
 returns a :class:`SweepResult` that the experiment layer renders as a
 table.
+
+Sweep-level fan-out
+-------------------
+Parameter values are independent, so a sweep can run them concurrently in
+a :class:`concurrent.futures.ProcessPoolExecutor` (``workers > 1``).  That
+requires the measure to be *picklable*: a module-level callable such as the
+per-experiment measure dataclasses in :mod:`repro.experiments.figures` —
+see the :class:`Measure` protocol.  Processes (not threads) are essential
+because most measures fan their own simulation iterations out over a
+nested pool (``SimulationConfig.workers``); forking pools from threads is
+unsafe on POSIX, while a worker *process* can safely own one.
+
+The two levels multiply: a sweep with ``workers=w`` whose measure runs
+``iteration_workers=k`` simulation processes occupies up to ``w * k``
+cores.  Callers hold one total budget and split it with
+:func:`split_worker_budget`; :func:`sweep_parameter` accepts the per-level
+counts explicitly and rebinds the measure's iteration workers when it
+supports :meth:`Measure.with_iteration_workers`.  Results are bit-identical
+for every ``workers`` value — each measure call is deterministic given the
+seed it carries.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import ConfigurationError
+
+
+class Measure:
+    """Protocol of a sweep measure (duck-typed; subclassing is optional).
+
+    A measure maps one parameter value to a dict of measured series:
+    ``measure(value) -> {"series": number, ...}``.  Plain callables
+    (including lambdas) work for serial sweeps; parallel sweeps
+    (``workers > 1``) additionally need the measure to be picklable, i.e.
+    defined at module level — the experiment layer uses frozen dataclasses.
+
+    A measure that runs nested simulations may implement
+    ``with_iteration_workers(count)`` returning a copy whose inner
+    simulations use ``count`` worker processes; :func:`sweep_parameter`
+    calls it when ``iteration_workers`` is given.
+    """
+
+    def __call__(self, value: float) -> Dict[str, float]:  # pragma: no cover
+        raise NotImplementedError
+
+    def with_iteration_workers(self, count: int) -> "Measure":  # pragma: no cover
+        raise NotImplementedError
 
 
 @dataclass
@@ -37,40 +82,108 @@ class SweepResult:
         return [row[name] for row in self.rows]
 
     def series_names(self) -> List[str]:
-        """Names of all measured series (excluding the parameter itself)."""
-        if not self.rows:
-            return []
-        return [key for key in self.rows[0] if key != self.parameter_name]
+        """Names of all measured series (excluding the parameter itself).
+
+        The union of the keys of *all* rows, in first-appearance order —
+        a measure that only reports a series at some parameter values (e.g.
+        a threshold that exists only above a critical size) still has it
+        listed.
+        """
+        names: List[str] = []
+        seen = set()
+        for row in self.rows:
+            for key in row:
+                if key != self.parameter_name and key not in seen:
+                    seen.add(key)
+                    names.append(key)
+        return names
 
     def as_dicts(self) -> List[Dict[str, float]]:
         """The raw rows (shared reference; callers should not mutate)."""
         return self.rows
 
 
+def split_worker_budget(total: int, value_count: int) -> Tuple[int, int]:
+    """Split one worker budget between sweep level and iteration level.
+
+    Returns ``(sweep_workers, iteration_workers)`` with
+    ``sweep_workers * iteration_workers <= max(total, 1)``: the sweep level
+    gets as many processes as there are parameter values (the outer level
+    parallelises the longer, heterogeneous tasks), and whatever budget
+    remains per value goes to the iteration pools inside each measure.
+    """
+    if total < 1:
+        raise ConfigurationError(f"total workers must be at least 1, got {total}")
+    if value_count < 1:
+        raise ConfigurationError(
+            f"value_count must be at least 1, got {value_count}"
+        )
+    sweep_workers = min(total, value_count)
+    iteration_workers = max(1, total // sweep_workers)
+    return sweep_workers, iteration_workers
+
+
+def _measure_row(
+    parameter_name: str,
+    measure: Callable[[float], Dict[str, float]],
+    value: float,
+) -> Dict[str, float]:
+    """One sweep row: the parameter value plus its measured series."""
+    row: Dict[str, float] = {parameter_name: float(value)}
+    row.update(dict(measure(value)))
+    return row
+
+
 def sweep_parameter(
     parameter_name: str,
     parameter_values: Sequence[float],
     measure: Callable[[float], Dict[str, float]],
+    workers: int = 1,
+    iteration_workers: Optional[int] = None,
 ) -> SweepResult:
     """Run ``measure`` at every parameter value and tabulate the results.
-
-    The sweep itself is intentionally serial: the heavy parallelism lives
-    one level down, in ``SimulationConfig.workers`` (every registered
-    experiment's ``measure`` fans its simulation iterations out over a
-    process pool).  Parallelising across parameter values as well would
-    fork worker pools from multiple threads, which is unsafe on POSIX;
-    sweep-level fan-out needs picklable measures and is tracked as a
-    ROADMAP follow-up.
 
     Args:
         parameter_name: column name of the swept parameter.
         parameter_values: values to sweep, in order.
-        measure: callable returning a dict of measured series for one value.
+        measure: callable returning a dict of measured series for one
+            value; must be picklable (module-level, e.g. a
+            :class:`Measure` dataclass) when ``workers > 1``.
+        workers: parameter values measured concurrently.  1 (default) runs
+            the sweep serially in-process; larger values fan the sweep out
+            over a process pool.  Results are bit-identical either way and
+            rows always come back in ``parameter_values`` order.
+        iteration_workers: if given, the measure is rebound with
+            ``measure.with_iteration_workers(iteration_workers)`` before
+            the sweep runs, capping the *nested* simulation pools so the
+            total process count stays within ``workers *
+            iteration_workers`` (see :func:`split_worker_budget`).
     """
+    if workers < 1:
+        raise ConfigurationError(f"workers must be at least 1, got {workers}")
+    if iteration_workers is not None:
+        if iteration_workers < 1:
+            raise ConfigurationError(
+                f"iteration_workers must be at least 1, got {iteration_workers}"
+            )
+        rebind = getattr(measure, "with_iteration_workers", None)
+        if rebind is not None:
+            measure = rebind(iteration_workers)
+
     result = SweepResult(parameter_name=parameter_name)
-    for value in parameter_values:
-        measurements = dict(measure(value))
-        row: Dict[str, float] = {parameter_name: float(value)}
-        row.update(measurements)
-        result.rows.append(row)
+    values = list(parameter_values)
+    worker_count = min(workers, len(values)) if values else 1
+    if worker_count <= 1:
+        for value in values:
+            result.rows.append(_measure_row(parameter_name, measure, value))
+        return result
+
+    # Parameter values run in worker *processes* (never pools inside
+    # threads): each worker may itself own an iteration-level pool.
+    with ProcessPoolExecutor(max_workers=worker_count) as pool:
+        futures = [
+            pool.submit(_measure_row, parameter_name, measure, value)
+            for value in values
+        ]
+        result.rows.extend(future.result() for future in futures)
     return result

@@ -89,3 +89,31 @@ def test_figure7_ratio_decreases_with_pstationary():
     # pstationary = 1 is the stationary case; its r100 cannot exceed the
     # all-mobile r100.
     assert ratios[-1] <= ratios[0] + 1e-9
+
+
+class TestSweepWorkerEquivalence:
+    """Sweep-level process fan-out must not change any experiment result."""
+
+    SCALE = ExperimentScale(
+        name="smoke",
+        sides=(256.0, 324.0),
+        steps=8,
+        iterations=2,
+        stationary_iterations=15,
+        parameter_points=2,
+        seed=13,
+    )
+
+    @pytest.mark.parametrize("identifier", ["fig3", "fig7"])
+    def test_parallel_sweep_equals_serial(self, identifier):
+        experiment = get_experiment(identifier)
+        serial = experiment.run(self.SCALE)
+        parallel = experiment.run(self.SCALE.with_sweep_workers(2))
+        assert serial.rows == parallel.rows
+
+    def test_worker_budget_split_equals_serial(self):
+        experiment = get_experiment("fig2")
+        serial = experiment.run(self.SCALE)
+        budgeted = self.SCALE.with_worker_budget(4)
+        assert budgeted.sweep_workers == 2 and budgeted.workers == 2
+        assert experiment.run(budgeted).rows == serial.rows

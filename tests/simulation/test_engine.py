@@ -104,6 +104,14 @@ class TestSimulateIteration:
         assert result.connected_fraction == 0.0
         assert result.minimum_largest_component == 1
 
+    def test_zero_steps_yields_empty_records(self, rng):
+        result = simulate_iteration(
+            self._network(), MobilitySpec.paper_drunkard(100.0), steps=0,
+            transmitting_range=30.0, rng=rng,
+        )
+        assert result.step_count == 0
+        assert result.connected_fraction == 0.0
+
 
 class TestSimulateFrameStatistics:
     def test_one_stat_per_step(self, rng):

@@ -1,8 +1,19 @@
 """Tests for repro.simulation.results."""
 
+import pickle
+
+import numpy as np
 import pytest
 
-from repro.simulation.results import IterationResult, MobileRunResult, StepRecord
+from repro.simulation.results import (
+    FrameStatistics,
+    FrameStatisticsColumns,
+    IterationResult,
+    MobileRunResult,
+    StepColumns,
+    StepRecord,
+    pool_frame_statistics,
+)
 
 
 def make_iteration(records, iteration=0, node_count=10, transmitting_range=5.0):
@@ -103,3 +114,135 @@ class TestMobileRunResult:
         assert empty.connected_fraction == 0.0
         assert empty.average_largest_component_when_disconnected is None
         assert empty.minimum_largest_component == 0
+
+
+class TestStepColumns:
+    def _records(self):
+        return (
+            StepRecord(0, True, 10),
+            StepRecord(1, False, 7),
+            StepRecord(2, True, 10),
+        )
+
+    def test_sequence_interface(self):
+        columns = StepColumns.from_records(self._records())
+        assert len(columns) == 3
+        assert columns[1] == StepRecord(1, False, 7)
+        assert columns[-1] == StepRecord(2, True, 10)
+        assert list(columns) == list(self._records())
+        with pytest.raises(IndexError):
+            columns[3]
+
+    def test_equality_with_record_tuples(self):
+        columns = StepColumns.from_records(self._records())
+        assert columns == self._records()
+        assert self._records() == columns
+        assert columns == StepColumns.from_records(self._records())
+        assert columns != StepColumns.from_records(self._records()[:2])
+
+    def test_slices_keep_original_step_numbers(self):
+        columns = StepColumns.from_records(self._records())
+        assert columns[1:3] == self._records()[1:3]
+        assert columns[1:3][0].step == 1
+
+    def test_iteration_result_accepts_columns(self):
+        columnar = IterationResult(
+            iteration=0, node_count=10, transmitting_range=5.0,
+            records=StepColumns.from_records(self._records()),
+        )
+        object_list = IterationResult(
+            iteration=0, node_count=10, transmitting_range=5.0,
+            records=self._records(),
+        )
+        assert columnar == object_list
+        for name in (
+            "step_count", "connected_fraction", "largest_component_sizes",
+            "average_largest_component_when_disconnected",
+            "minimum_largest_component", "average_largest_component",
+        ):
+            assert getattr(columnar, name) == getattr(object_list, name), name
+
+    def test_pickles_small(self):
+        steps = 10_000
+        columns = StepColumns(
+            connected=np.ones(steps, dtype=bool),
+            largest_component=np.full(steps, 17, dtype=np.int64),
+        )
+        objects = tuple(columns)
+        assert len(pickle.dumps(columns)) * 10 < len(pickle.dumps(objects))
+        assert pickle.loads(pickle.dumps(columns)) == columns
+
+    def test_pickle_preserves_negative_sizes(self):
+        # Hand-built containers may carry sentinels; the compact transport
+        # must not wrap them through an unsigned cast.
+        columns = StepColumns(
+            connected=np.array([True, False]),
+            largest_component=np.array([-1, 5], dtype=np.int64),
+        )
+        assert pickle.loads(pickle.dumps(columns)) == columns
+
+
+class TestFrameStatisticsColumns:
+    def _frames(self):
+        return [
+            FrameStatistics(3.0, ((1.0, 2), (3.0, 4)), 4),
+            FrameStatistics(2.0, ((2.0, 4),), 4),
+            FrameStatistics(5.0, ((0.5, 2), (1.0, 3), (5.0, 4)), 4),
+        ]
+
+    def test_round_trip_and_views(self):
+        columns = FrameStatisticsColumns.from_frames(self._frames())
+        assert len(columns) == 3
+        assert list(columns) == self._frames()
+        assert columns[1] == self._frames()[1]
+        assert columns[-1] == self._frames()[-1]
+        assert columns == self._frames()
+        assert columns[0:2] == self._frames()[0:2]
+
+    def test_vectorized_sizes_match_per_frame(self):
+        columns = FrameStatisticsColumns.from_frames(self._frames())
+        for radius in (0.0, 0.5, 0.75, 1.0, 2.0, 3.0, 4.9, 5.0, 9.0):
+            expected = [
+                frame.largest_component_size_at(radius) for frame in self._frames()
+            ]
+            assert columns.largest_component_sizes_at(radius).tolist() == expected
+            assert columns.connected_at(radius).tolist() == [
+                frame.is_connected_at(radius) for frame in self._frames()
+            ]
+
+    def test_concatenate_matches_pooled_list(self):
+        first = FrameStatisticsColumns.from_frames(self._frames())
+        second = FrameStatisticsColumns.from_frames(self._frames()[::-1])
+        pooled = FrameStatisticsColumns.concatenate([first, second])
+        assert list(pooled) == self._frames() + self._frames()[::-1]
+        assert pool_frame_statistics([first, second]) == pooled
+
+    def test_concatenate_rejects_mixed_node_counts(self):
+        first = FrameStatisticsColumns.from_frames(self._frames())
+        second = FrameStatisticsColumns.from_frames(
+            [FrameStatistics(1.0, ((1.0, 2),), 2)]
+        )
+        with pytest.raises(ValueError):
+            FrameStatisticsColumns.concatenate([first, second])
+
+    def test_trivial_node_counts(self):
+        empty = FrameStatisticsColumns.from_frames([])
+        assert len(empty) == 0
+        singles = FrameStatisticsColumns.from_frames(
+            [FrameStatistics(0.0, (), 1), FrameStatistics(0.0, (), 1)]
+        )
+        assert singles.largest_component_sizes_at(3.0).tolist() == [1, 1]
+
+    def test_pickles_small(self):
+        # The float64 breakpoint ranges are irreducible (they must stay
+        # bit-exact), so the curve payload shrinks by the per-object
+        # overhead only; the big (>= 10x) win is on StepColumns above.
+        frames = [
+            FrameStatistics(
+                float(n), tuple((float(j), j + 2) for j in range(8)), 10
+            )
+            for n in range(5_000)
+        ]
+        columns = FrameStatisticsColumns.from_frames(frames)
+        assert int(len(pickle.dumps(columns)) * 1.3) < len(pickle.dumps(frames))
+        assert pickle.loads(pickle.dumps(columns)) == columns

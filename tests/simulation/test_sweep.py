@@ -1,6 +1,11 @@
 """Tests for repro.simulation.sweep."""
 
-from repro.simulation.sweep import SweepResult, sweep_parameter
+from dataclasses import dataclass, replace
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.simulation.sweep import SweepResult, split_worker_budget, sweep_parameter
 
 
 class TestSweepParameter:
@@ -33,8 +38,97 @@ class TestSweepParameter:
         assert sweep.series_names() == []
         assert sweep.parameter_values == []
 
+    def test_rejects_bad_worker_counts(self):
+        with pytest.raises(ConfigurationError):
+            sweep_parameter("x", [1.0], lambda x: {"y": x}, workers=0)
+        with pytest.raises(ConfigurationError):
+            sweep_parameter(
+                "x", [1.0], lambda x: {"y": x}, iteration_workers=0
+            )
+
 
 class TestSweepResult:
     def test_as_dicts(self):
         sweep = SweepResult(parameter_name="l", rows=[{"l": 1.0, "y": 2.0}])
         assert sweep.as_dicts()[0]["y"] == 2.0
+
+    def test_series_names_unions_all_rows(self):
+        """Regression: series appearing only at later parameter values must
+        not be dropped (series_names used to read rows[0] only)."""
+        sweep = SweepResult(
+            parameter_name="l",
+            rows=[
+                {"l": 1.0, "always": 1.0},
+                {"l": 2.0, "always": 2.0, "late": 0.5},
+                {"l": 3.0, "always": 3.0, "later": 0.1},
+            ],
+        )
+        assert sweep.series_names() == ["always", "late", "later"]
+
+
+class TestSplitWorkerBudget:
+    def test_budget_product_bounded(self):
+        for total in (1, 2, 3, 4, 6, 8, 16):
+            for values in (1, 2, 4, 5, 11):
+                sweep_workers, iteration_workers = split_worker_budget(total, values)
+                assert sweep_workers * iteration_workers <= max(total, 1)
+                assert sweep_workers >= 1 and iteration_workers >= 1
+                assert sweep_workers <= values
+
+    def test_exact_splits(self):
+        assert split_worker_budget(8, 4) == (4, 2)
+        assert split_worker_budget(4, 8) == (4, 1)
+        assert split_worker_budget(1, 4) == (1, 1)
+        assert split_worker_budget(6, 2) == (2, 3)
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ConfigurationError):
+            split_worker_budget(0, 3)
+        with pytest.raises(ConfigurationError):
+            split_worker_budget(4, 0)
+
+
+# --------------------------------------------------------------------------- #
+# Parallel sweep execution: measures must live at module level so they pickle.
+# --------------------------------------------------------------------------- #
+def _square_measure(value):
+    return {"square": value * value, "negated": -value}
+
+
+@dataclass(frozen=True)
+class RecordingMeasure:
+    """Measure that reports which iteration-worker budget it carries."""
+
+    iteration_workers: int = 1
+
+    def __call__(self, value):
+        return {"value": float(value), "workers": float(self.iteration_workers)}
+
+    def with_iteration_workers(self, count):
+        return replace(self, iteration_workers=count)
+
+
+class TestParallelSweep:
+    def test_parallel_equals_serial(self):
+        values = [0.5, 1.5, 2.5, 3.5, 4.5]
+        serial = sweep_parameter("x", values, _square_measure)
+        parallel = sweep_parameter("x", values, _square_measure, workers=3)
+        assert serial.rows == parallel.rows
+        assert serial.series_names() == parallel.series_names()
+
+    def test_more_workers_than_values(self):
+        values = [1.0, 2.0]
+        parallel = sweep_parameter("x", values, _square_measure, workers=16)
+        assert parallel.rows == sweep_parameter("x", values, _square_measure).rows
+
+    def test_iteration_workers_rebinds_measure(self):
+        sweep = sweep_parameter(
+            "x", [1.0, 2.0], RecordingMeasure(), workers=2, iteration_workers=3
+        )
+        assert [row["workers"] for row in sweep.rows] == [3.0, 3.0]
+
+    def test_iteration_workers_ignored_without_support(self):
+        sweep = sweep_parameter(
+            "x", [2.0], _square_measure, iteration_workers=4
+        )
+        assert sweep.rows[0]["square"] == 4.0
