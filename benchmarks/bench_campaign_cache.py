@@ -1,0 +1,128 @@
+"""Benchmark of the campaign runner's content-addressed cache.
+
+Measures one campaign grid (several figures sharing the waypoint and
+drunkard system-size sweeps) three ways:
+
+* **cold** — empty store: every scenario computes, checkpointing as it
+  goes;
+* **warm** — identical spec re-run: every scenario must be a pure cache
+  hit with *zero* computed values, and the sweeps must be exactly equal
+  to the cold run's;
+* **resume** — the store is stripped back to the per-value checkpoints
+  (the sweep-level entries are evicted, simulating a campaign killed just
+  before finishing): the re-run must reassemble every sweep from
+  checkpoints without re-measuring anything.
+
+The warm run exercises only key derivation plus store reads, so it must
+be dramatically faster than the cold run; the report also prints the
+store's on-disk footprint.
+
+The workload size follows ``REPRO_BENCH_SCALE`` (``smoke`` by default).
+"""
+
+import time
+
+from repro.campaigns import CampaignRunner, CampaignSpec
+from repro.campaigns.runner import scenario_sweep_key
+from repro.experiments.registry import get_experiment
+from repro.store import ResultStore
+
+from _helpers import bench_scale_name
+
+
+def _campaign_spec():
+    """A grid of four figures over two seeds (figs 2/4 share one sweep)."""
+    if bench_scale_name() == "smoke":
+        overrides = {
+            "sides": [256.0, 576.0],
+            "steps": 30,
+            "iterations": 2,
+            "stationary_iterations": 30,
+        }
+    else:
+        overrides = {
+            "sides": [256.0, 1024.0, 4096.0],
+            "steps": 200,
+            "iterations": 5,
+            "stationary_iterations": 200,
+        }
+    return CampaignSpec.from_dict(
+        {
+            "name": "bench-cache",
+            "experiments": ["fig2", "fig3", "fig4", "fig5"],
+            "scale": "smoke",
+            "overrides": overrides,
+            "matrix": {"seed": [20020623, 20020624]},
+        }
+    )
+
+
+def _timed(function):
+    start = time.perf_counter()
+    result = function()
+    return result, time.perf_counter() - start
+
+
+def test_campaign_cache(benchmark, tmp_path):
+    """Cold vs warm vs resumed campaign wall-clock and store footprint."""
+    spec = _campaign_spec()
+    store = ResultStore(tmp_path / "store")
+    runner = CampaignRunner(spec, store)
+
+    cold, cold_seconds = _timed(lambda: benchmark.pedantic(
+        runner.run, rounds=1, iterations=1, warmup_rounds=0
+    ))
+    warm, warm_seconds = _timed(runner.run)
+    footprint = store.size_bytes()
+
+    # Strip the sweep-level entries, keeping the per-value checkpoints —
+    # the store state a campaign killed mid-assembly would leave behind.
+    for scenario in spec.scenarios():
+        store.evict(
+            scenario_sweep_key(get_experiment(scenario.experiment_id), scenario.scale)
+        )
+    resumed, resumed_seconds = _timed(runner.run)
+
+    print()
+    print(f"campaign cache benchmark ({bench_scale_name()} scale)")
+    print(f"  grid: {spec.scenario_count()} scenarios, store {footprint / 1024:.1f} KiB")
+    print(f"  {'phase':8s} | {'seconds':>8s} | hits | computed values")
+    for label, seconds, result in (
+        ("cold", cold_seconds, cold),
+        ("warm", warm_seconds, warm),
+        ("resume", resumed_seconds, resumed),
+    ):
+        print(
+            f"  {label:8s} | {seconds:8.3f} | {result.cache_hits:4d} | "
+            f"{result.computed_values}"
+        )
+
+    scenario_count = spec.scenario_count()
+    # Cold: figs 2/4 and 3/5 share computations, so half the scenarios per
+    # seed hit entries their sibling figure just wrote.
+    assert cold.cache_hits == scenario_count // 2
+    assert cold.computed_values > 0
+
+    # Warm: pure cache hits, zero new simulation work, identical sweeps.
+    assert warm.cache_hits == scenario_count
+    assert warm.computed_values == 0
+    for scenario_id, sweep in warm.sweeps.items():
+        assert sweep.rows == cold.sweeps[scenario_id].rows
+
+    # Resume: sweeps reassemble purely from per-value checkpoints; the
+    # sibling figure of each shared computation then hits the restored
+    # sweep entry again.
+    assert resumed.cache_hits == scenario_count // 2
+    assert resumed.computed_values == 0
+    for outcome in resumed.outcomes:
+        if not outcome.cache_hit:
+            assert outcome.loaded_values == len(outcome.sweep.rows)
+    for scenario_id, sweep in resumed.sweeps.items():
+        assert sweep.rows == cold.sweeps[scenario_id].rows
+
+    # The cache must beat recomputation decisively.
+    assert warm_seconds < cold_seconds / 5, (
+        f"warm campaign ({warm_seconds:.3f}s) not faster than cold "
+        f"({cold_seconds:.3f}s) by 5x"
+    )
+    assert footprint > 0

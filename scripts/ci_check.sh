@@ -12,6 +12,11 @@
 # 3. The sweep fan-out / columnar payload smoke benchmark must pass at
 #    smoke scale: parallel sweeps exactly equal to serial, fixed-range
 #    result payload >= 10x smaller than the object-list containers.
+# 4. The campaign cache benchmark must pass at smoke scale: a warm
+#    re-run is a pure cache hit (zero computed values, >= 5x faster) and
+#    a checkpoint-only store reassembles every sweep without recomputing.
+# 5. A campaign smoke run through the real CLI: cold run, warm re-run
+#    (which must report zero computed values), status, clean.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -22,3 +27,18 @@ REPRO_BENCH_SCALE=smoke PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
 
 REPRO_BENCH_SCALE=smoke PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
     python -m pytest benchmarks/bench_sweep_scaling.py -q
+
+REPRO_BENCH_SCALE=smoke PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
+    python -m pytest benchmarks/bench_campaign_cache.py -q
+
+CAMPAIGN_STORE="$(mktemp -d)"
+trap 'rm -rf "$CAMPAIGN_STORE"' EXIT
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m repro \
+    campaign run examples/campaign_smoke.toml --store "$CAMPAIGN_STORE" --quiet
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m repro \
+    campaign run examples/campaign_smoke.toml --store "$CAMPAIGN_STORE" --quiet \
+    | grep -q "0 value(s) computed"
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m repro \
+    campaign status examples/campaign_smoke.toml --store "$CAMPAIGN_STORE"
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m repro \
+    campaign clean examples/campaign_smoke.toml --store "$CAMPAIGN_STORE"

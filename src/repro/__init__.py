@@ -63,6 +63,7 @@ from repro.exceptions import (
     SearchError,
     SimulationError,
 )
+from repro.campaigns import CampaignRunner, CampaignSpec
 from repro.experiments import get_experiment, list_experiments
 from repro.geometry import GridIndex, KDTree, Region
 from repro.graph import (
@@ -112,6 +113,7 @@ from repro.simulation import (
     stationary_critical_range,
 )
 from repro.stats import make_rng
+from repro.store import ResultStore
 from repro.topology import knn_topology, mst_range_assignment
 
 __version__ = "1.0.0"
@@ -119,6 +121,8 @@ __version__ = "1.0.0"
 __all__ = [
     "AnalysisError",
     "AvailabilityReport",
+    "CampaignRunner",
+    "CampaignSpec",
     "CommunicationGraph",
     "ComponentThresholds",
     "ConfigurationError",
@@ -140,6 +144,7 @@ __all__ = [
     "RandomWaypointModel",
     "Region",
     "ReproError",
+    "ResultStore",
     "SearchError",
     "SimulationConfig",
     "SimulationError",

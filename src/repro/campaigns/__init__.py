@@ -1,0 +1,35 @@
+"""Declarative experiment campaigns.
+
+A *campaign* is a declarative description of a grid of scenarios —
+registered experiments crossed with a matrix of scale overrides — executed
+through the existing sweep/registry machinery with every result
+checkpointed into a content-addressed :class:`~repro.store.result_store.
+ResultStore`:
+
+* :mod:`repro.campaigns.spec` — :class:`CampaignSpec` (loadable from TOML
+  or JSON) and the scenario grid it enumerates;
+* :mod:`repro.campaigns.runner` — :class:`CampaignRunner`: cached,
+  kill-safe execution (``run``), per-scenario progress (``status``) and
+  store hygiene (``clean``).
+
+A campaign re-run with an identical spec against a warm store is a pure
+cache hit, bit-identical to a cold serial run; a campaign killed mid-grid
+resumes exactly where it stopped.
+"""
+
+from repro.campaigns.runner import (
+    CampaignResult,
+    CampaignRunner,
+    ScenarioOutcome,
+    ScenarioStatus,
+)
+from repro.campaigns.spec import CampaignSpec, Scenario
+
+__all__ = [
+    "CampaignResult",
+    "CampaignRunner",
+    "CampaignSpec",
+    "Scenario",
+    "ScenarioOutcome",
+    "ScenarioStatus",
+]

@@ -1,0 +1,320 @@
+"""Cached, resumable execution of campaign grids.
+
+The runner walks a :class:`~repro.campaigns.spec.CampaignSpec`'s scenario
+grid in order.  For every scenario it derives the content address of the
+complete sweep (experiment cache payload + schema version) and
+
+* returns the stored sweep when the address is already present and intact
+  (*zero* simulation work — a warm re-run performs no measure calls);
+* otherwise runs the experiment through the ordinary registry machinery
+  with a per-parameter-value :class:`~repro.store.checkpoints.
+  StoreSweepCheckpoint`, so each finished value is durable the moment it
+  is measured and a killed campaign resumes at the first unfinished
+  value;
+* detects corrupt entries (failed sha256 / undecodable payloads), evicts
+  them and recomputes instead of returning damaged results.
+
+Because every measure call is deterministic given the scenario
+description, a resumed or cache-served campaign is bit-identical to an
+uninterrupted cold serial run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.campaigns.spec import CampaignSpec, Scenario
+from repro.experiments.registry import Experiment, ExperimentScale, get_experiment
+from repro.simulation.sweep import SweepResult
+from repro.store.checkpoints import StoreSweepCheckpoint
+from repro.store.keys import cache_key, scale_payload
+from repro.store.result_store import ResultStore, StoreIntegrityError
+
+#: Artifact kind of one complete scenario sweep.
+SWEEP_KIND = "sweep"
+
+
+def scenario_payload(experiment: Experiment, scale: ExperimentScale) -> Dict[str, Any]:
+    """The canonical content-address payload of one scenario's sweep.
+
+    Uses the experiment's registered ``cache_payload`` when it has one
+    (experiments running the same computation share entries), otherwise
+    the experiment identifier plus the scale's logical fields.
+    """
+    if experiment.cache_payload is not None:
+        return experiment.cache_payload(scale)
+    return {
+        "computation": "experiment",
+        "experiment": experiment.identifier,
+        "scale": scale_payload(scale),
+    }
+
+
+def scenario_sweep_key(experiment: Experiment, scale: ExperimentScale) -> str:
+    """Content address of the complete sweep of one scenario."""
+    return cache_key(SWEEP_KIND, scenario_payload(experiment, scale))
+
+
+@dataclass(frozen=True)
+class ScenarioOutcome:
+    """What happened to one scenario during a campaign run."""
+
+    scenario: Scenario
+    sweep: SweepResult = field(repr=False)
+    cache_hit: bool
+    loaded_values: int = 0
+    computed_values: int = 0
+
+
+@dataclass(frozen=True)
+class ScenarioStatus:
+    """Store-side progress of one scenario (``status`` subcommand)."""
+
+    scenario: Scenario
+    complete: bool
+    checkpointed_values: int
+    total_values: int
+
+    @property
+    def state(self) -> str:
+        if self.complete:
+            return "complete"
+        if self.checkpointed_values:
+            return f"partial ({self.checkpointed_values}/{self.total_values})"
+        return "missing"
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    """All scenario outcomes of one campaign run, in grid order."""
+
+    spec: CampaignSpec
+    outcomes: List[ScenarioOutcome]
+
+    @property
+    def sweeps(self) -> Dict[str, SweepResult]:
+        """Scenario id -> sweep, for every scenario of the grid."""
+        return {
+            outcome.scenario.scenario_id: outcome.sweep
+            for outcome in self.outcomes
+        }
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for outcome in self.outcomes if outcome.cache_hit)
+
+    @property
+    def computed_values(self) -> int:
+        return sum(outcome.computed_values for outcome in self.outcomes)
+
+
+class CampaignRunner:
+    """Execute a campaign grid against a result store.
+
+    Args:
+        spec: the campaign to run.
+        store: destination/source of cached results.
+        workers: iteration-level processes per parameter value.
+        sweep_workers: parameter values measured concurrently per scenario.
+        total_workers: split one total budget per scenario instead (wins
+            over the two explicit knobs, like the CLI flag).
+
+    Worker knobs only change wall-clock behaviour; they never enter cache
+    keys, and results are bit-identical for every setting.
+    """
+
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        store: ResultStore,
+        workers: Optional[int] = None,
+        sweep_workers: Optional[int] = None,
+        total_workers: Optional[int] = None,
+    ) -> None:
+        self.spec = spec
+        self.store = store
+        self.workers = workers
+        self.sweep_workers = sweep_workers
+        self.total_workers = total_workers
+
+    # ------------------------------------------------------------------ #
+    def _execution_scale(
+        self, experiment: Experiment, scale: ExperimentScale
+    ) -> ExperimentScale:
+        """Apply the runner's worker knobs to a scenario's logical scale."""
+        if self.total_workers is not None:
+            return experiment.with_worker_budget(scale, self.total_workers)
+        if self.workers is not None:
+            scale = scale.with_workers(self.workers)
+        if self.sweep_workers is not None:
+            scale = scale.with_sweep_workers(self.sweep_workers)
+        return scale
+
+    def _checkpoint_for(
+        self, experiment: Experiment, scenario: Scenario
+    ) -> StoreSweepCheckpoint:
+        return StoreSweepCheckpoint(
+            self.store,
+            scenario_payload(experiment, scenario.scale),
+            metadata={
+                "campaign": self.spec.name,
+                "scenario": scenario.scenario_id,
+            },
+        )
+
+    def _row_keys(self, experiment: Experiment, scenario: Scenario) -> List[str]:
+        checkpoint = self._checkpoint_for(experiment, scenario)
+        return [
+            checkpoint.key_for(value)
+            for value in experiment.sweep_values(scenario.scale)
+        ]
+
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        resume: bool = True,
+        progress: Optional[Callable[[str], None]] = None,
+    ) -> CampaignResult:
+        """Run every scenario of the grid, reusing the store where possible.
+
+        Args:
+            resume: when ``True`` (default), existing store entries are
+                reused; when ``False`` every entry the grid addresses is
+                evicted *up front*, forcing one clean recomputation (which
+                is itself checkpointed, so even a fresh run is kill-safe —
+                and sweeps shared between scenarios are still computed
+                only once per run).
+            progress: optional callable receiving one human-readable line
+                per scenario (the CLI passes ``print``).
+        """
+        say = progress if progress is not None else (lambda message: None)
+        if not resume:
+            for scenario in self.spec.scenarios():
+                self.evict_scenario(
+                    get_experiment(scenario.experiment_id), scenario
+                )
+        outcomes: List[ScenarioOutcome] = []
+        for scenario in self.spec.scenarios():
+            experiment = get_experiment(scenario.experiment_id)
+            key = scenario_sweep_key(experiment, scenario.scale)
+            if self.store.contains(key):
+                try:
+                    sweep = self.store.get(key)
+                    outcomes.append(
+                        ScenarioOutcome(
+                            scenario=scenario, sweep=sweep, cache_hit=True
+                        )
+                    )
+                    say(f"{scenario.scenario_id}: cache hit ({key[:12]})")
+                    continue
+                except (KeyError, StoreIntegrityError):
+                    # Corrupt entry, or evicted by a concurrent writer
+                    # between contains() and get(): recompute either way.
+                    self.store.evict(key)
+                    say(
+                        f"{scenario.scenario_id}: unusable entry evicted, "
+                        "recomputing"
+                    )
+
+            checkpoint = self._checkpoint_for(experiment, scenario)
+            execution_scale = self._execution_scale(experiment, scenario.scale)
+            if experiment.supports_checkpoint:
+                sweep = experiment.run_with_checkpoint(
+                    execution_scale, checkpoint
+                )
+            else:
+                # Experiments with cross-value state (e.g. a shared
+                # sequential random stream) cache at sweep granularity only.
+                sweep = experiment.run(execution_scale)
+            self.store.put(
+                key,
+                sweep,
+                metadata={
+                    "campaign": self.spec.name,
+                    "scenario": scenario.scenario_id,
+                },
+            )
+            outcome = ScenarioOutcome(
+                scenario=scenario,
+                sweep=sweep,
+                cache_hit=False,
+                loaded_values=checkpoint.loaded,
+                computed_values=(
+                    checkpoint.saved
+                    if experiment.supports_checkpoint
+                    else len(sweep.rows)
+                ),
+            )
+            outcomes.append(outcome)
+            say(
+                f"{scenario.scenario_id}: computed {outcome.computed_values} "
+                f"value(s), resumed {outcome.loaded_values} from checkpoints"
+            )
+        return CampaignResult(spec=self.spec, outcomes=outcomes)
+
+    # ------------------------------------------------------------------ #
+    def status(self) -> List[ScenarioStatus]:
+        """Store-side progress of every scenario, in grid order."""
+        statuses: List[ScenarioStatus] = []
+        for scenario in self.spec.scenarios():
+            experiment = get_experiment(scenario.experiment_id)
+            key = scenario_sweep_key(experiment, scenario.scale)
+            row_keys = self._row_keys(experiment, scenario)
+            statuses.append(
+                ScenarioStatus(
+                    scenario=scenario,
+                    complete=self.store.contains(key),
+                    checkpointed_values=sum(
+                        1 for row_key in row_keys if self.store.contains(row_key)
+                    ),
+                    total_values=len(row_keys),
+                )
+            )
+        return statuses
+
+    def evict_scenario(self, experiment: Experiment, scenario: Scenario) -> int:
+        """Remove one scenario's sweep and row entries; returns the count."""
+        removed = 0
+        if self.store.evict(scenario_sweep_key(experiment, scenario.scale)):
+            removed += 1
+        for row_key in self._row_keys(experiment, scenario):
+            if self.store.evict(row_key):
+                removed += 1
+        return removed
+
+    def clean(self) -> int:
+        """Evict every entry this campaign's grid addresses.
+
+        Content addressing means entries are shared with any other
+        campaign describing the same computation; ``clean`` removes the
+        entries *this* spec reaches, not the whole store.
+        """
+        removed = 0
+        for scenario in self.spec.scenarios():
+            experiment = get_experiment(scenario.experiment_id)
+            removed += self.evict_scenario(experiment, scenario)
+        # Stale staging directories from killed writers are swept as a
+        # side effect but are not store entries; they don't count.
+        self.store.clear_staging()
+        return removed
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    store: ResultStore,
+    resume: bool = True,
+    workers: Optional[int] = None,
+    sweep_workers: Optional[int] = None,
+    total_workers: Optional[int] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> CampaignResult:
+    """One-call convenience wrapper around :class:`CampaignRunner`."""
+    runner = CampaignRunner(
+        spec,
+        store,
+        workers=workers,
+        sweep_workers=sweep_workers,
+        total_workers=total_workers,
+    )
+    return runner.run(resume=resume, progress=progress)

@@ -10,17 +10,22 @@ experiments::
     adhoc-connectivity run fig2 --scale paper --sweep-workers 4 --workers 2
     adhoc-connectivity run fig2 --scale paper --total-workers 8
     adhoc-connectivity stationary --side 1024 --nodes 32 --workers 4
+    adhoc-connectivity campaign run grid.toml --store .repro-store
+    adhoc-connectivity campaign status grid.toml --store .repro-store
+    adhoc-connectivity campaign clean grid.toml --store .repro-store
 
 The CLI is intentionally thin: it parses arguments, calls the experiment
-layer and prints the rendered tables.
+or campaign layer and prints the rendered tables.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional
 
+from repro.campaigns import CampaignRunner, CampaignSpec
 from repro.experiments import (
     get_experiment,
     list_experiments,
@@ -29,6 +34,10 @@ from repro.experiments import (
 )
 from repro.experiments.registry import scale_by_name
 from repro.simulation.runner import stationary_critical_range
+from repro.store import ResultStore
+
+#: Default result-store root of the campaign subcommands.
+DEFAULT_STORE = ".repro-store"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -101,7 +110,143 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="worker processes for the placement draws",
     )
+
+    campaign_parser = subparsers.add_parser(
+        "campaign",
+        help="run declarative campaign grids against a cached result store",
+    )
+    campaign_commands = campaign_parser.add_subparsers(
+        dest="campaign_command", required=True
+    )
+
+    def add_spec_and_store(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("spec", help="campaign spec file (.toml or .json)")
+        sub.add_argument(
+            "--store",
+            default=DEFAULT_STORE,
+            help=f"result-store root directory (default: {DEFAULT_STORE})",
+        )
+
+    campaign_run = campaign_commands.add_parser(
+        "run", help="run every scenario of a campaign spec"
+    )
+    add_spec_and_store(campaign_run)
+    campaign_run.add_argument(
+        "--resume",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help=(
+            "reuse intact store entries (default); --no-resume evicts the "
+            "spec's entries first and recomputes from scratch"
+        ),
+    )
+    campaign_run.add_argument(
+        "--output-dir",
+        default=None,
+        help="optional directory to also save one <scenario>.json per sweep",
+    )
+    campaign_run.add_argument(
+        "--quiet", action="store_true", help="suppress the per-scenario tables"
+    )
+    campaign_run.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="iteration-level worker processes per parameter value",
+    )
+    campaign_run.add_argument(
+        "--sweep-workers",
+        type=int,
+        default=None,
+        help="parameter values of each scenario measured concurrently",
+    )
+    campaign_run.add_argument(
+        "--total-workers",
+        type=int,
+        default=None,
+        help=(
+            "split one total process budget per scenario automatically "
+            "(overrides --workers and --sweep-workers)"
+        ),
+    )
+
+    campaign_status = campaign_commands.add_parser(
+        "status", help="report per-scenario store progress without running"
+    )
+    add_spec_and_store(campaign_status)
+
+    campaign_clean = campaign_commands.add_parser(
+        "clean", help="evict every store entry the spec's grid addresses"
+    )
+    add_spec_and_store(campaign_clean)
     return parser
+
+
+def _campaign_main(arguments: argparse.Namespace) -> int:
+    """Dispatch the ``campaign run / status / clean`` subcommands."""
+    spec = CampaignSpec.load(arguments.spec)
+    store = ResultStore(arguments.store)
+    runner = CampaignRunner(
+        spec,
+        store,
+        workers=getattr(arguments, "workers", None),
+        sweep_workers=getattr(arguments, "sweep_workers", None),
+        total_workers=getattr(arguments, "total_workers", None),
+    )
+
+    if arguments.campaign_command == "run":
+        print(
+            f"Campaign {spec.name!r}: {spec.scenario_count()} scenario(s), "
+            f"store {store.root}"
+        )
+        result = runner.run(resume=arguments.resume, progress=print)
+        print(
+            f"\nDone: {result.cache_hits} cache hit(s), "
+            f"{result.computed_values} value(s) computed."
+        )
+        for outcome in result.outcomes:
+            if not arguments.quiet:
+                print()
+                print(
+                    render_sweep(
+                        outcome.sweep,
+                        title=f"{outcome.scenario.describe()} "
+                        f"({'cached' if outcome.cache_hit else 'computed'})",
+                    )
+                )
+            if arguments.output_dir:
+                safe_name = outcome.scenario.scenario_id.replace("/", "_")
+                path = save_sweep(
+                    outcome.sweep,
+                    Path(arguments.output_dir) / f"{safe_name}.json",
+                    metadata={
+                        "campaign": spec.name,
+                        "scenario": outcome.scenario.scenario_id,
+                    },
+                )
+                print(f"Saved {outcome.scenario.scenario_id} to {path}")
+        return 0
+
+    if arguments.campaign_command == "status":
+        statuses = runner.status()
+        complete = sum(1 for status in statuses if status.complete)
+        print(
+            f"Campaign {spec.name!r}: {complete}/{len(statuses)} scenario(s) "
+            f"complete in store {store.root}"
+        )
+        for status in statuses:
+            print(f"  {status.scenario.describe():48s} {status.state}")
+        return 0
+
+    if arguments.campaign_command == "clean":
+        removed = runner.clean()
+        print(
+            f"Campaign {spec.name!r}: evicted {removed} store entr"
+            f"{'y' if removed == 1 else 'ies'} from {store.root}"
+        )
+        return 0
+
+    raise AssertionError(f"unknown campaign command {arguments.campaign_command!r}")
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -143,6 +288,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             )
             print(f"\nSaved results to {path}")
         return 0
+
+    if arguments.command == "campaign":
+        return _campaign_main(arguments)
 
     if arguments.command == "stationary":
         value = stationary_critical_range(

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, replace
+from functools import partial
 from typing import Dict, Optional, Sequence
 
 from repro.experiments.registry import (
@@ -36,7 +37,8 @@ from repro.simulation.search import (
     estimate_component_thresholds_from_statistics,
     estimate_thresholds_from_statistics,
 )
-from repro.simulation.sweep import SweepResult, sweep_parameter
+from repro.simulation.sweep import SweepCheckpoint, SweepResult, sweep_parameter
+from repro.store.keys import scale_payload
 
 
 def paper_node_count(side: float) -> int:
@@ -129,7 +131,10 @@ class SystemSizeMeasure:
 
 
 def mobile_threshold_rows(
-    model: str, scale: ExperimentScale, mobility_overrides: Dict | None = None
+    model: str,
+    scale: ExperimentScale,
+    mobility_overrides: Dict | None = None,
+    checkpoint: Optional[SweepCheckpoint] = None,
 ) -> SweepResult:
     """The full system-size sweep shared by Figures 2–6."""
     return sweep_parameter(
@@ -137,41 +142,74 @@ def mobile_threshold_rows(
         scale.sides,
         SystemSizeMeasure(model=model, scale=scale, mobility_overrides=mobility_overrides),
         workers=scale.sweep_workers,
+        checkpoint=checkpoint,
     )
+
+
+def system_size_sweep_payload(model: str, scale: ExperimentScale) -> Dict:
+    """Content-address payload of the Figure 2–6 system-size sweep.
+
+    Figures 2, 4 and 6 (waypoint) and Figures 3 and 5 (drunkard) each run
+    *one* underlying sweep; keying the cache by the computation rather
+    than the figure identifier lets them share store entries.
+    """
+    return {
+        "computation": "system-size-sweep",
+        "model": model,
+        "scale": scale_payload(scale),
+    }
+
+
+def _waypoint_sweep_payload(scale: ExperimentScale) -> Dict:
+    return system_size_sweep_payload("waypoint", scale)
+
+
+def _drunkard_sweep_payload(scale: ExperimentScale) -> Dict:
+    return system_size_sweep_payload("drunkard", scale)
 
 
 # --------------------------------------------------------------------------- #
 # Figures 2 and 3 — r_x / rstationary vs l
 # --------------------------------------------------------------------------- #
-def figure2(scale: ExperimentScale) -> SweepResult:
+def figure2(
+    scale: ExperimentScale, checkpoint: Optional[SweepCheckpoint] = None
+) -> SweepResult:
     """Figure 2: ratios r100/r90/r10/r0 to rstationary, random waypoint."""
-    return mobile_threshold_rows("waypoint", scale)
+    return mobile_threshold_rows("waypoint", scale, checkpoint=checkpoint)
 
 
-def figure3(scale: ExperimentScale) -> SweepResult:
+def figure3(
+    scale: ExperimentScale, checkpoint: Optional[SweepCheckpoint] = None
+) -> SweepResult:
     """Figure 3: the same ratios under the drunkard model."""
-    return mobile_threshold_rows("drunkard", scale)
+    return mobile_threshold_rows("drunkard", scale, checkpoint=checkpoint)
 
 
 # --------------------------------------------------------------------------- #
 # Figures 4 and 5 — largest component fraction at r90 / r10 / r0 vs l
 # --------------------------------------------------------------------------- #
-def figure4(scale: ExperimentScale) -> SweepResult:
+def figure4(
+    scale: ExperimentScale, checkpoint: Optional[SweepCheckpoint] = None
+) -> SweepResult:
     """Figure 4: average largest-component fraction at r90/r10/r0, waypoint."""
-    return mobile_threshold_rows("waypoint", scale)
+    return mobile_threshold_rows("waypoint", scale, checkpoint=checkpoint)
 
 
-def figure5(scale: ExperimentScale) -> SweepResult:
+def figure5(
+    scale: ExperimentScale, checkpoint: Optional[SweepCheckpoint] = None
+) -> SweepResult:
     """Figure 5: average largest-component fraction at r90/r10/r0, drunkard."""
-    return mobile_threshold_rows("drunkard", scale)
+    return mobile_threshold_rows("drunkard", scale, checkpoint=checkpoint)
 
 
 # --------------------------------------------------------------------------- #
 # Figure 6 — rl90 / rl75 / rl50 over rstationary vs l (waypoint)
 # --------------------------------------------------------------------------- #
-def figure6(scale: ExperimentScale) -> SweepResult:
+def figure6(
+    scale: ExperimentScale, checkpoint: Optional[SweepCheckpoint] = None
+) -> SweepResult:
     """Figure 6: ratios rl90/rl75/rl50 to rstationary, random waypoint."""
-    return mobile_threshold_rows("waypoint", scale)
+    return mobile_threshold_rows("waypoint", scale, checkpoint=checkpoint)
 
 
 # --------------------------------------------------------------------------- #
@@ -270,37 +308,53 @@ class ParameterStudyMeasure:
         return replace(self, scale=self.scale.with_workers(count))
 
 
-def figure7(scale: ExperimentScale) -> SweepResult:
+def parameter_study_values(parameter: str, scale: ExperimentScale) -> Sequence[float]:
+    """The swept values of one Figure 7–9 parameter study."""
+    return tuple(_parameter_study_values(scale)[parameter])
+
+
+def parameter_study_payload(parameter: str, scale: ExperimentScale) -> Dict:
+    """Content-address payload of one Figure 7–9 parameter study."""
+    return {
+        "computation": "parameter-study",
+        "parameter": parameter,
+        "scale": scale_payload(scale),
+    }
+
+
+def _parameter_study(
+    parameter: str,
+    scale: ExperimentScale,
+    checkpoint: Optional[SweepCheckpoint] = None,
+) -> SweepResult:
+    return sweep_parameter(
+        parameter,
+        parameter_study_values(parameter, scale),
+        ParameterStudyMeasure(scale=scale, parameter=parameter),
+        workers=scale.sweep_workers,
+        checkpoint=checkpoint,
+    )
+
+
+def figure7(
+    scale: ExperimentScale, checkpoint: Optional[SweepCheckpoint] = None
+) -> SweepResult:
     """Figure 7: r100/rstationary as pstationary sweeps 0 → 1."""
-    values = _parameter_study_values(scale)["pstationary"]
-    return sweep_parameter(
-        "pstationary",
-        values,
-        ParameterStudyMeasure(scale=scale, parameter="pstationary"),
-        workers=scale.sweep_workers,
-    )
+    return _parameter_study("pstationary", scale, checkpoint)
 
 
-def figure8(scale: ExperimentScale) -> SweepResult:
+def figure8(
+    scale: ExperimentScale, checkpoint: Optional[SweepCheckpoint] = None
+) -> SweepResult:
     """Figure 8: r100/rstationary as tpause sweeps 0 → 10000."""
-    values = _parameter_study_values(scale)["tpause"]
-    return sweep_parameter(
-        "tpause",
-        values,
-        ParameterStudyMeasure(scale=scale, parameter="tpause"),
-        workers=scale.sweep_workers,
-    )
+    return _parameter_study("tpause", scale, checkpoint)
 
 
-def figure9(scale: ExperimentScale) -> SweepResult:
+def figure9(
+    scale: ExperimentScale, checkpoint: Optional[SweepCheckpoint] = None
+) -> SweepResult:
     """Figure 9: r100/rstationary as vmax sweeps 0.01l → 0.5l."""
-    values = _parameter_study_values(scale)["vmax_fraction"]
-    return sweep_parameter(
-        "vmax_fraction",
-        values,
-        ParameterStudyMeasure(scale=scale, parameter="vmax_fraction"),
-        workers=scale.sweep_workers,
-    )
+    return _parameter_study("vmax_fraction", scale, checkpoint)
 
 
 # --------------------------------------------------------------------------- #
@@ -317,6 +371,7 @@ def _register_all() -> None:
         ),
         paper_reference="Figure 2",
         run=figure2,
+        cache_payload=_waypoint_sweep_payload,
     ))
     register_experiment(Experiment(
         identifier="fig3",
@@ -327,6 +382,7 @@ def _register_all() -> None:
         ),
         paper_reference="Figure 3",
         run=figure3,
+        cache_payload=_drunkard_sweep_payload,
     ))
     register_experiment(Experiment(
         identifier="fig4",
@@ -337,6 +393,7 @@ def _register_all() -> None:
         ),
         paper_reference="Figure 4",
         run=figure4,
+        cache_payload=_waypoint_sweep_payload,
     ))
     register_experiment(Experiment(
         identifier="fig5",
@@ -347,6 +404,7 @@ def _register_all() -> None:
         ),
         paper_reference="Figure 5",
         run=figure5,
+        cache_payload=_drunkard_sweep_payload,
     ))
     register_experiment(Experiment(
         identifier="fig6",
@@ -358,6 +416,7 @@ def _register_all() -> None:
         ),
         paper_reference="Figure 6",
         run=figure6,
+        cache_payload=_waypoint_sweep_payload,
     ))
     register_experiment(Experiment(
         identifier="fig7",
@@ -369,6 +428,8 @@ def _register_all() -> None:
         paper_reference="Figure 7",
         run=figure7,
         sweep_width=parameter_sweep_width,
+        sweep_values=partial(parameter_study_values, 'pstationary'),
+        cache_payload=partial(parameter_study_payload, 'pstationary'),
     ))
     register_experiment(Experiment(
         identifier="fig8",
@@ -380,6 +441,8 @@ def _register_all() -> None:
         paper_reference="Figure 8",
         run=figure8,
         sweep_width=parameter_sweep_width,
+        sweep_values=partial(parameter_study_values, 'tpause'),
+        cache_payload=partial(parameter_study_payload, 'tpause'),
     ))
     register_experiment(Experiment(
         identifier="fig9",
@@ -391,6 +454,8 @@ def _register_all() -> None:
         paper_reference="Figure 9",
         run=figure9,
         sweep_width=parameter_sweep_width,
+        sweep_values=partial(parameter_study_values, 'vmax_fraction'),
+        cache_payload=partial(parameter_study_payload, 'vmax_fraction'),
     ))
 
 

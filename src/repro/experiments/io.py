@@ -2,8 +2,14 @@
 
 Sweeps are stored as JSON (one object with metadata plus the rows) or CSV
 (rows only).  Both formats round-trip through :func:`save_sweep` /
-:func:`load_sweep` and are stable enough to be checked into a results
-directory and diffed across runs.
+:func:`load_sweep` — including row-less sweeps, whose CSV form is a bare
+header line — and are stable enough to be checked into a results directory
+and diffed across runs.
+
+JSON payloads carry the same ``schema_version`` the result store uses
+(:data:`repro.store.codecs.SCHEMA_VERSION`), so ad-hoc artifacts and
+store entries share one versioning convention; payloads written before
+versioning existed load as version 0.
 """
 
 from __future__ import annotations
@@ -15,6 +21,7 @@ from typing import Dict, Optional, Union
 
 from repro.exceptions import ConfigurationError
 from repro.simulation.sweep import SweepResult
+from repro.store.codecs import SCHEMA_VERSION
 
 PathLike = Union[str, Path]
 
@@ -40,21 +47,21 @@ def save_sweep(
     suffix = destination.suffix.lower()
     if suffix == ".json":
         payload = {
+            "schema_version": SCHEMA_VERSION,
             "parameter_name": sweep.parameter_name,
             "rows": sweep.rows,
             "metadata": metadata or {},
         }
         destination.write_text(json.dumps(payload, indent=2, sort_keys=True))
     elif suffix == ".csv":
-        if not sweep.rows:
-            destination.write_text("")
-        else:
-            columns = [sweep.parameter_name] + sweep.series_names()
-            with destination.open("w", newline="") as handle:
-                writer = csv.DictWriter(handle, fieldnames=columns)
-                writer.writeheader()
-                for row in sweep.rows:
-                    writer.writerow({column: row.get(column, "") for column in columns})
+        # A row-less sweep still writes its header so the parameter name
+        # (and the format itself) round-trips through load_sweep.
+        columns = [sweep.parameter_name] + sweep.series_names()
+        with destination.open("w", newline="") as handle:
+            writer = csv.DictWriter(handle, fieldnames=columns)
+            writer.writeheader()
+            for row in sweep.rows:
+                writer.writerow({column: row.get(column, "") for column in columns})
     else:
         raise ConfigurationError(
             f"unsupported result format {suffix!r}; use .json or .csv"
@@ -63,11 +70,22 @@ def save_sweep(
 
 
 def load_sweep(path: PathLike) -> SweepResult:
-    """Load a sweep previously written by :func:`save_sweep`."""
+    """Load a sweep previously written by :func:`save_sweep`.
+
+    JSON payloads written before schema versioning load as version 0;
+    payloads from a *newer* schema than this code understands are
+    rejected rather than misread.
+    """
     source = Path(path)
     suffix = source.suffix.lower()
     if suffix == ".json":
         payload = json.loads(source.read_text())
+        version = int(payload.get("schema_version", 0))
+        if version > SCHEMA_VERSION:
+            raise ConfigurationError(
+                f"{source} has schema version {version}, newer than the "
+                f"supported version {SCHEMA_VERSION}; upgrade the library"
+            )
         return SweepResult(
             parameter_name=payload["parameter_name"],
             rows=[{key: value for key, value in row.items()} for row in payload["rows"]],

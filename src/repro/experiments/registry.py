@@ -9,11 +9,12 @@ and the benchmarks.
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.exceptions import ConfigurationError
-from repro.simulation.sweep import SweepResult, split_worker_budget
+from repro.simulation.sweep import SweepCheckpoint, SweepResult, split_worker_budget
 
 
 @dataclass(frozen=True)
@@ -156,6 +157,11 @@ def parameter_sweep_width(scale: ExperimentScale) -> int:
     return scale.parameter_points
 
 
+def side_sweep_values(scale: ExperimentScale) -> Sequence[float]:
+    """Swept values of the system-size experiments (the sides themselves)."""
+    return tuple(float(side) for side in scale.sides)
+
+
 @dataclass(frozen=True)
 class Experiment:
     """A registered, runnable reproduction of one paper figure/table.
@@ -165,6 +171,17 @@ class Experiment:
     with_worker_budget` needs to split a total worker budget sensibly.
     Defaults to one value per system side; the parameter studies register
     :func:`parameter_sweep_width` instead.
+
+    ``sweep_values`` reports the actual values that sweep visits, which is
+    what the campaign layer needs to checkpoint per value and to report
+    partial progress.  Defaults to the system sides.
+
+    ``cache_payload`` maps a scale to the canonical content-address
+    payload of the experiment's sweep.  Experiments that run the *same*
+    computation (Figures 2/4/6 all run the waypoint system-size sweep;
+    Figures 3/5 the drunkard one) register the same payload and therefore
+    share result-store entries.  ``None`` (the default) falls back to
+    ``{"experiment": identifier, "scale": <scale fields>}``.
     """
 
     identifier: str
@@ -174,6 +191,12 @@ class Experiment:
     run: Callable[[ExperimentScale], SweepResult] = field(repr=False)
     sweep_width: Callable[[ExperimentScale], int] = field(
         default=_side_sweep_width, repr=False
+    )
+    sweep_values: Callable[[ExperimentScale], Sequence[float]] = field(
+        default=side_sweep_values, repr=False
+    )
+    cache_payload: Optional[Callable[[ExperimentScale], Dict[str, Any]]] = field(
+        default=None, repr=False
     )
 
     def run_at(self, scale: str = "default") -> SweepResult:
@@ -185,6 +208,32 @@ class Experiment:
     ) -> ExperimentScale:
         """Split ``total`` processes for *this* experiment's sweep width."""
         return scale.with_worker_budget(total, self.sweep_width(scale))
+
+    @property
+    def supports_checkpoint(self) -> bool:
+        """``True`` if ``run`` accepts a ``checkpoint`` keyword.
+
+        Experiments whose measures are independent per parameter value
+        thread the checkpoint into :func:`repro.simulation.sweep.
+        sweep_parameter`; experiments with cross-value state (e.g. a
+        shared sequential random stream) simply never declare the keyword
+        and are cached at whole-sweep granularity only.
+        """
+        try:
+            parameters = inspect.signature(self.run).parameters
+        except (TypeError, ValueError):  # pragma: no cover - builtins only
+            return False
+        return "checkpoint" in parameters
+
+    def run_with_checkpoint(
+        self,
+        scale: ExperimentScale,
+        checkpoint: Optional[SweepCheckpoint] = None,
+    ) -> SweepResult:
+        """Run the experiment, threading ``checkpoint`` through if supported."""
+        if checkpoint is not None and self.supports_checkpoint:
+            return self.run(scale, checkpoint=checkpoint)
+        return self.run(scale)
 
 
 _REGISTRY: Dict[str, Experiment] = {}

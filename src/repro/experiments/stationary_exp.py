@@ -14,7 +14,7 @@ Two registered experiments complement the mobile figures:
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.analysis.gupta_kumar import gupta_kumar_critical_range
 from repro.analysis.worst_best_case import best_case_range_2d, worst_case_range
@@ -27,7 +27,7 @@ from repro.experiments.registry import (
     register_experiment,
 )
 from repro.simulation.runner import stationary_critical_range
-from repro.simulation.sweep import SweepResult, sweep_parameter
+from repro.simulation.sweep import SweepCheckpoint, SweepResult, sweep_parameter
 
 
 @dataclass(frozen=True)
@@ -60,11 +60,14 @@ class StationaryRangeMeasure:
         return replace(self, scale=self.scale.with_workers(count))
 
 
-def stationary_experiment(scale: ExperimentScale) -> SweepResult:
+def stationary_experiment(
+    scale: ExperimentScale, checkpoint: Optional[SweepCheckpoint] = None
+) -> SweepResult:
     """``rstationary`` per system size, with analytical comparators."""
     return sweep_parameter(
         "l", scale.sides, StationaryRangeMeasure(scale=scale),
         workers=scale.sweep_workers,
+        checkpoint=checkpoint,
     )
 
 
@@ -95,7 +98,9 @@ class EnergyTradeoffMeasure:
         return replace(self, scale=self.scale.with_workers(count))
 
 
-def energy_tradeoff_experiment(scale: ExperimentScale) -> SweepResult:
+def energy_tradeoff_experiment(
+    scale: ExperimentScale, checkpoint: Optional[SweepCheckpoint] = None
+) -> SweepResult:
     """Energy savings of the relaxed connectivity requirements.
 
     For each system size the waypoint thresholds are measured and the
@@ -106,6 +111,7 @@ def energy_tradeoff_experiment(scale: ExperimentScale) -> SweepResult:
     return sweep_parameter(
         "l", scale.sides, EnergyTradeoffMeasure(scale=scale),
         workers=scale.sweep_workers,
+        checkpoint=checkpoint,
     )
 
 

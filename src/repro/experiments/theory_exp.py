@@ -47,6 +47,20 @@ from repro.simulation.sweep import SweepResult, sweep_parameter
 #: Node density used by the 1-D experiment: n = DENSITY_FACTOR * l.
 DENSITY_FACTOR = 0.25
 
+#: The five occupancy growth domains swept by ``occupancy-domains``.
+GROWTH_DOMAIN_COUNT = 5
+
+
+def occupancy_domain_values(scale: ExperimentScale):
+    """The ``domain`` sweep visits one fixed index per growth domain —
+    not the system sides the registry's default would report."""
+    return tuple(float(index) for index in range(GROWTH_DOMAIN_COUNT))
+
+
+def occupancy_domain_width(scale: ExperimentScale) -> int:
+    """Sweep width of ``occupancy-domains`` (one value per domain)."""
+    return GROWTH_DOMAIN_COUNT
+
 
 def theorem5_experiment(scale: ExperimentScale) -> SweepResult:
     """Empirical critical product ``r n`` vs the ``l log l`` threshold.
@@ -155,4 +169,6 @@ register_experiment(Experiment(
     ),
     paper_reference="Theorems 1-2, Lemma 1",
     run=occupancy_experiment,
+    sweep_width=occupancy_domain_width,
+    sweep_values=occupancy_domain_values,
 ))

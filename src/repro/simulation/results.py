@@ -45,7 +45,7 @@ class StepRecord:
     largest_component_size: int
 
 
-def _compact_ints(values: np.ndarray) -> np.ndarray:
+def compact_ints(values: np.ndarray) -> np.ndarray:
     """Smallest unsigned copy of a non-negative int array (for pickling).
 
     Arrays containing negatives (possible in hand-built containers) are
@@ -198,7 +198,7 @@ class StepColumns(Sequence[StepRecord]):
             (
                 int(self.connected.shape[0]),
                 np.packbits(self.connected),
-                _compact_ints(self.largest_component),
+                compact_ints(self.largest_component),
             ),
         )
 
@@ -381,9 +381,9 @@ class FrameStatisticsColumns(Sequence[FrameStatistics]):
             (
                 self.node_count,
                 self.critical_ranges,
-                _compact_ints(self.curve_offsets),
+                compact_ints(self.curve_offsets),
                 self.curve_ranges,
-                _compact_ints(self.curve_sizes),
+                compact_ints(self.curve_sizes),
             ),
         )
 

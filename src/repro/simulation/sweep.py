@@ -25,15 +25,42 @@ counts explicitly and rebinds the measure's iteration workers when it
 supports :meth:`Measure.with_iteration_workers`.  Results are bit-identical
 for every ``workers`` value — each measure call is deterministic given the
 seed it carries.
+
+Checkpointing
+-------------
+A sweep can also carry a *checkpoint* — an object with ``load(value)`` /
+``save(value, row)`` hooks (see :class:`SweepCheckpoint`).  Rows found by
+``load`` are not measured again, and every freshly measured row is handed
+to ``save`` as soon as it exists (in the parent process, even for parallel
+sweeps), so a sweep killed at any point loses at most the rows still in
+flight.  The store-backed implementation lives in
+:mod:`repro.store.checkpoints`; this module only defines the protocol so
+the simulation layer stays free of storage dependencies.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.exceptions import ConfigurationError
+
+
+class SweepCheckpoint:
+    """Protocol of a per-parameter-value checkpoint (duck-typed).
+
+    ``load`` returns the previously measured row for a value, or ``None``
+    when the value must be (re)measured; ``save`` persists one freshly
+    measured row.  Both are called in the parent process only, in sweep
+    order for ``load`` and in completion order for ``save``.
+    """
+
+    def load(self, value: float) -> Optional[Dict[str, float]]:  # pragma: no cover
+        raise NotImplementedError
+
+    def save(self, value: float, row: Dict[str, float]) -> None:  # pragma: no cover
+        raise NotImplementedError
 
 
 class Measure:
@@ -140,6 +167,7 @@ def sweep_parameter(
     measure: Callable[[float], Dict[str, float]],
     workers: int = 1,
     iteration_workers: Optional[int] = None,
+    checkpoint: Optional[SweepCheckpoint] = None,
 ) -> SweepResult:
     """Run ``measure`` at every parameter value and tabulate the results.
 
@@ -158,6 +186,13 @@ def sweep_parameter(
             the sweep runs, capping the *nested* simulation pools so the
             total process count stays within ``workers *
             iteration_workers`` (see :func:`split_worker_budget`).
+        checkpoint: optional :class:`SweepCheckpoint`.  Values whose rows
+            ``checkpoint.load`` returns are not measured again; every
+            freshly measured row is passed to ``checkpoint.save`` the
+            moment it is available, so an interrupted sweep resumes where
+            it stopped.  Because each measure call is deterministic given
+            the value, a resumed or fully checkpointed sweep is
+            bit-identical to an uninterrupted one.
     """
     if workers < 1:
         raise ConfigurationError(f"workers must be at least 1, got {workers}")
@@ -172,18 +207,41 @@ def sweep_parameter(
 
     result = SweepResult(parameter_name=parameter_name)
     values = list(parameter_values)
-    worker_count = min(workers, len(values)) if values else 1
-    if worker_count <= 1:
-        for value in values:
-            result.rows.append(_measure_row(parameter_name, measure, value))
-        return result
+    rows: Dict[int, Dict[str, float]] = {}
+    pending: List[Tuple[int, float]] = []
+    for index, value in enumerate(values):
+        row = checkpoint.load(value) if checkpoint is not None else None
+        if row is not None:
+            rows[index] = dict(row)
+        else:
+            pending.append((index, value))
 
-    # Parameter values run in worker *processes* (never pools inside
-    # threads): each worker may itself own an iteration-level pool.
-    with ProcessPoolExecutor(max_workers=worker_count) as pool:
-        futures = [
-            pool.submit(_measure_row, parameter_name, measure, value)
-            for value in values
-        ]
-        result.rows.extend(future.result() for future in futures)
+    worker_count = min(workers, len(pending)) if pending else 1
+    if worker_count <= 1:
+        for index, value in pending:
+            row = _measure_row(parameter_name, measure, value)
+            if checkpoint is not None:
+                checkpoint.save(value, row)
+            rows[index] = row
+    else:
+        # Parameter values run in worker *processes* (never pools inside
+        # threads): each worker may itself own an iteration-level pool.
+        # Rows are checkpointed in completion order — as soon as they
+        # exist — and reordered when the sweep is assembled below.
+        with ProcessPoolExecutor(max_workers=worker_count) as pool:
+            futures = {
+                pool.submit(_measure_row, parameter_name, measure, value): (index, value)
+                for index, value in pending
+            }
+            remaining = set(futures)
+            while remaining:
+                done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                for future in done:
+                    index, value = futures[future]
+                    row = future.result()
+                    if checkpoint is not None:
+                        checkpoint.save(value, row)
+                    rows[index] = row
+
+    result.rows.extend(rows[index] for index in range(len(values)))
     return result

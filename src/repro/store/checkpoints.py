@@ -1,0 +1,75 @@
+"""Store-backed per-parameter-value sweep checkpoints.
+
+:func:`repro.simulation.sweep.sweep_parameter` accepts a checkpoint object
+with ``load(value)`` / ``save(value, row)`` hooks.  The implementation
+here keys every measured row by the sweep's logical description plus the
+parameter value, so a killed sweep resumes exactly at the first value it
+had not finished, and two sweeps with identical descriptions — however
+they are named or parallelised — share their rows.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.store.keys import cache_key
+from repro.store.result_store import ResultStore, StoreIntegrityError
+
+#: Artifact kind of one checkpointed sweep row.
+ROW_KIND = "sweep-row"
+
+
+class StoreSweepCheckpoint:
+    """Checkpoint one sweep's rows into a :class:`ResultStore`.
+
+    Args:
+        store: destination store.
+        payload: the canonical description of the sweep (experiment,
+            scale, seed, ...); every row key derives from it plus the
+            parameter value.
+        metadata: optional human-readable context written into each
+            entry header.
+    """
+
+    def __init__(
+        self,
+        store: ResultStore,
+        payload: Any,
+        metadata: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.store = store
+        self.payload = payload
+        self.metadata = metadata or {}
+        self.loaded = 0
+        self.saved = 0
+
+    def key_for(self, value: float) -> str:
+        """The content address of the row at one parameter value."""
+        return cache_key(ROW_KIND, {"sweep": self.payload, "value": float(value)})
+
+    def load(self, value: float) -> Optional[Dict[str, float]]:
+        """The checkpointed row at ``value``, or ``None`` to recompute.
+
+        A corrupt entry is evicted and reported as a miss — resuming from
+        a damaged store recomputes the damaged rows instead of returning
+        them.
+        """
+        key = self.key_for(value)
+        if not self.store.contains(key):
+            return None
+        try:
+            row = self.store.get(key)
+        except (KeyError, StoreIntegrityError):
+            self.store.evict(key)
+            return None
+        self.loaded += 1
+        return row
+
+    def save(self, value: float, row: Dict[str, float]) -> None:
+        """Persist the freshly measured row at ``value``."""
+        self.store.put(
+            self.key_for(value),
+            dict(row),
+            metadata={**self.metadata, "value": float(value)},
+        )
+        self.saved += 1

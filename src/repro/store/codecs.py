@@ -1,0 +1,187 @@
+"""Typed codecs between result objects and on-disk payloads.
+
+Each supported result type has a *kind* string, an encoder producing the
+payload file name plus its bytes, and a decoder reconstructing an equal
+object.  Tabular artifacts (sweeps, per-value checkpoint rows) are stored
+as JSON — human-diffable and exact for Python floats, whose ``repr`` round-
+trips bit-identically.  The columnar containers reuse the compact packed
+transport PR 2 built for process boundaries (one bit per connectivity
+flag, minimal integer widths, float64 breakpoints untouched) inside a
+``.npz`` archive.
+
+:data:`SCHEMA_VERSION` is the single on-disk format version shared by the
+store and the plain :func:`repro.experiments.io.save_sweep` artifacts; it
+is baked into every cache key, so bumping it invalidates stale layouts
+instead of misreading them.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from typing import Any, Callable, Dict, NamedTuple, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.simulation.results import (
+    FrameStatisticsColumns,
+    StepColumns,
+    compact_ints,
+)
+from repro.simulation.sweep import SweepResult
+
+#: On-disk schema version of every persisted artifact.  Version 0 is the
+#: pre-versioning ``save_sweep`` JSON layout; version 1 added the store,
+#: this field, and the empty-sweep CSV header.
+SCHEMA_VERSION = 1
+
+
+class Codec(NamedTuple):
+    """One artifact kind: match by type, encode to bytes, decode back."""
+
+    matches: Callable[[Any], bool]
+    filename: str
+    encode: Callable[[Any], bytes]
+    decode: Callable[[bytes], Any]
+
+
+def _json_bytes(document: Dict[str, Any]) -> bytes:
+    return json.dumps(document, sort_keys=True, indent=2).encode("utf-8")
+
+
+def _encode_sweep(sweep: SweepResult) -> bytes:
+    return _json_bytes(
+        {
+            "schema_version": SCHEMA_VERSION,
+            "parameter_name": sweep.parameter_name,
+            "rows": sweep.rows,
+        }
+    )
+
+
+def _decode_sweep(payload: bytes) -> SweepResult:
+    document = json.loads(payload.decode("utf-8"))
+    return SweepResult(
+        parameter_name=document["parameter_name"],
+        rows=[dict(row) for row in document["rows"]],
+    )
+
+
+def _encode_row(row: Dict[str, float]) -> bytes:
+    return _json_bytes({"schema_version": SCHEMA_VERSION, "row": dict(row)})
+
+
+def _decode_row(payload: bytes) -> Dict[str, float]:
+    return dict(json.loads(payload.decode("utf-8"))["row"])
+
+
+def _npz_bytes(**arrays: np.ndarray) -> bytes:
+    buffer = io.BytesIO()
+    np.savez_compressed(buffer, **arrays)
+    return buffer.getvalue()
+
+
+def _read_npz(payload: bytes) -> Dict[str, np.ndarray]:
+    with np.load(io.BytesIO(payload)) as archive:
+        return {name: archive[name] for name in archive.files}
+
+
+def _encode_step_columns(columns: StepColumns) -> bytes:
+    return _npz_bytes(
+        count=np.int64(len(columns)),
+        connected_bits=np.packbits(columns.connected),
+        largest_component=compact_ints(columns.largest_component),
+    )
+
+
+def _decode_step_columns(payload: bytes) -> StepColumns:
+    arrays = _read_npz(payload)
+    count = int(arrays["count"])
+    return StepColumns(
+        connected=np.unpackbits(arrays["connected_bits"], count=count).astype(bool),
+        largest_component=arrays["largest_component"],
+    )
+
+
+def _encode_frame_columns(columns: FrameStatisticsColumns) -> bytes:
+    return _npz_bytes(
+        node_count=np.int64(columns.node_count),
+        critical_ranges=columns.critical_ranges,
+        curve_offsets=compact_ints(columns.curve_offsets),
+        curve_ranges=columns.curve_ranges,
+        curve_sizes=compact_ints(columns.curve_sizes),
+    )
+
+
+def _decode_frame_columns(payload: bytes) -> FrameStatisticsColumns:
+    arrays = _read_npz(payload)
+    return FrameStatisticsColumns(
+        node_count=int(arrays["node_count"]),
+        critical_ranges=arrays["critical_ranges"],
+        curve_offsets=arrays["curve_offsets"],
+        curve_ranges=arrays["curve_ranges"],
+        curve_sizes=arrays["curve_sizes"],
+    )
+
+
+#: Kind -> codec.  Order matters for :func:`detect_kind` (dict rows would
+#: also "match" a generic mapping test placed earlier).
+CODECS: Dict[str, Codec] = {
+    "sweep": Codec(
+        matches=lambda value: isinstance(value, SweepResult),
+        filename="data.json",
+        encode=_encode_sweep,
+        decode=_decode_sweep,
+    ),
+    "frame_statistics": Codec(
+        matches=lambda value: isinstance(value, FrameStatisticsColumns),
+        filename="data.npz",
+        encode=_encode_frame_columns,
+        decode=_decode_frame_columns,
+    ),
+    "step_columns": Codec(
+        matches=lambda value: isinstance(value, StepColumns),
+        filename="data.npz",
+        encode=_encode_step_columns,
+        decode=_decode_step_columns,
+    ),
+    "sweep-row": Codec(
+        matches=lambda value: isinstance(value, dict),
+        filename="data.json",
+        encode=_encode_row,
+        decode=_decode_row,
+    ),
+}
+
+
+def detect_kind(value: Any) -> str:
+    """The artifact kind of ``value``.
+
+    Raises:
+        ConfigurationError: if no codec supports the type.
+    """
+    for kind, codec in CODECS.items():
+        if codec.matches(value):
+            return kind
+    raise ConfigurationError(
+        f"no result-store codec for values of type {type(value).__name__!r}"
+    )
+
+
+def encode_payload(value: Any) -> Tuple[str, str, bytes]:
+    """Encode ``value`` as ``(kind, payload filename, payload bytes)``."""
+    kind = detect_kind(value)
+    codec = CODECS[kind]
+    return kind, codec.filename, codec.encode(value)
+
+
+def decode_payload(kind: str, payload: bytes) -> Any:
+    """Decode the payload bytes of a ``kind`` artifact."""
+    try:
+        codec = CODECS[kind]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown result-store artifact kind {kind!r}; known: {sorted(CODECS)}"
+        ) from None
+    return codec.decode(payload)

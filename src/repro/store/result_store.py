@@ -1,0 +1,196 @@
+"""The content-addressed on-disk result store.
+
+Layout::
+
+    <root>/
+      objects/<key[:2]>/<key>/
+        entry.json    # kind, schema_version, payload file name + sha256
+        data.json|npz # the encoded artifact
+      staging/        # in-flight writes, renamed into place atomically
+
+Every entry directory is written in full under ``staging/`` and moved to
+its final path with one :func:`os.replace` — a killed process can leave
+stale staging directories (cleaned opportunistically) but never a
+half-written entry.  Reads verify the recorded sha256 of the payload
+before decoding; a mismatch raises :class:`StoreIntegrityError` so
+callers can evict and recompute instead of consuming silent corruption.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+import uuid
+from pathlib import Path
+from typing import Any, Dict, Iterator, Optional, Union
+
+from repro.exceptions import ConfigurationError, ReproError
+from repro.store.codecs import SCHEMA_VERSION, decode_payload, encode_payload
+
+PathLike = Union[str, Path]
+
+_ENTRY_FILE = "entry.json"
+
+
+class StoreIntegrityError(ReproError):
+    """A store entry exists but fails its integrity verification."""
+
+
+class ResultStore:
+    """Content-addressed artifact store with atomic writes.
+
+    Keys are the hex digests of :func:`repro.store.keys.cache_key`; values
+    are any type with a codec in :mod:`repro.store.codecs`.  The store is
+    safe against concurrent writers of the *same* key (content addressing
+    makes their payloads identical; the first rename wins) and against
+    being killed at any point (entries appear atomically).
+    """
+
+    def __init__(self, root: PathLike) -> None:
+        self.root = Path(root)
+        self._objects = self.root / "objects"
+        self._staging = self.root / "staging"
+
+    # ------------------------------------------------------------------ #
+    def _entry_dir(self, key: str) -> Path:
+        if not key or any(c not in "0123456789abcdef" for c in key):
+            raise ConfigurationError(f"malformed store key {key!r}")
+        return self._objects / key[:2] / key
+
+    def contains(self, key: str) -> bool:
+        """``True`` if an entry for ``key`` has been fully written."""
+        return (self._entry_dir(key) / _ENTRY_FILE).is_file()
+
+    def put(
+        self, key: str, value: Any, metadata: Optional[Dict[str, Any]] = None
+    ) -> str:
+        """Store ``value`` under ``key``; returns ``key``.
+
+        Overwrites nothing: if the entry already exists the write is
+        discarded (content addressing guarantees equal payloads for equal
+        keys).  ``metadata`` is stored verbatim in the entry header for
+        human inspection (``status`` listings); it does not affect reads.
+        """
+        kind, filename, payload = encode_payload(value)
+        entry = {
+            "kind": kind,
+            "schema_version": SCHEMA_VERSION,
+            "payload_file": filename,
+            "payload_sha256": hashlib.sha256(payload).hexdigest(),
+            "metadata": metadata or {},
+        }
+        final_dir = self._entry_dir(key)
+        if (final_dir / _ENTRY_FILE).is_file():
+            return key
+        self._staging.mkdir(parents=True, exist_ok=True)
+        stage = self._staging / uuid.uuid4().hex
+        stage.mkdir()
+        try:
+            (stage / filename).write_bytes(payload)
+            (stage / _ENTRY_FILE).write_text(json.dumps(entry, indent=2, sort_keys=True))
+            final_dir.parent.mkdir(parents=True, exist_ok=True)
+            try:
+                os.replace(stage, final_dir)
+            except OSError:
+                # A concurrent writer renamed an identical entry first.
+                if not self.contains(key):
+                    raise
+                shutil.rmtree(stage, ignore_errors=True)
+        finally:
+            if stage.exists() and not self.contains(key):
+                shutil.rmtree(stage, ignore_errors=True)
+        return key
+
+    def entry(self, key: str) -> Dict[str, Any]:
+        """The entry header of ``key`` (kind, digest, metadata).
+
+        Raises:
+            KeyError: if no entry exists.
+            StoreIntegrityError: if the header itself is unreadable.
+        """
+        path = self._entry_dir(key) / _ENTRY_FILE
+        if not path.is_file():
+            raise KeyError(key)
+        try:
+            header = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as error:
+            raise StoreIntegrityError(
+                f"unreadable store entry header for {key}: {error}"
+            ) from error
+        if not isinstance(header, dict) or "kind" not in header:
+            raise StoreIntegrityError(f"malformed store entry header for {key}")
+        return header
+
+    def get(self, key: str) -> Any:
+        """Load and decode the artifact stored under ``key``.
+
+        Raises:
+            KeyError: if no entry exists.
+            StoreIntegrityError: if the entry is corrupt (bad header,
+                missing payload, digest mismatch, undecodable payload).
+        """
+        header = self.entry(key)
+        payload_path = self._entry_dir(key) / header.get("payload_file", "")
+        if not payload_path.is_file():
+            raise StoreIntegrityError(f"store entry {key} lost its payload file")
+        payload = payload_path.read_bytes()
+        digest = hashlib.sha256(payload).hexdigest()
+        if digest != header.get("payload_sha256"):
+            raise StoreIntegrityError(
+                f"store entry {key} failed integrity verification: "
+                f"payload sha256 {digest} != recorded {header.get('payload_sha256')}"
+            )
+        try:
+            return decode_payload(header["kind"], payload)
+        except Exception as error:
+            raise StoreIntegrityError(
+                f"store entry {key} could not be decoded: {error}"
+            ) from error
+
+    def evict(self, key: str) -> bool:
+        """Remove the entry for ``key``; ``True`` if one existed."""
+        path = self._entry_dir(key)
+        if not path.exists():
+            return False
+        shutil.rmtree(path)
+        return True
+
+    # ------------------------------------------------------------------ #
+    def keys(self) -> Iterator[str]:
+        """All fully-written keys currently in the store."""
+        if not self._objects.is_dir():
+            return
+        for shard in sorted(self._objects.iterdir()):
+            if not shard.is_dir():
+                continue
+            for entry_dir in sorted(shard.iterdir()):
+                if (entry_dir / _ENTRY_FILE).is_file():
+                    yield entry_dir.name
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())
+
+    def size_bytes(self) -> int:
+        """Total bytes of every file under the store root."""
+        if not self.root.is_dir():
+            return 0
+        return sum(
+            path.stat().st_size
+            for path in self.root.rglob("*")
+            if path.is_file()
+        )
+
+    def clear_staging(self) -> int:
+        """Remove leftover staging directories from killed writers."""
+        if not self._staging.is_dir():
+            return 0
+        removed = 0
+        for stale in self._staging.iterdir():
+            shutil.rmtree(stale, ignore_errors=True)
+            removed += 1
+        return removed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"ResultStore(root={str(self.root)!r})"

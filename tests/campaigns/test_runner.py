@@ -1,0 +1,269 @@
+"""Campaign semantics tests: caching, kill-and-resume, corruption recovery.
+
+A synthetic experiment with an instrumented measure is registered for the
+duration of each test, so the tests can assert *exactly* how many measure
+calls a campaign performed — the acceptance criteria are "zero new
+simulation calls on a warm re-run" and "a killed campaign resumes where
+it stopped with results equal to an uninterrupted run".
+"""
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import pytest
+
+from repro.campaigns import CampaignRunner, CampaignSpec
+from repro.campaigns.runner import scenario_sweep_key
+from repro.experiments.registry import (
+    _REGISTRY,
+    Experiment,
+    ExperimentScale,
+    get_experiment,
+    register_experiment,
+)
+from repro.simulation.sweep import SweepCheckpoint, SweepResult, sweep_parameter
+from repro.store import ResultStore
+
+EXPERIMENT_ID = "campaign-test-exp"
+SIBLING_ID = "campaign-test-exp-sibling"
+
+
+def shared_payload(scale: ExperimentScale):
+    """Cache payload shared by the counting experiment and its sibling."""
+    from repro.store import scale_payload
+
+    return {"computation": "counting-shared", "scale": scale_payload(scale)}
+
+#: Module-level instrumentation so the (serial, in-process) measures can
+#: count calls and simulate a mid-campaign kill.
+CALLS = {"count": 0}
+FAIL_AT = {"value": None}
+
+
+@dataclass(frozen=True)
+class CountingMeasure:
+    seed: int
+
+    def __call__(self, value: float) -> Dict[str, float]:
+        if FAIL_AT["value"] is not None and value >= FAIL_AT["value"]:
+            raise RuntimeError(f"simulated kill at value {value}")
+        CALLS["count"] += 1
+        return {"metric": value * 2.0 + self.seed, "seed": float(self.seed)}
+
+
+def run_counting_experiment(
+    scale: ExperimentScale, checkpoint: Optional[SweepCheckpoint] = None
+) -> SweepResult:
+    return sweep_parameter(
+        "side",
+        scale.sides,
+        CountingMeasure(seed=scale.seed or 0),
+        checkpoint=checkpoint,
+    )
+
+
+@pytest.fixture
+def counting_experiment():
+    CALLS["count"] = 0
+    FAIL_AT["value"] = None
+    experiment = register_experiment(
+        Experiment(
+            identifier=EXPERIMENT_ID,
+            title="Synthetic counting experiment",
+            description="Counts measure calls for campaign-semantics tests.",
+            paper_reference="(test only)",
+            run=run_counting_experiment,
+        )
+    )
+    yield experiment
+    _REGISTRY.pop(EXPERIMENT_ID, None)
+    FAIL_AT["value"] = None
+
+
+def make_spec(**overrides):
+    document = {
+        "name": "semantics",
+        "experiments": [EXPERIMENT_ID],
+        "scale": "smoke",
+        "overrides": {
+            "sides": [10.0, 20.0, 30.0],
+            "steps": 1,
+            "iterations": 1,
+            "stationary_iterations": 1,
+        },
+        "matrix": {"seed": [1, 2]},
+    }
+    document.update(overrides)
+    return CampaignSpec.from_dict(document)
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ResultStore(tmp_path / "store")
+
+
+class TestWarmRerun:
+    def test_identical_spec_rerun_is_pure_cache_hit(self, counting_experiment, store):
+        spec = make_spec()
+        cold = CampaignRunner(spec, store).run()
+        cold_calls = CALLS["count"]
+        assert cold_calls == 2 * 3  # two seeds x three sides
+        assert cold.cache_hits == 0
+
+        warm = CampaignRunner(spec, store).run()
+        assert CALLS["count"] == cold_calls  # zero new measure calls
+        assert warm.cache_hits == len(spec.scenarios())
+        assert warm.computed_values == 0
+        # Bit-identical to the cold run, scenario by scenario, row by row.
+        assert warm.sweeps.keys() == cold.sweeps.keys()
+        for scenario_id, sweep in warm.sweeps.items():
+            assert sweep.rows == cold.sweeps[scenario_id].rows
+            assert sweep.parameter_name == cold.sweeps[scenario_id].parameter_name
+
+    def test_no_resume_forces_recompute(self, counting_experiment, store):
+        spec = make_spec()
+        CampaignRunner(spec, store).run()
+        baseline = CALLS["count"]
+        CampaignRunner(spec, store).run(resume=False)
+        assert CALLS["count"] == baseline * 2
+
+    def test_shared_computation_cached_within_one_run(
+        self, counting_experiment, store
+    ):
+        """Experiments registering the same cache_payload share one sweep —
+        including on a --no-resume run, which must recompute shared sweeps
+        once per run, not once per scenario."""
+        sibling = register_experiment(
+            Experiment(
+                identifier=SIBLING_ID,
+                title="Synthetic sibling experiment",
+                description="Shares the counting experiment's computation.",
+                paper_reference="(test only)",
+                run=run_counting_experiment,
+                cache_payload=shared_payload,
+            )
+        )
+        try:
+            _REGISTRY[EXPERIMENT_ID] = Experiment(
+                identifier=EXPERIMENT_ID,
+                title=counting_experiment.title,
+                description=counting_experiment.description,
+                paper_reference=counting_experiment.paper_reference,
+                run=run_counting_experiment,
+                cache_payload=shared_payload,
+            )
+            spec = make_spec(
+                experiments=[EXPERIMENT_ID, SIBLING_ID], matrix={"seed": [1]}
+            )
+            cold = CampaignRunner(spec, store).run()
+            assert CALLS["count"] == 3  # one shared sweep, not two
+            assert cold.cache_hits == 1
+
+            fresh = CampaignRunner(spec, store).run(resume=False)
+            assert CALLS["count"] == 6  # recomputed once, served twice
+            assert fresh.cache_hits == 1
+        finally:
+            _REGISTRY.pop(SIBLING_ID, None)
+
+
+class TestKillAndResume:
+    def test_killed_campaign_resumes_and_matches_uninterrupted(
+        self, counting_experiment, store, tmp_path
+    ):
+        spec = make_spec()
+        # Uninterrupted reference run against its own store.
+        reference = CampaignRunner(spec, ResultStore(tmp_path / "ref")).run()
+        reference_calls = CALLS["count"]
+
+        # "Kill" the campaign while measuring value 20.0 of the first
+        # scenario: value 10.0 has been checkpointed, the rest has not.
+        CALLS["count"] = 0
+        FAIL_AT["value"] = 20.0
+        with pytest.raises(RuntimeError):
+            CampaignRunner(spec, store).run()
+        assert CALLS["count"] == 1
+
+        statuses = CampaignRunner(spec, store).status()
+        assert statuses[0].state == "partial (1/3)"
+        assert all(not status.complete for status in statuses)
+
+        # Resume: only the unfinished values are measured.
+        FAIL_AT["value"] = None
+        resumed = CampaignRunner(spec, store).run()
+        assert CALLS["count"] == reference_calls  # 1 killed-run call + the rest
+        resumed_outcome = resumed.outcomes[0]
+        assert resumed_outcome.loaded_values == 1
+        assert resumed_outcome.computed_values == 2
+
+        # The resumed campaign equals the uninterrupted one, bit for bit.
+        assert resumed.sweeps.keys() == reference.sweeps.keys()
+        for scenario_id, sweep in resumed.sweeps.items():
+            assert sweep.rows == reference.sweeps[scenario_id].rows
+
+        # And a final re-run over the healed store is a pure cache hit.
+        before = CALLS["count"]
+        final = CampaignRunner(spec, store).run()
+        assert CALLS["count"] == before
+        assert final.cache_hits == len(spec.scenarios())
+
+
+class TestCorruption:
+    def corrupt_scenario_entry(self, spec, store):
+        scenario = spec.scenarios()[0]
+        key = scenario_sweep_key(
+            get_experiment(scenario.experiment_id), scenario.scale
+        )
+        entry_dir = store._entry_dir(key)
+        (entry_dir / "data.json").write_text('{"tampered": true}')
+        return key
+
+    def test_corrupt_entry_recomputed_not_returned(self, counting_experiment, store):
+        spec = make_spec()
+        cold = CampaignRunner(spec, store).run()
+        baseline = CALLS["count"]
+        key = self.corrupt_scenario_entry(spec, store)
+
+        rerun = CampaignRunner(spec, store).run()
+        # The corrupted scenario was recomputed from its (intact) per-value
+        # checkpoints: no new measure calls, but no tampered data either.
+        assert rerun.outcomes[0].cache_hit is False
+        assert rerun.outcomes[0].loaded_values == 3
+        assert CALLS["count"] == baseline
+        assert rerun.sweeps.keys() == cold.sweeps.keys()
+        for scenario_id, sweep in rerun.sweeps.items():
+            assert sweep.rows == cold.sweeps[scenario_id].rows
+        # The healed entry is intact again.
+        assert store.get(key).rows == cold.outcomes[0].sweep.rows
+
+    def test_corrupt_entry_and_checkpoints_fully_recomputed(
+        self, counting_experiment, store
+    ):
+        spec = make_spec()
+        cold = CampaignRunner(spec, store).run()
+        baseline = CALLS["count"]
+        self.corrupt_scenario_entry(spec, store)
+        # Wipe the first scenario's checkpoints too: full recompute needed.
+        runner = CampaignRunner(spec, store)
+        scenario = spec.scenarios()[0]
+        experiment = get_experiment(scenario.experiment_id)
+        for row_key in runner._row_keys(experiment, scenario):
+            store.evict(row_key)
+
+        rerun = runner.run()
+        assert CALLS["count"] == baseline + 3
+        assert rerun.sweeps[scenario.scenario_id].rows == cold.sweeps[
+            scenario.scenario_id
+        ].rows
+
+
+class TestClean:
+    def test_clean_removes_exactly_the_grid_entries(self, counting_experiment, store):
+        spec = make_spec()
+        CampaignRunner(spec, store).run()
+        # 2 scenarios x (1 sweep + 3 rows) = 8 entries.
+        assert len(store) == 8
+        removed = CampaignRunner(spec, store).clean()
+        assert removed == 8
+        assert len(store) == 0
+        statuses = CampaignRunner(spec, store).status()
+        assert all(status.state == "missing" for status in statuses)

@@ -1,10 +1,13 @@
 """Tests for repro.experiments.io."""
 
+import json
+
 import pytest
 
 from repro.exceptions import ConfigurationError
 from repro.experiments.io import load_sweep, save_sweep
 from repro.simulation.sweep import SweepResult
+from repro.store.codecs import SCHEMA_VERSION
 
 
 @pytest.fixture
@@ -29,6 +32,41 @@ class TestJsonRoundTrip:
         path = save_sweep(sweep, tmp_path / "nested" / "dir" / "result.json")
         assert path.exists()
 
+    def test_payload_carries_schema_version(self, sweep, tmp_path):
+        path = save_sweep(sweep, tmp_path / "result.json")
+        payload = json.loads(path.read_text())
+        assert payload["schema_version"] == SCHEMA_VERSION
+
+    def test_versionless_payload_loads_as_version_zero(self, sweep, tmp_path):
+        """Payloads written before schema versioning still load."""
+        path = tmp_path / "legacy.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "parameter_name": "l",
+                    "rows": [{"l": 256.0, "r100": 1.2}],
+                    "metadata": {},
+                }
+            )
+        )
+        loaded = load_sweep(path)
+        assert loaded.parameter_name == "l"
+        assert loaded.rows == [{"l": 256.0, "r100": 1.2}]
+
+    def test_future_schema_version_rejected(self, sweep, tmp_path):
+        path = save_sweep(sweep, tmp_path / "result.json")
+        payload = json.loads(path.read_text())
+        payload["schema_version"] = SCHEMA_VERSION + 1
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ConfigurationError):
+            load_sweep(path)
+
+    def test_empty_sweep_round_trip(self, tmp_path):
+        empty = SweepResult(parameter_name="x", rows=[])
+        loaded = load_sweep(save_sweep(empty, tmp_path / "empty.json"))
+        assert loaded.parameter_name == "x"
+        assert loaded.rows == []
+
 
 class TestCsvRoundTrip:
     def test_round_trip(self, sweep, tmp_path):
@@ -37,10 +75,16 @@ class TestCsvRoundTrip:
         assert loaded.parameter_name == "l"
         assert loaded.series("r100") == pytest.approx([1.2, 1.25])
 
-    def test_empty_sweep(self, tmp_path):
+    def test_empty_sweep_round_trip(self, tmp_path):
+        """Regression: a row-less sweep used to save as an empty file that
+        load_sweep could not reconstruct; now the header round-trips."""
         empty = SweepResult(parameter_name="x", rows=[])
         path = save_sweep(empty, tmp_path / "empty.csv")
-        assert path.read_text() == ""
+        assert path.read_text().strip() == "x"
+        loaded = load_sweep(path)
+        assert loaded.parameter_name == "x"
+        assert loaded.rows == []
+        assert loaded.series_names() == []
 
 
 class TestErrors:

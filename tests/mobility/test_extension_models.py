@@ -51,6 +51,28 @@ class TestRandomDirection:
     def test_describe(self):
         assert "RandomDirectionModel" in RandomDirectionModel().describe()
 
+    def test_boundary_reflection_is_billiard_not_wall_pinning(self):
+        """Pins the leg dynamics: a leg crossing a wall folds through it
+        like a billiard ball.  (The pre-closed-form implementation applied
+        reflection to each incremental step without updating the origin,
+        which trapped nodes oscillating at the wall for the rest of the
+        leg — a deliberate behaviour change, not a regression.)"""
+        from repro.geometry.region import Region
+
+        region = Region.square(10.0)
+        rng = np.random.default_rng(0)
+        model = RandomDirectionModel(speed=4.0, travel_steps=50, tpause=0)
+        model.initialize(np.array([[9.0, 5.0]]), region, rng)
+        # Force a deterministic leg: heading straight at the x = 10 wall.
+        model._directions[0] = (1.0, 0.0)
+        model._leg_origins[0] = (9.0, 5.0)
+        model._leg_steps[0] = 0
+        model._leg_totals[0] = 1000
+        model._pause_remaining[0] = 0
+        xs = [model.step(rng)[0, 0] for _ in range(5)]
+        # fold(9 + 4k) over [0, 10]: traverses the region, no oscillation.
+        assert xs == [7.0, 3.0, 1.0, 5.0, 9.0]
+
 
 class TestGaussMarkov:
     def test_invalid_parameters(self):

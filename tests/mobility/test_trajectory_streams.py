@@ -20,6 +20,7 @@ import pytest
 
 from repro.geometry.region import Region
 from repro.mobility.drunkard import DrunkardModel
+from repro.mobility.random_direction import RandomDirectionModel
 from repro.mobility.stationary import StationaryModel
 from repro.mobility.waypoint import RandomWaypointModel
 
@@ -40,6 +41,16 @@ MODEL_BUILDERS = {
     "drunkard-boundary": lambda side: DrunkardModel(
         # Radius beyond the region side: every move reflects off a wall.
         step_radius=2.0 * side, ppause=0.0
+    ),
+    "random-direction": lambda side: RandomDirectionModel(
+        speed=0.03 * side, travel_steps=5, tpause=0
+    ),
+    "random-direction-paused": lambda side: RandomDirectionModel(
+        speed=0.05 * side, travel_steps=3, tpause=6, pstationary=0.4
+    ),
+    "random-direction-boundary": lambda side: RandomDirectionModel(
+        # One step crosses the whole region: every move reflects off a wall.
+        speed=1.5 * side, travel_steps=4, tpause=1
     ),
     "stationary": lambda side: StationaryModel(),
 }
@@ -80,7 +91,9 @@ def test_trajectory_bit_identical_to_steps(name, seed):
     assert model_a.state.step_index == model_b.state.step_index
 
 
-@pytest.mark.parametrize("name", ["waypoint-paused", "drunkard-boundary"])
+@pytest.mark.parametrize(
+    "name", ["waypoint-paused", "drunkard-boundary", "random-direction-boundary"]
+)
 @pytest.mark.parametrize("dimension", [1, 2, 3])
 def test_trajectory_bit_identical_across_dimensions(name, dimension):
     (model_a, rng_a), (model_b, rng_b) = build_pair(name, 40.0, 9, dimension, 5)
@@ -90,7 +103,9 @@ def test_trajectory_bit_identical_across_dimensions(name, dimension):
     assert np.array_equal(rng_a.random(8), rng_b.random(8))
 
 
-@pytest.mark.parametrize("name", ["waypoint-paused", "drunkard"])
+@pytest.mark.parametrize(
+    "name", ["waypoint-paused", "drunkard", "random-direction-paused"]
+)
 def test_interleaving_trajectory_and_step(name):
     """trajectory → step → trajectory stays on the sequential stream."""
     (model_a, rng_a), (model_b, rng_b) = build_pair(name, 80.0, 11, 2, 9)
@@ -112,7 +127,7 @@ def test_trajectory_of_one_step_consumes_nothing(name):
     assert np.array_equal(rng_a.random(8), rng_b.random(8))
 
 
-@pytest.mark.parametrize("name", ["waypoint-fast", "drunkard"])
+@pytest.mark.parametrize("name", ["waypoint-fast", "drunkard", "random-direction"])
 def test_trajectory_empty_network(name):
     region = Region.square(30.0)
     rng = np.random.default_rng(2)
@@ -168,6 +183,39 @@ def test_waypoint_degenerately_slow_nodes_terminate():
     stepped = sequential_frames(slow1, rng1, 12)
     assert np.array_equal(stepped, slow2.trajectory(12, rng2))
     assert np.array_equal(rng1.random(4), rng2.random(4))
+
+
+def test_random_direction_stationary_nodes_pinned_in_trajectory():
+    region = Region.square(50.0)
+    rng = np.random.default_rng(23)
+    model = RandomDirectionModel(speed=4.0, travel_steps=4, tpause=2, pstationary=0.5)
+    initial = model.initialize(region.sample_uniform(25, rng), region, rng)
+    mask = model.state.stationary_mask
+    frames = model.trajectory(40, rng)
+    assert mask.any()
+    assert np.array_equal(
+        frames[:, mask], np.broadcast_to(initial[mask], (40,) + initial[mask].shape)
+    )
+    moved = np.abs(frames[-1][~mask] - initial[~mask]).max()
+    assert moved > 0.0
+
+
+def test_random_direction_long_pause_spans_trajectory_boundary():
+    """A node pausing across the batch horizon must resume correctly."""
+    side = 60.0
+    (model_a, rng_a), (model_b, rng_b) = build_pair(
+        "random-direction-paused", side, 13, 2, 11
+    )
+    reference = sequential_frames(model_a, rng_a, 30)
+    # Split into many tiny batches so pauses and legs straddle boundaries.
+    chunks = [model_b.trajectory(4, rng_b)]
+    produced = 4
+    while produced < 30:
+        count = min(3, 30 - produced)
+        chunks.append(model_b.trajectory(count + 1, rng_b)[1:])
+        produced += count
+    assert np.array_equal(reference, np.concatenate(chunks))
+    assert np.array_equal(rng_a.random(4), rng_b.random(4))
 
 
 def test_waypoint_stationary_nodes_pinned_in_trajectory():

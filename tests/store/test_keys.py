@@ -1,0 +1,104 @@
+"""Tests for repro.store.keys: canonical, versioned cache keys."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.experiments.registry import ExperimentScale
+from repro.simulation.config import MobilitySpec, NetworkConfig, SimulationConfig
+from repro.store.codecs import SCHEMA_VERSION
+from repro.store.keys import (
+    cache_key,
+    canonical_json,
+    config_payload,
+    normalize,
+    scale_payload,
+)
+
+
+def make_scale(**overrides):
+    base = dict(
+        name="smoke",
+        sides=(256.0, 1024.0),
+        steps=25,
+        iterations=2,
+        stationary_iterations=30,
+        parameter_points=3,
+        seed=7,
+    )
+    base.update(overrides)
+    return ExperimentScale(**base)
+
+
+class TestNormalize:
+    def test_dict_key_order_is_canonical(self):
+        assert canonical_json({"b": 1, "a": 2}) == canonical_json({"a": 2, "b": 1})
+
+    def test_sequences_and_numpy_scalars(self):
+        assert normalize((1, 2.5, np.float64(3.5), np.int64(4))) == [1, 2.5, 3.5, 4]
+        assert normalize(np.array([1.0, 2.0])) == [1.0, 2.0]
+
+    def test_rejects_unrepresentable_values(self):
+        with pytest.raises(ConfigurationError):
+            normalize({1: "non-string key"})
+        with pytest.raises(ConfigurationError):
+            normalize(object())
+        with pytest.raises(ConfigurationError):
+            normalize(float("nan"))
+
+
+class TestCacheKey:
+    def test_stable_and_sensitive(self):
+        key = cache_key("sweep", {"x": 1, "y": [1, 2]})
+        assert key == cache_key("sweep", {"y": [1, 2], "x": 1})
+        assert key != cache_key("sweep", {"x": 2, "y": [1, 2]})
+        assert key != cache_key("sweep-row", {"x": 1, "y": [1, 2]})
+
+    def test_schema_version_in_key(self):
+        payload = {"x": 1}
+        assert cache_key("sweep", payload) == cache_key(
+            "sweep", payload, schema_version=SCHEMA_VERSION
+        )
+        assert cache_key("sweep", payload) != cache_key(
+            "sweep", payload, schema_version=SCHEMA_VERSION + 1
+        )
+
+
+class TestScalePayload:
+    def test_drops_name_and_execution_fields(self):
+        a = make_scale(name="smoke", workers=1, sweep_workers=1)
+        b = make_scale(name="custom", workers=8, sweep_workers=4)
+        assert scale_payload(a) == scale_payload(b)
+        assert "workers" not in scale_payload(a)
+        assert "name" not in scale_payload(a)
+
+    def test_sensitive_to_logical_fields(self):
+        assert scale_payload(make_scale(seed=7)) != scale_payload(make_scale(seed=8))
+        assert scale_payload(make_scale(steps=25)) != scale_payload(
+            make_scale(steps=26)
+        )
+
+
+class TestConfigPayload:
+    def test_full_description_without_workers(self):
+        config = SimulationConfig(
+            network=NetworkConfig(node_count=16, side=256.0, dimension=2),
+            mobility=MobilitySpec.paper_waypoint(256.0),
+            steps=10,
+            iterations=2,
+            seed=3,
+            workers=1,
+        )
+        payload = config_payload(config)
+        assert payload["mobility"]["name"] == "waypoint"
+        assert payload["network"]["side"] == 256.0
+        assert "workers" not in payload
+        assert config_payload(config.with_workers(8)) == payload
+        faster = SimulationConfig(
+            network=config.network,
+            mobility=MobilitySpec.paper_waypoint(256.0, tpause=1),
+            steps=10,
+            iterations=2,
+            seed=3,
+        )
+        assert config_payload(faster) != payload

@@ -1,0 +1,202 @@
+"""Tests for repro.store: codecs, the result store, and checkpoints."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.simulation.results import FrameStatisticsColumns, StepColumns
+from repro.simulation.sweep import SweepResult
+from repro.store import (
+    ResultStore,
+    StoreIntegrityError,
+    StoreSweepCheckpoint,
+    cache_key,
+    decode_payload,
+    detect_kind,
+    encode_payload,
+)
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ResultStore(tmp_path / "store")
+
+
+def make_sweep():
+    return SweepResult(
+        parameter_name="l",
+        rows=[
+            {"l": 256.0, "r100": 1.2000000000000002, "r90": 0.8},
+            {"l": 1024.0, "r100": 1.25},
+        ],
+    )
+
+
+def make_step_columns():
+    return StepColumns(
+        connected=np.array([True, False, True, True, False]),
+        largest_component=np.array([9, 4, 9, 9, 3]),
+    )
+
+
+def make_frame_columns():
+    return FrameStatisticsColumns(
+        node_count=9,
+        critical_ranges=np.array([1.5, 2.25, 0.75]),
+        curve_offsets=np.array([0, 2, 4, 5]),
+        curve_ranges=np.array([0.5, 1.5, 1.0, 2.25, 0.75]),
+        curve_sizes=np.array([4, 9, 3, 9, 9]),
+    )
+
+
+class TestCodecs:
+    def test_detect_kind(self):
+        assert detect_kind(make_sweep()) == "sweep"
+        assert detect_kind(make_step_columns()) == "step_columns"
+        assert detect_kind(make_frame_columns()) == "frame_statistics"
+        assert detect_kind({"l": 1.0}) == "sweep-row"
+        with pytest.raises(ConfigurationError):
+            detect_kind([1, 2, 3])
+
+    @pytest.mark.parametrize(
+        "value",
+        [make_sweep(), make_step_columns(), make_frame_columns(), {"l": 1.0, "r": 2.5}],
+        ids=["sweep", "steps", "frames", "row"],
+    )
+    def test_round_trip(self, value):
+        kind, filename, payload = encode_payload(value)
+        decoded = decode_payload(kind, payload)
+        if isinstance(value, SweepResult):
+            assert decoded.parameter_name == value.parameter_name
+            assert decoded.rows == value.rows
+        else:
+            assert decoded == value
+
+    def test_round_trip_restores_exact_dtypes(self):
+        columns = make_frame_columns()
+        kind, _, payload = encode_payload(columns)
+        decoded = decode_payload(kind, payload)
+        assert decoded.critical_ranges.dtype == np.float64
+        assert decoded.curve_offsets.dtype == np.int64
+        assert decoded.curve_sizes.dtype == np.int64
+        assert np.array_equal(decoded.critical_ranges, columns.critical_ranges)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            decode_payload("no-such-kind", b"{}")
+
+
+class TestResultStore:
+    def test_put_get_contains_evict(self, store):
+        key = cache_key("sweep", {"x": 1})
+        assert not store.contains(key)
+        with pytest.raises(KeyError):
+            store.get(key)
+        store.put(key, make_sweep())
+        assert store.contains(key)
+        loaded = store.get(key)
+        assert loaded.rows == make_sweep().rows
+        assert store.evict(key)
+        assert not store.contains(key)
+        assert not store.evict(key)
+
+    def test_all_artifact_kinds_round_trip(self, store):
+        pairs = [
+            (cache_key("sweep", {"k": 1}), make_sweep()),
+            (cache_key("steps", {"k": 2}), make_step_columns()),
+            (cache_key("frames", {"k": 3}), make_frame_columns()),
+            (cache_key("sweep-row", {"k": 4}), {"l": 256.0, "r100": 1.2}),
+        ]
+        for key, value in pairs:
+            store.put(key, value)
+        assert len(store) == len(pairs)
+        assert sorted(store.keys()) == sorted(key for key, _ in pairs)
+        loaded = store.get(pairs[1][0])
+        assert loaded == pairs[1][1]
+
+    def test_put_is_idempotent(self, store):
+        key = cache_key("sweep", {"x": 1})
+        store.put(key, make_sweep())
+        store.put(key, make_sweep())
+        assert len(store) == 1
+
+    def test_malformed_key_rejected(self, store):
+        with pytest.raises(ConfigurationError):
+            store.contains("NOT-A-HEX-KEY")
+
+    def test_corrupted_payload_detected(self, store, tmp_path):
+        key = cache_key("sweep", {"x": 1})
+        store.put(key, make_sweep())
+        payload = next((tmp_path / "store").rglob("data.json"))
+        payload.write_text('{"tampered": true}')
+        with pytest.raises(StoreIntegrityError):
+            store.get(key)
+        # contains() still reports the entry; eviction clears it.
+        assert store.contains(key)
+        store.evict(key)
+        assert not store.contains(key)
+
+    def test_missing_payload_detected(self, store, tmp_path):
+        key = cache_key("sweep", {"x": 1})
+        store.put(key, make_sweep())
+        next((tmp_path / "store").rglob("data.json")).unlink()
+        with pytest.raises(StoreIntegrityError):
+            store.get(key)
+
+    def test_unreadable_header_detected(self, store, tmp_path):
+        key = cache_key("sweep", {"x": 1})
+        store.put(key, make_sweep())
+        next((tmp_path / "store").rglob("entry.json")).write_text("{not json")
+        with pytest.raises(StoreIntegrityError):
+            store.get(key)
+
+    def test_no_partial_entries_left_behind(self, store, tmp_path):
+        """A failed encode stages nothing permanent under objects/."""
+        key = cache_key("sweep", {"x": 1})
+        with pytest.raises(ConfigurationError):
+            store.put(key, [1, 2, 3])  # no codec for lists
+        assert not store.contains(key)
+        assert len(store) == 0
+
+    def test_staging_cleanup(self, store):
+        store.put(cache_key("sweep", {"x": 1}), make_sweep())
+        # Simulate a killed writer by planting a stale staging directory.
+        stale = store.root / "staging" / "deadbeef"
+        stale.mkdir(parents=True)
+        (stale / "data.json").write_text("{}")
+        assert store.clear_staging() == 1
+        assert len(store) == 1
+
+    def test_size_bytes(self, store):
+        assert store.size_bytes() == 0
+        store.put(cache_key("sweep", {"x": 1}), make_sweep())
+        assert store.size_bytes() > 0
+
+    def test_metadata_stored_in_entry(self, store):
+        key = cache_key("sweep", {"x": 1})
+        store.put(key, make_sweep(), metadata={"campaign": "demo"})
+        assert store.entry(key)["metadata"]["campaign"] == "demo"
+
+
+class TestStoreSweepCheckpoint:
+    def test_save_then_load(self, store):
+        checkpoint = StoreSweepCheckpoint(store, {"experiment": "fig2"})
+        assert checkpoint.load(256.0) is None
+        row = {"l": 256.0, "r100": 1.5}
+        checkpoint.save(256.0, row)
+        assert checkpoint.load(256.0) == row
+        assert checkpoint.saved == 1
+        assert checkpoint.loaded == 1
+
+    def test_keys_differ_per_value_and_payload(self, store):
+        checkpoint = StoreSweepCheckpoint(store, {"experiment": "fig2"})
+        other = StoreSweepCheckpoint(store, {"experiment": "fig3"})
+        assert checkpoint.key_for(256.0) != checkpoint.key_for(1024.0)
+        assert checkpoint.key_for(256.0) != other.key_for(256.0)
+
+    def test_corrupt_row_is_a_miss_and_evicted(self, store, tmp_path):
+        checkpoint = StoreSweepCheckpoint(store, {"experiment": "fig2"})
+        checkpoint.save(256.0, {"l": 256.0, "r100": 1.5})
+        next((tmp_path / "store").rglob("data.json")).write_text("junk")
+        assert checkpoint.load(256.0) is None
+        assert not store.contains(checkpoint.key_for(256.0))

@@ -74,3 +74,73 @@ class TestMain:
 
         with pytest.raises(ConfigurationError):
             main(["run", "fig99", "--scale", "smoke"])
+
+
+TINY_CAMPAIGN = """
+name = "cli-demo"
+experiments = ["fig2"]
+scale = "smoke"
+
+[overrides]
+sides = [256.0]
+steps = 8
+iterations = 1
+stationary_iterations = 15
+seed = 5
+"""
+
+
+class TestCampaignCli:
+    def write_spec(self, tmp_path):
+        path = tmp_path / "demo.toml"
+        path.write_text(TINY_CAMPAIGN)
+        return path
+
+    def test_campaign_parser_defaults(self, tmp_path):
+        arguments = build_parser().parse_args(["campaign", "run", "spec.toml"])
+        assert arguments.campaign_command == "run"
+        assert arguments.resume is True
+        assert arguments.store == ".repro-store"
+        arguments = build_parser().parse_args(
+            ["campaign", "run", "spec.toml", "--no-resume", "--store", "s"]
+        )
+        assert arguments.resume is False
+        assert arguments.store == "s"
+
+    def test_campaign_run_status_clean(self, capsys, tmp_path):
+        spec = self.write_spec(tmp_path)
+        store = tmp_path / "store"
+
+        assert main(["campaign", "run", str(spec), "--store", str(store)]) == 0
+        output = capsys.readouterr().out
+        assert "cli-demo" in output
+        assert "computed 1 value(s)" in output
+
+        # Status: the single scenario is complete.
+        assert main(["campaign", "status", str(spec), "--store", str(store)]) == 0
+        assert "1/1 scenario(s) complete" in capsys.readouterr().out
+
+        # Re-run: pure cache hit, zero computed values.
+        assert main(["campaign", "run", str(spec), "--store", str(store),
+                     "--quiet"]) == 0
+        output = capsys.readouterr().out
+        assert "cache hit" in output
+        assert "0 value(s) computed" in output
+
+        # Clean evicts the grid's entries (1 sweep + 1 row checkpoint).
+        assert main(["campaign", "clean", str(spec), "--store", str(store)]) == 0
+        assert "evicted 2" in capsys.readouterr().out
+        assert main(["campaign", "status", str(spec), "--store", str(store)]) == 0
+        assert "0/1 scenario(s) complete" in capsys.readouterr().out
+
+    def test_campaign_run_output_dir(self, capsys, tmp_path):
+        spec = self.write_spec(tmp_path)
+        store = tmp_path / "store"
+        out_dir = tmp_path / "results"
+        assert main([
+            "campaign", "run", str(spec), "--store", str(store),
+            "--quiet", "--output-dir", str(out_dir),
+        ]) == 0
+        saved = json.loads((out_dir / "fig2.json").read_text())
+        assert saved["metadata"]["campaign"] == "cli-demo"
+        assert saved["rows"]
