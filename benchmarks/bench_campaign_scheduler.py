@@ -1,0 +1,158 @@
+"""Benchmark of the campaign scheduler's worker-budget scaling.
+
+Four *heterogeneous* scenarios (wall-clock dominated by per-value work
+whose duration differs 4x between the shortest and the longest scenario)
+run three ways:
+
+* **serial** — the scenario-by-scenario loop: total wall-clock is the sum
+  of all scenarios;
+* **scheduler, budget 2 / 4** — all scenarios share one worker budget;
+  the round-robin task queue keeps every scenario in flight and the
+  adaptive allotment folds workers freed by the short scenarios into the
+  long ones, so wall-clock approaches the longest scenario, not the sum.
+
+The per-value work is a sleep (duration keyed to the scenario), which
+makes the benchmark meaningful on any machine: scenario concurrency is
+about *overlapping* independent work, and a single-core box overlaps
+sleeps exactly like a 64-core box overlaps simulations.  The acceptance
+bar is scheduler(budget 4) at least 1.5x faster than the serial loop;
+results must be identical across all three runs.
+
+The workload size follows ``REPRO_BENCH_SCALE`` (``smoke`` by default).
+"""
+
+import time
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.campaigns import CampaignRunner, CampaignSpec
+from repro.experiments.registry import (
+    Experiment,
+    ExperimentScale,
+    register_experiment,
+)
+from repro.simulation.sweep import SweepResult, sweep_parameter
+from repro.store import ResultStore
+
+from _helpers import bench_scale_name
+
+BENCH_ID = "bench-sleep-exp"
+
+#: Per-value sleep at smoke scale; scenario ``seed`` scales it, so the
+#: four scenarios (seeds 1..4) are 4x apart in duration.
+BASE_SECONDS = 0.05 if bench_scale_name() == "smoke" else 0.15
+
+
+@dataclass(frozen=True)
+class SleepMeasure:
+    """Picklable measure: sleep proportional to the scenario seed."""
+
+    seed: int
+
+    def __call__(self, value: float) -> Dict[str, float]:
+        time.sleep(BASE_SECONDS * self.seed)
+        return {"metric": value * 2.0 + self.seed}
+
+
+def _sleep_measure(scale: ExperimentScale) -> SleepMeasure:
+    return SleepMeasure(seed=scale.seed or 0)
+
+
+def run_sleep_experiment(scale: ExperimentScale, checkpoint=None) -> SweepResult:
+    return sweep_parameter(
+        "side",
+        scale.sides,
+        _sleep_measure(scale),
+        workers=scale.sweep_workers,
+        checkpoint=checkpoint,
+    )
+
+
+register_experiment(
+    Experiment(
+        identifier=BENCH_ID,
+        title="Synthetic sleeping experiment",
+        description="Heterogeneous-duration scenarios for the scheduler benchmark.",
+        paper_reference="(benchmark only)",
+        run=run_sleep_experiment,
+        parameter_name="side",
+        sweep_measure=_sleep_measure,
+    )
+)
+
+
+def _spec() -> CampaignSpec:
+    return CampaignSpec.from_dict(
+        {
+            "name": "bench-scheduler",
+            "experiments": [BENCH_ID],
+            "scale": "smoke",
+            "overrides": {
+                "sides": [10.0, 20.0, 30.0],
+                "steps": 1,
+                "iterations": 1,
+                "stationary_iterations": 1,
+            },
+            # Four heterogeneous scenarios: durations 1x, 2x, 3x, 4x.
+            "matrix": {"seed": [1, 2, 3, 4]},
+        }
+    )
+
+
+def _timed(function):
+    start = time.perf_counter()
+    result = function()
+    return result, time.perf_counter() - start
+
+
+def test_campaign_scheduler_scaling(benchmark, tmp_path):
+    """Wall-clock vs worker budget for four heterogeneous scenarios."""
+    spec = _spec()
+
+    serial, serial_seconds = _timed(
+        lambda: benchmark.pedantic(
+            CampaignRunner(spec, ResultStore(tmp_path / "serial")).run,
+            rounds=1,
+            iterations=1,
+            warmup_rounds=0,
+        )
+    )
+    timings = {}
+    results = {}
+    for budget in (1, 2, 4):
+        runner = CampaignRunner(
+            spec, ResultStore(tmp_path / f"budget-{budget}"), total_workers=budget
+        )
+        results[budget], timings[budget] = _timed(runner.run)
+
+    ideal = serial_seconds / 4  # perfectly-overlapped four scenarios
+    print()
+    print(f"campaign scheduler benchmark ({bench_scale_name()} scale)")
+    print(f"  4 heterogeneous scenarios x {len(spec.base_scale().sides)} values")
+    print(f"  {'mode':16s} | {'seconds':>8s} | speedup vs serial")
+    print(f"  {'serial loop':16s} | {serial_seconds:8.3f} | 1.00x")
+    for budget, seconds in timings.items():
+        print(
+            f"  scheduler W={budget:2d}  | {seconds:8.3f} | "
+            f"{serial_seconds / seconds:.2f}x"
+        )
+    print(f"  (ideal overlap at W=4: {ideal:.3f}s)")
+
+    # Identical results in every mode, scenario by scenario, row by row.
+    for budget, result in results.items():
+        assert result.sweeps.keys() == serial.sweeps.keys()
+        for scenario_id, sweep in result.sweeps.items():
+            assert sweep.rows == serial.sweeps[scenario_id].rows, (
+                f"budget {budget} changed {scenario_id}"
+            )
+
+    # Freed workers rebalance into still-running scenarios: budget 4 must
+    # beat the serial scenario loop decisively.
+    speedup = serial_seconds / timings[4]
+    assert speedup >= 1.5, (
+        f"scheduler at budget 4 only {speedup:.2f}x over the serial loop "
+        f"({timings[4]:.3f}s vs {serial_seconds:.3f}s)"
+    )
+    # More budget never slows the campaign down (small tolerance for
+    # pool-startup jitter).
+    assert timings[4] <= timings[1] * 1.10

@@ -17,6 +17,16 @@
 #    a checkpoint-only store reassembles every sweep without recomputing.
 # 5. A campaign smoke run through the real CLI: cold run, warm re-run
 #    (which must report zero computed values), status, clean.
+# 6. The campaign scheduler benchmark must pass at smoke scale: four
+#    heterogeneous scenarios under one total worker budget, scheduler at
+#    budget 4 >= 1.5x faster than the serial scenario loop, results
+#    bit-identical at every budget.
+# 7. A scheduler smoke through the real CLI (--total-workers): cold
+#    concurrent run, then a warm re-run that must report zero computed
+#    values (scheduler and serial paths address identical store entries).
+# 8. An iteration-resume smoke: a multi-iteration value killed partway
+#    resumes at the first unfinished iteration, recomputes nothing, and
+#    matches the uninterrupted run bit for bit.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -42,3 +52,64 @@ PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m repro \
     campaign status examples/campaign_smoke.toml --store "$CAMPAIGN_STORE"
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m repro \
     campaign clean examples/campaign_smoke.toml --store "$CAMPAIGN_STORE"
+
+REPRO_BENCH_SCALE=smoke PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
+    python -m pytest benchmarks/bench_campaign_scheduler.py -q
+
+SCHEDULER_STORE="$(mktemp -d)"
+trap 'rm -rf "$CAMPAIGN_STORE" "$SCHEDULER_STORE"' EXIT
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m repro \
+    campaign run examples/campaign_smoke.toml --store "$SCHEDULER_STORE" \
+    --total-workers 2 --quiet
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m repro \
+    campaign run examples/campaign_smoke.toml --store "$SCHEDULER_STORE" \
+    --total-workers 2 --quiet \
+    | grep -q "0 value(s) computed"
+
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python - <<'RESUME_SMOKE'
+import tempfile
+
+from repro.simulation.config import MobilitySpec, NetworkConfig, SimulationConfig
+from repro.simulation.runner import collect_frame_statistics
+from repro.store import ResultStore, StoreSweepCheckpoint
+
+config = SimulationConfig(
+    network=NetworkConfig(node_count=8, side=100.0, dimension=2),
+    mobility=MobilitySpec.paper_waypoint(100.0),
+    steps=4, iterations=5, seed=20020623,
+)
+reference = collect_frame_statistics(config)
+
+
+class KillAfter:
+    def __init__(self, inner, k):
+        self.inner, self.k, self.saves = inner, k, 0
+
+    def load(self, index):
+        return self.inner.load(index)
+
+    def save(self, index, result):
+        self.inner.save(index, result)
+        self.saves += 1
+        if self.saves >= self.k:
+            raise RuntimeError("simulated kill")
+
+
+with tempfile.TemporaryDirectory() as root:
+    checkpoint = StoreSweepCheckpoint(
+        ResultStore(root), {"smoke": "iteration-resume"}, iterations=5
+    )
+    try:
+        collect_frame_statistics(
+            config, checkpoint=KillAfter(checkpoint.iteration_checkpoint(1.0), 3)
+        )
+        raise SystemExit("kill did not fire")
+    except RuntimeError:
+        pass
+    resumed_checkpoint = checkpoint.iteration_checkpoint(1.0)
+    resumed = collect_frame_statistics(config, checkpoint=resumed_checkpoint)
+    assert resumed_checkpoint.loaded == 3, resumed_checkpoint.loaded
+    assert resumed_checkpoint.saved == 2, resumed_checkpoint.saved
+    assert resumed == reference
+print("iteration-resume smoke: OK")
+RESUME_SMOKE

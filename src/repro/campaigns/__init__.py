@@ -10,11 +10,16 @@ ResultStore`:
   or JSON) and the scenario grid it enumerates;
 * :mod:`repro.campaigns.runner` — :class:`CampaignRunner`: cached,
   kill-safe execution (``run``), per-scenario progress (``status``) and
-  store hygiene (``clean``).
+  store hygiene (``clean``);
+* :mod:`repro.campaigns.scheduler` — :class:`CampaignScheduler`: the
+  concurrent execution path behind ``run(total_workers=W)``, running
+  independent scenarios together under one worker budget and rebalancing
+  freed workers into the scenarios still running.
 
 A campaign re-run with an identical spec against a warm store is a pure
 cache hit, bit-identical to a cold serial run; a campaign killed mid-grid
-resumes exactly where it stopped.
+resumes exactly where it stopped — at the first unfinished iteration for
+experiments that checkpoint per iteration.
 """
 
 from repro.campaigns.runner import (
@@ -23,11 +28,13 @@ from repro.campaigns.runner import (
     ScenarioOutcome,
     ScenarioStatus,
 )
+from repro.campaigns.scheduler import CampaignScheduler
 from repro.campaigns.spec import CampaignSpec, Scenario
 
 __all__ = [
     "CampaignResult",
     "CampaignRunner",
+    "CampaignScheduler",
     "CampaignSpec",
     "Scenario",
     "ScenarioOutcome",

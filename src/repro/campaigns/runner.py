@@ -1,22 +1,31 @@
 """Cached, resumable execution of campaign grids.
 
 The runner walks a :class:`~repro.campaigns.spec.CampaignSpec`'s scenario
-grid in order.  For every scenario it derives the content address of the
-complete sweep (experiment cache payload + schema version) and
+grid.  For every scenario it derives the content address of the complete
+sweep (experiment cache payload + schema version) and
 
 * returns the stored sweep when the address is already present and intact
   (*zero* simulation work — a warm re-run performs no measure calls);
-* otherwise runs the experiment through the ordinary registry machinery
-  with a per-parameter-value :class:`~repro.store.checkpoints.
-  StoreSweepCheckpoint`, so each finished value is durable the moment it
-  is measured and a killed campaign resumes at the first unfinished
-  value;
+* otherwise runs the experiment with a per-parameter-value
+  :class:`~repro.store.checkpoints.StoreSweepCheckpoint` — carrying
+  per-*iteration* sub-checkpoints for experiments that register an
+  ``iterations_per_value`` — so each finished value *and* each finished
+  iteration inside an unfinished value is durable the moment it exists,
+  and a killed campaign resumes at the first unfinished iteration;
 * detects corrupt entries (failed sha256 / undecodable payloads), evicts
   them and recomputes instead of returning damaged results.
 
+Execution has two shapes.  Without ``total_workers`` the grid runs
+serially, one scenario after another, each scenario using its own
+``workers`` / ``sweep_workers`` knobs.  With ``total_workers`` the
+:class:`~repro.campaigns.scheduler.CampaignScheduler` replaces the serial
+loop: independent scenarios run concurrently under the one budget, and
+workers freed by short scenarios rebalance into the scenarios still
+running.  Worker knobs of either shape never enter cache keys.
+
 Because every measure call is deterministic given the scenario
-description, a resumed or cache-served campaign is bit-identical to an
-uninterrupted cold serial run.
+description, a resumed, cache-served or scheduled campaign is
+bit-identical to an uninterrupted cold serial run.
 """
 
 from __future__ import annotations
@@ -28,11 +37,8 @@ from repro.campaigns.spec import CampaignSpec, Scenario
 from repro.experiments.registry import Experiment, ExperimentScale, get_experiment
 from repro.simulation.sweep import SweepResult
 from repro.store.checkpoints import StoreSweepCheckpoint
-from repro.store.keys import cache_key, scale_payload
+from repro.store.keys import SWEEP_KIND, cache_key, scale_payload
 from repro.store.result_store import ResultStore, StoreIntegrityError
-
-#: Artifact kind of one complete scenario sweep.
-SWEEP_KIND = "sweep"
 
 
 def scenario_payload(experiment: Experiment, scale: ExperimentScale) -> Dict[str, Any]:
@@ -69,18 +75,33 @@ class ScenarioOutcome:
 
 @dataclass(frozen=True)
 class ScenarioStatus:
-    """Store-side progress of one scenario (``status`` subcommand)."""
+    """Store-side progress of one scenario (``status`` subcommand).
+
+    ``checkpointed_iterations`` / ``total_iterations`` report iteration-
+    granular coverage for experiments that checkpoint per iteration:
+    finished values count all of their iterations (their row subsumes
+    them), unfinished values count the iteration sub-entries actually
+    present.  Both are 0 when the experiment only checkpoints values.
+    """
 
     scenario: Scenario
     complete: bool
     checkpointed_values: int
     total_values: int
+    checkpointed_iterations: int = 0
+    total_iterations: int = 0
 
     @property
     def state(self) -> str:
         if self.complete:
             return "complete"
-        if self.checkpointed_values:
+        if self.checkpointed_values or self.checkpointed_iterations:
+            if self.total_iterations:
+                return (
+                    f"partial ({self.checkpointed_values}/{self.total_values} "
+                    f"values, {self.checkpointed_iterations}/"
+                    f"{self.total_iterations} iterations)"
+                )
             return f"partial ({self.checkpointed_values}/{self.total_values})"
         return "missing"
 
@@ -115,10 +136,16 @@ class CampaignRunner:
     Args:
         spec: the campaign to run.
         store: destination/source of cached results.
-        workers: iteration-level processes per parameter value.
-        sweep_workers: parameter values measured concurrently per scenario.
-        total_workers: split one total budget per scenario instead (wins
-            over the two explicit knobs, like the CLI flag).
+        workers: iteration-level processes per parameter value (serial
+            scenario loop).
+        sweep_workers: parameter values measured concurrently per scenario
+            (serial scenario loop).
+        total_workers: one total worker budget for the whole campaign.
+            Setting it replaces the serial scenario loop with the
+            :class:`~repro.campaigns.scheduler.CampaignScheduler`:
+            independent scenarios run concurrently, sharing the budget,
+            with freed workers rebalanced into still-running scenarios
+            (wins over the two per-scenario knobs, like the CLI flag).
 
     Worker knobs only change wall-clock behaviour; they never enter cache
     keys, and results are bit-identical for every setting.
@@ -142,9 +169,11 @@ class CampaignRunner:
     def _execution_scale(
         self, experiment: Experiment, scale: ExperimentScale
     ) -> ExperimentScale:
-        """Apply the runner's worker knobs to a scenario's logical scale."""
-        if self.total_workers is not None:
-            return experiment.with_worker_budget(scale, self.total_workers)
+        """Apply the serial loop's worker knobs to a scenario's scale.
+
+        (``total_workers`` never reaches this path — it selects the
+        scheduler, which allots workers per task instead.)
+        """
         if self.workers is not None:
             scale = scale.with_workers(self.workers)
         if self.sweep_workers is not None:
@@ -161,6 +190,7 @@ class CampaignRunner:
                 "campaign": self.spec.name,
                 "scenario": scenario.scenario_id,
             },
+            iterations=experiment.checkpoint_iterations(scenario.scale),
         )
 
     def _row_keys(self, experiment: Experiment, scenario: Scenario) -> List[str]:
@@ -170,6 +200,39 @@ class CampaignRunner:
             for value in experiment.sweep_values(scenario.scale)
         ]
 
+    def _iteration_keys(
+        self, experiment: Experiment, scenario: Scenario
+    ) -> List[str]:
+        """Every iteration sub-key the scenario can address (may be [])."""
+        checkpoint = self._checkpoint_for(experiment, scenario)
+        keys: List[str] = []
+        for value in experiment.sweep_values(scenario.scale):
+            keys.extend(checkpoint.iteration_keys_for(value))
+        return keys
+
+    def probe_sweep(
+        self, scenario: Scenario, key: str, say: Callable[[str], None]
+    ) -> Optional[SweepResult]:
+        """The stored sweep under ``key``, or ``None`` to (re)compute.
+
+        Shared by the serial loop and the scheduler so both paths treat
+        cache hits and unusable entries identically: a corrupt entry, or
+        one evicted by a concurrent writer between ``contains()`` and
+        ``get()``, is evicted and reported as a miss.
+        """
+        if not self.store.contains(key):
+            return None
+        try:
+            sweep = self.store.get(key)
+        except (KeyError, StoreIntegrityError):
+            self.store.evict(key)
+            say(
+                f"{scenario.scenario_id}: unusable entry evicted, recomputing"
+            )
+            return None
+        say(f"{scenario.scenario_id}: cache hit ({key[:12]})")
+        return sweep
+
     # ------------------------------------------------------------------ #
     def run(
         self,
@@ -177,6 +240,12 @@ class CampaignRunner:
         progress: Optional[Callable[[str], None]] = None,
     ) -> CampaignResult:
         """Run every scenario of the grid, reusing the store where possible.
+
+        With ``total_workers`` set, execution is handed to the
+        :class:`~repro.campaigns.scheduler.CampaignScheduler` (scenarios
+        concurrent under one budget); the serial loop below runs
+        otherwise.  Both paths address identical store entries and return
+        bit-identical results.
 
         Args:
             resume: when ``True`` (default), existing store entries are
@@ -188,6 +257,12 @@ class CampaignRunner:
             progress: optional callable receiving one human-readable line
                 per scenario (the CLI passes ``print``).
         """
+        if self.total_workers is not None:
+            from repro.campaigns.scheduler import CampaignScheduler
+
+            return CampaignScheduler(self, self.total_workers).run(
+                resume=resume, progress=progress
+            )
         say = progress if progress is not None else (lambda message: None)
         if not resume:
             for scenario in self.spec.scenarios():
@@ -198,24 +273,12 @@ class CampaignRunner:
         for scenario in self.spec.scenarios():
             experiment = get_experiment(scenario.experiment_id)
             key = scenario_sweep_key(experiment, scenario.scale)
-            if self.store.contains(key):
-                try:
-                    sweep = self.store.get(key)
-                    outcomes.append(
-                        ScenarioOutcome(
-                            scenario=scenario, sweep=sweep, cache_hit=True
-                        )
-                    )
-                    say(f"{scenario.scenario_id}: cache hit ({key[:12]})")
-                    continue
-                except (KeyError, StoreIntegrityError):
-                    # Corrupt entry, or evicted by a concurrent writer
-                    # between contains() and get(): recompute either way.
-                    self.store.evict(key)
-                    say(
-                        f"{scenario.scenario_id}: unusable entry evicted, "
-                        "recomputing"
-                    )
+            sweep = self.probe_sweep(scenario, key, say)
+            if sweep is not None:
+                outcomes.append(
+                    ScenarioOutcome(scenario=scenario, sweep=sweep, cache_hit=True)
+                )
+                continue
 
             checkpoint = self._checkpoint_for(experiment, scenario)
             execution_scale = self._execution_scale(experiment, scenario.scale)
@@ -255,31 +318,59 @@ class CampaignRunner:
 
     # ------------------------------------------------------------------ #
     def status(self) -> List[ScenarioStatus]:
-        """Store-side progress of every scenario, in grid order."""
+        """Store-side progress of every scenario, in grid order.
+
+        Iteration coverage counts a finished value's iterations as fully
+        covered (its row subsumes them — the sub-entries were evicted on
+        save) plus whatever iteration sub-entries unfinished values have
+        actually persisted.
+        """
         statuses: List[ScenarioStatus] = []
         for scenario in self.spec.scenarios():
             experiment = get_experiment(scenario.experiment_id)
             key = scenario_sweep_key(experiment, scenario.scale)
-            row_keys = self._row_keys(experiment, scenario)
+            checkpoint = self._checkpoint_for(experiment, scenario)
+            values = list(experiment.sweep_values(scenario.scale))
+            iterations = experiment.checkpoint_iterations(scenario.scale) or 0
+            complete = self.store.contains(key)
+            checkpointed_values = 0
+            checkpointed_iterations = 0
+            for value in values:
+                if self.store.contains(checkpoint.key_for(value)):
+                    checkpointed_values += 1
+                    checkpointed_iterations += iterations
+                elif iterations:
+                    checkpointed_iterations += sum(
+                        1
+                        for sub_key in checkpoint.iteration_keys_for(value)
+                        if self.store.contains(sub_key)
+                    )
             statuses.append(
                 ScenarioStatus(
                     scenario=scenario,
-                    complete=self.store.contains(key),
-                    checkpointed_values=sum(
-                        1 for row_key in row_keys if self.store.contains(row_key)
+                    complete=complete,
+                    checkpointed_values=checkpointed_values,
+                    total_values=len(values),
+                    checkpointed_iterations=(
+                        len(values) * iterations
+                        if complete
+                        else checkpointed_iterations
                     ),
-                    total_values=len(row_keys),
+                    total_iterations=len(values) * iterations,
                 )
             )
         return statuses
 
     def evict_scenario(self, experiment: Experiment, scenario: Scenario) -> int:
-        """Remove one scenario's sweep and row entries; returns the count."""
+        """Remove one scenario's sweep, row and iteration entries."""
         removed = 0
         if self.store.evict(scenario_sweep_key(experiment, scenario.scale)):
             removed += 1
         for row_key in self._row_keys(experiment, scenario):
             if self.store.evict(row_key):
+                removed += 1
+        for iteration_key in self._iteration_keys(experiment, scenario):
+            if self.store.evict(iteration_key):
                 removed += 1
         return removed
 

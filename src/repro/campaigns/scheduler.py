@@ -1,0 +1,347 @@
+"""Campaign-level scenario scheduling under one total worker budget.
+
+The serial :class:`~repro.campaigns.runner.CampaignRunner` loop walks the
+scenario grid one scenario at a time: parallelism exists only *inside* a
+scenario, so a campaign of many small heterogeneous scenarios leaves most
+of a large worker budget idle, and the last long scenario always runs
+alone.  The scheduler here replaces that loop whenever the campaign is
+given one total budget ``W`` (``campaign run --total-workers``):
+
+* every *unique* sweep computation of the grid — scenarios sharing a
+  cache payload collapse onto one job, exactly as they share one store
+  entry — is decomposed into its per-parameter-value tasks when the
+  experiment registers a picklable ``sweep_measure`` (see
+  :class:`repro.experiments.registry.Experiment`), or into one atomic
+  task otherwise;
+* tasks from *all* scenarios run concurrently in one shared process pool
+  holding at most ``W`` workers, interleaved round-robin across jobs so
+  independent scenarios genuinely progress together;
+* each task is granted a worker allotment by :func:`repro.simulation.
+  sweep.adaptive_worker_allotment` at the moment it is submitted: with a
+  full queue every task gets one worker (scenario-level breadth); as
+  scenarios finish and return their workers, the tasks still waiting are
+  granted larger allotments that their measures turn into bigger nested
+  iteration pools (depth) — the freed workers of short scenarios are
+  rebalanced into the scenarios still running, closing the tail.
+
+Determinism
+-----------
+Every value task computes exactly what the serial path computes — the
+same registered measure applied to the same value — in a worker process
+whose allotment only resizes nested pools (bit-identical by the PR 1/2
+worker guarantees).  Rows are assembled in sweep order, value rows are
+checkpointed in completion order and iteration sub-checkpoints are
+written inside the task, all through the same store checkpoints the
+serial path uses.  A scheduled campaign is therefore bit-identical to a
+cold serial run at every budget, and a killed one resumes at the first
+unfinished iteration.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.campaigns.spec import Scenario
+from repro.experiments.registry import (
+    Experiment,
+    ExperimentScale,
+    get_experiment,
+)
+from repro.simulation.sweep import (
+    SweepResult,
+    adaptive_worker_allotment,
+    measure_row,
+)
+from repro.store.checkpoints import StoreSweepCheckpoint
+
+__all__ = ["CampaignScheduler"]
+
+
+def _run_experiment_task(
+    experiment: Experiment,
+    scale: ExperimentScale,
+    checkpoint: Optional[StoreSweepCheckpoint],
+) -> Tuple[SweepResult, int, int]:
+    """Worker-process body of one atomic (non-decomposable) scenario.
+
+    The :class:`Experiment` itself crosses the boundary: its callables
+    pickle *by reference*, which forces the defining module to import in
+    the worker — the same mechanism that ships decomposed measures — so
+    dynamically registered experiments work under every start method,
+    not just fork.  Returns the sweep plus the checkpoint's (loaded,
+    saved) counters, which live in this process.
+    """
+    sweep = experiment.run_with_checkpoint(scale, checkpoint)
+    loaded = getattr(checkpoint, "loaded", 0) if checkpoint is not None else 0
+    saved = getattr(checkpoint, "saved", 0) if checkpoint is not None else 0
+    return sweep, loaded, saved
+
+
+@dataclass
+class _SweepJob:
+    """One unique sweep computation and the scenarios it serves."""
+
+    key: str
+    experiment: Experiment
+    scenario: Scenario
+    aliases: List[Scenario] = field(default_factory=list)
+    cache_hit: bool = False
+    checkpoint: Optional[StoreSweepCheckpoint] = None
+    atomic: bool = False
+    width: int = 1
+    values: List[float] = field(default_factory=list)
+    measure: Any = None
+    rows: Dict[int, Dict[str, float]] = field(default_factory=dict)
+    pending: List[int] = field(default_factory=list)
+    loaded_values: int = 0
+    computed_values: int = 0
+    sweep: Optional[SweepResult] = None
+
+    @property
+    def done(self) -> bool:
+        return self.sweep is not None
+
+
+class CampaignScheduler:
+    """Run a campaign's scenario grid concurrently under one budget.
+
+    Constructed by :meth:`repro.campaigns.runner.CampaignRunner.run` when
+    ``total_workers`` is set; shares the runner's spec, store, checkpoint
+    construction and eviction helpers so both execution paths address
+    exactly the same entries.
+    """
+
+    def __init__(self, runner, total_workers: int) -> None:
+        from repro.exceptions import ConfigurationError
+
+        if total_workers < 1:
+            raise ConfigurationError(
+                f"total_workers must be at least 1, got {total_workers}"
+            )
+        self.runner = runner
+        self.total_workers = total_workers
+
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        resume: bool = True,
+        progress: Optional[Callable[[str], None]] = None,
+    ):
+        """Scheduler counterpart of :meth:`CampaignRunner.run` (same
+        semantics, same return type, scenarios concurrent)."""
+        from repro.campaigns.runner import (
+            CampaignResult,
+            ScenarioOutcome,
+            scenario_sweep_key,
+        )
+
+        runner = self.runner
+        say = progress if progress is not None else (lambda message: None)
+        if not resume:
+            for scenario in runner.spec.scenarios():
+                runner.evict_scenario(
+                    get_experiment(scenario.experiment_id), scenario
+                )
+
+        jobs: Dict[str, _SweepJob] = {}
+        order: List[Tuple[Scenario, str]] = []
+        for scenario in runner.spec.scenarios():
+            experiment = get_experiment(scenario.experiment_id)
+            key = scenario_sweep_key(experiment, scenario.scale)
+            order.append((scenario, key))
+            if key in jobs:
+                jobs[key].aliases.append(scenario)
+                continue
+            job = _SweepJob(key=key, experiment=experiment, scenario=scenario)
+            jobs[key] = job
+            sweep = runner.probe_sweep(scenario, key, say)
+            if sweep is not None:
+                job.sweep = sweep
+                job.cache_hit = True
+                continue
+            self._prepare(job, say)
+
+        self._execute([job for job in jobs.values() if not job.done], say)
+
+        outcomes: List[ScenarioOutcome] = []
+        primaries: set = set()
+        for scenario, key in order:
+            job = jobs[key]
+            primary = key not in primaries
+            primaries.add(key)
+            if job.cache_hit or not primary:
+                # Aliases of a computed job see exactly what the serial
+                # loop would: a store entry that already exists.
+                outcomes.append(
+                    ScenarioOutcome(scenario=scenario, sweep=job.sweep, cache_hit=True)
+                )
+            else:
+                outcomes.append(
+                    ScenarioOutcome(
+                        scenario=scenario,
+                        sweep=job.sweep,
+                        cache_hit=False,
+                        loaded_values=job.loaded_values,
+                        computed_values=job.computed_values,
+                    )
+                )
+        return CampaignResult(spec=runner.spec, outcomes=outcomes)
+
+    # ------------------------------------------------------------------ #
+    def _prepare(self, job: _SweepJob, say: Callable[[str], None]) -> None:
+        """Decompose one job into value tasks (or mark it atomic)."""
+        experiment = job.experiment
+        scale = job.scenario.scale
+        job.checkpoint = self.runner._checkpoint_for(experiment, job.scenario)
+        if not experiment.supports_scheduling:
+            job.atomic = True
+            job.width = max(1, experiment.sweep_width(scale))
+            return
+        job.values = [float(value) for value in experiment.sweep_values(scale)]
+        for index, value in enumerate(job.values):
+            row = job.checkpoint.load(value)
+            if row is not None:
+                job.rows[index] = dict(row)
+        job.loaded_values = len(job.rows)
+        job.pending = [
+            index for index in range(len(job.values)) if index not in job.rows
+        ]
+        measure = experiment.sweep_measure(scale)
+        rebind = getattr(measure, "with_value_checkpoint", None)
+        if rebind is not None:
+            measure = rebind(job.checkpoint)
+        job.measure = measure
+        # A task's useful width is its inner parallelism: the simulation
+        # iteration count when the experiment declares it, otherwise the
+        # whole budget for any measure that can resize its nested pools
+        # (e.g. the stationary sweep parallelises its placement draws),
+        # and 1 for measures that cannot use extra workers at all.
+        iterations = experiment.checkpoint_iterations(scale)
+        if iterations is not None:
+            job.width = max(1, iterations)
+        elif getattr(measure, "with_iteration_workers", None) is not None:
+            job.width = self.total_workers
+        else:
+            job.width = 1
+        if not job.pending:
+            # Every row was checkpointed: the sweep reassembles for free.
+            self._finish(job, say)
+
+    def _finish(self, job: _SweepJob, say: Callable[[str], None]) -> None:
+        """Assemble a completed decomposed job and persist its sweep."""
+        job.sweep = SweepResult(
+            parameter_name=job.experiment.parameter_name,
+            rows=[job.rows[index] for index in range(len(job.values))],
+        )
+        self._store_sweep(job, say)
+
+    def _store_sweep(self, job: _SweepJob, say: Callable[[str], None]) -> None:
+        self.runner.store.put(
+            job.key,
+            job.sweep,
+            metadata={
+                "campaign": self.runner.spec.name,
+                "scenario": job.scenario.scenario_id,
+            },
+        )
+        say(
+            f"{job.scenario.scenario_id}: computed {job.computed_values} "
+            f"value(s), resumed {job.loaded_values} from checkpoints"
+        )
+
+    # ------------------------------------------------------------------ #
+    def _queue(self, jobs: List[_SweepJob]) -> List[Tuple[_SweepJob, int]]:
+        """All runnable tasks, interleaved round-robin across jobs.
+
+        Round-robin (first value of every job, then second of every job,
+        ...) is what makes independent scenarios run *concurrently* under
+        small budgets instead of draining one scenario at a time.
+        """
+        lanes: List[List[Tuple[_SweepJob, int]]] = []
+        for job in jobs:
+            if job.atomic:
+                lanes.append([(job, -1)])
+            else:
+                lanes.append([(job, index) for index in job.pending])
+        queue: List[Tuple[_SweepJob, int]] = []
+        depth = 0
+        while True:
+            emitted = False
+            for lane in lanes:
+                if depth < len(lane):
+                    queue.append(lane[depth])
+                    emitted = True
+            if not emitted:
+                return queue
+            depth += 1
+
+    def _submit(self, pool: ProcessPoolExecutor, job: _SweepJob, index: int, allotment: int):
+        """Submit one task with ``allotment`` workers; returns its future."""
+        if job.atomic:
+            scale = job.scenario.scale
+            if allotment > 1:
+                scale = job.experiment.with_worker_budget(scale, allotment)
+            checkpoint = (
+                job.checkpoint if job.experiment.supports_checkpoint else None
+            )
+            return pool.submit(
+                _run_experiment_task,
+                job.experiment,
+                scale,
+                checkpoint,
+            )
+        measure = job.measure
+        if allotment > 1:
+            rebind = getattr(measure, "with_iteration_workers", None)
+            if rebind is not None:
+                measure = rebind(allotment)
+        return pool.submit(
+            measure_row,
+            job.experiment.parameter_name,
+            measure,
+            job.values[index],
+        )
+
+    def _execute(self, jobs: List[_SweepJob], say: Callable[[str], None]) -> None:
+        """The scheduling loop: submit within budget, collect, rebalance."""
+        queue = self._queue(jobs)
+        if not queue:
+            return
+        available = self.total_workers
+        futures: Dict[Any, Tuple[_SweepJob, int, int]] = {}
+        with ProcessPoolExecutor(max_workers=self.total_workers) as pool:
+            while queue or futures:
+                while queue and available >= 1:
+                    allotment = adaptive_worker_allotment(
+                        available, len(queue), queue[0][0].width
+                    )
+                    job, index = queue.pop(0)
+                    futures[self._submit(pool, job, index, allotment)] = (
+                        job,
+                        index,
+                        allotment,
+                    )
+                    available -= allotment
+                done, _ = wait(set(futures), return_when=FIRST_COMPLETED)
+                for future in done:
+                    job, index, allotment = futures.pop(future)
+                    available += allotment
+                    if job.atomic:
+                        sweep, loaded, saved = future.result()
+                        job.sweep = sweep
+                        job.loaded_values = loaded
+                        job.computed_values = (
+                            saved
+                            if job.experiment.supports_checkpoint
+                            else len(sweep.rows)
+                        )
+                        self._store_sweep(job, say)
+                    else:
+                        row = future.result()
+                        job.checkpoint.save(job.values[index], row)
+                        job.rows[index] = row
+                        job.computed_values += 1
+                        if len(job.rows) == len(job.values):
+                            self._finish(job, say)

@@ -11,8 +11,15 @@ experiments::
     adhoc-connectivity run fig2 --scale paper --total-workers 8
     adhoc-connectivity stationary --side 1024 --nodes 32 --workers 4
     adhoc-connectivity campaign run grid.toml --store .repro-store
+    adhoc-connectivity campaign run grid.toml --total-workers 8
     adhoc-connectivity campaign status grid.toml --store .repro-store
     adhoc-connectivity campaign clean grid.toml --store .repro-store
+
+``campaign run --total-workers W`` is the single budget knob: the whole
+campaign shares one pool of ``W`` workers, independent scenarios run
+concurrently under it (the campaign scheduler), and workers freed by
+short scenarios rebalance into the scenarios still running.  Results are
+bit-identical to a serial run for every ``W``.
 
 The CLI is intentionally thin: it parses arguments, calls the experiment
 or campaign layer and prints the rendered tables.
@@ -152,26 +159,39 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers",
         type=int,
         default=None,
-        help="iteration-level worker processes per parameter value",
+        help=(
+            "iteration-level worker processes per parameter value "
+            "(serial scenario loop)"
+        ),
     )
     campaign_run.add_argument(
         "--sweep-workers",
         type=int,
         default=None,
-        help="parameter values of each scenario measured concurrently",
+        help=(
+            "parameter values of each scenario measured concurrently "
+            "(serial scenario loop)"
+        ),
     )
     campaign_run.add_argument(
         "--total-workers",
         type=int,
         default=None,
         help=(
-            "split one total process budget per scenario automatically "
-            "(overrides --workers and --sweep-workers)"
+            "one total worker budget for the whole campaign: scenarios "
+            "run concurrently under the campaign scheduler and freed "
+            "workers rebalance into still-running scenarios (overrides "
+            "--workers and --sweep-workers; results are bit-identical "
+            "for every budget)"
         ),
     )
 
     campaign_status = campaign_commands.add_parser(
-        "status", help="report per-scenario store progress without running"
+        "status",
+        help=(
+            "report per-scenario store progress without running "
+            "(value- and iteration-granular coverage)"
+        ),
     )
     add_spec_and_store(campaign_status)
 

@@ -37,7 +37,13 @@ from repro.simulation.search import (
     estimate_component_thresholds_from_statistics,
     estimate_thresholds_from_statistics,
 )
-from repro.simulation.sweep import SweepCheckpoint, SweepResult, sweep_parameter
+from repro.simulation.runner import IterationCheckpoint
+from repro.simulation.sweep import (
+    SweepCheckpoint,
+    SweepResult,
+    iteration_checkpoint_for,
+    sweep_parameter,
+)
 from repro.store.keys import scale_payload
 
 
@@ -60,11 +66,18 @@ def measure_system_size(
     model: str,
     scale: ExperimentScale,
     mobility_overrides: Dict | None = None,
+    iteration_checkpoint: Optional[IterationCheckpoint] = None,
 ) -> Dict[str, float]:
     """All Figure 2–6 quantities for one system size and mobility model.
 
     Returns a row with the raw thresholds, their ratios to ``rstationary``,
     and the average largest-component fractions at ``r90``, ``r10``, ``r0``.
+
+    ``iteration_checkpoint`` (if given) persists each iteration of the
+    expensive mobile simulation as it completes and resumes saved ones;
+    the cheap single-step stationary placements that produce
+    ``rstationary`` stay unchecked — one store entry per placement draw
+    would dwarf the work it saves.
     """
     node_count = paper_node_count(side)
     rstationary = stationary_critical_range(
@@ -85,7 +98,7 @@ def measure_system_size(
         seed=scale.seed,
         workers=scale.workers,
     )
-    statistics = collect_frame_statistics(config)
+    statistics = collect_frame_statistics(config, checkpoint=iteration_checkpoint)
     thresholds = estimate_thresholds_from_statistics(statistics)
     components = estimate_component_thresholds_from_statistics(statistics)
 
@@ -114,20 +127,33 @@ class SystemSizeMeasure:
     """Picklable sweep measure: all Figure 2–6 series at one system size.
 
     Implements the :class:`repro.simulation.sweep.Measure` protocol so the
-    system-size sweep can run its sides in parallel worker processes.
+    system-size sweep can run its sides in parallel worker processes —
+    including ``with_value_checkpoint``: when a sweep checkpoint with
+    iteration granularity is bound, each side's mobile simulation persists
+    its iterations as they finish and resumes saved ones.
     """
 
     model: str
     scale: ExperimentScale
     mobility_overrides: Optional[Dict] = None
+    checkpoint: Optional[SweepCheckpoint] = None
 
     def __call__(self, side: float) -> Dict[str, float]:
         return measure_system_size(
-            side, self.model, self.scale, self.mobility_overrides
+            side,
+            self.model,
+            self.scale,
+            self.mobility_overrides,
+            iteration_checkpoint=iteration_checkpoint_for(self.checkpoint, side),
         )
 
     def with_iteration_workers(self, count: int) -> "SystemSizeMeasure":
         return replace(self, scale=self.scale.with_workers(count))
+
+    def with_value_checkpoint(
+        self, checkpoint: SweepCheckpoint
+    ) -> "SystemSizeMeasure":
+        return replace(self, checkpoint=checkpoint)
 
 
 def mobile_threshold_rows(
@@ -245,7 +271,9 @@ def _parameter_study_side(scale: ExperimentScale) -> float:
 
 
 def _r100_ratio_row(
-    scale: ExperimentScale, mobility_overrides: Dict
+    scale: ExperimentScale,
+    mobility_overrides: Dict,
+    iteration_checkpoint: Optional[IterationCheckpoint] = None,
 ) -> Dict[str, float]:
     """One Figure 7–9 measurement: r100 / rstationary at fixed geometry."""
     side = _parameter_study_side(scale)
@@ -268,7 +296,7 @@ def _r100_ratio_row(
         seed=scale.seed,
         workers=scale.workers,
     )
-    statistics = collect_frame_statistics(config)
+    statistics = collect_frame_statistics(config, checkpoint=iteration_checkpoint)
     thresholds = estimate_thresholds_from_statistics(statistics)
     ratio = thresholds.r100 / rstationary if rstationary > 0 else 0.0
     return {
@@ -290,6 +318,7 @@ class ParameterStudyMeasure:
 
     scale: ExperimentScale
     parameter: str
+    checkpoint: Optional[SweepCheckpoint] = None
 
     def __call__(self, value: float) -> Dict[str, float]:
         if self.parameter == "pstationary":
@@ -302,10 +331,19 @@ class ParameterStudyMeasure:
             raise ValueError(
                 f"unsupported parameter study parameter: {self.parameter!r}"
             )
-        return _r100_ratio_row(self.scale, overrides)
+        return _r100_ratio_row(
+            self.scale,
+            overrides,
+            iteration_checkpoint=iteration_checkpoint_for(self.checkpoint, value),
+        )
 
     def with_iteration_workers(self, count: int) -> "ParameterStudyMeasure":
         return replace(self, scale=self.scale.with_workers(count))
+
+    def with_value_checkpoint(
+        self, checkpoint: SweepCheckpoint
+    ) -> "ParameterStudyMeasure":
+        return replace(self, checkpoint=checkpoint)
 
 
 def parameter_study_values(parameter: str, scale: ExperimentScale) -> Sequence[float]:
@@ -314,10 +352,17 @@ def parameter_study_values(parameter: str, scale: ExperimentScale) -> Sequence[f
 
 
 def parameter_study_payload(parameter: str, scale: ExperimentScale) -> Dict:
-    """Content-address payload of one Figure 7–9 parameter study."""
+    """Content-address payload of one Figure 7–9 parameter study.
+
+    The system side is part of the payload explicitly: it is derived from
+    ``scale.name`` (smoke runs shrink it), which :func:`scale_payload`
+    deliberately drops — without it, two scales differing only in name
+    would collide on a key while simulating different geometries.
+    """
     return {
         "computation": "parameter-study",
         "parameter": parameter,
+        "side": _parameter_study_side(scale),
         "scale": scale_payload(scale),
     }
 
@@ -360,6 +405,28 @@ def figure9(
 # --------------------------------------------------------------------------- #
 # Registration
 # --------------------------------------------------------------------------- #
+def scale_iterations(scale: ExperimentScale) -> int:
+    """Iterations one value's mobile simulation runs (= ``scale.iterations``).
+
+    Registered as ``iterations_per_value`` by every experiment whose
+    measure checkpoints its inner :func:`repro.simulation.runner.
+    collect_frame_statistics` iterations.
+    """
+    return scale.iterations
+
+
+def _system_size_measure(model: str, scale: ExperimentScale) -> SystemSizeMeasure:
+    """Measure factory of the Figure 2–6 system-size sweeps."""
+    return SystemSizeMeasure(model=model, scale=scale)
+
+
+def _parameter_study_measure(
+    parameter: str, scale: ExperimentScale
+) -> ParameterStudyMeasure:
+    """Measure factory of the Figure 7–9 parameter studies."""
+    return ParameterStudyMeasure(scale=scale, parameter=parameter)
+
+
 def _register_all() -> None:
     register_experiment(Experiment(
         identifier="fig2",
@@ -372,6 +439,8 @@ def _register_all() -> None:
         paper_reference="Figure 2",
         run=figure2,
         cache_payload=_waypoint_sweep_payload,
+        sweep_measure=partial(_system_size_measure, 'waypoint'),
+        iterations_per_value=scale_iterations,
     ))
     register_experiment(Experiment(
         identifier="fig3",
@@ -383,6 +452,8 @@ def _register_all() -> None:
         paper_reference="Figure 3",
         run=figure3,
         cache_payload=_drunkard_sweep_payload,
+        sweep_measure=partial(_system_size_measure, 'drunkard'),
+        iterations_per_value=scale_iterations,
     ))
     register_experiment(Experiment(
         identifier="fig4",
@@ -394,6 +465,8 @@ def _register_all() -> None:
         paper_reference="Figure 4",
         run=figure4,
         cache_payload=_waypoint_sweep_payload,
+        sweep_measure=partial(_system_size_measure, 'waypoint'),
+        iterations_per_value=scale_iterations,
     ))
     register_experiment(Experiment(
         identifier="fig5",
@@ -405,6 +478,8 @@ def _register_all() -> None:
         paper_reference="Figure 5",
         run=figure5,
         cache_payload=_drunkard_sweep_payload,
+        sweep_measure=partial(_system_size_measure, 'drunkard'),
+        iterations_per_value=scale_iterations,
     ))
     register_experiment(Experiment(
         identifier="fig6",
@@ -417,6 +492,8 @@ def _register_all() -> None:
         paper_reference="Figure 6",
         run=figure6,
         cache_payload=_waypoint_sweep_payload,
+        sweep_measure=partial(_system_size_measure, 'waypoint'),
+        iterations_per_value=scale_iterations,
     ))
     register_experiment(Experiment(
         identifier="fig7",
@@ -430,6 +507,9 @@ def _register_all() -> None:
         sweep_width=parameter_sweep_width,
         sweep_values=partial(parameter_study_values, 'pstationary'),
         cache_payload=partial(parameter_study_payload, 'pstationary'),
+        parameter_name='pstationary',
+        sweep_measure=partial(_parameter_study_measure, 'pstationary'),
+        iterations_per_value=scale_iterations,
     ))
     register_experiment(Experiment(
         identifier="fig8",
@@ -443,6 +523,9 @@ def _register_all() -> None:
         sweep_width=parameter_sweep_width,
         sweep_values=partial(parameter_study_values, 'tpause'),
         cache_payload=partial(parameter_study_payload, 'tpause'),
+        parameter_name='tpause',
+        sweep_measure=partial(_parameter_study_measure, 'tpause'),
+        iterations_per_value=scale_iterations,
     ))
     register_experiment(Experiment(
         identifier="fig9",
@@ -456,6 +539,9 @@ def _register_all() -> None:
         sweep_width=parameter_sweep_width,
         sweep_values=partial(parameter_study_values, 'vmax_fraction'),
         cache_payload=partial(parameter_study_payload, 'vmax_fraction'),
+        parameter_name='vmax_fraction',
+        sweep_measure=partial(_parameter_study_measure, 'vmax_fraction'),
+        iterations_per_value=scale_iterations,
     ))
 
 

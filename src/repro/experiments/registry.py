@@ -182,6 +182,27 @@ class Experiment:
     Figures 3/5 the drunkard one) register the same payload and therefore
     share result-store entries.  ``None`` (the default) falls back to
     ``{"experiment": identifier, "scale": <scale fields>}``.
+
+    ``parameter_name`` is the column name of the swept parameter — what
+    the experiment's ``run`` passes to :func:`repro.simulation.sweep.
+    sweep_parameter` ("l" for the system-size sweeps, the studied
+    parameter for Figures 7–9).
+
+    ``sweep_measure`` maps a scale to the *picklable* per-value measure
+    the experiment's sweep runs.  Registering it asserts that
+    ``run(scale)`` is exactly ``sweep_parameter(parameter_name,
+    sweep_values(scale), sweep_measure(scale))`` — i.e. every value is
+    measured independently, with no cross-value state — which is what
+    lets the campaign scheduler decompose the experiment into value
+    tasks and interleave them with other scenarios under one worker
+    budget.  Experiments that cannot make that promise leave it ``None``
+    and are scheduled as one atomic task.
+
+    ``iterations_per_value`` reports how many simulation iterations one
+    value's measure runs at a given scale, for experiments whose measures
+    support iteration-granular checkpointing (see :meth:`repro.simulation.
+    sweep.Measure.with_value_checkpoint`); ``None`` means values are the
+    finest resume granularity.
     """
 
     identifier: str
@@ -196,6 +217,13 @@ class Experiment:
         default=side_sweep_values, repr=False
     )
     cache_payload: Optional[Callable[[ExperimentScale], Dict[str, Any]]] = field(
+        default=None, repr=False
+    )
+    parameter_name: str = "l"
+    sweep_measure: Optional[Callable[[ExperimentScale], Any]] = field(
+        default=None, repr=False
+    )
+    iterations_per_value: Optional[Callable[[ExperimentScale], int]] = field(
         default=None, repr=False
     )
 
@@ -234,6 +262,19 @@ class Experiment:
         if checkpoint is not None and self.supports_checkpoint:
             return self.run(scale, checkpoint=checkpoint)
         return self.run(scale)
+
+    @property
+    def supports_scheduling(self) -> bool:
+        """``True`` if the campaign scheduler may decompose this experiment
+        into independent per-value tasks (a picklable measure factory is
+        registered — see ``sweep_measure``)."""
+        return self.sweep_measure is not None
+
+    def checkpoint_iterations(self, scale: ExperimentScale) -> Optional[int]:
+        """Iterations one value's simulation checkpoints, or ``None``."""
+        if self.iterations_per_value is None:
+            return None
+        return self.iterations_per_value(scale)
 
 
 _REGISTRY: Dict[str, Experiment] = {}

@@ -20,14 +20,23 @@ from repro.analysis.gupta_kumar import gupta_kumar_critical_range
 from repro.analysis.worst_best_case import best_case_range_2d, worst_case_range
 from repro.energy.model import EnergyModel
 from repro.energy.savings import savings_table
-from repro.experiments.figures import measure_system_size, paper_node_count
+from repro.experiments.figures import (
+    measure_system_size,
+    paper_node_count,
+    scale_iterations,
+)
 from repro.experiments.registry import (
     Experiment,
     ExperimentScale,
     register_experiment,
 )
 from repro.simulation.runner import stationary_critical_range
-from repro.simulation.sweep import SweepCheckpoint, SweepResult, sweep_parameter
+from repro.simulation.sweep import (
+    SweepCheckpoint,
+    SweepResult,
+    iteration_checkpoint_for,
+    sweep_parameter,
+)
 
 
 @dataclass(frozen=True)
@@ -76,9 +85,15 @@ class EnergyTradeoffMeasure:
     """Picklable sweep measure: energy savings of relaxed thresholds."""
 
     scale: ExperimentScale
+    checkpoint: Optional[SweepCheckpoint] = None
 
     def __call__(self, side: float) -> Dict[str, float]:
-        row = measure_system_size(side, "waypoint", self.scale)
+        row = measure_system_size(
+            side,
+            "waypoint",
+            self.scale,
+            iteration_checkpoint=iteration_checkpoint_for(self.checkpoint, side),
+        )
         ratios = {
             label: row[label] / row["r100"] if row["r100"] > 0 else 0.0
             for label in ("r90", "r10", "rl90", "rl75", "rl50")
@@ -96,6 +111,11 @@ class EnergyTradeoffMeasure:
 
     def with_iteration_workers(self, count: int) -> "EnergyTradeoffMeasure":
         return replace(self, scale=self.scale.with_workers(count))
+
+    def with_value_checkpoint(
+        self, checkpoint: SweepCheckpoint
+    ) -> "EnergyTradeoffMeasure":
+        return replace(self, checkpoint=checkpoint)
 
 
 def energy_tradeoff_experiment(
@@ -115,6 +135,21 @@ def energy_tradeoff_experiment(
     )
 
 
+def _stationary_measure(scale: ExperimentScale) -> StationaryRangeMeasure:
+    """Measure factory of the stationary-critical-range sweep.
+
+    No ``iterations_per_value`` is registered: each placement draw is a
+    single-step frame, far too cheap to be worth one store entry each —
+    values are the finest useful resume granularity here.
+    """
+    return StationaryRangeMeasure(scale=scale)
+
+
+def _energy_tradeoff_measure(scale: ExperimentScale) -> EnergyTradeoffMeasure:
+    """Measure factory of the energy-tradeoff sweep."""
+    return EnergyTradeoffMeasure(scale=scale)
+
+
 register_experiment(Experiment(
     identifier="stationary-critical-range",
     title="Stationary critical transmitting range",
@@ -126,6 +161,7 @@ register_experiment(Experiment(
     ),
     paper_reference="Section 4.2 (denominator of Figures 2-6)",
     run=stationary_experiment,
+    sweep_measure=_stationary_measure,
 ))
 
 register_experiment(Experiment(
@@ -137,4 +173,6 @@ register_experiment(Experiment(
     ),
     paper_reference="Section 4.2 discussion",
     run=energy_tradeoff_experiment,
+    sweep_measure=_energy_tradeoff_measure,
+    iterations_per_value=scale_iterations,
 ))

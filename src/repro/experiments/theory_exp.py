@@ -11,12 +11,26 @@ Two registered experiments:
   number of empty cells across the five growth domains, plus Monte-Carlo
   estimates, validating the occupancy machinery that the Theorem 4 proof
   relies on.
+
+Random streams
+--------------
+Both experiments originally walked *one* sequential ``default_rng`` across
+their parameter values, which made every value's numbers depend on every
+value measured before it — so the sweeps could only be cached whole and
+could never be decomposed, checkpointed per value, or scheduled
+concurrently.  Each value now draws from its own child stream
+(:func:`repro.stats.rng.value_rng`, keyed by the seed, the experiment
+label and the value's bit pattern), making the measures order-invariant,
+picklable and value-checkpointable.  This deliberately shifts the
+simulated numbers relative to the shared-stream implementation; the new
+streams are pinned by regression tests.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict
+from dataclasses import dataclass
+from typing import Dict, Optional
 
 import numpy as np
 
@@ -41,7 +55,9 @@ from repro.occupancy.asymptotic import (
 from repro.occupancy.cells import simulate_empty_cells
 from repro.occupancy.domains import classify_domain
 from repro.occupancy.exact import empty_cells_mean, empty_cells_variance
-from repro.simulation.sweep import SweepResult, sweep_parameter
+from repro.simulation.sweep import SweepCheckpoint, SweepResult, sweep_parameter
+from repro.stats.rng import value_rng
+from repro.store.keys import scale_payload
 
 
 #: Node density used by the 1-D experiment: n = DENSITY_FACTOR * l.
@@ -62,21 +78,31 @@ def occupancy_domain_width(scale: ExperimentScale) -> int:
     return GROWTH_DOMAIN_COUNT
 
 
-def theorem5_experiment(scale: ExperimentScale) -> SweepResult:
-    """Empirical critical product ``r n`` vs the ``l log l`` threshold.
+def occupancy_cell_count(scale: ExperimentScale) -> int:
+    """Cells per row of the occupancy experiment (smoke runs shrink it)."""
+    return 64 if scale.name == "smoke" else 256
+
+
+@dataclass(frozen=True)
+class Theorem5Measure:
+    """Picklable per-value measure of the 1-D critical-product sweep.
 
     The empirical critical range of a 1-D placement is its longest
     consecutive gap, computed directly in ``O(n log n)`` per placement so
-    that the densest settings (thousands of nodes) stay affordable.
+    that the densest settings (thousands of nodes) stay affordable.  Each
+    side draws from its own :func:`~repro.stats.rng.value_rng` child
+    stream, so the row at one side is independent of every other side.
     """
-    rng = np.random.default_rng(scale.seed)
 
-    def measure(side: float) -> Dict[str, float]:
-        node_count = max(4, int(round(DENSITY_FACTOR * side)))
+    scale: ExperimentScale
+
+    def __call__(self, side: float) -> Dict[str, float]:
         from repro.connectivity.critical_range import longest_gap_1d
 
+        rng = value_rng(self.scale.seed, side, label="theorem5-1d")
+        node_count = max(4, int(round(DENSITY_FACTOR * side)))
         samples = []
-        for _ in range(scale.stationary_iterations):
+        for _ in range(self.scale.stationary_iterations):
             placement = rng.uniform(0.0, side, size=(node_count, 1))
             samples.append(longest_gap_1d(placement))
         samples.sort()
@@ -104,27 +130,29 @@ def theorem5_experiment(scale: ExperimentScale) -> SweepResult:
             ),
         }
 
-    return sweep_parameter("l", scale.sides, measure)
 
-
-def occupancy_experiment(scale: ExperimentScale) -> SweepResult:
-    """Exact vs asymptotic vs Monte-Carlo moments of ``mu(n, C)``.
+@dataclass(frozen=True)
+class OccupancyDomainMeasure:
+    """Picklable per-value measure of the occupancy-domains sweep.
 
     The number of cells is fixed per row and the ball count is chosen to
-    land in each of the five growth domains in turn.
+    land in each of the five growth domains in turn.  Each domain's
+    Monte-Carlo estimate draws from its own child stream.
     """
-    cells = 64 if scale.name == "smoke" else 256
-    rng = np.random.default_rng(scale.seed)
-    ball_counts = {
-        "LHD": max(2, int(round(math.sqrt(cells)))),
-        "LHID": max(3, int(round(cells ** 0.75))),
-        "CD": cells,
-        "RHID": int(round(cells * math.sqrt(math.log(cells)))),
-        "RHD": int(round(cells * math.log(cells))),
-    }
-    iterations = max(200, scale.stationary_iterations)
 
-    def measure(index: float) -> Dict[str, float]:
+    scale: ExperimentScale
+
+    def __call__(self, index: float) -> Dict[str, float]:
+        cells = occupancy_cell_count(self.scale)
+        ball_counts = {
+            "LHD": max(2, int(round(math.sqrt(cells)))),
+            "LHID": max(3, int(round(cells ** 0.75))),
+            "CD": cells,
+            "RHID": int(round(cells * math.sqrt(math.log(cells)))),
+            "RHD": int(round(cells * math.log(cells))),
+        }
+        iterations = max(200, self.scale.stationary_iterations)
+        rng = value_rng(self.scale.seed, index, label="occupancy-domains")
         label, n = list(ball_counts.items())[int(index)]
         samples = simulate_empty_cells(n, cells, iterations, rng)
         domain = classify_domain(n, cells)
@@ -142,9 +170,72 @@ def occupancy_experiment(scale: ExperimentScale) -> SweepResult:
             "is_rhd": 1.0 if domain.value == "RHD" else 0.0,
         }
 
+
+def theorem5_experiment(
+    scale: ExperimentScale, checkpoint: Optional[SweepCheckpoint] = None
+) -> SweepResult:
+    """Empirical critical product ``r n`` vs the ``l log l`` threshold."""
     return sweep_parameter(
-        "domain", list(range(len(ball_counts))), measure
+        "l",
+        scale.sides,
+        Theorem5Measure(scale=scale),
+        workers=scale.sweep_workers,
+        checkpoint=checkpoint,
     )
+
+
+def occupancy_experiment(
+    scale: ExperimentScale, checkpoint: Optional[SweepCheckpoint] = None
+) -> SweepResult:
+    """Exact vs asymptotic vs Monte-Carlo moments of ``mu(n, C)``."""
+    return sweep_parameter(
+        "domain",
+        list(range(GROWTH_DOMAIN_COUNT)),
+        OccupancyDomainMeasure(scale=scale),
+        workers=scale.sweep_workers,
+        checkpoint=checkpoint,
+    )
+
+
+def _theorem5_measure(scale: ExperimentScale) -> Theorem5Measure:
+    return Theorem5Measure(scale=scale)
+
+
+def _occupancy_measure(scale: ExperimentScale) -> OccupancyDomainMeasure:
+    return OccupancyDomainMeasure(scale=scale)
+
+
+#: Tag of the random-stream scheme baked into the theory payloads: the
+#: per-value streams deliberately changed the simulated numbers, so the
+#: tag invalidates any store entry written by the old shared-stream
+#: implementation (whose keys carried no payload tag) instead of letting
+#: a warm store serve stale rows that no longer match a cold run.
+_RNG_SCHEME = "per-value-streams"
+
+
+def theorem5_payload(scale: ExperimentScale) -> Dict:
+    """Content-address payload of the theorem5-1d sweep."""
+    return {
+        "computation": "theorem5-1d",
+        "rng": _RNG_SCHEME,
+        "scale": scale_payload(scale),
+    }
+
+
+def occupancy_payload(scale: ExperimentScale) -> Dict:
+    """Content-address payload of the occupancy-domains sweep.
+
+    The cell count is part of the payload explicitly: it is derived from
+    ``scale.name`` (smoke runs shrink it), which :func:`scale_payload`
+    deliberately drops — without it, two scales differing only in name
+    would collide on a key while simulating different cell grids.
+    """
+    return {
+        "computation": "occupancy-domains",
+        "cells": occupancy_cell_count(scale),
+        "rng": _RNG_SCHEME,
+        "scale": scale_payload(scale),
+    }
 
 
 register_experiment(Experiment(
@@ -157,6 +248,8 @@ register_experiment(Experiment(
     ),
     paper_reference="Theorems 3-5",
     run=theorem5_experiment,
+    cache_payload=theorem5_payload,
+    sweep_measure=_theorem5_measure,
 ))
 
 register_experiment(Experiment(
@@ -171,4 +264,7 @@ register_experiment(Experiment(
     run=occupancy_experiment,
     sweep_width=occupancy_domain_width,
     sweep_values=occupancy_domain_values,
+    cache_payload=occupancy_payload,
+    parameter_name="domain",
+    sweep_measure=_occupancy_measure,
 ))

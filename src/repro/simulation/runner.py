@@ -25,13 +25,27 @@ StepColumns` per fixed-range iteration, :class:`~repro.simulation.results.
 FrameStatisticsColumns` per trace-statistics iteration), so a 10 000-step
 iteration pickles as a handful of NumPy arrays instead of 10 000 per-step
 dataclasses.
+
+Per-iteration checkpointing
+---------------------------
+Both runners accept a *checkpoint* implementing the
+:class:`IterationCheckpoint` protocol.  Iterations whose results
+``load(index)`` returns are not simulated again, and every freshly
+simulated iteration is handed to ``save(index, result)`` the moment it
+exists — in completion order for parallel runs — so a killed paper-scale
+run (50 iterations of 10 000 steps) resumes at the first unfinished
+*iteration* instead of redoing the whole configuration.  Because
+iteration ``i`` always consumes child stream ``i``, a resumed run is
+bit-identical to an uninterrupted one.  The store-backed implementation
+is :class:`repro.store.checkpoints.StoreIterationCheckpoint`; this module
+only defines the protocol so the simulation layer stays storage-free.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from functools import partial
-from typing import Callable, List, Optional, TypeVar
+from typing import Callable, Dict, List, Optional, TypeVar
 
 from repro.exceptions import ConfigurationError
 from repro.simulation.config import SimulationConfig
@@ -48,6 +62,54 @@ from repro.simulation.results import (
 from repro.stats.rng import RandomSource
 
 ResultT = TypeVar("ResultT")
+
+
+class IterationCheckpoint:
+    """Protocol of a per-iteration checkpoint (duck-typed).
+
+    ``load`` returns the previously simulated result of iteration
+    ``index`` — a :class:`~repro.simulation.results.StepColumns` for
+    fixed-range runs, a :class:`FrameStatisticsColumns` for
+    trace-statistics runs — or ``None`` when the iteration must be
+    (re)simulated; ``save`` persists one freshly simulated iteration.
+    Both are called in the process driving the iterations (the parent of
+    the iteration pool), in index order for ``load`` and in completion
+    order for ``save``.
+    """
+
+    def load(self, index: int) -> Optional[object]:  # pragma: no cover
+        raise NotImplementedError
+
+    def save(self, index: int, result: object) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+
+class _FixedRangeCheckpoint:
+    """Adapter persisting only each iteration's :class:`StepColumns`.
+
+    The surrounding :class:`~repro.simulation.results.IterationResult` is
+    pure configuration (index, node count, range) and is rebuilt from the
+    config on load, so the store only ever holds the columnar containers
+    the codecs already understand.
+    """
+
+    def __init__(self, checkpoint: IterationCheckpoint, config: SimulationConfig) -> None:
+        self._checkpoint = checkpoint
+        self._config = config
+
+    def load(self, index: int) -> Optional[IterationResult]:
+        records = self._checkpoint.load(index)
+        if records is None:
+            return None
+        return IterationResult(
+            iteration=index,
+            node_count=self._config.network.node_count,
+            transmitting_range=self._config.transmitting_range,
+            records=records,
+        )
+
+    def save(self, index: int, result: IterationResult) -> None:
+        self._checkpoint.save(index, result.records)
 
 
 def _fixed_range_iteration(
@@ -81,29 +143,73 @@ def _frame_statistics_iteration(
 def _map_iterations(
     task: Callable[[int, SimulationConfig, int], ResultT],
     config: SimulationConfig,
+    checkpoint: Optional[IterationCheckpoint] = None,
 ) -> List[ResultT]:
     """Run ``task`` for every iteration index, serially or in a process pool.
 
     ``task`` must be a module-level callable (it is pickled to worker
     processes).  Results are returned in iteration order and are
     bit-identical for every ``config.workers`` value.
+
+    With a ``checkpoint``, previously saved iterations are loaded instead
+    of simulated and fresh ones are saved as soon as they complete, so a
+    killed run loses at most the iterations still in flight.
     """
     entropy = RandomSource(config.seed).entropy
     bound = partial(task, config=config, entropy=entropy)
-    worker_count = min(config.workers, config.iterations)
+    results: Dict[int, ResultT] = {}
+    if checkpoint is None:
+        pending = list(range(config.iterations))
+    else:
+        pending = []
+        for index in range(config.iterations):
+            loaded = checkpoint.load(index)
+            if loaded is None:
+                pending.append(index)
+            else:
+                results[index] = loaded
+    worker_count = min(config.workers, len(pending))
     if worker_count <= 1:
-        return [bound(index) for index in range(config.iterations)]
-    # A large chunksize amortises pickling without starving workers.
-    chunksize = max(1, config.iterations // (worker_count * 4))
-    with ProcessPoolExecutor(max_workers=worker_count) as pool:
-        return list(pool.map(bound, range(config.iterations), chunksize=chunksize))
+        for index in pending:
+            result = bound(index)
+            if checkpoint is not None:
+                checkpoint.save(index, result)
+            results[index] = result
+    elif checkpoint is None:
+        # A large chunksize amortises pickling without starving workers.
+        chunksize = max(1, len(pending) // (worker_count * 4))
+        with ProcessPoolExecutor(max_workers=worker_count) as pool:
+            results.update(
+                zip(pending, pool.map(bound, pending, chunksize=chunksize))
+            )
+    else:
+        # Checkpointed parallel runs save each iteration the moment it
+        # finishes (completion order), trading the chunked map's pickling
+        # economy for durability of every finished iteration.
+        with ProcessPoolExecutor(max_workers=worker_count) as pool:
+            futures = {pool.submit(bound, index): index for index in pending}
+            remaining = set(futures)
+            while remaining:
+                done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                for future in done:
+                    index = futures[future]
+                    result = future.result()
+                    checkpoint.save(index, result)
+                    results[index] = result
+    return [results[index] for index in range(config.iterations)]
 
 
-def run_fixed_range(config: SimulationConfig) -> MobileRunResult:
+def run_fixed_range(
+    config: SimulationConfig,
+    checkpoint: Optional[IterationCheckpoint] = None,
+) -> MobileRunResult:
     """Run the paper's simulator: fixed range, all iterations.
 
     Honours ``config.workers`` (parallel execution is bit-identical to
-    serial — see the module docstring).
+    serial — see the module docstring).  With a ``checkpoint``, each
+    iteration's :class:`~repro.simulation.results.StepColumns` is
+    persisted as it completes and loaded instead of resimulated on the
+    next run (see the module docstring).
 
     Raises:
         ConfigurationError: if ``config.transmitting_range`` is not set.
@@ -113,7 +219,12 @@ def run_fixed_range(config: SimulationConfig) -> MobileRunResult:
             "run_fixed_range requires config.transmitting_range to be set; "
             "use collect_frame_statistics / estimate_thresholds to derive ranges"
         )
-    iterations = _map_iterations(_fixed_range_iteration, config)
+    adapter = (
+        _FixedRangeCheckpoint(checkpoint, config)
+        if checkpoint is not None
+        else None
+    )
+    iterations = _map_iterations(_fixed_range_iteration, config, checkpoint=adapter)
     return MobileRunResult(
         transmitting_range=config.transmitting_range,
         node_count=config.network.node_count,
@@ -121,7 +232,10 @@ def run_fixed_range(config: SimulationConfig) -> MobileRunResult:
     )
 
 
-def collect_frame_statistics(config: SimulationConfig) -> List[FrameStatisticsColumns]:
+def collect_frame_statistics(
+    config: SimulationConfig,
+    checkpoint: Optional[IterationCheckpoint] = None,
+) -> List[FrameStatisticsColumns]:
     """Run all iterations in trace-statistics mode.
 
     Returns one columnar sequence of :class:`FrameStatistics` per
@@ -129,9 +243,14 @@ def collect_frame_statistics(config: SimulationConfig) -> List[FrameStatisticsCo
     streams are the same as :func:`run_fixed_range` uses for the same seed,
     so thresholds derived from these statistics are consistent with
     fixed-range runs on the same configuration.  Honours ``config.workers``
-    (parallel execution is bit-identical to serial).
+    (parallel execution is bit-identical to serial) and an optional
+    per-iteration ``checkpoint`` (each iteration's
+    :class:`FrameStatisticsColumns` is persisted as it completes; saved
+    iterations resume without resimulation).
     """
-    return _map_iterations(_frame_statistics_iteration, config)
+    return _map_iterations(
+        _frame_statistics_iteration, config, checkpoint=checkpoint
+    )
 
 
 def stationary_critical_range(

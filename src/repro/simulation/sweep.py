@@ -36,6 +36,17 @@ sweeps), so a sweep killed at any point loses at most the rows still in
 flight.  The store-backed implementation lives in
 :mod:`repro.store.checkpoints`; this module only defines the protocol so
 the simulation layer stays free of storage dependencies.
+
+A checkpoint may additionally offer *iteration granularity*: its optional
+``iteration_checkpoint(value)`` hook returns a per-iteration checkpoint
+(the :class:`repro.simulation.runner.IterationCheckpoint` protocol) for
+one parameter value, or ``None``.  Measures that run multi-iteration
+simulations and implement :meth:`Measure.with_value_checkpoint` are
+rebound with the sweep checkpoint before the sweep starts, and thread the
+per-value iteration checkpoint into their inner
+:func:`repro.simulation.runner.collect_frame_statistics` call — so a
+killed paper-scale parameter value resumes at the first unfinished
+*iteration*, not at the first unfinished value.
 """
 
 from __future__ import annotations
@@ -62,6 +73,19 @@ class SweepCheckpoint:
     def save(self, value: float, row: Dict[str, float]) -> None:  # pragma: no cover
         raise NotImplementedError
 
+    def iteration_checkpoint(self, value: float):
+        """Per-iteration checkpoint of one parameter value, or ``None``.
+
+        Checkpoints that only track whole rows (the default) return
+        ``None``; the store-backed implementation returns an object
+        implementing the :class:`repro.simulation.runner.
+        IterationCheckpoint` protocol, keyed disjointly from the value
+        rows.  Called in whichever process runs the measure — the returned
+        object (and ``self``, which measures capture when rebound) must be
+        picklable for parallel sweeps.
+        """
+        return None
+
 
 class Measure:
     """Protocol of a sweep measure (duck-typed; subclassing is optional).
@@ -76,6 +100,13 @@ class Measure:
     ``with_iteration_workers(count)`` returning a copy whose inner
     simulations use ``count`` worker processes; :func:`sweep_parameter`
     calls it when ``iteration_workers`` is given.
+
+    A measure that supports iteration-granular checkpointing additionally
+    implements ``with_value_checkpoint(checkpoint)`` returning a copy that
+    asks ``checkpoint.iteration_checkpoint(value)`` for a per-iteration
+    checkpoint when measuring ``value`` and threads it into its inner
+    simulation runs; :func:`sweep_parameter` rebinds the measure with the
+    sweep checkpoint automatically.
     """
 
     def __call__(self, value: float) -> Dict[str, float]:  # pragma: no cover
@@ -83,6 +114,27 @@ class Measure:
 
     def with_iteration_workers(self, count: int) -> "Measure":  # pragma: no cover
         raise NotImplementedError
+
+    def with_value_checkpoint(
+        self, checkpoint: SweepCheckpoint
+    ) -> "Measure":  # pragma: no cover
+        raise NotImplementedError
+
+
+def iteration_checkpoint_for(checkpoint, value: float):
+    """The per-iteration checkpoint a measure should use for ``value``.
+
+    Helper for :meth:`Measure.with_value_checkpoint` implementations:
+    duck-types ``checkpoint.iteration_checkpoint`` so hand-rolled
+    checkpoint objects without the hook (and ``None``) simply disable
+    iteration granularity.
+    """
+    if checkpoint is None:
+        return None
+    factory = getattr(checkpoint, "iteration_checkpoint", None)
+    if factory is None:
+        return None
+    return factory(value)
 
 
 @dataclass
@@ -150,12 +202,59 @@ def split_worker_budget(total: int, value_count: int) -> Tuple[int, int]:
     return sweep_workers, iteration_workers
 
 
-def _measure_row(
+def adaptive_worker_allotment(
+    available: int, ready_tasks: int, task_width: int = 1
+) -> int:
+    """Workers granted to the *next* task under a shared campaign budget.
+
+    The campaign-scheduler extension of :func:`split_worker_budget`:
+    instead of one static ``values x iterations`` split for a single
+    sweep, a scheduler repeatedly asks how many workers the next ready
+    task should own, given how much of the budget is currently free and
+    how many tasks still compete for it.  With many ready tasks the
+    answer is 1 (breadth — as many scenarios in flight as the budget
+    allows); as queues drain and finished scenarios free their workers,
+    the remaining tasks are granted larger allotments (depth — bigger
+    iteration pools), which is what closes the tail of a heterogeneous
+    campaign.
+
+    Args:
+        available: workers currently free out of the total budget.
+        ready_tasks: tasks ready to run, *including* the one being
+            allotted.
+        task_width: the task's own useful parallelism (e.g. its iteration
+            count); the allotment never exceeds it.
+
+    Returns:
+        An allotment in ``[1, min(available, task_width)]``; allotments of
+        concurrently granted tasks never sum past the budget because the
+        fair share is ``available // ready_tasks``, floored at 1 only when
+        the share would be fractional (the scheduler then simply runs
+        fewer tasks at once).
+    """
+    if available < 1:
+        raise ConfigurationError(
+            f"available workers must be at least 1, got {available}"
+        )
+    if ready_tasks < 1:
+        raise ConfigurationError(
+            f"ready_tasks must be at least 1, got {ready_tasks}"
+        )
+    fair_share = max(1, available // ready_tasks)
+    return max(1, min(fair_share, task_width, available))
+
+
+def measure_row(
     parameter_name: str,
     measure: Callable[[float], Dict[str, float]],
     value: float,
 ) -> Dict[str, float]:
-    """One sweep row: the parameter value plus its measured series."""
+    """One sweep row: the parameter value plus its measured series.
+
+    Module-level (and pickled by reference) so both this module's sweep
+    pool and the campaign scheduler's shared pool submit it directly as
+    the worker-process body of one parameter value.
+    """
     row: Dict[str, float] = {parameter_name: float(value)}
     row.update(dict(measure(value)))
     return row
@@ -204,6 +303,13 @@ def sweep_parameter(
         rebind = getattr(measure, "with_iteration_workers", None)
         if rebind is not None:
             measure = rebind(iteration_workers)
+    if checkpoint is not None:
+        # Measures that support iteration-granular checkpoints capture the
+        # sweep checkpoint so each value's inner simulation can persist
+        # (and resume) individual iterations.
+        rebind_checkpoint = getattr(measure, "with_value_checkpoint", None)
+        if rebind_checkpoint is not None:
+            measure = rebind_checkpoint(checkpoint)
 
     result = SweepResult(parameter_name=parameter_name)
     values = list(parameter_values)
@@ -219,7 +325,7 @@ def sweep_parameter(
     worker_count = min(workers, len(pending)) if pending else 1
     if worker_count <= 1:
         for index, value in pending:
-            row = _measure_row(parameter_name, measure, value)
+            row = measure_row(parameter_name, measure, value)
             if checkpoint is not None:
                 checkpoint.save(value, row)
             rows[index] = row
@@ -230,7 +336,7 @@ def sweep_parameter(
         # exist — and reordered when the sweep is assembled below.
         with ProcessPoolExecutor(max_workers=worker_count) as pool:
             futures = {
-                pool.submit(_measure_row, parameter_name, measure, value): (index, value)
+                pool.submit(measure_row, parameter_name, measure, value): (index, value)
                 for index, value in pending
             }
             remaining = set(futures)

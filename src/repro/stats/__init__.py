@@ -18,7 +18,7 @@ from repro.stats.distributions import (
     poisson_cdf,
     poisson_pmf,
 )
-from repro.stats.rng import RandomSource, make_rng, spawn_rngs
+from repro.stats.rng import RandomSource, make_rng, spawn_rngs, value_rng
 from repro.stats.series import (
     fraction_true,
     longest_run,
@@ -46,4 +46,5 @@ __all__ = [
     "sliding_window_fraction",
     "spawn_rngs",
     "summarize",
+    "value_rng",
 ]

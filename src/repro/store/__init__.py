@@ -15,13 +15,14 @@ version).  This package turns that purity into a cache:
 * :mod:`repro.store.result_store` — the :class:`ResultStore` itself:
   atomic write-then-rename entries under a store root, ``get / put /
   contains / evict`` with sha256 integrity verification;
-* :mod:`repro.store.checkpoints` — the store-backed per-parameter-value
-  sweep checkpoint consumed by :func:`repro.simulation.sweep.
-  sweep_parameter`, which is what makes killed campaigns resumable.
+* :mod:`repro.store.checkpoints` — the store-backed sweep checkpoints
+  consumed by :func:`repro.simulation.sweep.sweep_parameter` and the
+  simulation runners, at per-parameter-value *and* per-iteration
+  granularity, which is what makes killed campaigns resumable.
 """
 
 from repro.store.codecs import SCHEMA_VERSION, decode_payload, detect_kind, encode_payload
-from repro.store.checkpoints import StoreSweepCheckpoint
+from repro.store.checkpoints import StoreIterationCheckpoint, StoreSweepCheckpoint
 from repro.store.keys import cache_key, canonical_json, config_payload, scale_payload
 from repro.store.result_store import ResultStore, StoreIntegrityError
 
@@ -29,6 +30,7 @@ __all__ = [
     "ResultStore",
     "SCHEMA_VERSION",
     "StoreIntegrityError",
+    "StoreIterationCheckpoint",
     "StoreSweepCheckpoint",
     "cache_key",
     "canonical_json",

@@ -1,4 +1,4 @@
-"""Store-backed per-parameter-value sweep checkpoints.
+"""Store-backed sweep checkpoints, at value and iteration granularity.
 
 :func:`repro.simulation.sweep.sweep_parameter` accepts a checkpoint object
 with ``load(value)`` / ``save(value, row)`` hooks.  The implementation
@@ -6,17 +6,108 @@ here keys every measured row by the sweep's logical description plus the
 parameter value, so a killed sweep resumes exactly at the first value it
 had not finished, and two sweeps with identical descriptions — however
 they are named or parallelised — share their rows.
+
+Below the value rows sits a second granularity:
+:class:`StoreIterationCheckpoint` persists the individual simulation
+iterations *inside* one parameter value (the columnar
+:class:`~repro.simulation.results.FrameStatisticsColumns` /
+:class:`~repro.simulation.results.StepColumns` containers, through the
+codecs that already exist for them), keyed by the sweep payload + the
+value + the iteration index under their own artifact kind — disjoint from
+the value-row key space by construction.  A paper-scale value killed at
+iteration ``k`` of 50 therefore resumes at iteration ``k``, not at the
+start of the value.  Once a value's row lands, its iteration entries are
+subsumed (the row is what every future resume reads) and are evicted to
+keep the store's steady-state size unchanged.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional
 
-from repro.store.keys import cache_key
+from repro.store.keys import ITERATION_KIND, ROW_KIND, cache_key
 from repro.store.result_store import ResultStore, StoreIntegrityError
 
-#: Artifact kind of one checkpointed sweep row.
-ROW_KIND = "sweep-row"
+__all__ = [
+    "ITERATION_KIND",
+    "ROW_KIND",
+    "StoreIterationCheckpoint",
+    "StoreSweepCheckpoint",
+]
+
+
+class StoreIterationCheckpoint:
+    """Checkpoint one parameter value's simulation iterations.
+
+    Implements the :class:`repro.simulation.runner.IterationCheckpoint`
+    protocol against a :class:`ResultStore`.  Instances are handed out by
+    :meth:`StoreSweepCheckpoint.iteration_checkpoint` and may be pickled
+    into whichever worker process runs the value's measure (the store is
+    safe for concurrent writers).
+
+    Args:
+        store: destination store.
+        payload: the canonical description of the *sweep* the value
+            belongs to.
+        value: the parameter value whose iterations are checkpointed.
+        metadata: optional human-readable context written into each
+            entry header.
+    """
+
+    def __init__(
+        self,
+        store: ResultStore,
+        payload: Any,
+        value: float,
+        metadata: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.store = store
+        self.payload = payload
+        self.value = float(value)
+        self.metadata = metadata or {}
+        self.loaded = 0
+        self.saved = 0
+
+    def key_for(self, index: int) -> str:
+        """The content address of iteration ``index`` of this value."""
+        return cache_key(
+            ITERATION_KIND,
+            {
+                "sweep": self.payload,
+                "value": self.value,
+                "iteration": int(index),
+            },
+        )
+
+    def load(self, index: int) -> Optional[Any]:
+        """The checkpointed iteration result, or ``None`` to resimulate.
+
+        Corrupt entries are evicted and reported as misses, like the
+        value-row checkpoint.
+        """
+        key = self.key_for(index)
+        if not self.store.contains(key):
+            return None
+        try:
+            result = self.store.get(key)
+        except (KeyError, StoreIntegrityError):
+            self.store.evict(key)
+            return None
+        self.loaded += 1
+        return result
+
+    def save(self, index: int, result: Any) -> None:
+        """Persist the freshly simulated iteration ``index``."""
+        self.store.put(
+            self.key_for(index),
+            result,
+            metadata={
+                **self.metadata,
+                "value": self.value,
+                "iteration": int(index),
+            },
+        )
+        self.saved += 1
 
 
 class StoreSweepCheckpoint:
@@ -29,6 +120,10 @@ class StoreSweepCheckpoint:
             parameter value.
         metadata: optional human-readable context written into each
             entry header.
+        iterations: iterations each value's simulation runs, when the
+            experiment supports iteration-granular checkpointing;
+            ``None`` (default) disables the iteration sub-keys and
+            :meth:`iteration_checkpoint` returns ``None``.
     """
 
     def __init__(
@@ -36,10 +131,12 @@ class StoreSweepCheckpoint:
         store: ResultStore,
         payload: Any,
         metadata: Optional[Dict[str, Any]] = None,
+        iterations: Optional[int] = None,
     ) -> None:
         self.store = store
         self.payload = payload
         self.metadata = metadata or {}
+        self.iterations = iterations
         self.loaded = 0
         self.saved = 0
 
@@ -66,10 +163,44 @@ class StoreSweepCheckpoint:
         return row
 
     def save(self, value: float, row: Dict[str, float]) -> None:
-        """Persist the freshly measured row at ``value``."""
+        """Persist the freshly measured row at ``value``.
+
+        The value's iteration sub-entries (if iteration granularity is
+        enabled) are evicted afterwards: every future resume reads the
+        row, so keeping them would only grow the store.
+        """
         self.store.put(
             self.key_for(value),
             dict(row),
             metadata={**self.metadata, "value": float(value)},
         )
         self.saved += 1
+        self.discard_iterations(value)
+
+    # ------------------------------------------------------------------ #
+    # Iteration granularity
+    # ------------------------------------------------------------------ #
+    def iteration_checkpoint(
+        self, value: float
+    ) -> Optional[StoreIterationCheckpoint]:
+        """Per-iteration checkpoint of ``value``, or ``None`` if disabled."""
+        if self.iterations is None:
+            return None
+        return StoreIterationCheckpoint(
+            self.store, self.payload, value, metadata=self.metadata
+        )
+
+    def iteration_keys_for(self, value: float) -> List[str]:
+        """Content addresses of all of ``value``'s iteration entries."""
+        if self.iterations is None:
+            return []
+        sub = StoreIterationCheckpoint(self.store, self.payload, value)
+        return [sub.key_for(index) for index in range(self.iterations)]
+
+    def discard_iterations(self, value: float) -> int:
+        """Evict ``value``'s iteration entries; returns how many existed."""
+        removed = 0
+        for key in self.iteration_keys_for(value):
+            if self.store.evict(key):
+                removed += 1
+        return removed

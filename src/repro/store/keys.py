@@ -26,6 +26,18 @@ from repro.exceptions import ConfigurationError
 #: for every value, see the simulation runner); they never enter a key.
 EXECUTION_FIELDS = frozenset({"workers", "sweep_workers"})
 
+#: The artifact kinds of the store's key space, one per granularity.
+#: ``cache_key`` hashes the kind together with the payload, so the three
+#: granularities of the same sweep — the complete sweep, one parameter
+#: value's row, one iteration of one value's simulation — can never
+#: collide even though each payload embeds the one above it.
+SWEEP_KIND = "sweep"
+ROW_KIND = "sweep-row"
+ITERATION_KIND = "sweep-row-iteration"
+
+#: All key kinds, for documentation and the disjointness property tests.
+KEY_KINDS = frozenset({SWEEP_KIND, ROW_KIND, ITERATION_KIND})
+
 
 def normalize(value: Any) -> Any:
     """Normalise ``value`` into canonical JSON-serialisable data.

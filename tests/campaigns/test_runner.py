@@ -5,11 +5,22 @@ duration of each test, so the tests can assert *exactly* how many measure
 calls a campaign performed — the acceptance criteria are "zero new
 simulation calls on a warm re-run" and "a killed campaign resumes where
 it stopped with results equal to an uninterrupted run".
+
+The determinism matrix at the bottom runs a real multi-iteration
+simulation experiment through every execution shape x budget x kill
+granularity the campaign layer offers and asserts bit-identical results
+against a cold serial run — with filesystem markers (visible across
+worker processes) counting every measure call and every simulated
+iteration, so "zero recomputation" is asserted literally.
 """
 
-from dataclasses import dataclass
+import glob
+import os
+import uuid
+from dataclasses import dataclass, replace
 from typing import Dict, Optional
 
+import numpy as np
 import pytest
 
 from repro.campaigns import CampaignRunner, CampaignSpec
@@ -21,7 +32,14 @@ from repro.experiments.registry import (
     get_experiment,
     register_experiment,
 )
-from repro.simulation.sweep import SweepCheckpoint, SweepResult, sweep_parameter
+from repro.simulation.config import MobilitySpec, NetworkConfig, SimulationConfig
+from repro.simulation.runner import collect_frame_statistics
+from repro.simulation.sweep import (
+    SweepCheckpoint,
+    SweepResult,
+    iteration_checkpoint_for,
+    sweep_parameter,
+)
 from repro.store import ResultStore
 
 EXPERIMENT_ID = "campaign-test-exp"
@@ -267,3 +285,429 @@ class TestClean:
         assert len(store) == 0
         statuses = CampaignRunner(spec, store).status()
         assert all(status.state == "missing" for status in statuses)
+
+
+# --------------------------------------------------------------------------- #
+# Determinism test matrix
+# --------------------------------------------------------------------------- #
+MATRIX_ID = "campaign-matrix-exp"
+
+#: Mutable module config read when the matrix measure is *constructed*
+#: (in the parent; the constructed measure is pickled to workers).
+MATRIX = {"calls_dir": None, "fail_seed": None, "fail_value": None,
+          "fail_after_iterations": None}
+
+
+def _mark(calls_dir, prefix):
+    with open(os.path.join(calls_dir, f"{prefix}-{uuid.uuid4().hex}"), "w"):
+        pass
+
+
+def _count(calls_dir, prefix):
+    return len(glob.glob(os.path.join(calls_dir, f"{prefix}-*")))
+
+
+class _RecordingIterationCheckpoint:
+    """Wraps an iteration checkpoint: marks every simulated iteration and
+    optionally simulates a kill after ``fail_after`` fresh saves."""
+
+    def __init__(self, inner, calls_dir, seed, value, fail_after=None):
+        self.inner = inner
+        self.calls_dir = calls_dir
+        self.seed = seed
+        self.value = value
+        self.fail_after = fail_after
+        self.fresh = 0
+
+    def load(self, index):
+        return self.inner.load(index) if self.inner is not None else None
+
+    def save(self, index, result):
+        if self.inner is not None:
+            self.inner.save(index, result)
+        _mark(self.calls_dir, f"iter-{self.seed}")
+        self.fresh += 1
+        if self.fail_after is not None and self.fresh >= self.fail_after:
+            raise RuntimeError(
+                f"simulated kill after {self.fresh} iterations of value "
+                f"{self.value}"
+            )
+
+
+@dataclass(frozen=True)
+class MatrixMeasure:
+    """Picklable measure running a real multi-iteration simulation.
+
+    Every call leaves a ``measure-<seed>`` marker file and every freshly
+    simulated iteration an ``iter-<seed>`` marker, so tests can count
+    work across process boundaries.
+    """
+
+    scale: ExperimentScale
+    calls_dir: str
+    fail_seed: Optional[int] = None
+    fail_value: Optional[float] = None
+    fail_after_iterations: Optional[int] = None
+    checkpoint: Optional[SweepCheckpoint] = None
+
+    def __call__(self, side: float) -> Dict[str, float]:
+        seed = self.scale.seed
+        if (
+            self.fail_seed is not None
+            and seed == self.fail_seed
+            and self.fail_value is not None
+            and side >= self.fail_value
+            and self.fail_after_iterations is None
+        ):
+            raise RuntimeError(f"simulated kill at value {side}")
+        _mark(self.calls_dir, f"measure-{seed}")
+        config = SimulationConfig(
+            network=NetworkConfig(node_count=5, side=side, dimension=2),
+            mobility=MobilitySpec.stationary(),
+            steps=1,
+            iterations=self.scale.iterations,
+            seed=seed,
+            workers=self.scale.workers,
+        )
+        sub = iteration_checkpoint_for(self.checkpoint, side)
+        fail_after = (
+            self.fail_after_iterations
+            if self.fail_seed is not None
+            and seed == self.fail_seed
+            and self.fail_value is not None
+            and side == self.fail_value
+            else None
+        )
+        recorder = _RecordingIterationCheckpoint(
+            sub, self.calls_dir, seed, side, fail_after=fail_after
+        )
+        statistics = collect_frame_statistics(config, checkpoint=recorder)
+        pooled = np.concatenate([s.critical_ranges for s in statistics])
+        return {"mean_critical": float(pooled.mean()),
+                "max_critical": float(pooled.max())}
+
+    def with_iteration_workers(self, count: int) -> "MatrixMeasure":
+        return replace(self, scale=self.scale.with_workers(count))
+
+    def with_value_checkpoint(self, checkpoint) -> "MatrixMeasure":
+        return replace(self, checkpoint=checkpoint)
+
+
+def _matrix_measure(scale: ExperimentScale) -> MatrixMeasure:
+    return MatrixMeasure(
+        scale=scale,
+        calls_dir=MATRIX["calls_dir"],
+        fail_seed=MATRIX["fail_seed"],
+        fail_value=MATRIX["fail_value"],
+        fail_after_iterations=MATRIX["fail_after_iterations"],
+    )
+
+
+def run_matrix_experiment(
+    scale: ExperimentScale, checkpoint: Optional[SweepCheckpoint] = None
+) -> SweepResult:
+    return sweep_parameter(
+        "side",
+        scale.sides,
+        _matrix_measure(scale),
+        workers=scale.sweep_workers,
+        iteration_workers=scale.workers,
+        checkpoint=checkpoint,
+    )
+
+
+def _matrix_iterations(scale: ExperimentScale) -> int:
+    return scale.iterations
+
+
+@pytest.fixture
+def matrix_experiment(tmp_path):
+    calls_dir = tmp_path / "calls"
+    calls_dir.mkdir()
+    MATRIX.update(
+        calls_dir=str(calls_dir),
+        fail_seed=None,
+        fail_value=None,
+        fail_after_iterations=None,
+    )
+    experiment = register_experiment(
+        Experiment(
+            identifier=MATRIX_ID,
+            title="Matrix experiment",
+            description="Real multi-iteration simulation for the matrix.",
+            paper_reference="(test only)",
+            run=run_matrix_experiment,
+            parameter_name="side",
+            sweep_measure=_matrix_measure,
+            iterations_per_value=_matrix_iterations,
+        )
+    )
+    yield experiment, str(calls_dir)
+    _REGISTRY.pop(MATRIX_ID, None)
+
+
+def matrix_spec():
+    return CampaignSpec.from_dict({
+        "name": "matrix",
+        "experiments": [MATRIX_ID],
+        "scale": "smoke",
+        "overrides": {
+            "sides": [40.0, 80.0, 120.0],
+            "steps": 1,
+            "iterations": 3,
+            "stationary_iterations": 1,
+        },
+        "matrix": {"seed": [1, 2]},
+    })
+
+
+def runner_for(mode, budget, store):
+    """One cell of the execution-shape x budget matrix."""
+    spec = matrix_spec()
+    if mode == "serial":
+        return CampaignRunner(spec, store)
+    if mode == "sweep-workers":
+        return CampaignRunner(spec, store, sweep_workers=budget)
+    if mode == "scheduler":
+        return CampaignRunner(spec, store, total_workers=budget)
+    raise AssertionError(mode)
+
+
+@pytest.fixture(scope="module")
+def matrix_reference(tmp_path_factory):
+    """Cold serial reference run (no store, no checkpoints)."""
+    calls_dir = tmp_path_factory.mktemp("reference-calls")
+    MATRIX.update(
+        calls_dir=str(calls_dir),
+        fail_seed=None,
+        fail_value=None,
+        fail_after_iterations=None,
+    )
+    experiment = register_experiment(
+        Experiment(
+            identifier=MATRIX_ID,
+            title="Matrix experiment",
+            description="reference",
+            paper_reference="(test only)",
+            run=run_matrix_experiment,
+            parameter_name="side",
+            sweep_measure=_matrix_measure,
+            iterations_per_value=_matrix_iterations,
+        )
+    )
+    try:
+        sweeps = {
+            scenario.scenario_id: experiment.run(scenario.scale)
+            for scenario in matrix_spec().scenarios()
+        }
+        measure_calls = _count(str(calls_dir), "measure")
+        iteration_calls = _count(str(calls_dir), "iter")
+        yield sweeps, measure_calls, iteration_calls
+    finally:
+        _REGISTRY.pop(MATRIX_ID, None)
+
+
+class TestDeterminismMatrix:
+    """{serial, sweep-workers, scheduler} x {budget 1, 2, 4} all produce
+    results bit-identical to a cold serial run."""
+
+    @pytest.mark.parametrize("budget", [1, 2, 4])
+    @pytest.mark.parametrize("mode", ["serial", "sweep-workers", "scheduler"])
+    def test_bit_identical_to_cold_serial_run(
+        self, matrix_experiment, matrix_reference, tmp_path, mode, budget
+    ):
+        reference, _, reference_iterations = matrix_reference
+        if mode == "serial" and budget > 1:
+            pytest.skip("the serial shape has no budget knob")
+        _, calls_dir = matrix_experiment
+        result = runner_for(mode, budget, ResultStore(tmp_path / "store")).run()
+        assert result.sweeps.keys() == reference.keys()
+        for scenario_id, sweep in result.sweeps.items():
+            assert sweep.parameter_name == reference[scenario_id].parameter_name
+            assert sweep.rows == reference[scenario_id].rows
+        # Exactly one simulation per iteration, never more.
+        assert _count(calls_dir, "iter") == reference_iterations
+
+    @pytest.mark.parametrize("mode", ["serial", "sweep-workers", "scheduler"])
+    def test_warm_rerun_is_pure_cache_hit(
+        self, matrix_experiment, matrix_reference, tmp_path, mode
+    ):
+        reference, _, _ = matrix_reference
+        _, calls_dir = matrix_experiment
+        store = ResultStore(tmp_path / "store")
+        runner_for(mode, 2, store).run()
+        baseline = _count(calls_dir, "measure")
+        warm = runner_for(mode, 2, store).run()
+        assert _count(calls_dir, "measure") == baseline
+        assert warm.computed_values == 0
+        assert warm.cache_hits == len(matrix_spec().scenarios())
+        for scenario_id, sweep in warm.sweeps.items():
+            assert sweep.rows == reference[scenario_id].rows
+
+
+class TestKillAndResumeMatrix:
+    """Kill at scenario / value / iteration granularity, resume under
+    every execution shape, and end bit-identical with zero recomputation
+    of finished work."""
+
+    GRANULARITIES = {
+        # seed 2 dies on its first value: scenario 1 is complete, scenario
+        # 2 untouched -> resume at scenario granularity.
+        "scenario": {"fail_seed": 2, "fail_value": 40.0},
+        # seed 1 dies on its second value: value 40 checkpointed ->
+        # resume at value granularity.
+        "value": {"fail_seed": 1, "fail_value": 80.0},
+        # seed 1 dies inside value 80 after 2 of 3 iterations -> resume
+        # at iteration granularity.
+        "iteration": {
+            "fail_seed": 1,
+            "fail_value": 80.0,
+            "fail_after_iterations": 2,
+        },
+    }
+
+    @pytest.mark.parametrize("granularity", ["scenario", "value", "iteration"])
+    @pytest.mark.parametrize("mode", ["serial", "sweep-workers", "scheduler"])
+    def test_resume_matches_uninterrupted(
+        self, matrix_experiment, matrix_reference, tmp_path, mode, granularity
+    ):
+        reference, _, reference_iterations = matrix_reference
+        _, calls_dir = matrix_experiment
+        store = ResultStore(tmp_path / "store")
+
+        MATRIX.update(self.GRANULARITIES[granularity])
+        with pytest.raises(RuntimeError, match="simulated kill"):
+            runner_for(mode, 2, store).run()
+
+        # Resume with the failure cleared.
+        MATRIX.update(fail_seed=None, fail_value=None, fail_after_iterations=None)
+        resumed = runner_for(mode, 2, store).run()
+
+        assert resumed.sweeps.keys() == reference.keys()
+        for scenario_id, sweep in resumed.sweeps.items():
+            assert sweep.rows == reference[scenario_id].rows
+        # Zero recomputation of finished iterations: every iteration of
+        # the campaign was simulated exactly once across kill + resume.
+        assert _count(calls_dir, "iter") == reference_iterations
+
+    def test_iteration_kill_leaves_resumable_iteration_entries(
+        self, matrix_experiment, tmp_path
+    ):
+        """After an iteration-granular kill the store holds exactly the
+        finished iterations of the killed value, and status() reports
+        iteration coverage."""
+        _, calls_dir = matrix_experiment
+        store = ResultStore(tmp_path / "store")
+        MATRIX.update(self.GRANULARITIES["iteration"])
+        with pytest.raises(RuntimeError, match="simulated kill"):
+            CampaignRunner(matrix_spec(), store).run()
+        MATRIX.update(fail_seed=None, fail_value=None, fail_after_iterations=None)
+
+        statuses = CampaignRunner(matrix_spec(), store).status()
+        # seed=1: value 40 complete (3 iterations subsumed by its row),
+        # value 80 holds 2 of its 3 iteration entries.
+        assert statuses[0].state == "partial (1/3 values, 5/9 iterations)"
+        assert statuses[0].checkpointed_iterations == 5
+        assert statuses[0].total_iterations == 9
+
+        before = _count(calls_dir, "iter")
+        CampaignRunner(matrix_spec(), store).run()
+        # Only the 4 missing iterations of seed 1 (1 of value 80, 3 of
+        # value 120) and all 9 of seed 2 were simulated on resume.
+        assert _count(calls_dir, "iter") == before + 4 + 9
+
+
+class TestSchedulerSemantics:
+    def test_shared_payload_computed_once_under_scheduler(
+        self, counting_experiment, store
+    ):
+        """Two scenarios sharing a cache payload collapse onto one job."""
+        sibling = register_experiment(
+            Experiment(
+                identifier=SIBLING_ID,
+                title="Synthetic sibling experiment",
+                description="Shares the counting experiment's computation.",
+                paper_reference="(test only)",
+                run=run_counting_experiment,
+                cache_payload=shared_payload,
+            )
+        )
+        try:
+            _REGISTRY[EXPERIMENT_ID] = Experiment(
+                identifier=EXPERIMENT_ID,
+                title=counting_experiment.title,
+                description=counting_experiment.description,
+                paper_reference=counting_experiment.paper_reference,
+                run=run_counting_experiment,
+                cache_payload=shared_payload,
+            )
+            spec = make_spec(
+                experiments=[EXPERIMENT_ID, SIBLING_ID], matrix={"seed": [1]}
+            )
+            # Atomic jobs (no sweep_measure registered) run whole in one
+            # worker process; with budget 1 and fork they share the
+            # parent's CALLS dict copy-on-write, so count via the store.
+            result = CampaignRunner(spec, store, total_workers=1).run()
+            assert result.cache_hits == 1
+            assert [outcome.cache_hit for outcome in result.outcomes] == [
+                False,
+                True,
+            ]
+            assert (
+                result.outcomes[0].sweep.rows == result.outcomes[1].sweep.rows
+            )
+        finally:
+            _REGISTRY.pop(SIBLING_ID, None)
+
+    def test_scheduler_rejects_non_positive_budget(self, counting_experiment, store):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            CampaignRunner(make_spec(), store, total_workers=0).run()
+
+
+class TestSchedulerTaskWidth:
+    def test_width_reflects_measure_inner_parallelism(
+        self, matrix_experiment, store
+    ):
+        """Tasks are capped at their real inner parallelism: the declared
+        iteration count when present, the whole budget for measures that
+        can resize nested pools, and 1 for measures that cannot use extra
+        workers (regression: measures with resizable pools but no
+        iterations_per_value used to be pinned at width 1 and never
+        received rebalanced workers)."""
+        import dataclasses
+
+        from repro.campaigns.scheduler import CampaignScheduler, _SweepJob
+
+        experiment, _ = matrix_experiment
+        spec = matrix_spec()
+        scenario = spec.scenarios()[0]
+        scheduler = CampaignScheduler(
+            CampaignRunner(spec, store, total_workers=8), 8
+        )
+
+        def prepared(candidate):
+            job = _SweepJob(
+                key=scenario_sweep_key(candidate, scenario.scale),
+                experiment=candidate,
+                scenario=scenario,
+            )
+            scheduler._prepare(job, lambda message: None)
+            return job
+
+        # iterations_per_value declared: width = iteration count.
+        assert prepared(experiment).width == 3
+
+        # No declared iterations, but the measure resizes its nested
+        # pools (with_iteration_workers): width opens to the budget.
+        unbounded = dataclasses.replace(experiment, iterations_per_value=None)
+        assert prepared(unbounded).width == 8
+
+        # A measure with no way to use extra workers stays at width 1.
+        fixed = dataclasses.replace(
+            experiment,
+            iterations_per_value=None,
+            sweep_measure=lambda scale: (lambda value: {"metric": value}),
+        )
+        assert prepared(fixed).width == 1

@@ -139,3 +139,120 @@ class TestVectorizedEngineMatchesReference:
     def test_batch_trivial_node_counts(self):
         assert frame_statistics_batch(np.empty((3, 1, 2)))[0].critical_range == 0.0
         assert len(frame_statistics_batch(np.empty((4, 0, 2)))) == 4
+
+
+# --------------------------------------------------------------------------- #
+# Iteration-granular checkpointing (PR 4)
+# --------------------------------------------------------------------------- #
+class RecordingIterationCheckpoint:
+    """In-memory IterationCheckpoint counting loads, saves and misses."""
+
+    def __init__(self, entries=None, fail_after=None):
+        self.entries = dict(entries or {})
+        self.fail_after = fail_after
+        self.loads = 0
+        self.saves = 0
+
+    def load(self, index):
+        result = self.entries.get(index)
+        if result is not None:
+            self.loads += 1
+        return result
+
+    def save(self, index, result):
+        self.entries[index] = result
+        self.saves += 1
+        if self.fail_after is not None and self.saves >= self.fail_after:
+            raise RuntimeError(f"simulated kill after {self.saves} iterations")
+
+
+class TestIterationCheckpoint:
+    @pytest.mark.parametrize("workers", [1, 3])
+    def test_checkpointed_run_is_bit_identical(self, workers):
+        config = parallel_config(workers)
+        reference = collect_frame_statistics(parallel_config(1))
+        checkpoint = RecordingIterationCheckpoint()
+        result = collect_frame_statistics(config, checkpoint=checkpoint)
+        assert result == reference
+        assert checkpoint.saves == config.iterations
+        assert checkpoint.loads == 0
+
+    @pytest.mark.parametrize("workers", [1, 3])
+    def test_kill_and_resume_simulates_each_iteration_once(self, workers):
+        """Interrupt after 2 of 5 iterations; the resumed run loads the
+        finished iterations, simulates only the missing ones and matches
+        the uninterrupted run bit for bit."""
+        reference = collect_frame_statistics(parallel_config(1))
+
+        killed = RecordingIterationCheckpoint(fail_after=2)
+        with pytest.raises(RuntimeError, match="simulated kill"):
+            collect_frame_statistics(parallel_config(1), checkpoint=killed)
+        assert len(killed.entries) == 2
+
+        resumed = RecordingIterationCheckpoint(entries=killed.entries)
+        config = parallel_config(workers)
+        result = collect_frame_statistics(config, checkpoint=resumed)
+        assert result == reference
+        assert resumed.loads == 2
+        assert resumed.saves == config.iterations - 2  # zero re-simulation
+
+    def test_fully_checkpointed_run_simulates_nothing(self):
+        config = parallel_config(1)
+        checkpoint = RecordingIterationCheckpoint()
+        collect_frame_statistics(config, checkpoint=checkpoint)
+        warm = RecordingIterationCheckpoint(entries=checkpoint.entries)
+        result = collect_frame_statistics(config, checkpoint=warm)
+        assert warm.saves == 0
+        assert warm.loads == config.iterations
+        assert result == collect_frame_statistics(config)
+
+    @pytest.mark.parametrize("workers", [1, 3])
+    def test_run_fixed_range_checkpoints_step_columns(self, workers):
+        """The fixed-range runner persists bare StepColumns and rebuilds
+        the IterationResult wrappers from the config on load."""
+        from repro.simulation.results import StepColumns
+
+        reference = run_fixed_range(parallel_config(1))
+        checkpoint = RecordingIterationCheckpoint()
+        result = run_fixed_range(parallel_config(workers), checkpoint=checkpoint)
+        assert result == reference
+        assert checkpoint.saves == parallel_config(1).iterations
+        assert all(
+            isinstance(entry, StepColumns) for entry in checkpoint.entries.values()
+        )
+
+        warm = RecordingIterationCheckpoint(entries=checkpoint.entries)
+        resumed = run_fixed_range(parallel_config(1), checkpoint=warm)
+        assert warm.saves == 0
+        assert resumed == reference
+
+
+class TestAdaptiveWorkerAllotment:
+    def test_breadth_with_full_queue(self):
+        from repro.simulation.sweep import adaptive_worker_allotment
+
+        # Many ready tasks: everyone gets one worker.
+        assert adaptive_worker_allotment(4, 8, task_width=16) == 1
+        assert adaptive_worker_allotment(4, 4, task_width=16) == 1
+
+    def test_depth_as_queue_drains(self):
+        from repro.simulation.sweep import adaptive_worker_allotment
+
+        # Freed workers concentrate on the remaining tasks.
+        assert adaptive_worker_allotment(4, 2, task_width=16) == 2
+        assert adaptive_worker_allotment(4, 1, task_width=16) == 4
+
+    def test_capped_by_task_width_and_budget(self):
+        from repro.simulation.sweep import adaptive_worker_allotment
+
+        assert adaptive_worker_allotment(8, 1, task_width=3) == 3
+        assert adaptive_worker_allotment(2, 1, task_width=16) == 2
+        assert adaptive_worker_allotment(1, 1, task_width=16) == 1
+
+    def test_rejects_bad_arguments(self):
+        from repro.simulation.sweep import adaptive_worker_allotment
+
+        with pytest.raises(ConfigurationError):
+            adaptive_worker_allotment(0, 1)
+        with pytest.raises(ConfigurationError):
+            adaptive_worker_allotment(1, 0)

@@ -102,3 +102,135 @@ class TestConfigPayload:
             seed=3,
         )
         assert config_payload(faster) != payload
+
+
+# --------------------------------------------------------------------------- #
+# Property tests (hypothesis)
+# --------------------------------------------------------------------------- #
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.store.keys import ITERATION_KIND, KEY_KINDS, ROW_KIND, SWEEP_KIND
+
+#: Scalars that may appear in a cache-key payload.
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**53), max_value=2**53),
+    st.floats(allow_nan=False, allow_infinity=False, width=64),
+    st.text(max_size=12),
+)
+
+#: Nested payloads: scalars, lists of payloads, string-keyed mappings.
+payloads = st.recursive(
+    scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(min_size=1, max_size=8), children, max_size=4),
+    ),
+    max_leaves=12,
+)
+
+
+def shuffled_copy(mapping, seed):
+    """The same mapping built in a different insertion order."""
+    keys = list(mapping)
+    random.Random(seed).shuffle(keys)
+    return {key: mapping[key] for key in keys}
+
+
+class TestKeyProperties:
+    @given(
+        st.dictionaries(st.text(min_size=1, max_size=8), payloads, max_size=6),
+        st.integers(),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_mapping_insertion_order_never_changes_a_key(self, mapping, seed):
+        reordered = shuffled_copy(mapping, seed)
+        assert canonical_json(mapping) == canonical_json(reordered)
+        assert cache_key("sweep", mapping) == cache_key("sweep", reordered)
+
+    @given(
+        st.integers(min_value=1, max_value=64),
+        st.integers(min_value=1, max_value=64),
+        st.integers(min_value=1, max_value=64),
+        st.integers(min_value=1, max_value=64),
+        st.text(min_size=1, max_size=10),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_execution_knobs_never_change_a_key(
+        self, workers_a, sweep_a, workers_b, sweep_b, name
+    ):
+        """However a scale is named or parallelised, its payload — and
+        therefore every key derived from it — is unchanged."""
+        a = make_scale(name="smoke", workers=workers_a, sweep_workers=sweep_a)
+        b = make_scale(name=name, workers=workers_b, sweep_workers=sweep_b)
+        assert scale_payload(a) == scale_payload(b)
+        assert cache_key("sweep", scale_payload(a)) == cache_key(
+            "sweep", scale_payload(b)
+        )
+
+    @given(payloads, st.integers(min_value=0, max_value=100))
+    @settings(max_examples=60, deadline=None)
+    def test_schema_version_changes_every_key(self, payload, version):
+        assert cache_key("sweep", payload, schema_version=version) != cache_key(
+            "sweep", payload, schema_version=version + 1
+        )
+
+    @given(
+        st.dictionaries(
+            st.text(min_size=1, max_size=8), scalars, min_size=1, max_size=4
+        ),
+        st.floats(allow_nan=False, allow_infinity=False, width=64),
+        st.integers(min_value=0, max_value=200),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_iteration_sub_keys_disjoint_from_value_and_sweep_keys(
+        self, sweep_payload, value, index
+    ):
+        """The three granularities of one sweep can never collide, even
+        though each payload embeds the one above it."""
+        sweep_key = cache_key(SWEEP_KIND, sweep_payload)
+        row_key = cache_key(
+            ROW_KIND, {"sweep": sweep_payload, "value": float(value)}
+        )
+        iteration_key = cache_key(
+            ITERATION_KIND,
+            {"sweep": sweep_payload, "value": float(value), "iteration": index},
+        )
+        assert len({sweep_key, row_key, iteration_key}) == 3
+
+    @given(
+        st.floats(allow_nan=False, allow_infinity=False, width=64),
+        st.floats(allow_nan=False, allow_infinity=False, width=64),
+        st.integers(min_value=0, max_value=50),
+        st.integers(min_value=0, max_value=50),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_iteration_keys_distinct_across_values_and_indices(
+        self, value_a, value_b, index_a, index_b
+    ):
+        payload = {"computation": "prop-test"}
+
+        def key(value, index):
+            return cache_key(
+                ITERATION_KIND,
+                {"sweep": payload, "value": value, "iteration": index},
+            )
+
+        # Compare by canonical rendering: 0.0 and -0.0 are == as floats
+        # but are (correctly) distinct payloads and distinct keys.
+        same = (
+            canonical_json(value_a) == canonical_json(value_b)
+            and index_a == index_b
+        )
+        if same:
+            assert key(value_a, index_a) == key(value_b, index_b)
+        else:
+            assert key(value_a, index_a) != key(value_b, index_b)
+
+    def test_key_kinds_are_distinct_strings(self):
+        assert KEY_KINDS == {SWEEP_KIND, ROW_KIND, ITERATION_KIND}
+        assert len(KEY_KINDS) == 3
