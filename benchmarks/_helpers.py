@@ -10,12 +10,24 @@ The scale is selected with the ``REPRO_BENCH_SCALE`` environment variable
 (``smoke`` by default so the whole harness finishes in a few minutes;
 ``default`` reproduces the shapes more faithfully; ``paper`` uses the
 paper's own parameters and takes hours).
+
+Machine-readable summaries
+--------------------------
+Benchmarks additionally emit one ``BENCH_<name>.json`` file per run via
+:func:`write_bench_summary` (wall-clock seconds, speedups, payload bytes
+— whatever the benchmark measures), into the directory named by
+``REPRO_BENCH_OUT`` (default ``benchmarks/results``).  ``scripts/
+ci_check.sh`` collects and prints them, so the perf trajectory is tracked
+across PRs as structured data instead of living only in log text.
 """
 
 from __future__ import annotations
 
+import json
 import os
-from typing import Sequence
+import platform
+from pathlib import Path
+from typing import Any, Dict, Sequence
 
 from repro.experiments import get_experiment, render_sweep
 from repro.experiments.registry import scale_by_name
@@ -25,6 +37,37 @@ from repro.simulation.sweep import SweepResult
 def bench_scale_name() -> str:
     """The scale preset used by the benchmark harness."""
     return os.environ.get("REPRO_BENCH_SCALE", "smoke")
+
+
+def bench_output_dir() -> Path:
+    """Directory the ``BENCH_<name>.json`` summaries are written to."""
+    root = os.environ.get("REPRO_BENCH_OUT")
+    if root:
+        return Path(root)
+    return Path(__file__).resolve().parent / "results"
+
+
+def write_bench_summary(name: str, metrics: Dict[str, Any]) -> Path:
+    """Write one benchmark's summary as ``BENCH_<name>.json``.
+
+    ``metrics`` is stored verbatim under ``"metrics"`` next to the scale
+    preset and basic host facts, so summaries from different machines and
+    PRs remain comparable.  Returns the written path.
+    """
+    path = bench_output_dir() / f"BENCH_{name}.json"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    document = {
+        "benchmark": name,
+        "scale": bench_scale_name(),
+        "host": {
+            "cpu_count": os.cpu_count() or 1,
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "metrics": metrics,
+    }
+    path.write_text(json.dumps(document, indent=2, sort_keys=True))
+    return path
 
 
 def run_experiment_benchmark(benchmark, identifier: str) -> SweepResult:

@@ -27,7 +27,7 @@ from repro.campaigns.runner import scenario_sweep_key
 from repro.experiments.registry import get_experiment
 from repro.store import ResultStore
 
-from _helpers import bench_scale_name
+from _helpers import bench_scale_name, write_bench_summary
 
 
 def _campaign_spec():
@@ -96,6 +96,18 @@ def test_campaign_cache(benchmark, tmp_path):
             f"  {label:8s} | {seconds:8.3f} | {result.cache_hits:4d} | "
             f"{result.computed_values}"
         )
+
+    write_bench_summary(
+        "campaign_cache",
+        {
+            "scenarios": spec.scenario_count(),
+            "store_bytes": footprint,
+            "cold_seconds": cold_seconds,
+            "warm_seconds": warm_seconds,
+            "resume_seconds": resumed_seconds,
+            "warm_speedup": cold_seconds / warm_seconds if warm_seconds else 0.0,
+        },
+    )
 
     scenario_count = spec.scenario_count()
     # Cold: figs 2/4 and 3/5 share computations, so half the scenarios per

@@ -34,7 +34,7 @@ from repro.experiments.registry import (
 from repro.simulation.sweep import SweepResult, sweep_parameter
 from repro.store import ResultStore
 
-from _helpers import bench_scale_name
+from _helpers import bench_scale_name, write_bench_summary
 
 BENCH_ID = "bench-sleep-exp"
 
@@ -145,6 +145,19 @@ def test_campaign_scheduler_scaling(benchmark, tmp_path):
             assert sweep.rows == serial.sweeps[scenario_id].rows, (
                 f"budget {budget} changed {scenario_id}"
             )
+
+    write_bench_summary(
+        "campaign_scheduler",
+        {
+            "scenarios": 4,
+            "values_per_scenario": len(spec.base_scale().sides),
+            "serial_seconds": serial_seconds,
+            "seconds_by_budget": {
+                budget: seconds for budget, seconds in timings.items()
+            },
+            "speedup_budget_4": serial_seconds / timings[4],
+        },
+    )
 
     # Freed workers rebalance into still-running scenarios: budget 4 must
     # beat the serial scenario loop decisively.

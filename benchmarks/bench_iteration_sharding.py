@@ -1,0 +1,112 @@
+"""Benchmark: intra-iteration trajectory sharding wall-clock scaling.
+
+A *single*-iteration trace-statistics run — the configuration PRs 1–4
+could never speed up, because all their parallelism is across iterations,
+sweep values or scenarios — is executed serially and with the trajectory
+sharded over 2 and 4 workers (``collect_frame_statistics`` auto-shards
+whenever ``workers > iterations``; see
+:mod:`repro.simulation.sharding`).
+
+Sharded results must be bit-identical to the serial run on any machine.
+The wall-clock bar — at least 1.5x speedup at 4 workers — engages only on
+hosts with at least 4 cores, following the convention of
+``bench_parallel_scaling.py``: the work parallelised here (the per-frame
+MST reduction) is CPU-bound, so a single-core box cannot overlap it.
+
+The workload size follows ``REPRO_BENCH_SCALE`` (``smoke`` by default;
+``paper`` runs the acceptance-criteria 10 000-step iteration).
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.simulation.config import MobilitySpec, NetworkConfig, SimulationConfig
+from repro.simulation.runner import collect_frame_statistics
+
+from _helpers import bench_scale_name, write_bench_summary
+
+try:
+    # Respect cgroup/affinity limits (CI quotas), not just the host size.
+    CPU_COUNT = len(os.sched_getaffinity(0))
+except AttributeError:  # platforms without sched_getaffinity
+    CPU_COUNT = os.cpu_count() or 1
+
+#: (node_count, steps) of the single iteration per scale.  The smoke
+#: preset is sized so the serial run takes ~1.5 s — enough for the shard
+#: pool's startup cost to amortise on a multi-core box (smaller workloads
+#: would make the 1.5x bar a test of fork latency, not of sharding).
+_SIZES = {
+    "smoke": (96, 4000),
+    "default": (96, 8000),
+    "paper": (128, 10000),
+}
+
+
+def _single_iteration_config() -> SimulationConfig:
+    node_count, steps = _SIZES.get(bench_scale_name(), _SIZES["smoke"])
+    side = float(node_count * node_count)  # the paper's n = sqrt(l) scaling
+    return SimulationConfig(
+        network=NetworkConfig(node_count=node_count, side=side, dimension=2),
+        mobility=MobilitySpec.paper_waypoint(side, tpause=50),
+        steps=steps,
+        iterations=1,
+        seed=20020623,
+    )
+
+
+def _timed(function):
+    start = time.perf_counter()
+    result = function()
+    return result, time.perf_counter() - start
+
+
+def test_iteration_sharding_scaling(benchmark):
+    """Wall-clock of one sharded iteration vs the serial run."""
+    config = _single_iteration_config()
+    serial, serial_seconds = _timed(lambda: collect_frame_statistics(config))
+    rows = [(1, serial_seconds, 1.0)]
+    timings = {1: serial_seconds}
+    for workers in (2, 4):
+        sharded, seconds = _timed(
+            lambda: collect_frame_statistics(config.with_workers(workers))
+        )
+        assert all(
+            mine == theirs for mine, theirs in zip(serial, sharded)
+        ), f"workers={workers} changed the results"
+        rows.append((workers, seconds, serial_seconds / seconds))
+        timings[workers] = seconds
+
+    print(f"\niteration sharding benchmark ({bench_scale_name()} scale)")
+    print(
+        f"  1 iteration, n={config.network.node_count}, "
+        f"steps={config.steps}, {CPU_COUNT} cores"
+    )
+    for workers, seconds, speedup in rows:
+        print(f"  workers={workers}: {seconds:8.3f}s  speedup {speedup:4.2f}x")
+    speedup_at_4 = serial_seconds / timings[4]
+    write_bench_summary(
+        "iteration_sharding",
+        {
+            "node_count": config.network.node_count,
+            "steps": config.steps,
+            "iterations": 1,
+            "serial_seconds": serial_seconds,
+            "sharded_seconds_2_workers": timings[2],
+            "sharded_seconds_4_workers": timings[4],
+            "speedup_4_workers": speedup_at_4,
+            "cpu_count": CPU_COUNT,
+            "speedup_bar_enforced": CPU_COUNT >= 4,
+        },
+    )
+    if CPU_COUNT >= 4:
+        assert speedup_at_4 >= 1.5, (
+            f"sharded single iteration only {speedup_at_4:.2f}x at 4 workers "
+            f"({timings[4]:.3f}s vs {serial_seconds:.3f}s serial)"
+        )
+    # Report the serial run under pytest-benchmark for history tracking.
+    benchmark.pedantic(
+        collect_frame_statistics, args=(config,), rounds=1, iterations=1,
+        warmup_rounds=0,
+    )

@@ -30,7 +30,7 @@ from repro.simulation.engine import (
 )
 from repro.simulation.runner import collect_frame_statistics, run_fixed_range
 
-from _helpers import bench_scale_name
+from _helpers import bench_scale_name, write_bench_summary
 
 try:
     # Respect cgroup/affinity limits (CI quotas), not just the host size.
@@ -79,6 +79,20 @@ def test_parallel_scaling(benchmark, runner):
           f"{CPU_COUNT} cores):")
     for workers, seconds, speedup in rows:
         print(f"  workers={workers:>2}: {seconds:8.3f}s  speedup {speedup:4.2f}x")
+    write_bench_summary(
+        f"parallel_scaling_{runner.__name__}",
+        {
+            "node_count": config.network.node_count,
+            "steps": config.steps,
+            "iterations": config.iterations,
+            "cpu_count": CPU_COUNT,
+            "seconds_by_workers": {
+                workers: seconds for workers, seconds, _ in rows
+            },
+            "best_speedup": max(speedup for _, _, speedup in rows),
+            "speedup_bar_enforced": CPU_COUNT >= 4,
+        },
+    )
     if CPU_COUNT >= 4:
         best = max(speedup for _, _, speedup in rows)
         assert best >= 2.0, f"expected >= 2x speedup on {CPU_COUNT} cores, got {best:.2f}x"

@@ -30,7 +30,7 @@ from repro.simulation.results import FrameStatistics, StepRecord
 from repro.simulation.runner import collect_frame_statistics, run_fixed_range
 from repro.simulation.sweep import split_worker_budget, sweep_parameter
 
-from _helpers import bench_scale_name
+from _helpers import bench_scale_name, write_bench_summary
 
 try:
     # Respect cgroup/affinity limits (CI quotas), not just the host size.
@@ -86,6 +86,18 @@ def test_sweep_scaling(benchmark):
           f"model=drunkard, {CPU_COUNT} cores):")
     for workers, seconds, speedup in rows:
         print(f"  workers={workers:>2}: {seconds:8.3f}s  speedup {speedup:4.2f}x")
+    write_bench_summary(
+        "sweep_scaling",
+        {
+            "sides": len(sides),
+            "cpu_count": CPU_COUNT,
+            "seconds_by_workers": {
+                workers: seconds for workers, seconds, _ in rows
+            },
+            "best_speedup": max(speedup for _, _, speedup in rows),
+            "speedup_bar_enforced": CPU_COUNT >= 4,
+        },
+    )
     if CPU_COUNT >= 4:
         best = max(speedup for _, _, speedup in rows)
         assert best >= 1.5, (

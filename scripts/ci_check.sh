@@ -27,8 +27,23 @@
 # 8. An iteration-resume smoke: a multi-iteration value killed partway
 #    resumes at the first unfinished iteration, recomputes nothing, and
 #    matches the uninterrupted run bit for bit.
+# 9. The shared-memory transport benchmark must pass at smoke scale:
+#    worker->parent hand-off of a paper-scale frame-statistics payload
+#    >= 2x faster through shared memory than through pickle, delivery
+#    bit-identical (serialization-bound, so enforced on any host).
+# 10. The iteration-sharding benchmark must pass at smoke scale: a
+#    sharded single-iteration run bit-identical to serial on any host,
+#    and >= 1.5x faster at 4 workers on hosts with >= 4 cores.
+# 11. A campaign gc smoke through the real CLI: a tight --max-bytes
+#    budget evicts entries, a second run under the same budget is stable.
+# 12. Every benchmark above writes a BENCH_<name>.json summary into
+#    $REPRO_BENCH_OUT; they are collected and printed at the end, so the
+#    perf trajectory is tracked as structured data across PRs.
 set -eu
 cd "$(dirname "$0")/.."
+
+REPRO_BENCH_OUT="${REPRO_BENCH_OUT:-$(mktemp -d)}"
+export REPRO_BENCH_OUT
 
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest -x -q
 
@@ -65,6 +80,23 @@ PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m repro \
     campaign run examples/campaign_smoke.toml --store "$SCHEDULER_STORE" \
     --total-workers 2 --quiet \
     | grep -q "0 value(s) computed"
+
+REPRO_BENCH_SCALE=smoke PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
+    python -m pytest benchmarks/bench_shm_transport.py -q
+
+REPRO_BENCH_SCALE=smoke PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
+    python -m pytest benchmarks/bench_iteration_sharding.py -q
+
+GC_STORE="$(mktemp -d)"
+trap 'rm -rf "$CAMPAIGN_STORE" "$SCHEDULER_STORE" "$GC_STORE"' EXIT
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m repro \
+    campaign run examples/campaign_smoke.toml --store "$GC_STORE" --quiet
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m repro \
+    campaign gc --store "$GC_STORE" --max-bytes 1 \
+    | grep -q "evicted [1-9]"
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m repro \
+    campaign gc --store "$GC_STORE" --max-bytes 1 \
+    | grep -q "evicted 0"
 
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python - <<'RESUME_SMOKE'
 import tempfile
@@ -113,3 +145,24 @@ with tempfile.TemporaryDirectory() as root:
     assert resumed == reference
 print("iteration-resume smoke: OK")
 RESUME_SMOKE
+
+python - <<'COLLECT_BENCH'
+import json
+import os
+from pathlib import Path
+
+out = Path(os.environ["REPRO_BENCH_OUT"])
+summaries = sorted(out.glob("BENCH_*.json"))
+if not summaries:
+    raise SystemExit(f"no BENCH_*.json summaries found in {out}")
+print(f"\ncollected {len(summaries)} benchmark summaries from {out}:")
+for path in summaries:
+    document = json.loads(path.read_text())
+    metrics = document.get("metrics", {})
+    headline = ", ".join(
+        f"{key}={value:.3g}" if isinstance(value, float) else f"{key}={value}"
+        for key, value in sorted(metrics.items())
+        if isinstance(value, (int, float)) and not isinstance(value, bool)
+    )
+    print(f"  {path.name} [{document.get('scale')}]: {headline}")
+COLLECT_BENCH

@@ -49,6 +49,7 @@ from repro.experiments.registry import (
     ExperimentScale,
     get_experiment,
 )
+from repro.simulation.sharding import max_useful_shards
 from repro.simulation.sweep import (
     SweepResult,
     adaptive_worker_allotment,
@@ -214,13 +215,17 @@ class CampaignScheduler:
             measure = rebind(job.checkpoint)
         job.measure = measure
         # A task's useful width is its inner parallelism: the simulation
-        # iteration count when the experiment declares it, otherwise the
-        # whole budget for any measure that can resize its nested pools
-        # (e.g. the stationary sweep parallelises its placement draws),
-        # and 1 for measures that cannot use extra workers at all.
+        # iteration count times the intra-iteration shard capacity when
+        # the experiment declares iterations (workers granted beyond the
+        # iteration count fold into trajectory shards — see
+        # :func:`repro.simulation.sharding.resolve_shard_plan` — instead
+        # of idling), otherwise the whole budget for any measure that can
+        # resize its nested pools (e.g. the stationary sweep parallelises
+        # its placement draws), and 1 for measures that cannot use extra
+        # workers at all.
         iterations = experiment.checkpoint_iterations(scale)
         if iterations is not None:
-            job.width = max(1, iterations)
+            job.width = max(1, iterations) * max_useful_shards(scale.steps)
         elif getattr(measure, "with_iteration_workers", None) is not None:
             job.width = self.total_workers
         else:
@@ -304,13 +309,43 @@ class CampaignScheduler:
             job.values[index],
         )
 
+    def _task_event(self, job: _SweepJob, index: int, allotment: int) -> str:
+        """One per-task completion line for the progress stream.
+
+        Scenario, parameter value, value coverage and the worker shape the
+        task ran with (its allotment, and how that decomposes into
+        iterations when the experiment declares them) — so a long campaign
+        reports progress at task completion rate instead of one line per
+        finished scenario.
+        """
+        scenario = job.scenario.scenario_id
+        if job.atomic:
+            return f"{scenario}: task done (atomic, workers={allotment})"
+        value = job.values[index]
+        detail = f"workers={allotment}"
+        iterations = job.experiment.checkpoint_iterations(job.scenario.scale)
+        if iterations:
+            detail = f"{iterations} iteration(s), {detail}"
+        return (
+            f"{scenario}: value {value:g} done "
+            f"({len(job.rows)}/{len(job.values)} values; {detail})"
+        )
+
     def _execute(self, jobs: List[_SweepJob], say: Callable[[str], None]) -> None:
-        """The scheduling loop: submit within budget, collect, rebalance."""
+        """The scheduling loop: submit within budget, collect, rebalance.
+
+        Every finished task emits one progress event (scenario, value,
+        coverage counts) the moment it completes; scenario-level summary
+        lines still follow when a whole sweep lands.
+        """
         queue = self._queue(jobs)
         if not queue:
             return
         available = self.total_workers
         futures: Dict[Any, Tuple[_SweepJob, int, int]] = {}
+        from repro.simulation.shm import ensure_shared_memory_tracker
+
+        ensure_shared_memory_tracker()
         with ProcessPoolExecutor(max_workers=self.total_workers) as pool:
             while queue or futures:
                 while queue and available >= 1:
@@ -337,11 +372,13 @@ class CampaignScheduler:
                             if job.experiment.supports_checkpoint
                             else len(sweep.rows)
                         )
+                        say(self._task_event(job, index, allotment))
                         self._store_sweep(job, say)
                     else:
                         row = future.result()
                         job.checkpoint.save(job.values[index], row)
                         job.rows[index] = row
                         job.computed_values += 1
+                        say(self._task_event(job, index, allotment))
                         if len(job.rows) == len(job.values):
                             self._finish(job, say)

@@ -38,13 +38,19 @@ from typing import Any, List, Mapping, Tuple, Union
 
 from repro.exceptions import ConfigurationError
 from repro.experiments.registry import ExperimentScale, scale_by_name
+from repro.store.keys import EXECUTION_FIELDS
 
 PathLike = Union[str, Path]
 
-#: ``ExperimentScale`` fields a spec may override or sweep.
+#: ``ExperimentScale`` fields a spec may override or sweep.  Execution
+#: knobs are derived from the single source of truth the cache keys use
+#: (:data:`repro.store.keys.EXECUTION_FIELDS`), so a knob added there —
+#: e.g. PR 5's ``shard_steps``/``transport`` — is automatically rejected
+#: here too: two matrix cells differing only in an execution knob would
+#: collide on one cache key while pretending to be distinct scenarios.
 _SCALE_FIELDS = frozenset(
     f.name for f in dataclasses.fields(ExperimentScale)
-) - {"name", "workers", "sweep_workers"}
+) - ({"name"} | EXECUTION_FIELDS)
 
 
 def _check_scale_fields(assignments: Mapping[str, Any], context: str) -> None:
@@ -53,7 +59,8 @@ def _check_scale_fields(assignments: Mapping[str, Any], context: str) -> None:
         raise ConfigurationError(
             f"unknown scale field(s) {sorted(unknown)} in campaign {context}; "
             f"allowed: {sorted(_SCALE_FIELDS)} (execution knobs such as "
-            "workers/sweep_workers are per-invocation CLI flags, not spec fields)"
+            "workers/sweep_workers/shard_steps/transport are per-invocation "
+            "CLI flags, not spec fields)"
         )
 
 

@@ -9,11 +9,14 @@ experiments::
     adhoc-connectivity run fig2 --scale paper --workers 8
     adhoc-connectivity run fig2 --scale paper --sweep-workers 4 --workers 2
     adhoc-connectivity run fig2 --scale paper --total-workers 8
+    adhoc-connectivity run fig2 --scale paper --workers 8 --shard-steps 2500
+    adhoc-connectivity run fig2 --scale paper --transport shm
     adhoc-connectivity stationary --side 1024 --nodes 32 --workers 4
     adhoc-connectivity campaign run grid.toml --store .repro-store
     adhoc-connectivity campaign run grid.toml --total-workers 8
     adhoc-connectivity campaign status grid.toml --store .repro-store
     adhoc-connectivity campaign clean grid.toml --store .repro-store
+    adhoc-connectivity campaign gc --store .repro-store --max-bytes 500000000
 
 ``campaign run --total-workers W`` is the single budget knob: the whole
 campaign shares one pool of ``W`` workers, independent scenarios run
@@ -99,6 +102,27 @@ def build_parser() -> argparse.ArgumentParser:
             "split one total process budget between the sweep and "
             "iteration levels automatically (overrides --workers and "
             "--sweep-workers)"
+        ),
+    )
+    run_parser.add_argument(
+        "--shard-steps",
+        type=int,
+        default=None,
+        help=(
+            "split each iteration's trajectory into shards of this many "
+            "frames executed by different workers (default: automatic "
+            "when workers exceed the iteration count; bit-identical "
+            "either way)"
+        ),
+    )
+    run_parser.add_argument(
+        "--transport",
+        default=None,
+        choices=["auto", "pickle", "shm"],
+        help=(
+            "worker-to-parent result transport: shared memory (zero-copy "
+            "adoption), pickle, or auto (shared memory for large payloads "
+            "only; the default). Results are bit-identical for every choice"
         ),
     )
 
@@ -199,11 +223,50 @@ def build_parser() -> argparse.ArgumentParser:
         "clean", help="evict every store entry the spec's grid addresses"
     )
     add_spec_and_store(campaign_clean)
+
+    campaign_gc = campaign_commands.add_parser(
+        "gc",
+        help=(
+            "garbage-collect the result store: evict entries older than "
+            "--max-age, then the least recently used until under "
+            "--max-bytes (store-wide; needs no spec)"
+        ),
+    )
+    campaign_gc.add_argument(
+        "--store",
+        default=DEFAULT_STORE,
+        help=f"result-store root directory (default: {DEFAULT_STORE})",
+    )
+    campaign_gc.add_argument(
+        "--max-bytes",
+        type=int,
+        default=None,
+        help="byte budget the surviving entries must fit in (LRU eviction)",
+    )
+    campaign_gc.add_argument(
+        "--max-age",
+        type=float,
+        default=None,
+        help="evict entries not read or written for this many seconds",
+    )
     return parser
 
 
 def _campaign_main(arguments: argparse.Namespace) -> int:
-    """Dispatch the ``campaign run / status / clean`` subcommands."""
+    """Dispatch the ``campaign run / status / clean / gc`` subcommands."""
+    if arguments.campaign_command == "gc":
+        store = ResultStore(arguments.store)
+        report = store.gc(
+            max_bytes=arguments.max_bytes, max_age=arguments.max_age
+        )
+        print(
+            f"Store {store.root}: scanned {report.scanned} entr"
+            f"{'y' if report.scanned == 1 else 'ies'}, evicted "
+            f"{report.evicted} ({report.freed_bytes} bytes freed, "
+            f"{report.remaining_bytes} bytes remain)"
+        )
+        return 0
+
     spec = CampaignSpec.load(arguments.spec)
     store = ResultStore(arguments.store)
     runner = CampaignRunner(
@@ -294,6 +357,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                 scale = scale.with_workers(arguments.workers)
             if arguments.sweep_workers is not None:
                 scale = scale.with_sweep_workers(arguments.sweep_workers)
+        if arguments.shard_steps is not None:
+            scale = scale.with_shard_steps(arguments.shard_steps)
+        if arguments.transport is not None:
+            scale = scale.with_transport(arguments.transport)
         sweep = experiment.run(scale)
         print()
         print(render_sweep(sweep, title=f"{experiment.identifier} ({arguments.scale} scale)"))

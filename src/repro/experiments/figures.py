@@ -97,6 +97,8 @@ def measure_system_size(
         iterations=scale.iterations,
         seed=scale.seed,
         workers=scale.workers,
+        shard_steps=scale.shard_steps,
+        transport=scale.transport,
     )
     statistics = collect_frame_statistics(config, checkpoint=iteration_checkpoint)
     thresholds = estimate_thresholds_from_statistics(statistics)
@@ -295,6 +297,8 @@ def _r100_ratio_row(
         iterations=scale.iterations,
         seed=scale.seed,
         workers=scale.workers,
+        shard_steps=scale.shard_steps,
+        transport=scale.transport,
     )
     statistics = collect_frame_statistics(config, checkpoint=iteration_checkpoint)
     thresholds = estimate_thresholds_from_statistics(statistics)

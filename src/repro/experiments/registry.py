@@ -40,6 +40,13 @@ class ExperimentScale:
             for every value).  The two levels multiply — a run occupies up
             to ``sweep_workers * workers`` processes, so split one total
             budget with :meth:`with_worker_budget`.
+        shard_steps: trajectory frames per intra-iteration shard (see
+            :mod:`repro.simulation.sharding`); ``None`` shards
+            automatically when an iteration pool holds more workers than
+            iterations.  Execution-only, bit-identical for every value.
+        transport: worker→parent result transport (``"auto"``,
+            ``"pickle"`` or ``"shm"`` — see :mod:`repro.simulation.shm`).
+            Execution-only, bit-identical for every value.
     """
 
     name: str
@@ -51,6 +58,8 @@ class ExperimentScale:
     seed: Optional[int] = 20020623  # DSN 2002 conference date.
     workers: int = 1
     sweep_workers: int = 1
+    shard_steps: Optional[int] = None
+    transport: str = "auto"
 
     def with_workers(self, workers: int) -> "ExperimentScale":
         """Copy of this scale with ``workers`` iteration-level processes."""
@@ -59,6 +68,14 @@ class ExperimentScale:
     def with_sweep_workers(self, sweep_workers: int) -> "ExperimentScale":
         """Copy of this scale with ``sweep_workers`` value-level processes."""
         return replace(self, sweep_workers=sweep_workers)
+
+    def with_shard_steps(self, shard_steps: Optional[int]) -> "ExperimentScale":
+        """Copy of this scale with an explicit trajectory shard size."""
+        return replace(self, shard_steps=shard_steps)
+
+    def with_transport(self, transport: str) -> "ExperimentScale":
+        """Copy of this scale with a different result transport."""
+        return replace(self, transport=transport)
 
     def with_worker_budget(
         self, total: int, value_count: Optional[int] = None
@@ -106,6 +123,13 @@ class ExperimentScale:
             raise ConfigurationError(
                 f"sweep_workers must be at least 1, got {self.sweep_workers}"
             )
+        if self.shard_steps is not None and self.shard_steps < 1:
+            raise ConfigurationError(
+                f"shard_steps must be at least 1, got {self.shard_steps}"
+            )
+        from repro.simulation.shm import validate_transport
+
+        validate_transport(self.transport)
 
 
 #: The three built-in scale presets.

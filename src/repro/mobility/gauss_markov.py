@@ -5,6 +5,20 @@ as an AR(1) process around a mean velocity, so consecutive movements are
 correlated (tunable with ``alpha``) rather than independent as in the
 drunkard model or piecewise deterministic as in random waypoint.  Included
 to broaden the mobility-model ablation beyond the paper's two models.
+
+Draw protocol
+-------------
+Each step consumes exactly one ``(n, d)`` Gaussian innovation block.
+Because a NumPy generator fills ``rng.normal(size=(steps, n, d))`` with
+exactly the same values as ``steps`` sequential ``rng.normal(size=(n, d))``
+calls, the vectorized :meth:`GaussMarkovModel.trajectory` override draws a
+whole run's innovations in one call and is bit-identical — frames, final
+state and random stream — to per-step
+:meth:`~repro.mobility.base.MobilityModel.step` execution.  The AR(1)
+recurrence itself stays a per-step loop (each velocity depends on the
+previous one, and the boundary reflection flips velocity components
+data-dependently), but that loop is a handful of cheap array operations
+per step with no random-draw bookkeeping left in it.
 """
 
 from __future__ import annotations
@@ -15,6 +29,7 @@ import numpy as np
 
 from repro.exceptions import ConfigurationError
 from repro.mobility.base import MobilityModel
+from repro.stats.rng import make_rng
 from repro.types import Positions
 
 
@@ -85,6 +100,73 @@ class GaussMarkovModel(MobilityModel):
         bounced = ~np.isclose(stepped, reflected)
         self._velocities[bounced] = -self._velocities[bounced]
         return reflected
+
+    # ------------------------------------------------------------------ #
+    def trajectory(
+        self, steps: int, rng: Optional[np.random.Generator] = None
+    ) -> np.ndarray:
+        """Vectorized batch: one Gaussian draw for the whole block of steps.
+
+        Bit-identical to ``steps - 1`` sequential :meth:`step` calls —
+        the AR(1) velocity update, boundary reflection with velocity
+        flipping, stationary-node pinning and the base class's containment
+        clamp are evaluated with exactly the per-step expressions, while
+        all random draws happen in a single ``rng.normal`` call.
+        """
+        if steps < 1:
+            raise ConfigurationError(f"steps must be at least 1, got {steps}")
+        state = self.state
+        generator = make_rng(rng)
+        n, dimension = state.positions.shape
+        frames = np.empty((steps, n, dimension), dtype=float)
+        frames[0] = state.positions
+        if steps == 1 or n == 0:
+            # An empty network still "takes" the steps (no draws either way).
+            state.step_index += steps - 1
+            return frames
+
+        assert self._velocities is not None
+        assert self._mean_velocities is not None
+        region = state.region
+        mask = state.stationary_mask
+        noise = generator.normal(
+            scale=self.noise_std, size=(steps - 1,) + self._velocities.shape
+        )
+        for index in range(steps - 1):
+            # The exact _advance arithmetic, with noise[index] in place of
+            # the per-step draw.
+            self._velocities = (
+                self.alpha * self._velocities
+                + (1.0 - self.alpha) * self._mean_velocities
+                + np.sqrt(max(1.0 - self.alpha**2, 0.0)) * noise[index]
+            )
+            stepped = state.positions + self._velocities
+            reflected = region.reflect(stepped)
+            bounced = ~np.isclose(stepped, reflected)
+            self._velocities[bounced] = -self._velocities[bounced]
+            # The exact _step_in_place boundary/pinning bookkeeping.
+            new_positions = reflected
+            if mask.any():
+                new_positions[mask] = state.positions[mask]
+            if not region.contains(new_positions):
+                new_positions = region.clamp(new_positions)
+            state.positions = new_positions
+            frames[index + 1] = new_positions
+        state.step_index += steps - 1
+        return frames
+
+    # ------------------------------------------------------------------ #
+    def _checkpoint_model_state(self):
+        return {
+            "velocities": self._velocities.copy(),
+            "mean_velocities": self._mean_velocities.copy(),
+        }
+
+    def _restore_model_state(self, model_state) -> None:
+        self._velocities = np.array(model_state["velocities"], dtype=float)
+        self._mean_velocities = np.array(
+            model_state["mean_velocities"], dtype=float
+        )
 
     def describe(self) -> str:
         return (

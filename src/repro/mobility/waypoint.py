@@ -308,6 +308,29 @@ class RandomWaypointModel(MobilityModel):
         state.step_index += last
         return frames
 
+    # ------------------------------------------------------------------ #
+    def _checkpoint_model_state(self):
+        return {
+            "destinations": self._destinations.copy(),
+            "speeds": self._speeds.copy(),
+            "pause_remaining": self._pause_remaining.copy(),
+            "leg_origins": self._leg_origins.copy(),
+            "leg_units": self._leg_units.copy(),
+            "leg_lengths": self._leg_lengths.copy(),
+            "leg_elapsed": self._leg_elapsed.copy(),
+        }
+
+    def _restore_model_state(self, model_state) -> None:
+        self._destinations = np.array(model_state["destinations"], dtype=float)
+        self._speeds = np.array(model_state["speeds"], dtype=float)
+        self._pause_remaining = np.array(
+            model_state["pause_remaining"], dtype=np.int64
+        )
+        self._leg_origins = np.array(model_state["leg_origins"], dtype=float)
+        self._leg_units = np.array(model_state["leg_units"], dtype=float)
+        self._leg_lengths = np.array(model_state["leg_lengths"], dtype=float)
+        self._leg_elapsed = np.array(model_state["leg_elapsed"], dtype=np.int64)
+
     def _clamp_frames_like_step(self, frames: np.ndarray) -> None:
         """Apply the per-step containment check of the base class per frame."""
         region = self.state.region

@@ -40,7 +40,12 @@ serial run for the same seed:
   cross process boundaries as struct-of-arrays
   (:class:`~repro.simulation.results.StepColumns`,
   :class:`~repro.simulation.results.FrameStatisticsColumns`) instead of
-  per-step objects.
+  per-step objects;
+* a *single* iteration can shard its trajectory across workers
+  (``SimulationConfig.shard_steps`` / automatic when workers outnumber
+  iterations, see :mod:`~repro.simulation.sharding`), and large results
+  hand off zero-copy through shared memory instead of the pickle pipe
+  (``SimulationConfig.transport``, see :mod:`~repro.simulation.shm`).
 """
 
 from repro.simulation.config import MobilitySpec, NetworkConfig, SimulationConfig
@@ -81,6 +86,13 @@ from repro.simulation.search import (
     estimate_component_thresholds,
     estimate_thresholds,
 )
+from repro.simulation.sharding import resolve_shard_plan, shard_plan
+from repro.simulation.shm import (
+    SharedColumnsHandle,
+    adopt_result,
+    share_columns,
+    shm_available,
+)
 from repro.simulation.sweep import (
     Measure,
     SweepResult,
@@ -98,10 +110,12 @@ __all__ = [
     "MobilitySpec",
     "MobilityThresholds",
     "NetworkConfig",
+    "SharedColumnsHandle",
     "SimulationConfig",
     "StepColumns",
     "StepRecord",
     "SweepResult",
+    "adopt_result",
     "average_largest_fraction_at",
     "collect_frame_statistics",
     "component_growth_curve",
@@ -117,7 +131,11 @@ __all__ = [
     "range_for_component_fraction",
     "range_for_connectivity_fraction",
     "range_for_no_connectivity",
+    "resolve_shard_plan",
     "run_fixed_range",
+    "share_columns",
+    "shard_plan",
+    "shm_available",
     "simulate_frame_statistics",
     "simulate_iteration",
     "split_worker_budget",

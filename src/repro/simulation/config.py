@@ -138,6 +138,19 @@ class SimulationConfig:
     each sweep worker process owns one iteration pool of this size, so the
     run occupies up to ``sweep_workers * workers`` processes in total (see
     :func:`repro.simulation.sweep.split_worker_budget`).
+
+    ``shard_steps`` and ``transport`` are further execution-only knobs
+    (results are bit-identical for every setting; neither enters cache
+    keys):
+
+    * ``shard_steps`` splits each iteration's trajectory into chunks of
+      that many frames executed by different workers (see
+      :mod:`repro.simulation.sharding`).  ``None`` (default) shards
+      automatically when ``workers`` exceeds the pending iteration count.
+    * ``transport`` selects how results cross the worker→parent process
+      boundary: ``"auto"`` (shared memory for large payloads, the compact
+      pickle transport otherwise), ``"pickle"``, or ``"shm"`` (see
+      :mod:`repro.simulation.shm`).
     """
 
     network: NetworkConfig
@@ -147,6 +160,8 @@ class SimulationConfig:
     seed: Optional[int] = None
     transmitting_range: Optional[float] = None
     workers: int = 1
+    shard_steps: Optional[int] = None
+    transport: str = "auto"
 
     def __post_init__(self) -> None:
         if self.steps < 1:
@@ -164,6 +179,13 @@ class SimulationConfig:
             raise ConfigurationError(
                 f"workers must be at least 1, got {self.workers}"
             )
+        if self.shard_steps is not None and self.shard_steps < 1:
+            raise ConfigurationError(
+                f"shard_steps must be at least 1, got {self.shard_steps}"
+            )
+        from repro.simulation.shm import validate_transport
+
+        validate_transport(self.transport)
 
     @property
     def is_stationary(self) -> bool:
@@ -181,6 +203,14 @@ class SimulationConfig:
         only the wall-clock execution strategy changes.
         """
         return replace(self, workers=workers)
+
+    def with_shard_steps(self, shard_steps: Optional[int]) -> "SimulationConfig":
+        """Copy with a different trajectory shard size (bit-identical)."""
+        return replace(self, shard_steps=shard_steps)
+
+    def with_transport(self, transport: str) -> "SimulationConfig":
+        """Copy with a different result transport (bit-identical)."""
+        return replace(self, transport=transport)
 
     # Paper presets ------------------------------------------------------ #
     @classmethod

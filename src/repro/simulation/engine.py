@@ -64,6 +64,8 @@ __all__ = [
     "frame_statistics",
     "frame_statistics_batch",
     "frame_statistics_columns",
+    "reduce_fixed_range",
+    "reduce_frame_statistics",
     "simulate_frame_statistics",
     "simulate_iteration",
 ]
@@ -248,31 +250,91 @@ def frame_statistics_batch(frames: np.ndarray) -> List[FrameStatistics]:
 
 
 def _iter_trajectory_batches(
-    model: MobilityModel, steps: int, rng: np.random.Generator
+    model: MobilityModel,
+    steps: int,
+    rng: np.random.Generator,
+    include_current: bool = True,
 ) -> Iterator[np.ndarray]:
     """Yield the run's ``steps`` frames as bounded ``(k, n, d)`` batches.
 
-    The first batch starts at the model's current positions (step 0); later
-    batches continue from wherever the previous one left the model.  Batch
-    sizes are capped so a 10 000-step trajectory never buffers more than
-    ``_TRAJECTORY_BATCH_ELEMENTS`` floats at once — counting the per-frame
-    ``(n, n)`` squared distance matrices the batched reduction stacks, not
-    just the ``(n, d)`` positions.
+    With ``include_current`` (the default) the first batch starts at the
+    model's current positions (step 0); later batches continue from
+    wherever the previous one left the model.  ``include_current=False``
+    yields only the *next* ``steps`` frames — what a trajectory shard that
+    resumes from a mid-run checkpoint needs, since its predecessor already
+    produced the current frame.  Batch sizes are capped so a 10 000-step
+    trajectory never buffers more than ``_TRAJECTORY_BATCH_ELEMENTS``
+    floats at once — counting the per-frame ``(n, n)`` squared distance
+    matrices the batched reduction stacks, not just the ``(n, d)``
+    positions.
     """
     n, dimension = model.state.positions.shape
     per_frame = max(1, n * n, n * dimension)
     batch_size = max(1, _TRAJECTORY_BATCH_ELEMENTS // per_frame)
     produced = 0
+    first = include_current
     while produced < steps:
         count = min(batch_size, steps - produced)
-        if produced == 0:
+        if first:
             frames = model.trajectory(count, rng)
+            first = False
         else:
-            # Frame 0 of a trajectory is the current (already yielded)
-            # position array, so request one extra frame and drop it.
+            # Frame 0 of a trajectory is the current (already yielded or
+            # checkpoint-owned) position array, so request one extra frame
+            # and drop it.
             frames = model.trajectory(count + 1, rng)[1:]
         produced += frames.shape[0]
         yield frames
+
+
+def reduce_frame_statistics(
+    model: MobilityModel,
+    steps: int,
+    rng: np.random.Generator,
+    include_current: bool = True,
+) -> FrameStatisticsColumns:
+    """Reduce the next ``steps`` frames of a live model to columnar statistics.
+
+    The shared back half of :func:`simulate_frame_statistics` (placement
+    and model binding happen in the caller): trajectory batches are
+    produced and reduced through :func:`frame_statistics_columns`.  With
+    ``include_current=False`` the current positions are *not* part of the
+    output — the shard-execution mode, where the previous chunk already
+    reported that frame (see :mod:`repro.simulation.sharding`).
+    """
+    parts: List[FrameStatisticsColumns] = []
+    for batch in _iter_trajectory_batches(
+        model, steps, rng, include_current=include_current
+    ):
+        parts.append(frame_statistics_columns(batch))
+    return FrameStatisticsColumns.concatenate(parts)
+
+
+def reduce_fixed_range(
+    model: MobilityModel,
+    steps: int,
+    transmitting_range: float,
+    rng: np.random.Generator,
+    include_current: bool = True,
+) -> StepColumns:
+    """Reduce the next ``steps`` frames at a fixed range to step columns.
+
+    The shared back half of :func:`simulate_iteration`, chunk-capable the
+    same way as :func:`reduce_frame_statistics`.
+    """
+    # Seeded with empties so a steps=0 call still concatenates cleanly.
+    connected_parts: List[np.ndarray] = [np.empty(0, dtype=bool)]
+    size_parts: List[np.ndarray] = [np.empty(0, dtype=np.int64)]
+    for batch in _iter_trajectory_batches(
+        model, steps, rng, include_current=include_current
+    ):
+        columns = frame_statistics_columns(batch)
+        connected_parts.append(columns.connected_at(transmitting_range))
+        size_parts.append(columns.largest_component_sizes_at(transmitting_range))
+    return StepColumns(
+        connected=np.concatenate(connected_parts),
+        largest_component=np.concatenate(size_parts),
+    )
 
 
 def simulate_iteration(
@@ -300,22 +362,11 @@ def simulate_iteration(
     placement = network.placement_strategy(network.node_count, region, rng)
     model = mobility.create()
     model.initialize(placement, region, rng)
-
-    # Seeded with empties so a steps=0 call still concatenates cleanly.
-    connected_parts: List[np.ndarray] = [np.empty(0, dtype=bool)]
-    size_parts: List[np.ndarray] = [np.empty(0, dtype=np.int64)]
-    for batch in _iter_trajectory_batches(model, steps, rng):
-        columns = frame_statistics_columns(batch)
-        connected_parts.append(columns.connected_at(transmitting_range))
-        size_parts.append(columns.largest_component_sizes_at(transmitting_range))
     return IterationResult(
         iteration=iteration,
         node_count=network.node_count,
         transmitting_range=transmitting_range,
-        records=StepColumns(
-            connected=np.concatenate(connected_parts),
-            largest_component=np.concatenate(size_parts),
-        ),
+        records=reduce_fixed_range(model, steps, transmitting_range, rng),
     )
 
 
@@ -340,11 +391,7 @@ def simulate_frame_statistics(
     placement = network.placement_strategy(network.node_count, region, rng)
     model = mobility.create()
     model.initialize(placement, region, rng)
-
-    parts: List[FrameStatisticsColumns] = []
-    for batch in _iter_trajectory_batches(model, steps, rng):
-        parts.append(frame_statistics_columns(batch))
-    return FrameStatisticsColumns.concatenate(parts)
+    return reduce_frame_statistics(model, steps, rng)
 
 
 def exact_critical_range_of_placement(positions: Positions) -> float:

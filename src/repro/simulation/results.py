@@ -148,6 +148,23 @@ class StepColumns(Sequence[StepRecord]):
             ),
         )
 
+    @classmethod
+    def concatenate(cls, parts: Sequence["StepColumns"]) -> "StepColumns":
+        """Stitch several containers (e.g. the shards of one iteration).
+
+        Row numbering restarts from 0, exactly as if the parts' arrays had
+        been produced by one contiguous run — which is what makes a
+        sharded iteration's container bit-identical to the serial one.
+        """
+        if not parts:
+            return cls(np.empty(0, dtype=bool), np.empty(0, dtype=np.int64))
+        return cls(
+            connected=np.concatenate([part.connected for part in parts]),
+            largest_component=np.concatenate(
+                [part.largest_component for part in parts]
+            ),
+        )
+
     # ------------------------------------------------------------------ #
     def __len__(self) -> int:
         return self.connected.shape[0]

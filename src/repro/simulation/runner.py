@@ -24,7 +24,24 @@ Results cross the process boundary in the columnar containers of
 StepColumns` per fixed-range iteration, :class:`~repro.simulation.results.
 FrameStatisticsColumns` per trace-statistics iteration), so a 10 000-step
 iteration pickles as a handful of NumPy arrays instead of 10 000 per-step
-dataclasses.
+dataclasses.  ``SimulationConfig.transport`` upgrades that hand-off to
+zero-copy: workers park the arrays in :mod:`multiprocessing.shared_memory`
+segments and the parent adopts views instead of unpickling copies (see
+:mod:`repro.simulation.shm`; ``"auto"``, the default, does this only for
+payloads large enough to win).
+
+Intra-iteration sharding
+------------------------
+A single long iteration can itself be split across workers:
+``shard_steps`` (argument or ``SimulationConfig.shard_steps``) cuts each
+trajectory into contiguous chunks executed by different processes, each
+resumed from a :class:`~repro.mobility.base.MobilityCheckpoint` captured
+by the parent, and stitched back bit-identically (see
+:mod:`repro.simulation.sharding`).  When ``config.workers`` exceeds the
+number of pending iterations — one 10 000-step iteration on an 8-core
+box, or the tail of a campaign under PR 4's adaptive allotment — sharding
+engages automatically, so single-iteration runs scale with the worker
+budget too.
 
 Per-iteration checkpointing
 ---------------------------
@@ -44,6 +61,7 @@ only defines the protocol so the simulation layer stays storage-free.
 from __future__ import annotations
 
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import replace
 from functools import partial
 from typing import Callable, Dict, List, Optional, TypeVar
 
@@ -57,7 +75,18 @@ from repro.simulation.engine import (
 from repro.simulation.results import (
     IterationResult,
     MobileRunResult,
+    StepColumns,
     pool_frame_statistics,
+)
+from repro.simulation.sharding import (
+    capture_iteration_plans,
+    resolve_shard_plan,
+    run_shard,
+)
+from repro.simulation.shm import (
+    adopt_result,
+    ensure_shared_memory_tracker,
+    share_columns,
 )
 from repro.stats.rng import RandomSource
 
@@ -113,11 +142,11 @@ class _FixedRangeCheckpoint:
 
 
 def _fixed_range_iteration(
-    index: int, config: SimulationConfig, entropy: int
+    index: int, config: SimulationConfig, entropy: int, transport: str = "pickle"
 ) -> IterationResult:
     """Run fixed-range iteration ``index`` on its own child stream."""
     rng = RandomSource.from_entropy(entropy).child(index)
-    return simulate_iteration(
+    result = simulate_iteration(
         network=config.network,
         mobility=config.mobility,
         steps=config.steps,
@@ -125,38 +154,81 @@ def _fixed_range_iteration(
         rng=rng,
         iteration=index,
     )
+    records = share_columns(result.records, transport)
+    if records is result.records:
+        return result
+    return replace(result, records=records)
 
 
 def _frame_statistics_iteration(
-    index: int, config: SimulationConfig, entropy: int
+    index: int, config: SimulationConfig, entropy: int, transport: str = "pickle"
 ) -> FrameStatisticsColumns:
     """Run trace-statistics iteration ``index`` on its own child stream."""
     rng = RandomSource.from_entropy(entropy).child(index)
-    return simulate_frame_statistics(
-        network=config.network,
-        mobility=config.mobility,
-        steps=config.steps,
-        rng=rng,
+    return share_columns(
+        simulate_frame_statistics(
+            network=config.network,
+            mobility=config.mobility,
+            steps=config.steps,
+            rng=rng,
+        ),
+        transport,
     )
 
 
+def _adopt_iteration(result):
+    """Parent-side transport adoption of one iteration result.
+
+    Shared-memory handles become containers backed by zero-copy views;
+    plain (pickle-transported) results pass through untouched.
+    """
+    if isinstance(result, IterationResult):
+        records = adopt_result(result.records)
+        if records is result.records:
+            return result
+        return replace(result, records=records)
+    return adopt_result(result)
+
+
+def _release_unadopted(futures) -> None:
+    """Adopt-and-drop the results of futures a failed gather abandoned.
+
+    When one task of a parallel run raises, tasks that already finished
+    may have parked shared-memory segments that no one will ever adopt;
+    adopting them here (the views die immediately) unlinks the segments
+    now instead of leaving them mapped in ``/dev/shm`` until interpreter
+    exit.  Called after the pool has shut down, so every future is
+    settled.  Every failure is swallowed — this runs on an exception
+    path and must not mask the original error.
+    """
+    for future in futures:
+        try:
+            if future.done() and not future.cancelled():
+                _adopt_iteration(future.result())
+        except Exception:
+            pass
+
+
 def _map_iterations(
-    task: Callable[[int, SimulationConfig, int], ResultT],
+    task: Callable[..., ResultT],
+    mode: str,
     config: SimulationConfig,
     checkpoint: Optional[IterationCheckpoint] = None,
+    shard_steps: Optional[int] = None,
 ) -> List[ResultT]:
-    """Run ``task`` for every iteration index, serially or in a process pool.
+    """Run every iteration index, serially, in a process pool, or sharded.
 
     ``task`` must be a module-level callable (it is pickled to worker
-    processes).  Results are returned in iteration order and are
-    bit-identical for every ``config.workers`` value.
+    processes); ``mode`` (``"fixed"`` / ``"stats"``) names the same
+    computation for the shard path.  Results are returned in iteration
+    order and are bit-identical for every ``config.workers``,
+    ``shard_steps`` and ``config.transport`` value.
 
     With a ``checkpoint``, previously saved iterations are loaded instead
     of simulated and fresh ones are saved as soon as they complete, so a
     killed run loses at most the iterations still in flight.
     """
     entropy = RandomSource(config.seed).entropy
-    bound = partial(task, config=config, entropy=entropy)
     results: Dict[int, ResultT] = {}
     if checkpoint is None:
         pending = list(range(config.iterations))
@@ -168,7 +240,14 @@ def _map_iterations(
                 pending.append(index)
             else:
                 results[index] = loaded
+    chunks = resolve_shard_plan(config, len(pending), shard_steps)
+    if chunks is not None:
+        _run_sharded(mode, config, entropy, pending, results, checkpoint, chunks)
+        return [results[index] for index in range(config.iterations)]
+
     worker_count = min(config.workers, len(pending))
+    transport = config.transport if worker_count > 1 else "pickle"
+    bound = partial(task, config=config, entropy=entropy, transport=transport)
     if worker_count <= 1:
         for index in pending:
             result = bound(index)
@@ -178,38 +257,149 @@ def _map_iterations(
     elif checkpoint is None:
         # A large chunksize amortises pickling without starving workers.
         chunksize = max(1, len(pending) // (worker_count * 4))
+        ensure_shared_memory_tracker()
         with ProcessPoolExecutor(max_workers=worker_count) as pool:
             results.update(
-                zip(pending, pool.map(bound, pending, chunksize=chunksize))
+                (index, _adopt_iteration(result))
+                for index, result in zip(
+                    pending, pool.map(bound, pending, chunksize=chunksize)
+                )
             )
     else:
         # Checkpointed parallel runs save each iteration the moment it
         # finishes (completion order), trading the chunked map's pickling
         # economy for durability of every finished iteration.
+        ensure_shared_memory_tracker()
+        futures = {}
+        try:
+            with ProcessPoolExecutor(max_workers=worker_count) as pool:
+                futures = {
+                    pool.submit(bound, index): index for index in pending
+                }
+                remaining = set(futures)
+                while remaining:
+                    done, remaining = wait(
+                        remaining, return_when=FIRST_COMPLETED
+                    )
+                    for future in done:
+                        index = futures.pop(future)
+                        result = _adopt_iteration(future.result())
+                        checkpoint.save(index, result)
+                        results[index] = result
+        except BaseException:
+            _release_unadopted(futures)
+            raise
+    return [results[index] for index in range(config.iterations)]
+
+
+def _stitch_shards(mode: str, config: SimulationConfig, index: int, parts):
+    """Reassemble one iteration from its chunk containers (bit-identical)."""
+    if mode == "fixed":
+        return IterationResult(
+            iteration=index,
+            node_count=config.network.node_count,
+            transmitting_range=config.transmitting_range,
+            records=StepColumns.concatenate(parts),
+        )
+    return FrameStatisticsColumns.concatenate(parts)
+
+
+def _run_sharded(
+    mode: str,
+    config: SimulationConfig,
+    entropy: int,
+    pending: List[int],
+    results: Dict[int, ResultT],
+    checkpoint: Optional[IterationCheckpoint],
+    chunks: List[int],
+) -> None:
+    """Execute the pending iterations as (iteration, chunk) shard tasks.
+
+    The parent fast-forwards each iteration's mobility once to capture
+    the chunk checkpoints (cheap, vectorised), the shard pool runs the
+    expensive frame reductions concurrently, and every iteration is
+    stitched — and checkpointed — the moment its last shard lands.
+    """
+    plans = capture_iteration_plans(config, entropy, pending, chunks)
+    tasks = [
+        (index, shard)
+        for index in pending
+        for shard in range(len(chunks))
+    ]
+    worker_count = min(config.workers, len(tasks))
+    transport = config.transport if worker_count > 1 else "pickle"
+    parts: Dict[int, List] = {
+        index: [None] * len(chunks) for index in pending
+    }
+
+    def finish(index: int) -> None:
+        stitched = _stitch_shards(mode, config, index, parts.pop(index))
+        if checkpoint is not None:
+            checkpoint.save(index, stitched)
+        results[index] = stitched
+
+    if worker_count <= 1:
+        for index, shard in tasks:
+            parts[index][shard] = adopt_result(
+                run_shard(
+                    mode,
+                    config.mobility,
+                    plans[index][shard],
+                    chunks[shard],
+                    shard == 0,
+                    transmitting_range=config.transmitting_range,
+                    transport=transport,
+                )
+            )
+        for index in pending:
+            finish(index)
+        return
+    missing = {index: len(chunks) for index in pending}
+    ensure_shared_memory_tracker()
+    futures = {}
+    try:
         with ProcessPoolExecutor(max_workers=worker_count) as pool:
-            futures = {pool.submit(bound, index): index for index in pending}
+            futures = {
+                pool.submit(
+                    run_shard,
+                    mode,
+                    config.mobility,
+                    plans[index][shard],
+                    chunks[shard],
+                    shard == 0,
+                    transmitting_range=config.transmitting_range,
+                    transport=transport,
+                ): (index, shard)
+                for index, shard in tasks
+            }
             remaining = set(futures)
             while remaining:
                 done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
                 for future in done:
-                    index = futures[future]
-                    result = future.result()
-                    checkpoint.save(index, result)
-                    results[index] = result
-    return [results[index] for index in range(config.iterations)]
+                    index, shard = futures.pop(future)
+                    parts[index][shard] = adopt_result(future.result())
+                    missing[index] -= 1
+                    if missing[index] == 0:
+                        finish(index)
+    except BaseException:
+        _release_unadopted(futures)
+        raise
 
 
 def run_fixed_range(
     config: SimulationConfig,
     checkpoint: Optional[IterationCheckpoint] = None,
+    shard_steps: Optional[int] = None,
 ) -> MobileRunResult:
     """Run the paper's simulator: fixed range, all iterations.
 
-    Honours ``config.workers`` (parallel execution is bit-identical to
-    serial — see the module docstring).  With a ``checkpoint``, each
-    iteration's :class:`~repro.simulation.results.StepColumns` is
-    persisted as it completes and loaded instead of resimulated on the
-    next run (see the module docstring).
+    Honours ``config.workers``, ``config.transport`` and intra-iteration
+    sharding (``shard_steps`` argument, ``config.shard_steps``, or
+    automatic when workers outnumber pending iterations) — every
+    execution shape is bit-identical to the serial run (see the module
+    docstring).  With a ``checkpoint``, each iteration's
+    :class:`~repro.simulation.results.StepColumns` is persisted as it
+    completes and loaded instead of resimulated on the next run.
 
     Raises:
         ConfigurationError: if ``config.transmitting_range`` is not set.
@@ -224,7 +414,13 @@ def run_fixed_range(
         if checkpoint is not None
         else None
     )
-    iterations = _map_iterations(_fixed_range_iteration, config, checkpoint=adapter)
+    iterations = _map_iterations(
+        _fixed_range_iteration,
+        "fixed",
+        config,
+        checkpoint=adapter,
+        shard_steps=shard_steps,
+    )
     return MobileRunResult(
         transmitting_range=config.transmitting_range,
         node_count=config.network.node_count,
@@ -235,6 +431,7 @@ def run_fixed_range(
 def collect_frame_statistics(
     config: SimulationConfig,
     checkpoint: Optional[IterationCheckpoint] = None,
+    shard_steps: Optional[int] = None,
 ) -> List[FrameStatisticsColumns]:
     """Run all iterations in trace-statistics mode.
 
@@ -242,14 +439,20 @@ def collect_frame_statistics(
     iteration.  The random
     streams are the same as :func:`run_fixed_range` uses for the same seed,
     so thresholds derived from these statistics are consistent with
-    fixed-range runs on the same configuration.  Honours ``config.workers``
-    (parallel execution is bit-identical to serial) and an optional
+    fixed-range runs on the same configuration.  Honours ``config.workers``,
+    ``config.transport`` and intra-iteration sharding (``shard_steps``
+    argument, ``config.shard_steps``, or automatic when workers outnumber
+    pending iterations) — all bit-identical to serial — plus an optional
     per-iteration ``checkpoint`` (each iteration's
     :class:`FrameStatisticsColumns` is persisted as it completes; saved
     iterations resume without resimulation).
     """
     return _map_iterations(
-        _frame_statistics_iteration, config, checkpoint=checkpoint
+        _frame_statistics_iteration,
+        "stats",
+        config,
+        checkpoint=checkpoint,
+        shard_steps=shard_steps,
     )
 
 

@@ -1,0 +1,246 @@
+"""Intra-iteration trajectory sharding.
+
+PRs 1–4 parallelised *across* iterations, sweep values and campaign
+scenarios; a single long-trajectory iteration still ran on one core.  The
+machinery here splits one iteration of ``steps`` frames into contiguous
+chunks executed by different worker processes:
+
+1. the parent draws the placement, binds the mobility model and captures a
+   :class:`~repro.mobility.base.MobilityCheckpoint` at every chunk
+   boundary by *fast-forwarding* the model through the trajectory
+   (vectorised mobility generation only — cheap next to the per-frame MST
+   reduction that dominates an iteration);
+2. each worker restores the checkpoint of its chunk — per-node model
+   state *and* the exact RNG stream position — regenerates its frames and
+   runs the expensive frame reduction for just that chunk;
+3. the parent stitches the chunk containers back together
+   (:meth:`~repro.simulation.results.StepColumns.concatenate` /
+   :meth:`~repro.simulation.results.FrameStatisticsColumns.concatenate`).
+
+Because chunk ``k`` starts from exactly the state a serial run would have
+after chunk ``k - 1`` (checkpoints capture the RNG position, so every
+draw lands in the same place), the stitched result is bit-identical to
+the serial run — same arrays, same store keys, and the parent's generator
+is left at the same stream position.  The mobility dynamics are generated
+twice (once by the fast-forwarding parent, once by the workers), which is
+the price of keeping chunk execution embarrassingly parallel; the frame
+reduction, which dominates at paper scale, runs exactly once per frame.
+
+Sharding engages explicitly (``shard_steps=`` /
+``SimulationConfig.shard_steps`` / CLI ``--shard-steps``) or
+automatically when a runner holds more workers than pending iterations
+and the trajectory is long enough to split usefully
+(:func:`resolve_shard_plan`) — so spare workers granted by
+``adaptive_worker_allotment`` fold into intra-iteration shards instead of
+idling.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.mobility.base import MobilityCheckpoint, MobilityModel
+from repro.simulation.engine import (
+    reduce_fixed_range,
+    reduce_frame_statistics,
+)
+from repro.simulation.shm import share_columns
+from repro.stats.rng import RandomSource
+
+__all__ = [
+    "MIN_SHARD_STEPS",
+    "capture_shard_checkpoints",
+    "max_useful_shards",
+    "resolve_shard_plan",
+    "run_shard",
+    "shard_plan",
+]
+
+#: Smallest chunk worth a worker round trip: below this the checkpoint
+#: capture, process hand-off and double mobility generation outweigh the
+#: parallelised reduction.  Auto-sharding never cuts chunks smaller.
+MIN_SHARD_STEPS = 64
+
+#: Upper bound on the floats a fast-forward buffers per trajectory call
+#: (positions only — no per-frame distance matrices are built here).
+_ADVANCE_BATCH_ELEMENTS = 2_000_000
+
+
+def max_useful_shards(steps: int) -> int:
+    """How many chunks a ``steps``-frame trajectory can usefully split into."""
+    return max(1, steps // MIN_SHARD_STEPS)
+
+
+def shard_plan(steps: int, shard_steps: int) -> List[int]:
+    """Contiguous chunk lengths: ``shard_steps`` frames each, last short."""
+    if shard_steps < 1:
+        raise ConfigurationError(
+            f"shard_steps must be at least 1, got {shard_steps}"
+        )
+    if steps < 1:
+        raise ConfigurationError(f"steps must be at least 1, got {steps}")
+    chunks: List[int] = []
+    remaining = steps
+    while remaining > 0:
+        take = min(shard_steps, remaining)
+        chunks.append(take)
+        remaining -= take
+    return chunks
+
+
+def resolve_shard_plan(
+    config, pending_iterations: int, shard_steps: Optional[int] = None
+) -> Optional[List[int]]:
+    """The chunk plan a runner should use, or ``None`` to run unsharded.
+
+    An explicit ``shard_steps`` (argument, falling back to
+    ``config.shard_steps``) always wins.  Otherwise sharding engages
+    automatically when the worker budget exceeds the pending iteration
+    count — the situation PR 4's adaptive allotment creates as a campaign
+    drains — and the trajectory is long enough that every chunk keeps at
+    least :data:`MIN_SHARD_STEPS` frames.  A one-chunk plan is reported as
+    ``None``: running it through the shard path would only add overhead.
+    """
+    explicit = shard_steps if shard_steps is not None else config.shard_steps
+    if explicit is not None:
+        chunks = shard_plan(config.steps, explicit)
+        return chunks if len(chunks) > 1 else None
+    if pending_iterations < 1 or config.workers <= pending_iterations:
+        return None
+    wanted = -(-config.workers // pending_iterations)  # ceil division
+    shards = min(wanted, max_useful_shards(config.steps))
+    if shards <= 1:
+        return None
+    # A balanced split (chunks differ by at most one frame): with
+    # ``shards <= steps // MIN_SHARD_STEPS`` every chunk then holds at
+    # least MIN_SHARD_STEPS frames — a ragged equal-size-plus-remainder
+    # plan could leave a final chunk below the floor.
+    base, extra = divmod(config.steps, shards)
+    return [base + 1] * extra + [base] * (shards - extra)
+
+
+def _advance_frames(
+    model: MobilityModel, count: int, rng: np.random.Generator
+) -> None:
+    """Advance a live model by ``count`` frames, discarding the positions.
+
+    Uses the model's (vectorised) ``trajectory`` in bounded batches, so
+    fast-forwarding a 10 000-step walk costs mobility generation only —
+    no reduction, no unbounded buffering.
+    """
+    n, dimension = model.state.positions.shape
+    per_frame = max(1, n * dimension)
+    batch = max(1, _ADVANCE_BATCH_ELEMENTS // per_frame)
+    remaining = count
+    while remaining > 0:
+        take = min(batch, remaining)
+        # Frame 0 of a trajectory is the current position array; request
+        # one extra frame so exactly ``take`` new frames are consumed.
+        model.trajectory(take + 1, rng)
+        remaining -= take
+
+
+def capture_shard_checkpoints(
+    network,
+    mobility,
+    chunks: List[int],
+    rng: np.random.Generator,
+    advance_tail: bool = True,
+) -> List[MobilityCheckpoint]:
+    """Placement, model binding and one checkpoint per chunk boundary.
+
+    Consumes exactly the draws a serial iteration would: the placement,
+    the model initialisation and every trajectory frame — so after this
+    returns, ``rng`` sits precisely where a serial run would have left
+    it.  Checkpoint ``k`` captures the state from which chunk ``k``'s
+    worker resumes (for ``k > 0`` that is "the last frame of chunk
+    ``k - 1`` is current").
+
+    ``advance_tail=False`` skips fast-forwarding through the *last*
+    chunk: no checkpoint lies beyond it, so the only thing that advance
+    buys is the stream-position invariant above.  Callers that discard
+    ``rng`` afterwards (each iteration of :func:`capture_iteration_plans`
+    owns a private child stream) save 1/``len(chunks)`` of the parent's
+    mobility cost by opting out.
+    """
+    region = network.region
+    placement = network.placement_strategy(network.node_count, region, rng)
+    model = mobility.create()
+    model.initialize(placement, region, rng)
+    checkpoints = [model.checkpoint_state(rng)]
+    for index in range(1, len(chunks)):
+        # Chunk 0 includes the current (initial) frame, so it consumes one
+        # draw-frame fewer than its length; later chunks consume exactly
+        # their length.
+        count = chunks[index - 1] - 1 if index == 1 else chunks[index - 1]
+        _advance_frames(model, count, rng)
+        checkpoints.append(model.checkpoint_state(rng))
+    if advance_tail:
+        final = chunks[-1] if len(chunks) > 1 else chunks[-1] - 1
+        _advance_frames(model, final, rng)
+    return checkpoints
+
+
+def run_shard(
+    mode: str,
+    mobility,
+    checkpoint: MobilityCheckpoint,
+    chunk_steps: int,
+    include_current: bool,
+    transmitting_range: Optional[float] = None,
+    transport: str = "pickle",
+):
+    """Worker-process body of one trajectory chunk.
+
+    Restores the chunk's mobility checkpoint (fresh model instance from
+    the picklable spec, RNG at the captured position), regenerates the
+    chunk's frames and reduces them — ``mode`` selects
+    :func:`~repro.simulation.engine.reduce_frame_statistics` (``"stats"``)
+    or :func:`~repro.simulation.engine.reduce_fixed_range` (``"fixed"``).
+    The resulting container leaves through the configured transport
+    (shared memory or pickle).
+    """
+    model = mobility.create()
+    rng = model.from_state(checkpoint)
+    if mode == "fixed":
+        if transmitting_range is None:
+            raise ConfigurationError("fixed-range shards need a transmitting_range")
+        columns = reduce_fixed_range(
+            model,
+            chunk_steps,
+            transmitting_range,
+            rng,
+            include_current=include_current,
+        )
+    elif mode == "stats":
+        columns = reduce_frame_statistics(
+            model, chunk_steps, rng, include_current=include_current
+        )
+    else:
+        raise ConfigurationError(f"unknown shard mode {mode!r}")
+    return share_columns(columns, transport)
+
+
+def capture_iteration_plans(
+    config, entropy: int, pending: List[int], chunks: List[int]
+) -> Dict[int, List[MobilityCheckpoint]]:
+    """Chunk checkpoints for every pending iteration of a config.
+
+    Iteration ``i`` is fast-forwarded on its own child stream
+    ``RandomSource(entropy).child(i)`` — the same stream a serial or
+    iteration-parallel run would use — so sharded, parallel and serial
+    execution all consume identical draws.
+    """
+    plans: Dict[int, List[MobilityCheckpoint]] = {}
+    for index in pending:
+        rng = RandomSource.from_entropy(entropy).child(index)
+        # The child stream dies with this loop iteration, so the final
+        # chunk's fast-forward (which only positions the stream) is
+        # skipped.
+        plans[index] = capture_shard_checkpoints(
+            config.network, config.mobility, chunks, rng, advance_tail=False
+        )
+    return plans

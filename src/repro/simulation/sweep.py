@@ -334,6 +334,9 @@ def sweep_parameter(
         # threads): each worker may itself own an iteration-level pool.
         # Rows are checkpointed in completion order — as soon as they
         # exist — and reordered when the sweep is assembled below.
+        from repro.simulation.shm import ensure_shared_memory_tracker
+
+        ensure_shared_memory_tracker()
         with ProcessPoolExecutor(max_workers=worker_count) as pool:
             futures = {
                 pool.submit(measure_row, parameter_name, measure, value): (index, value)

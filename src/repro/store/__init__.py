@@ -24,9 +24,10 @@ version).  This package turns that purity into a cache:
 from repro.store.codecs import SCHEMA_VERSION, decode_payload, detect_kind, encode_payload
 from repro.store.checkpoints import StoreIterationCheckpoint, StoreSweepCheckpoint
 from repro.store.keys import cache_key, canonical_json, config_payload, scale_payload
-from repro.store.result_store import ResultStore, StoreIntegrityError
+from repro.store.result_store import GcReport, ResultStore, StoreIntegrityError
 
 __all__ = [
+    "GcReport",
     "ResultStore",
     "SCHEMA_VERSION",
     "StoreIntegrityError",

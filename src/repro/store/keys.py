@@ -24,7 +24,9 @@ from repro.exceptions import ConfigurationError
 #: ``ExperimentScale`` / ``SimulationConfig`` fields that select the
 #: execution backend without affecting results (results are bit-identical
 #: for every value, see the simulation runner); they never enter a key.
-EXECUTION_FIELDS = frozenset({"workers", "sweep_workers"})
+#: ``shard_steps`` (intra-iteration trajectory sharding) and ``transport``
+#: (pickle vs shared-memory result hand-off) joined in PR 5.
+EXECUTION_FIELDS = frozenset({"workers", "sweep_workers", "shard_steps", "transport"})
 
 #: The artifact kinds of the store's key space, one per granularity.
 #: ``cache_key`` hashes the kind together with the payload, so the three

@@ -22,9 +22,11 @@ import hashlib
 import json
 import os
 import shutil
+import time
 import uuid
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, Iterator, Optional, Union
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
 
 from repro.exceptions import ConfigurationError, ReproError
 from repro.store.codecs import SCHEMA_VERSION, decode_payload, encode_payload
@@ -33,9 +35,33 @@ PathLike = Union[str, Path]
 
 _ENTRY_FILE = "entry.json"
 
+#: Staging directories older than this are certainly orphans of killed
+#: writers (a live write stages and renames within seconds); :meth:`
+#: ResultStore.gc` only sweeps past this age so it is safe to run
+#: against a store a campaign is actively writing to.
+STALE_STAGING_SECONDS = 15 * 60
+
 
 class StoreIntegrityError(ReproError):
     """A store entry exists but fails its integrity verification."""
+
+
+@dataclass(frozen=True)
+class GcReport:
+    """What one :meth:`ResultStore.gc` pass did.
+
+    Attributes:
+        scanned: entries examined.
+        evicted: entries removed (by age, then by LRU quota).
+        freed_bytes: bytes those entries occupied.
+        remaining_bytes: store payload bytes left after the pass
+            (entry files only — staging leftovers are swept separately).
+    """
+
+    scanned: int
+    evicted: int
+    freed_bytes: int
+    remaining_bytes: int
 
 
 class ResultStore:
@@ -143,11 +169,26 @@ class ResultStore:
                 f"payload sha256 {digest} != recorded {header.get('payload_sha256')}"
             )
         try:
-            return decode_payload(header["kind"], payload)
+            value = decode_payload(header["kind"], payload)
         except Exception as error:
             raise StoreIntegrityError(
                 f"store entry {key} could not be decoded: {error}"
             ) from error
+        self._touch(key)
+        return value
+
+    def _touch(self, key: str) -> None:
+        """Refresh the entry header's mtime (best-effort).
+
+        Reads bump the entry to the back of the eviction queue, which is
+        what makes :meth:`gc`'s mtime ordering LRU rather than FIFO —
+        warm campaign entries survive a quota pass that evicts results
+        nothing has read in weeks.
+        """
+        try:
+            os.utime(self._entry_dir(key) / _ENTRY_FILE)
+        except OSError:
+            pass
 
     def evict(self, key: str) -> bool:
         """Remove the entry for ``key``; ``True`` if one existed."""
@@ -156,6 +197,93 @@ class ResultStore:
             return False
         shutil.rmtree(path)
         return True
+
+    # ------------------------------------------------------------------ #
+    # Garbage collection
+    # ------------------------------------------------------------------ #
+    def _entry_stats(self) -> List[Tuple[str, float, int]]:
+        """(key, last-use mtime, bytes) of every fully written entry."""
+        stats: List[Tuple[str, float, int]] = []
+        for key in self.keys():
+            entry_dir = self._entry_dir(key)
+            try:
+                mtime = (entry_dir / _ENTRY_FILE).stat().st_mtime
+                size = sum(
+                    path.stat().st_size
+                    for path in entry_dir.iterdir()
+                    if path.is_file()
+                )
+            except OSError:
+                continue  # evicted by a concurrent writer mid-scan
+            stats.append((key, mtime, size))
+        return stats
+
+    def gc(
+        self,
+        max_bytes: Optional[int] = None,
+        max_age: Optional[float] = None,
+        now: Optional[float] = None,
+    ) -> GcReport:
+        """Evict entries by age and LRU quota; returns a :class:`GcReport`.
+
+        Two passes over the fully written entries (staging directories
+        older than :data:`STALE_STAGING_SECONDS` — orphans of killed
+        writers — are swept first; younger ones are left alone so gc is
+        safe to run while a campaign is writing):
+
+        1. every entry whose last use (header mtime — reads refresh it)
+           lies more than ``max_age`` seconds before ``now`` is evicted;
+        2. if the remaining entries still occupy more than ``max_bytes``,
+           the least recently used are evicted until the total fits.
+
+        Passing neither bound just reports the store size.  Evicting a
+        store entry is always safe: the store is a cache, and the
+        campaign layer recomputes (and re-stores) missing entries.
+
+        Args:
+            max_bytes: byte budget the surviving entries must fit in.
+            max_age: maximum seconds since last use.
+            now: reference timestamp (defaults to the current time;
+                injectable for tests).
+        """
+        if max_bytes is not None and max_bytes < 0:
+            raise ConfigurationError(
+                f"max_bytes must be non-negative, got {max_bytes}"
+            )
+        if max_age is not None and max_age < 0:
+            raise ConfigurationError(
+                f"max_age must be non-negative, got {max_age}"
+            )
+        self.clear_staging(older_than=STALE_STAGING_SECONDS)
+        reference = time.time() if now is None else float(now)
+        stats = self._entry_stats()
+        scanned = len(stats)
+        evicted = 0
+        freed = 0
+        survivors: List[Tuple[str, float, int]] = []
+        for key, mtime, size in stats:
+            if max_age is not None and reference - mtime > max_age:
+                if self.evict(key):
+                    evicted += 1
+                    freed += size
+                continue
+            survivors.append((key, mtime, size))
+        remaining = sum(size for _, _, size in survivors)
+        if max_bytes is not None and remaining > max_bytes:
+            survivors.sort(key=lambda item: item[1])  # oldest use first
+            for key, _, size in survivors:
+                if remaining <= max_bytes:
+                    break
+                if self.evict(key):
+                    evicted += 1
+                    freed += size
+                    remaining -= size
+        return GcReport(
+            scanned=scanned,
+            evicted=evicted,
+            freed_bytes=freed,
+            remaining_bytes=remaining,
+        )
 
     # ------------------------------------------------------------------ #
     def keys(self) -> Iterator[str]:
@@ -182,12 +310,28 @@ class ResultStore:
             if path.is_file()
         )
 
-    def clear_staging(self) -> int:
-        """Remove leftover staging directories from killed writers."""
+    def clear_staging(self, older_than: Optional[float] = None) -> int:
+        """Remove leftover staging directories from killed writers.
+
+        With ``older_than`` (seconds), only directories whose mtime is at
+        least that old are removed — the grace period that lets
+        :meth:`gc` run against a store a live campaign is writing to
+        without deleting an in-flight write between its staging and its
+        rename.  The default (``None``) removes everything, which is
+        right for ``campaign clean`` and other moments when no writer
+        can be active.
+        """
         if not self._staging.is_dir():
             return 0
+        cutoff = None if older_than is None else time.time() - older_than
         removed = 0
         for stale in self._staging.iterdir():
+            if cutoff is not None:
+                try:
+                    if stale.stat().st_mtime > cutoff:
+                        continue
+                except OSError:
+                    continue  # the writer just renamed or removed it
             shutil.rmtree(stale, ignore_errors=True)
             removed += 1
         return removed

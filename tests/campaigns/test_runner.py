@@ -711,3 +711,77 @@ class TestSchedulerTaskWidth:
             sweep_measure=lambda scale: (lambda value: {"metric": value}),
         )
         assert prepared(fixed).width == 1
+
+    def test_width_folds_shard_capacity_for_long_trajectories(
+        self, matrix_experiment, store
+    ):
+        """With iterations declared AND a long trajectory, spare workers
+        fold into intra-iteration shards: width = iterations x shards."""
+        from repro.campaigns.scheduler import CampaignScheduler, _SweepJob
+        from repro.simulation.sharding import MIN_SHARD_STEPS, max_useful_shards
+
+        experiment, _ = matrix_experiment
+        spec = CampaignSpec.from_dict({
+            "name": "matrix-long",
+            "experiments": [MATRIX_ID],
+            "scale": "smoke",
+            "overrides": {
+                "sides": [40.0],
+                "steps": 4 * MIN_SHARD_STEPS,
+                "iterations": 3,
+                "stationary_iterations": 1,
+            },
+        })
+        scenario = spec.scenarios()[0]
+        scheduler = CampaignScheduler(
+            CampaignRunner(spec, store, total_workers=8), 8
+        )
+        job = _SweepJob(
+            key=scenario_sweep_key(experiment, scenario.scale),
+            experiment=experiment,
+            scenario=scenario,
+        )
+        scheduler._prepare(job, lambda message: None)
+        assert max_useful_shards(scenario.scale.steps) == 4
+        assert job.width == 3 * 4
+
+
+class TestSchedulerProgress:
+    def test_per_task_completion_events_stream(self, matrix_experiment, store):
+        """The scheduler reports every finished task (scenario, value,
+        coverage), not just one line per finished scenario."""
+        experiment, _ = matrix_experiment
+        spec = matrix_spec()
+        lines = []
+        CampaignRunner(spec, store, total_workers=2).run(progress=lines.append)
+        scenario_ids = [scenario.scenario_id for scenario in spec.scenarios()]
+        values = [40.0, 80.0, 120.0]
+        for scenario_id in scenario_ids:
+            events = [
+                line
+                for line in lines
+                if line.startswith(f"{scenario_id}: value") and "done" in line
+            ]
+            # One completion event per parameter value of the scenario.
+            assert len(events) == len(values), lines
+            for value in values:
+                assert any(f"value {value:g} done" in line for line in events)
+            # Events carry coverage counts and the task's worker shape.
+            assert any("3/3 values" in line for line in events)
+            assert all("iteration(s)" in line and "workers=" in line for line in events)
+            # The scenario summary line still follows the stream.
+            assert any(
+                line.startswith(f"{scenario_id}: computed") for line in lines
+            )
+
+    def test_progress_events_preserve_results(self, matrix_experiment, store):
+        """Streaming progress must not disturb scheduling semantics."""
+        experiment, _ = matrix_experiment
+        spec = matrix_spec()
+        silent_store = ResultStore(store.root.parent / "silent")
+        loud = CampaignRunner(spec, store, total_workers=2).run(
+            progress=lambda line: None
+        )
+        silent = CampaignRunner(spec, silent_store, total_workers=2).run()
+        for mine, theirs in zip(loud.outcomes, silent.outcomes):
+            assert mine.sweep.rows == theirs.sweep.rows

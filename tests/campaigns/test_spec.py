@@ -77,6 +77,29 @@ class TestValidation:
             )
         assert "workers" in str(error.value)
 
+    def test_rejects_every_execution_field(self):
+        """All execution-only knobs excluded from cache keys must also be
+        rejected as spec fields — matrix cells differing only in one
+        would collide on a single cache key (regression: shard_steps and
+        transport were added to EXECUTION_FIELDS in PR 5)."""
+        from repro.store.keys import EXECUTION_FIELDS
+
+        for knob, value in [
+            ("workers", 2),
+            ("sweep_workers", 2),
+            ("shard_steps", 100),
+            ("transport", "shm"),
+        ]:
+            assert knob in EXECUTION_FIELDS
+            with pytest.raises(ConfigurationError):
+                CampaignSpec(
+                    name="x", experiments=("fig2",), overrides=((knob, value),)
+                )
+            with pytest.raises(ConfigurationError):
+                CampaignSpec(
+                    name="x", experiments=("fig2",), matrix=((knob, (value,)),)
+                )
+
     def test_rejects_empty_matrix_values(self):
         with pytest.raises(ConfigurationError):
             CampaignSpec(name="x", experiments=("fig2",), matrix=(("seed", ()),))

@@ -20,6 +20,7 @@ import pytest
 
 from repro.geometry.region import Region
 from repro.mobility.drunkard import DrunkardModel
+from repro.mobility.gauss_markov import GaussMarkovModel
 from repro.mobility.random_direction import RandomDirectionModel
 from repro.mobility.stationary import StationaryModel
 from repro.mobility.waypoint import RandomWaypointModel
@@ -51,6 +52,16 @@ MODEL_BUILDERS = {
     "random-direction-boundary": lambda side: RandomDirectionModel(
         # One step crosses the whole region: every move reflects off a wall.
         speed=1.5 * side, travel_steps=4, tpause=1
+    ),
+    "gauss-markov": lambda side: GaussMarkovModel(
+        mean_speed=0.02 * side, alpha=0.7, noise_std=0.01 * side
+    ),
+    "gauss-markov-stationary": lambda side: GaussMarkovModel(
+        mean_speed=0.03 * side, alpha=0.5, noise_std=0.02 * side, pstationary=0.4
+    ),
+    "gauss-markov-boundary": lambda side: GaussMarkovModel(
+        # Mean step crosses the whole region: every move reflects off a wall.
+        mean_speed=1.5 * side, alpha=0.9, noise_std=0.2 * side
     ),
     "stationary": lambda side: StationaryModel(),
 }
@@ -92,7 +103,13 @@ def test_trajectory_bit_identical_to_steps(name, seed):
 
 
 @pytest.mark.parametrize(
-    "name", ["waypoint-paused", "drunkard-boundary", "random-direction-boundary"]
+    "name",
+    [
+        "waypoint-paused",
+        "drunkard-boundary",
+        "random-direction-boundary",
+        "gauss-markov-boundary",
+    ],
 )
 @pytest.mark.parametrize("dimension", [1, 2, 3])
 def test_trajectory_bit_identical_across_dimensions(name, dimension):
@@ -104,7 +121,8 @@ def test_trajectory_bit_identical_across_dimensions(name, dimension):
 
 
 @pytest.mark.parametrize(
-    "name", ["waypoint-paused", "drunkard", "random-direction-paused"]
+    "name",
+    ["waypoint-paused", "drunkard", "random-direction-paused", "gauss-markov"],
 )
 def test_interleaving_trajectory_and_step(name):
     """trajectory → step → trajectory stays on the sequential stream."""
@@ -216,6 +234,21 @@ def test_random_direction_long_pause_spans_trajectory_boundary():
         produced += count
     assert np.array_equal(reference, np.concatenate(chunks))
     assert np.array_equal(rng_a.random(4), rng_b.random(4))
+
+
+def test_gauss_markov_stationary_nodes_pinned_in_trajectory():
+    region = Region.square(50.0)
+    rng = np.random.default_rng(24)
+    model = GaussMarkovModel(mean_speed=2.0, alpha=0.6, noise_std=1.0, pstationary=0.5)
+    initial = model.initialize(region.sample_uniform(25, rng), region, rng)
+    mask = model.state.stationary_mask
+    frames = model.trajectory(40, rng)
+    assert mask.any()
+    assert np.array_equal(
+        frames[:, mask], np.broadcast_to(initial[mask], (40,) + initial[mask].shape)
+    )
+    moved = np.abs(frames[-1][~mask] - initial[~mask]).max()
+    assert moved > 0.0
 
 
 def test_waypoint_stationary_nodes_pinned_in_trajectory():

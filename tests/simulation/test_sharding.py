@@ -1,0 +1,270 @@
+"""Intra-iteration sharding: bit-identical to serial for every split.
+
+The contract of :mod:`repro.simulation.sharding` is that an iteration cut
+into chunks at *any* boundaries — executed serially or by worker
+processes, through either transport — produces exactly the serial run's
+containers and leaves the parent's random stream at the serial position.
+Checked here:
+
+* mobility checkpoint/restore round trips (``checkpoint_state`` /
+  ``from_state``) continue every model bit-for-bit, including the RNG,
+  across pickling;
+* sharded ``collect_frame_statistics`` / ``run_fixed_range`` equal the
+  serial run for all models, explicit chunk sizes (hypothesis-driven
+  boundaries included), worker counts and transports;
+* auto-sharding engages exactly when workers outnumber pending
+  iterations and the trajectory is long enough;
+* sharded runs save the same per-iteration checkpoints as serial runs.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError
+from repro.geometry.region import Region
+from repro.simulation.config import MobilitySpec, NetworkConfig, SimulationConfig
+from repro.simulation.runner import collect_frame_statistics, run_fixed_range
+from repro.simulation.sharding import (
+    MIN_SHARD_STEPS,
+    capture_shard_checkpoints,
+    max_useful_shards,
+    resolve_shard_plan,
+    shard_plan,
+)
+
+SIDE = 90.0
+
+MOBILITY_SPECS = {
+    "stationary": MobilitySpec.stationary(),
+    "waypoint": MobilitySpec.paper_waypoint(SIDE, tpause=4),
+    "drunkard": MobilitySpec.paper_drunkard(SIDE),
+    "random-direction": MobilitySpec(
+        name="random-direction",
+        parameters={"speed": 2.0, "travel_steps": 6, "tpause": 2},
+    ),
+    "gauss-markov": MobilitySpec(
+        name="gauss-markov",
+        parameters={"mean_speed": 1.5, "alpha": 0.6, "noise_std": 1.0},
+    ),
+    "rpgm": MobilitySpec(
+        name="rpgm", parameters={"group_count": 3, "member_radius": 8.0}
+    ),
+}
+
+
+def make_config(mobility_name, steps=31, iterations=2, **overrides):
+    defaults = dict(
+        network=NetworkConfig(node_count=11, side=SIDE, dimension=2),
+        mobility=MOBILITY_SPECS[mobility_name],
+        steps=steps,
+        iterations=iterations,
+        seed=20020623,
+        transmitting_range=0.35 * SIDE,
+    )
+    defaults.update(overrides)
+    return SimulationConfig(**defaults)
+
+
+class TestShardPlan:
+    def test_even_and_ragged_splits(self):
+        assert shard_plan(10, 5) == [5, 5]
+        assert shard_plan(11, 5) == [5, 5, 1]
+        assert shard_plan(3, 10) == [3]
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ConfigurationError):
+            shard_plan(10, 0)
+        with pytest.raises(ConfigurationError):
+            shard_plan(0, 5)
+
+    def test_explicit_wins_over_auto(self):
+        config = make_config("waypoint", steps=40)
+        assert resolve_shard_plan(config, 2, shard_steps=15) == [15, 15, 10]
+        assert resolve_shard_plan(config.with_shard_steps(20), 2) == [20, 20]
+
+    def test_single_chunk_plans_are_none(self):
+        config = make_config("waypoint", steps=40)
+        assert resolve_shard_plan(config, 2, shard_steps=40) is None
+        assert resolve_shard_plan(config, 2, shard_steps=100) is None
+
+    def test_auto_requires_spare_workers_and_long_trajectories(self):
+        short = make_config("waypoint", steps=40)
+        # workers <= pending iterations: no sharding.
+        assert resolve_shard_plan(short.with_workers(2), 2) is None
+        # spare workers but trajectory too short to split usefully.
+        assert resolve_shard_plan(short.with_workers(8), 2) is None
+        long = make_config("waypoint", steps=4 * MIN_SHARD_STEPS)
+        plan = resolve_shard_plan(long.with_workers(4), 1)
+        assert plan is not None and len(plan) == 4
+        assert sum(plan) == long.steps
+        # capped by what the trajectory can usefully carry.
+        plan = resolve_shard_plan(long.with_workers(64), 1)
+        assert len(plan) == max_useful_shards(long.steps)
+
+    def test_no_pending_iterations(self):
+        config = make_config("waypoint", steps=400)
+        assert resolve_shard_plan(config.with_workers(8), 0) is None
+
+
+class TestMobilityCheckpoints:
+    @pytest.mark.parametrize("name", sorted(MOBILITY_SPECS))
+    def test_checkpoint_round_trip_is_bit_identical(self, name):
+        """Restore mid-run (after pickling) and continue bit-for-bit."""
+        spec = MOBILITY_SPECS[name]
+        region = Region(side=SIDE, dimension=2)
+        rng = np.random.default_rng(5)
+        model = spec.create()
+        model.initialize(region.sample_uniform(9, rng), region, rng)
+        model.trajectory(17, rng)
+        frozen = pickle.loads(pickle.dumps(model.checkpoint_state(rng)))
+        continued = model.trajectory(23, rng)
+        restored = spec.create()
+        restored_rng = restored.from_state(frozen)
+        resumed = restored.trajectory(23, restored_rng)
+        assert np.array_equal(continued, resumed)
+        assert np.array_equal(rng.random(8), restored_rng.random(8))
+        assert restored.state.step_index == model.state.step_index
+
+    def test_checkpoint_is_immune_to_further_stepping(self):
+        spec = MOBILITY_SPECS["waypoint"]
+        region = Region(side=SIDE, dimension=2)
+        rng = np.random.default_rng(3)
+        model = spec.create()
+        model.initialize(region.sample_uniform(6, rng), region, rng)
+        frozen = model.checkpoint_state(rng)
+        reference = pickle.dumps(frozen)
+        model.trajectory(40, rng)  # must not mutate the snapshot
+        assert pickle.dumps(frozen) == reference
+
+    def test_capture_leaves_parent_stream_at_serial_position(self):
+        """The fast-forwarding parent consumes exactly the serial draws."""
+        config = make_config("waypoint", steps=50)
+        serial_rng = np.random.default_rng(11)
+        region = config.network.region
+        placement = config.network.placement_strategy(
+            config.network.node_count, region, serial_rng
+        )
+        model = config.mobility.create()
+        model.initialize(placement, region, serial_rng)
+        model.trajectory(config.steps, serial_rng)
+
+        shard_rng = np.random.default_rng(11)
+        checkpoints = capture_shard_checkpoints(
+            config.network, config.mobility, shard_plan(50, 13), shard_rng
+        )
+        assert len(checkpoints) == len(shard_plan(50, 13))
+        assert np.array_equal(serial_rng.random(8), shard_rng.random(8))
+
+
+class TestShardedEquality:
+    @pytest.mark.parametrize("name", sorted(MOBILITY_SPECS))
+    @pytest.mark.parametrize("shard_steps", [1, 7, 16, 31])
+    def test_frame_statistics_all_models_and_chunk_sizes(self, name, shard_steps):
+        config = make_config(name)
+        serial = collect_frame_statistics(config)
+        sharded = collect_frame_statistics(config, shard_steps=shard_steps)
+        assert all(a == b for a, b in zip(serial, sharded))
+        assert len(serial) == len(sharded)
+
+    @pytest.mark.parametrize("name", ["waypoint", "drunkard", "gauss-markov"])
+    def test_fixed_range_matches_serial(self, name):
+        config = make_config(name)
+        serial = run_fixed_range(config)
+        for shard_steps in (5, 12):
+            assert run_fixed_range(config, shard_steps=shard_steps) == serial
+
+    @pytest.mark.parametrize("transport", ["pickle", "shm", "auto"])
+    def test_sharded_process_pool_matches_serial(self, transport):
+        config = make_config("waypoint")
+        serial = collect_frame_statistics(config)
+        sharded = collect_frame_statistics(
+            config.with_workers(3).with_transport(transport), shard_steps=8
+        )
+        assert all(a == b for a, b in zip(serial, sharded))
+
+    def test_auto_sharding_when_workers_exceed_iterations(self):
+        config = make_config(
+            "drunkard", steps=3 * MIN_SHARD_STEPS, iterations=1
+        )
+        serial = collect_frame_statistics(config)
+        auto = collect_frame_statistics(config.with_workers(3))
+        assert all(a == b for a, b in zip(serial, auto))
+
+    @settings(max_examples=12, deadline=None)
+    @given(
+        data=st.data(),
+        name=st.sampled_from(sorted(MOBILITY_SPECS)),
+    )
+    def test_hypothesis_chunk_boundaries(self, data, name):
+        """Arbitrary contiguous partitions reproduce the serial run."""
+        steps = 23
+        config = make_config(name, steps=steps, iterations=1)
+        serial = collect_frame_statistics(config)
+        shard_steps = data.draw(
+            st.integers(min_value=1, max_value=steps - 1), label="shard_steps"
+        )
+        sharded = collect_frame_statistics(config, shard_steps=shard_steps)
+        assert all(a == b for a, b in zip(serial, sharded))
+
+
+class TestShardedCheckpoints:
+    class RecordingCheckpoint:
+        def __init__(self):
+            self.saved = {}
+
+        def load(self, index):
+            return None
+
+        def save(self, index, result):
+            self.saved[index] = result
+
+    def test_sharded_run_saves_serial_iteration_results(self):
+        config = make_config("waypoint", iterations=3)
+        serial = collect_frame_statistics(config)
+        recorder = self.RecordingCheckpoint()
+        collect_frame_statistics(config, checkpoint=recorder, shard_steps=9)
+        assert sorted(recorder.saved) == [0, 1, 2]
+        for index, result in recorder.saved.items():
+            assert result == serial[index]
+
+    def test_sharded_resume_skips_loaded_iterations(self):
+        config = make_config("drunkard", iterations=3)
+        serial = collect_frame_statistics(config)
+
+        class Preloaded(self.RecordingCheckpoint):
+            def load(self, index):
+                return serial[index] if index == 1 else None
+
+        checkpoint = Preloaded()
+        resumed = collect_frame_statistics(
+            config, checkpoint=checkpoint, shard_steps=9
+        )
+        assert sorted(checkpoint.saved) == [0, 2]
+        assert all(a == b for a, b in zip(serial, resumed))
+
+    def test_fixed_range_sharded_checkpoint_records(self):
+        config = make_config("waypoint", iterations=2)
+        serial = run_fixed_range(config)
+        recorder = self.RecordingCheckpoint()
+        sharded = run_fixed_range(config, checkpoint=recorder, shard_steps=9)
+        assert sharded == serial
+        assert sorted(recorder.saved) == [0, 1]
+        for index, records in recorder.saved.items():
+            assert records == serial.iterations[index].records
+
+
+def test_auto_plans_keep_every_chunk_at_the_floor():
+    """Balanced auto splits never cut a chunk below MIN_SHARD_STEPS."""
+    for steps in (193, 2 * MIN_SHARD_STEPS, 10 * MIN_SHARD_STEPS + 17, 10000):
+        for workers in (2, 3, 5, 64):
+            config = make_config("waypoint", steps=steps, iterations=1)
+            plan = resolve_shard_plan(config.with_workers(workers), 1)
+            if plan is None:
+                continue
+            assert sum(plan) == steps
+            assert min(plan) >= MIN_SHARD_STEPS, (steps, workers, plan)
+            assert max(plan) - min(plan) <= 1, (steps, workers, plan)

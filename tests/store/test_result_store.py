@@ -200,3 +200,94 @@ class TestStoreSweepCheckpoint:
         next((tmp_path / "store").rglob("data.json")).write_text("junk")
         assert checkpoint.load(256.0) is None
         assert not store.contains(checkpoint.key_for(256.0))
+
+
+class TestGc:
+    def _fill(self, store, count, mtimes=None):
+        """Write ``count`` sweep entries; optionally pin their mtimes."""
+        import os
+
+        keys = []
+        for index in range(count):
+            key = cache_key("sweep", {"gc": index})
+            store.put(key, make_sweep())
+            keys.append(key)
+        if mtimes is not None:
+            for key, mtime in zip(keys, mtimes):
+                os.utime(store._entry_dir(key) / "entry.json", (mtime, mtime))
+        return keys
+
+    def test_no_bounds_reports_only(self, store):
+        self._fill(store, 3)
+        report = store.gc()
+        assert report.scanned == 3
+        assert report.evicted == 0
+        assert report.remaining_bytes == store.size_bytes()
+
+    def test_age_eviction(self, store):
+        now = 10_000.0
+        keys = self._fill(store, 3, mtimes=[now - 500, now - 50, now - 5])
+        report = store.gc(max_age=100, now=now)
+        assert report.evicted == 1
+        assert not store.contains(keys[0])
+        assert store.contains(keys[1]) and store.contains(keys[2])
+
+    def test_lru_quota_eviction_drops_oldest_first(self, store):
+        now = 10_000.0
+        keys = self._fill(store, 4, mtimes=[now - 40, now - 30, now - 20, now - 10])
+        sizes = {key: size for key, _, size in store._entry_stats()}
+        budget = sizes[keys[2]] + sizes[keys[3]]
+        report = store.gc(max_bytes=budget, now=now)
+        assert report.evicted == 2
+        assert not store.contains(keys[0]) and not store.contains(keys[1])
+        assert store.contains(keys[2]) and store.contains(keys[3])
+        assert report.remaining_bytes <= budget
+
+    def test_get_refreshes_lru_position(self, store):
+        import os
+
+        now = 10_000.0
+        keys = self._fill(store, 2, mtimes=[now - 100, now - 50])
+        # Read the older entry: it becomes the most recently used.
+        store.get(keys[0])
+        stats = {key: mtime for key, mtime, _ in store._entry_stats()}
+        assert stats[keys[0]] > stats[keys[1]]
+        sizes = {key: size for key, _, size in store._entry_stats()}
+        report = store.gc(max_bytes=sizes[keys[0]])
+        assert report.evicted == 1
+        assert store.contains(keys[0])  # survived thanks to the read
+        assert not store.contains(keys[1])
+
+    def test_gc_clears_stale_staging_but_spares_live_writers(self, store):
+        import os
+        import time
+
+        from repro.store.result_store import STALE_STAGING_SECONDS
+
+        self._fill(store, 1)
+        staging = store.root / "staging"
+        staging.mkdir(parents=True, exist_ok=True)
+        (staging / "orphan").mkdir()
+        old = time.time() - STALE_STAGING_SECONDS - 60
+        os.utime(staging / "orphan", (old, old))
+        (staging / "in-flight").mkdir()  # fresh: a live writer mid-put
+        store.gc()
+        assert not (staging / "orphan").exists()
+        assert (staging / "in-flight").exists()
+        # clean-style unconditional sweeps still remove everything.
+        store.clear_staging()
+        assert not list(staging.iterdir())
+
+    def test_zero_byte_budget_empties_the_store(self, store):
+        keys = self._fill(store, 3)
+        report = store.gc(max_bytes=0)
+        assert report.evicted == 3
+        assert report.remaining_bytes == 0
+        for key in keys:
+            assert not store.contains(key)
+
+    def test_rejects_negative_bounds(self, store):
+        with pytest.raises(ConfigurationError):
+            store.gc(max_bytes=-1)
+        with pytest.raises(ConfigurationError):
+            store.gc(max_age=-1)

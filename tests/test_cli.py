@@ -144,3 +144,48 @@ class TestCampaignCli:
         saved = json.loads((out_dir / "fig2.json").read_text())
         assert saved["metadata"]["campaign"] == "cli-demo"
         assert saved["rows"]
+
+    def test_campaign_gc(self, capsys, tmp_path):
+        spec = self.write_spec(tmp_path)
+        store = tmp_path / "store"
+        assert main(["campaign", "run", str(spec), "--store", str(store),
+                     "--quiet"]) == 0
+        capsys.readouterr()
+
+        # A generous budget evicts nothing.
+        assert main(["campaign", "gc", "--store", str(store),
+                     "--max-bytes", "100000000"]) == 0
+        assert "evicted 0" in capsys.readouterr().out
+
+        # A 1-byte budget empties the store; the warm path then recomputes.
+        assert main(["campaign", "gc", "--store", str(store),
+                     "--max-bytes", "1"]) == 0
+        output = capsys.readouterr().out
+        assert "evicted 0" not in output and "evicted" in output
+        assert main(["campaign", "status", str(spec), "--store", str(store)]) == 0
+        assert "0/1 scenario(s) complete" in capsys.readouterr().out
+
+        # Idempotent on an empty store.
+        assert main(["campaign", "gc", "--store", str(store)]) == 0
+        assert "scanned 0" in capsys.readouterr().out
+
+
+class TestExecutionFlags:
+    def test_shard_steps_and_transport_flags_parse(self):
+        arguments = build_parser().parse_args(
+            ["run", "fig2", "--scale", "smoke", "--shard-steps", "4",
+             "--transport", "shm"]
+        )
+        assert arguments.shard_steps == 4
+        assert arguments.transport == "shm"
+
+    def test_run_with_shard_steps_matches_default(self, capsys):
+        baseline = main(["run", "fig2", "--scale", "smoke"])
+        base_output = capsys.readouterr().out
+        assert baseline == 0
+        assert main(["run", "fig2", "--scale", "smoke", "--shard-steps", "7",
+                     "--transport", "pickle"]) == 0
+        sharded_output = capsys.readouterr().out
+        # The rendered table (all measured numbers) must be identical.
+        table = lambda text: text[text.index("fig2 (smoke scale)"):]
+        assert table(sharded_output) == table(base_output)
