@@ -36,7 +36,13 @@
 #    and >= 1.5x faster at 4 workers on hosts with >= 4 cores.
 # 11. A campaign gc smoke through the real CLI: a tight --max-bytes
 #    budget evicts entries, a second run under the same budget is stable.
-# 12. Every benchmark above writes a BENCH_<name>.json summary into
+# 12. The backend lane: the kernel-parity tests run explicitly (every
+#    host backend — numpy and the numpy-strict verification backend —
+#    must produce bit-identical kernel outputs), and the backend
+#    dispatch benchmark must pass at smoke scale: the seam's default
+#    NumPy path < 2% over hand-inlined pre-seam NumPy; GPU bars are
+#    timed only on hosts that can resolve a device backend.
+# 13. Every benchmark above writes a BENCH_<name>.json summary into
 #    $REPRO_BENCH_OUT; they are collected and printed at the end, so the
 #    perf trajectory is tracked as structured data across PRs.
 set -eu
@@ -86,6 +92,11 @@ REPRO_BENCH_SCALE=smoke PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
 
 REPRO_BENCH_SCALE=smoke PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
     python -m pytest benchmarks/bench_iteration_sharding.py -q
+
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest tests/backend -q
+
+REPRO_BENCH_SCALE=smoke PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
+    python -m pytest benchmarks/bench_backend_dispatch.py -q
 
 GC_STORE="$(mktemp -d)"
 trap 'rm -rf "$CAMPAIGN_STORE" "$SCHEDULER_STORE" "$GC_STORE"' EXIT

@@ -14,7 +14,11 @@ ResultStore`:
 * :mod:`repro.campaigns.scheduler` — :class:`CampaignScheduler`: the
   concurrent execution path behind ``run(total_workers=W)``, running
   independent scenarios together under one worker budget and rebalancing
-  freed workers into the scenarios still running.
+  freed workers into the scenarios still running;
+* :mod:`repro.campaigns.progress` — the structured progress events both
+  execution paths emit at their ``progress`` callback (cache hits,
+  finished tasks, finished scenarios), plus the text renderer the CLI
+  consumes them with.
 
 A campaign re-run with an identical spec against a warm store is a pure
 cache hit, bit-identical to a cold serial run; a campaign killed mid-grid
@@ -22,6 +26,13 @@ resumes exactly where it stopped — at the first unfinished iteration for
 experiments that checkpoint per iteration.
 """
 
+from repro.campaigns.progress import (
+    CacheHit,
+    EntryEvicted,
+    ProgressEvent,
+    ScenarioCompleted,
+    TaskCompleted,
+)
 from repro.campaigns.runner import (
     CampaignResult,
     CampaignRunner,
@@ -32,11 +43,16 @@ from repro.campaigns.scheduler import CampaignScheduler
 from repro.campaigns.spec import CampaignSpec, Scenario
 
 __all__ = [
+    "CacheHit",
     "CampaignResult",
     "CampaignRunner",
     "CampaignScheduler",
     "CampaignSpec",
+    "EntryEvicted",
+    "ProgressEvent",
     "Scenario",
+    "ScenarioCompleted",
     "ScenarioOutcome",
     "ScenarioStatus",
+    "TaskCompleted",
 ]

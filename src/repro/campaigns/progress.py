@@ -1,0 +1,123 @@
+"""Structured campaign progress events.
+
+The runner and scheduler used to push preformatted strings at their
+``progress`` callback, which welded every consumer — CLI, tests, any
+monitoring hook — to one hard-coded text layout.  They now emit typed
+event objects carrying the underlying facts (scenario id, parameter
+value, coverage counts, worker shape), and rendering becomes the
+consumer's concern: :func:`render` reproduces the established one-line
+text form, and :func:`as_text` adapts any ``str`` sink (``print``, a log
+handle) into an event consumer — the CLI's default.  A consumer that
+wants the numbers (a progress bar, a dashboard, a structured log) reads
+the event fields directly instead of parsing text.
+
+Events are plain frozen dataclasses, not an enum-tagged union: consumers
+dispatch with ``isinstance`` and unknown future event types fall through
+harmlessly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Union
+
+__all__ = [
+    "CacheHit",
+    "EntryEvicted",
+    "ProgressEvent",
+    "ScenarioCompleted",
+    "TaskCompleted",
+    "as_text",
+    "render",
+]
+
+
+@dataclass(frozen=True)
+class CacheHit:
+    """A scenario's complete sweep was served from the store."""
+
+    scenario_id: str
+    key: str
+
+    def render(self) -> str:
+        return f"{self.scenario_id}: cache hit ({self.key[:12]})"
+
+
+@dataclass(frozen=True)
+class EntryEvicted:
+    """A corrupt or vanished store entry was evicted; recomputing."""
+
+    scenario_id: str
+
+    def render(self) -> str:
+        return f"{self.scenario_id}: unusable entry evicted, recomputing"
+
+
+@dataclass(frozen=True)
+class TaskCompleted:
+    """One scheduler task finished (a parameter value, or an atomic sweep).
+
+    Attributes:
+        scenario_id: the scenario the task belongs to.
+        value: the parameter value measured, ``None`` for atomic tasks.
+        values_done: rows of the scenario's sweep present so far.
+        values_total: rows the complete sweep needs.
+        workers: the worker allotment the task ran with.
+        iterations: the experiment's declared iterations per value, when
+            it checkpoints at iteration granularity (``None`` otherwise).
+        atomic: ``True`` when the whole sweep ran as one task.
+    """
+
+    scenario_id: str
+    value: Optional[float]
+    values_done: int
+    values_total: int
+    workers: int
+    iterations: Optional[int] = None
+    atomic: bool = False
+
+    def render(self) -> str:
+        if self.atomic:
+            return (
+                f"{self.scenario_id}: task done "
+                f"(atomic, workers={self.workers})"
+            )
+        detail = f"workers={self.workers}"
+        if self.iterations:
+            detail = f"{self.iterations} iteration(s), {detail}"
+        return (
+            f"{self.scenario_id}: value {self.value:g} done "
+            f"({self.values_done}/{self.values_total} values; {detail})"
+        )
+
+
+@dataclass(frozen=True)
+class ScenarioCompleted:
+    """A scenario's full sweep landed in the store."""
+
+    scenario_id: str
+    computed_values: int
+    loaded_values: int
+
+    def render(self) -> str:
+        return (
+            f"{self.scenario_id}: computed {self.computed_values} "
+            f"value(s), resumed {self.loaded_values} from checkpoints"
+        )
+
+
+ProgressEvent = Union[CacheHit, EntryEvicted, TaskCompleted, ScenarioCompleted]
+
+
+def render(event: ProgressEvent) -> str:
+    """The canonical one-line text form of ``event``."""
+    return event.render()
+
+
+def as_text(sink: Callable[[str], None]) -> Callable[[ProgressEvent], None]:
+    """Adapt a ``str`` consumer (``print``, a log handle) to events."""
+
+    def consume(event: ProgressEvent) -> None:
+        sink(render(event))
+
+    return consume

@@ -33,6 +33,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
+from repro.campaigns.progress import (
+    CacheHit,
+    EntryEvicted,
+    ProgressEvent,
+    ScenarioCompleted,
+)
 from repro.campaigns.spec import CampaignSpec, Scenario
 from repro.experiments.registry import Experiment, ExperimentScale, get_experiment
 from repro.simulation.sweep import SweepResult
@@ -211,7 +217,7 @@ class CampaignRunner:
         return keys
 
     def probe_sweep(
-        self, scenario: Scenario, key: str, say: Callable[[str], None]
+        self, scenario: Scenario, key: str, say: Callable[[ProgressEvent], None]
     ) -> Optional[SweepResult]:
         """The stored sweep under ``key``, or ``None`` to (re)compute.
 
@@ -226,18 +232,16 @@ class CampaignRunner:
             sweep = self.store.get(key)
         except (KeyError, StoreIntegrityError):
             self.store.evict(key)
-            say(
-                f"{scenario.scenario_id}: unusable entry evicted, recomputing"
-            )
+            say(EntryEvicted(scenario_id=scenario.scenario_id))
             return None
-        say(f"{scenario.scenario_id}: cache hit ({key[:12]})")
+        say(CacheHit(scenario_id=scenario.scenario_id, key=key))
         return sweep
 
     # ------------------------------------------------------------------ #
     def run(
         self,
         resume: bool = True,
-        progress: Optional[Callable[[str], None]] = None,
+        progress: Optional[Callable[[ProgressEvent], None]] = None,
     ) -> CampaignResult:
         """Run every scenario of the grid, reusing the store where possible.
 
@@ -254,8 +258,12 @@ class CampaignRunner:
                 is itself checkpointed, so even a fresh run is kill-safe —
                 and sweeps shared between scenarios are still computed
                 only once per run).
-            progress: optional callable receiving one human-readable line
-                per scenario (the CLI passes ``print``).
+            progress: optional callable receiving one structured
+                :data:`~repro.campaigns.progress.ProgressEvent` per
+                reportable fact (cache hits, finished tasks, finished
+                scenarios).  Text consumers wrap a ``str`` sink with
+                :func:`repro.campaigns.progress.as_text` — the CLI passes
+                ``as_text(print)``.
         """
         if self.total_workers is not None:
             from repro.campaigns.scheduler import CampaignScheduler
@@ -263,7 +271,7 @@ class CampaignRunner:
             return CampaignScheduler(self, self.total_workers).run(
                 resume=resume, progress=progress
             )
-        say = progress if progress is not None else (lambda message: None)
+        say = progress if progress is not None else (lambda event: None)
         if not resume:
             for scenario in self.spec.scenarios():
                 self.evict_scenario(
@@ -311,8 +319,11 @@ class CampaignRunner:
             )
             outcomes.append(outcome)
             say(
-                f"{scenario.scenario_id}: computed {outcome.computed_values} "
-                f"value(s), resumed {outcome.loaded_values} from checkpoints"
+                ScenarioCompleted(
+                    scenario_id=scenario.scenario_id,
+                    computed_values=outcome.computed_values,
+                    loaded_values=outcome.loaded_values,
+                )
             )
         return CampaignResult(spec=self.spec, outcomes=outcomes)
 
@@ -398,7 +409,7 @@ def run_campaign(
     workers: Optional[int] = None,
     sweep_workers: Optional[int] = None,
     total_workers: Optional[int] = None,
-    progress: Optional[Callable[[str], None]] = None,
+    progress: Optional[Callable[[ProgressEvent], None]] = None,
 ) -> CampaignResult:
     """One-call convenience wrapper around :class:`CampaignRunner`."""
     runner = CampaignRunner(

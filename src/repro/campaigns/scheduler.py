@@ -43,6 +43,11 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from repro.campaigns.progress import (
+    ProgressEvent,
+    ScenarioCompleted,
+    TaskCompleted,
+)
 from repro.campaigns.spec import Scenario
 from repro.experiments.registry import (
     Experiment,
@@ -128,10 +133,12 @@ class CampaignScheduler:
     def run(
         self,
         resume: bool = True,
-        progress: Optional[Callable[[str], None]] = None,
+        progress: Optional[Callable[[ProgressEvent], None]] = None,
     ):
         """Scheduler counterpart of :meth:`CampaignRunner.run` (same
-        semantics, same return type, scenarios concurrent)."""
+        semantics, same return type, scenarios concurrent).  ``progress``
+        receives structured :data:`~repro.campaigns.progress.ProgressEvent`
+        objects (see :meth:`CampaignRunner.run`)."""
         from repro.campaigns.runner import (
             CampaignResult,
             ScenarioOutcome,
@@ -139,7 +146,7 @@ class CampaignScheduler:
         )
 
         runner = self.runner
-        say = progress if progress is not None else (lambda message: None)
+        say = progress if progress is not None else (lambda event: None)
         if not resume:
             for scenario in runner.spec.scenarios():
                 runner.evict_scenario(
@@ -191,7 +198,7 @@ class CampaignScheduler:
         return CampaignResult(spec=runner.spec, outcomes=outcomes)
 
     # ------------------------------------------------------------------ #
-    def _prepare(self, job: _SweepJob, say: Callable[[str], None]) -> None:
+    def _prepare(self, job: _SweepJob, say: Callable[[ProgressEvent], None]) -> None:
         """Decompose one job into value tasks (or mark it atomic)."""
         experiment = job.experiment
         scale = job.scenario.scale
@@ -234,7 +241,7 @@ class CampaignScheduler:
             # Every row was checkpointed: the sweep reassembles for free.
             self._finish(job, say)
 
-    def _finish(self, job: _SweepJob, say: Callable[[str], None]) -> None:
+    def _finish(self, job: _SweepJob, say: Callable[[ProgressEvent], None]) -> None:
         """Assemble a completed decomposed job and persist its sweep."""
         job.sweep = SweepResult(
             parameter_name=job.experiment.parameter_name,
@@ -242,7 +249,9 @@ class CampaignScheduler:
         )
         self._store_sweep(job, say)
 
-    def _store_sweep(self, job: _SweepJob, say: Callable[[str], None]) -> None:
+    def _store_sweep(
+        self, job: _SweepJob, say: Callable[[ProgressEvent], None]
+    ) -> None:
         self.runner.store.put(
             job.key,
             job.sweep,
@@ -252,8 +261,11 @@ class CampaignScheduler:
             },
         )
         say(
-            f"{job.scenario.scenario_id}: computed {job.computed_values} "
-            f"value(s), resumed {job.loaded_values} from checkpoints"
+            ScenarioCompleted(
+                scenario_id=job.scenario.scenario_id,
+                computed_values=job.computed_values,
+                loaded_values=job.loaded_values,
+            )
         )
 
     # ------------------------------------------------------------------ #
@@ -309,29 +321,39 @@ class CampaignScheduler:
             job.values[index],
         )
 
-    def _task_event(self, job: _SweepJob, index: int, allotment: int) -> str:
-        """One per-task completion line for the progress stream.
+    def _task_event(
+        self, job: _SweepJob, index: int, allotment: int
+    ) -> TaskCompleted:
+        """One per-task completion event for the progress stream.
 
         Scenario, parameter value, value coverage and the worker shape the
         task ran with (its allotment, and how that decomposes into
         iterations when the experiment declares them) — so a long campaign
-        reports progress at task completion rate instead of one line per
+        reports progress at task completion rate instead of one event per
         finished scenario.
         """
         scenario = job.scenario.scenario_id
         if job.atomic:
-            return f"{scenario}: task done (atomic, workers={allotment})"
-        value = job.values[index]
-        detail = f"workers={allotment}"
-        iterations = job.experiment.checkpoint_iterations(job.scenario.scale)
-        if iterations:
-            detail = f"{iterations} iteration(s), {detail}"
-        return (
-            f"{scenario}: value {value:g} done "
-            f"({len(job.rows)}/{len(job.values)} values; {detail})"
+            return TaskCompleted(
+                scenario_id=scenario,
+                value=None,
+                values_done=len(job.sweep.rows) if job.sweep else 0,
+                values_total=len(job.sweep.rows) if job.sweep else 0,
+                workers=allotment,
+                atomic=True,
+            )
+        return TaskCompleted(
+            scenario_id=scenario,
+            value=job.values[index],
+            values_done=len(job.rows),
+            values_total=len(job.values),
+            workers=allotment,
+            iterations=job.experiment.checkpoint_iterations(job.scenario.scale),
         )
 
-    def _execute(self, jobs: List[_SweepJob], say: Callable[[str], None]) -> None:
+    def _execute(
+        self, jobs: List[_SweepJob], say: Callable[[ProgressEvent], None]
+    ) -> None:
         """The scheduling loop: submit within budget, collect, rebalance.
 
         Every finished task emits one progress event (scenario, value,

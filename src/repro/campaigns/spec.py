@@ -38,7 +38,7 @@ from typing import Any, List, Mapping, Tuple, Union
 
 from repro.exceptions import ConfigurationError
 from repro.experiments.registry import ExperimentScale, scale_by_name
-from repro.store.keys import EXECUTION_FIELDS
+from repro.store.keys import ENVIRONMENT_FIELDS, EXECUTION_FIELDS
 
 PathLike = Union[str, Path]
 
@@ -48,9 +48,14 @@ PathLike = Union[str, Path]
 #: e.g. PR 5's ``shard_steps``/``transport`` — is automatically rejected
 #: here too: two matrix cells differing only in an execution knob would
 #: collide on one cache key while pretending to be distinct scenarios.
+#: Environment fields (:data:`repro.store.keys.ENVIRONMENT_FIELDS`,
+#: i.e. ``backend``) are rejected for the opposite reason: they *do*
+#: change cache keys, but describe where a campaign runs rather than what
+#: it computes — select them per invocation (CLI ``--backend``), not in
+#: the campaign's identity.
 _SCALE_FIELDS = frozenset(
     f.name for f in dataclasses.fields(ExperimentScale)
-) - ({"name"} | EXECUTION_FIELDS)
+) - ({"name"} | EXECUTION_FIELDS | ENVIRONMENT_FIELDS)
 
 
 def _check_scale_fields(assignments: Mapping[str, Any], context: str) -> None:
@@ -60,7 +65,8 @@ def _check_scale_fields(assignments: Mapping[str, Any], context: str) -> None:
             f"unknown scale field(s) {sorted(unknown)} in campaign {context}; "
             f"allowed: {sorted(_SCALE_FIELDS)} (execution knobs such as "
             "workers/sweep_workers/shard_steps/transport are per-invocation "
-            "CLI flags, not spec fields)"
+            "CLI flags, not spec fields, and the backend environment field "
+            "is the --backend flag)"
         )
 
 

@@ -35,7 +35,9 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
+from repro.backend import backend_names
 from repro.campaigns import CampaignRunner, CampaignSpec
+from repro.campaigns.progress import as_text as progress_as_text
 from repro.experiments import (
     get_experiment,
     list_experiments,
@@ -125,6 +127,16 @@ def build_parser() -> argparse.ArgumentParser:
             "only; the default). Results are bit-identical for every choice"
         ),
     )
+    run_parser.add_argument(
+        "--backend",
+        default=None,
+        choices=list(backend_names()),
+        help=(
+            "array backend for the connectivity kernels (default: numpy). "
+            "Unlike the worker/transport knobs this selects a different "
+            "execution environment and therefore different cache keys"
+        ),
+    )
 
     stationary_parser = subparsers.add_parser(
         "stationary", help="estimate the stationary critical range"
@@ -140,6 +152,12 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="worker processes for the placement draws",
+    )
+    stationary_parser.add_argument(
+        "--backend",
+        default="numpy",
+        choices=list(backend_names()),
+        help="array backend for the connectivity kernels",
     )
 
     campaign_parser = subparsers.add_parser(
@@ -249,6 +267,20 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="evict entries not read or written for this many seconds",
     )
+    campaign_gc.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="report what the pass would evict without removing anything",
+    )
+    campaign_gc.add_argument(
+        "--campaign",
+        default=None,
+        metavar="NAME",
+        help=(
+            "restrict the pass to entries written by the named campaign "
+            "(matched against the entry metadata; default: the whole store)"
+        ),
+    )
     return parser
 
 
@@ -257,11 +289,20 @@ def _campaign_main(arguments: argparse.Namespace) -> int:
     if arguments.campaign_command == "gc":
         store = ResultStore(arguments.store)
         report = store.gc(
-            max_bytes=arguments.max_bytes, max_age=arguments.max_age
+            max_bytes=arguments.max_bytes,
+            max_age=arguments.max_age,
+            dry_run=arguments.dry_run,
+            campaign=arguments.campaign,
         )
+        scope = (
+            f"campaign {arguments.campaign!r} in store {store.root}"
+            if arguments.campaign
+            else f"Store {store.root}"
+        )
+        verb = "would evict" if arguments.dry_run else "evicted"
         print(
-            f"Store {store.root}: scanned {report.scanned} entr"
-            f"{'y' if report.scanned == 1 else 'ies'}, evicted "
+            f"{scope}: scanned {report.scanned} entr"
+            f"{'y' if report.scanned == 1 else 'ies'}, {verb} "
             f"{report.evicted} ({report.freed_bytes} bytes freed, "
             f"{report.remaining_bytes} bytes remain)"
         )
@@ -282,7 +323,9 @@ def _campaign_main(arguments: argparse.Namespace) -> int:
             f"Campaign {spec.name!r}: {spec.scenario_count()} scenario(s), "
             f"store {store.root}"
         )
-        result = runner.run(resume=arguments.resume, progress=print)
+        result = runner.run(
+            resume=arguments.resume, progress=progress_as_text(print)
+        )
         print(
             f"\nDone: {result.cache_hits} cache hit(s), "
             f"{result.computed_values} value(s) computed."
@@ -361,6 +404,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             scale = scale.with_shard_steps(arguments.shard_steps)
         if arguments.transport is not None:
             scale = scale.with_transport(arguments.transport)
+        if arguments.backend is not None:
+            scale = scale.with_backend(arguments.backend)
         sweep = experiment.run(scale)
         print()
         print(render_sweep(sweep, title=f"{experiment.identifier} ({arguments.scale} scale)"))
@@ -388,6 +433,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             seed=arguments.seed,
             confidence=arguments.confidence,
             workers=arguments.workers,
+            backend=arguments.backend,
         )
         print(
             f"rstationary(n={arguments.nodes}, l={arguments.side}, "

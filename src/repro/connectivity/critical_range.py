@@ -20,6 +20,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.backend import NUMPY_BACKEND, ArrayBackend, resolve_backend
 from repro.exceptions import AnalysisError
 from repro.geometry.distance import pairwise_distances, squared_distance_matrix
 from repro.graph.builder import build_communication_graph
@@ -72,13 +73,22 @@ def minimum_spanning_edges(
 
 def minimum_spanning_edges_from_squared(
     squared: np.ndarray,
+    *,
+    backend: Optional[ArrayBackend] = None,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """:func:`minimum_spanning_edges` over a precomputed squared-distance matrix.
 
     This is the reusable Prim core: metrics other than plain Euclidean
     (e.g. toroidal wrap-around) pass their own ``(n, n)`` squared-distance
     matrix and get the same sorted MST edges back.
+
+    ``backend`` selects the array namespace the ``(n,)`` inner scans run
+    under (:mod:`repro.backend`); the matrix must live on that backend.
+    The returned edge arrays are always *host* NumPy — single-placement
+    MSTs feed host-side threshold extraction directly.
     """
+    backend = NUMPY_BACKEND if backend is None else resolve_backend(backend)
+    xp = backend.xp
     n = squared.shape[0]
     empty = (
         np.empty(0, dtype=np.intp),
@@ -87,36 +97,38 @@ def minimum_spanning_edges_from_squared(
     )
     if n <= 1:
         return empty
-    in_tree = np.zeros(n, dtype=bool)
+    in_tree = xp.zeros(n, dtype=xp.bool)
     in_tree[0] = True
-    best = squared[0].copy()
+    best = backend.copy(squared[0, :])
     best[0] = math.inf
-    parent = np.zeros(n, dtype=np.intp)
+    parent = xp.zeros(n, dtype=xp.int64)
     us = np.empty(n - 1, dtype=np.intp)
     vs = np.empty(n - 1, dtype=np.intp)
     lengths = np.empty(n - 1, dtype=float)
     for index in range(n - 1):
-        candidate = int(np.argmin(np.where(in_tree, math.inf, best)))
-        us[index] = parent[candidate]
+        candidate = int(backend.to_host(xp.argmin(xp.where(in_tree, math.inf, best))))
+        us[index] = int(backend.to_host(parent[candidate]))
         vs[index] = candidate
-        lengths[index] = best[candidate]
+        lengths[index] = float(backend.to_host(best[candidate]))
         in_tree[candidate] = True
-        closer = squared[candidate] < best
-        parent[closer] = candidate
-        np.minimum(best, squared[candidate], out=best)
-        best[in_tree] = math.inf
+        closer = squared[candidate, :] < best
+        parent = backend.fill_mask(parent, closer, candidate)
+        best = backend.minimum_update(best, squared[candidate, :])
+        best = backend.fill_mask(best, in_tree, math.inf)
     order = np.argsort(lengths, kind="stable")
     return us[order], vs[order], lengths[order]
 
 
 def minimum_spanning_edges_batch(
     frames: np.ndarray,
+    *,
+    backend: Optional[ArrayBackend] = None,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Batched :func:`minimum_spanning_edges` over ``(B, n, d)`` frames.
 
     Returns ``(us, vs, squared_lengths)`` as ``(B, n - 1)`` arrays, each row
     sorted by squared length.  One Prim iteration here advances *every*
-    frame at once with ``(B, n)`` array operations, so the NumPy call
+    frame at once with ``(B, n)`` array operations, so the per-call
     overhead of the ``n - 1`` loop iterations is amortised across the whole
     batch — this is what makes reducing a 10 000-step trajectory cheap.
 
@@ -124,8 +136,16 @@ def minimum_spanning_edges_batch(
     :func:`repro.geometry.distance.squared_distance_matrix`, so every edge
     length (and therefore every derived threshold) is bit-identical to the
     single-frame code path.
+
+    ``backend`` selects the array namespace (:mod:`repro.backend`).  The
+    frames must already live on that backend and the returned arrays stay
+    on it — callers that feed host-side consumers (the union-find sweep in
+    :mod:`repro.simulation.engine`) perform the device→host sync with
+    :meth:`~repro.backend.ArrayBackend.to_host` explicitly.
     """
-    points = np.asarray(frames, dtype=float)
+    backend = NUMPY_BACKEND if backend is None else resolve_backend(backend)
+    xp = backend.xp
+    points = xp.asarray(frames, dtype=xp.float64)
     if points.ndim != 3:
         raise AnalysisError(
             f"expected a (B, n, d) batch of frames, got shape {points.shape}"
@@ -133,36 +153,38 @@ def minimum_spanning_edges_batch(
     batch, n, _ = points.shape
     if n <= 1 or batch == 0:
         return (
-            np.empty((batch, 0), dtype=np.intp),
-            np.empty((batch, 0), dtype=np.intp),
-            np.empty((batch, 0), dtype=float),
+            xp.empty((batch, 0), dtype=xp.int64),
+            xp.empty((batch, 0), dtype=xp.int64),
+            xp.empty((batch, 0), dtype=xp.float64),
         )
-    squared = np.stack([squared_distance_matrix(frame) for frame in points])
-    batch_index = np.arange(batch)
-    in_tree = np.zeros((batch, n), dtype=bool)
+    squared = xp.stack(
+        [squared_distance_matrix(points[index, ...], xp=xp) for index in range(batch)]
+    )
+    batch_index = xp.arange(batch)
+    in_tree = xp.zeros((batch, n), dtype=xp.bool)
     in_tree[:, 0] = True
-    best = squared[:, 0, :].copy()
+    best = backend.copy(squared[:, 0, :])
     best[:, 0] = math.inf
-    parent = np.zeros((batch, n), dtype=np.intp)
-    us = np.empty((batch, n - 1), dtype=np.intp)
-    vs = np.empty((batch, n - 1), dtype=np.intp)
-    lengths = np.empty((batch, n - 1), dtype=float)
+    parent = xp.zeros((batch, n), dtype=xp.int64)
+    us = xp.empty((batch, n - 1), dtype=xp.int64)
+    vs = xp.empty((batch, n - 1), dtype=xp.int64)
+    lengths = xp.empty((batch, n - 1), dtype=xp.float64)
     for index in range(n - 1):
-        candidate = np.argmin(best, axis=1)
-        us[:, index] = parent[batch_index, candidate]
+        candidate = xp.argmin(best, axis=1)
+        us[:, index] = backend.take_pairs(parent, batch_index, candidate)
         vs[:, index] = candidate
-        lengths[:, index] = best[batch_index, candidate]
-        in_tree[batch_index, candidate] = True
-        best[batch_index, candidate] = math.inf
-        row = np.where(in_tree, math.inf, squared[batch_index, candidate, :])
+        lengths[:, index] = backend.take_pairs(best, batch_index, candidate)
+        in_tree = backend.put_pairs(in_tree, batch_index, candidate, True)
+        best = backend.put_pairs(best, batch_index, candidate, math.inf)
+        row = xp.where(in_tree, math.inf, backend.take_rows(squared, batch_index, candidate))
         closer = row < best
-        parent = np.where(closer, candidate[:, None], parent)
-        best = np.where(closer, row, best)
-    order = np.argsort(lengths, axis=1, kind="stable")
+        parent = xp.where(closer, candidate[:, None], parent)
+        best = xp.where(closer, row, best)
+    order = backend.stable_argsort(lengths, axis=1)
     return (
-        np.take_along_axis(us, order, axis=1),
-        np.take_along_axis(vs, order, axis=1),
-        np.take_along_axis(lengths, order, axis=1),
+        backend.take_along(us, order, axis=1),
+        backend.take_along(vs, order, axis=1),
+        backend.take_along(lengths, order, axis=1),
     )
 
 

@@ -88,6 +88,7 @@ def measure_system_size(
         seed=scale.seed,
         confidence=0.99,
         workers=scale.workers,
+        backend=scale.backend,
     )
     spec = _mobility_spec_for(model, side, **(mobility_overrides or {}))
     config = SimulationConfig(
@@ -99,6 +100,7 @@ def measure_system_size(
         workers=scale.workers,
         shard_steps=scale.shard_steps,
         transport=scale.transport,
+        backend=scale.backend,
     )
     statistics = collect_frame_statistics(config, checkpoint=iteration_checkpoint)
     thresholds = estimate_thresholds_from_statistics(statistics)
@@ -288,6 +290,7 @@ def _r100_ratio_row(
         seed=scale.seed,
         confidence=0.99,
         workers=scale.workers,
+        backend=scale.backend,
     )
     spec = MobilitySpec.paper_waypoint(side, **mobility_overrides)
     config = SimulationConfig(
@@ -299,6 +302,7 @@ def _r100_ratio_row(
         workers=scale.workers,
         shard_steps=scale.shard_steps,
         transport=scale.transport,
+        backend=scale.backend,
     )
     statistics = collect_frame_statistics(config, checkpoint=iteration_checkpoint)
     thresholds = estimate_thresholds_from_statistics(statistics)

@@ -47,6 +47,12 @@ class ExperimentScale:
         transport: worker→parent result transport (``"auto"``,
             ``"pickle"`` or ``"shm"`` — see :mod:`repro.simulation.shm`).
             Execution-only, bit-identical for every value.
+        backend: array backend the connectivity kernels run under
+            (:mod:`repro.backend`).  An *environment* field, not an
+            execution knob: a non-NumPy backend is a declared different
+            execution environment, so — unlike ``workers`` and friends —
+            ``backend`` participates in result-store cache keys and is
+            rejected from campaign spec matrices.
     """
 
     name: str
@@ -60,6 +66,7 @@ class ExperimentScale:
     sweep_workers: int = 1
     shard_steps: Optional[int] = None
     transport: str = "auto"
+    backend: str = "numpy"
 
     def with_workers(self, workers: int) -> "ExperimentScale":
         """Copy of this scale with ``workers`` iteration-level processes."""
@@ -76,6 +83,14 @@ class ExperimentScale:
     def with_transport(self, transport: str) -> "ExperimentScale":
         """Copy of this scale with a different result transport."""
         return replace(self, transport=transport)
+
+    def with_backend(self, backend: str) -> "ExperimentScale":
+        """Copy of this scale with a different array backend.
+
+        Changes the cache keys of every experiment run at this scale —
+        backend results are cached per environment, never mixed.
+        """
+        return replace(self, backend=backend)
 
     def with_worker_budget(
         self, total: int, value_count: Optional[int] = None
@@ -130,6 +145,9 @@ class ExperimentScale:
         from repro.simulation.shm import validate_transport
 
         validate_transport(self.transport)
+        from repro.backend import validate_backend
+
+        validate_backend(self.backend)
 
 
 #: The three built-in scale presets.

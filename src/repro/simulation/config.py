@@ -151,6 +151,13 @@ class SimulationConfig:
       boundary: ``"auto"`` (shared memory for large payloads, the compact
       pickle transport otherwise), ``"pickle"``, or ``"shm"`` (see
       :mod:`repro.simulation.shm`).
+
+    ``backend`` names the array backend the connectivity kernels run
+    under (:mod:`repro.backend`).  Unlike the execution knobs above it is
+    an *environment* field: the NumPy path is the reference, and a
+    non-NumPy backend is a declared different execution environment whose
+    results are not promised bit-identical — so ``backend`` *does* enter
+    result-store cache keys (see :mod:`repro.store.keys`).
     """
 
     network: NetworkConfig
@@ -162,6 +169,7 @@ class SimulationConfig:
     workers: int = 1
     shard_steps: Optional[int] = None
     transport: str = "auto"
+    backend: str = "numpy"
 
     def __post_init__(self) -> None:
         if self.steps < 1:
@@ -186,6 +194,9 @@ class SimulationConfig:
         from repro.simulation.shm import validate_transport
 
         validate_transport(self.transport)
+        from repro.backend import validate_backend
+
+        validate_backend(self.backend)
 
     @property
     def is_stationary(self) -> bool:
@@ -211,6 +222,10 @@ class SimulationConfig:
     def with_transport(self, transport: str) -> "SimulationConfig":
         """Copy with a different result transport (bit-identical)."""
         return replace(self, transport=transport)
+
+    def with_backend(self, backend: str) -> "SimulationConfig":
+        """Copy with a different array backend (changes the cache key)."""
+        return replace(self, backend=backend)
 
     # Paper presets ------------------------------------------------------ #
     @classmethod

@@ -32,10 +32,11 @@ micro-benchmark in ``benchmarks/bench_parallel_scaling.py``.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Tuple
+from typing import Iterator, List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.backend import NUMPY_BACKEND, ArrayBackend, resolve_backend
 from repro.connectivity.critical_range import (
     critical_range,
     minimum_spanning_edges,
@@ -188,7 +189,11 @@ def frame_statistics(positions: Positions) -> FrameStatistics:
     )
 
 
-def frame_statistics_columns(frames: np.ndarray) -> FrameStatisticsColumns:
+def frame_statistics_columns(
+    frames: np.ndarray,
+    *,
+    backend: Optional[Union[str, ArrayBackend]] = None,
+) -> FrameStatisticsColumns:
     """Reduce a ``(B, n, d)`` batch of frames to columnar statistics.
 
     Bit-identical to calling :func:`frame_statistics` on each frame, but the
@@ -199,7 +204,15 @@ def frame_statistics_columns(frames: np.ndarray) -> FrameStatisticsColumns:
     columns of :class:`~repro.simulation.results.FrameStatisticsColumns`
     (no per-step objects are materialised).  This is the per-frame hot path
     of both simulation modes.
+
+    ``backend`` names the array backend the batched MST runs on
+    (:mod:`repro.backend`).  Host frames are transferred to it once per
+    batch, the edge arrays come back through one explicit
+    :meth:`~repro.backend.ArrayBackend.to_host` sync, and the union-find
+    sweep plus the returned columns are always host NumPy — so transports,
+    codecs and the store never see device arrays.
     """
+    array_backend = NUMPY_BACKEND if backend is None else resolve_backend(backend)
     points = np.asarray(frames, dtype=float)
     if points.ndim != 3:
         raise SimulationError(
@@ -214,7 +227,13 @@ def frame_statistics_columns(frames: np.ndarray) -> FrameStatisticsColumns:
             curve_ranges=np.empty(0),
             curve_sizes=np.empty(0, dtype=np.int64),
         )
-    all_us, all_vs, all_lengths = minimum_spanning_edges_batch(points)
+    device_us, device_vs, device_lengths = minimum_spanning_edges_batch(
+        array_backend.from_host(points), backend=array_backend
+    )
+    array_backend.synchronize()
+    all_us = array_backend.to_host(device_us)
+    all_vs = array_backend.to_host(device_vs)
+    all_lengths = array_backend.to_host(device_lengths)
     critical_ranges = np.empty(batch)
     offsets = np.empty(batch + 1, dtype=np.int64)
     offsets[0] = 0
@@ -238,7 +257,11 @@ def frame_statistics_columns(frames: np.ndarray) -> FrameStatisticsColumns:
     )
 
 
-def frame_statistics_batch(frames: np.ndarray) -> List[FrameStatistics]:
+def frame_statistics_batch(
+    frames: np.ndarray,
+    *,
+    backend: Optional[Union[str, ArrayBackend]] = None,
+) -> List[FrameStatistics]:
     """Compute :class:`FrameStatistics` for a ``(B, n, d)`` batch of frames.
 
     Object-list view of :func:`frame_statistics_columns`, bit-identical to
@@ -246,7 +269,7 @@ def frame_statistics_batch(frames: np.ndarray) -> List[FrameStatistics]:
     the columnar form; this helper serves callers that want per-frame
     dataclasses.
     """
-    return list(frame_statistics_columns(frames))
+    return list(frame_statistics_columns(frames, backend=backend))
 
 
 def _iter_trajectory_batches(
@@ -292,6 +315,7 @@ def reduce_frame_statistics(
     steps: int,
     rng: np.random.Generator,
     include_current: bool = True,
+    backend: Optional[Union[str, ArrayBackend]] = None,
 ) -> FrameStatisticsColumns:
     """Reduce the next ``steps`` frames of a live model to columnar statistics.
 
@@ -301,12 +325,18 @@ def reduce_frame_statistics(
     ``include_current=False`` the current positions are *not* part of the
     output — the shard-execution mode, where the previous chunk already
     reported that frame (see :mod:`repro.simulation.sharding`).
+
+    ``backend`` selects the array backend of the per-batch reduction; RNG
+    draws and trajectory production stay on host NumPy (the declared RNG
+    contract of :mod:`repro.backend`), each batch is shipped to the
+    backend once.
     """
+    array_backend = NUMPY_BACKEND if backend is None else resolve_backend(backend)
     parts: List[FrameStatisticsColumns] = []
     for batch in _iter_trajectory_batches(
         model, steps, rng, include_current=include_current
     ):
-        parts.append(frame_statistics_columns(batch))
+        parts.append(frame_statistics_columns(batch, backend=array_backend))
     return FrameStatisticsColumns.concatenate(parts)
 
 
@@ -316,19 +346,22 @@ def reduce_fixed_range(
     transmitting_range: float,
     rng: np.random.Generator,
     include_current: bool = True,
+    backend: Optional[Union[str, ArrayBackend]] = None,
 ) -> StepColumns:
     """Reduce the next ``steps`` frames at a fixed range to step columns.
 
     The shared back half of :func:`simulate_iteration`, chunk-capable the
-    same way as :func:`reduce_frame_statistics`.
+    same way as :func:`reduce_frame_statistics` and backend-threaded the
+    same way.
     """
+    array_backend = NUMPY_BACKEND if backend is None else resolve_backend(backend)
     # Seeded with empties so a steps=0 call still concatenates cleanly.
     connected_parts: List[np.ndarray] = [np.empty(0, dtype=bool)]
     size_parts: List[np.ndarray] = [np.empty(0, dtype=np.int64)]
     for batch in _iter_trajectory_batches(
         model, steps, rng, include_current=include_current
     ):
-        columns = frame_statistics_columns(batch)
+        columns = frame_statistics_columns(batch, backend=array_backend)
         connected_parts.append(columns.connected_at(transmitting_range))
         size_parts.append(columns.largest_component_sizes_at(transmitting_range))
     return StepColumns(
@@ -344,6 +377,7 @@ def simulate_iteration(
     transmitting_range: float,
     rng: np.random.Generator,
     iteration: int = 0,
+    backend: Optional[Union[str, ArrayBackend]] = None,
 ) -> IterationResult:
     """Run one iteration of the paper's fixed-range simulator.
 
@@ -366,7 +400,9 @@ def simulate_iteration(
         iteration=iteration,
         node_count=network.node_count,
         transmitting_range=transmitting_range,
-        records=reduce_fixed_range(model, steps, transmitting_range, rng),
+        records=reduce_fixed_range(
+            model, steps, transmitting_range, rng, backend=backend
+        ),
     )
 
 
@@ -375,6 +411,7 @@ def simulate_frame_statistics(
     mobility: MobilitySpec,
     steps: int,
     rng: np.random.Generator,
+    backend: Optional[Union[str, ArrayBackend]] = None,
 ) -> FrameStatisticsColumns:
     """Run one mobility iteration and reduce every frame to its statistics.
 
@@ -391,7 +428,7 @@ def simulate_frame_statistics(
     placement = network.placement_strategy(network.node_count, region, rng)
     model = mobility.create()
     model.initialize(placement, region, rng)
-    return reduce_frame_statistics(model, steps, rng)
+    return reduce_frame_statistics(model, steps, rng, backend=backend)
 
 
 def exact_critical_range_of_placement(positions: Positions) -> float:

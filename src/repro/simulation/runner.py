@@ -153,6 +153,7 @@ def _fixed_range_iteration(
         transmitting_range=config.transmitting_range,
         rng=rng,
         iteration=index,
+        backend=config.backend,
     )
     records = share_columns(result.records, transport)
     if records is result.records:
@@ -171,6 +172,7 @@ def _frame_statistics_iteration(
             mobility=config.mobility,
             steps=config.steps,
             rng=rng,
+            backend=config.backend,
         ),
         transport,
     )
@@ -254,21 +256,15 @@ def _map_iterations(
             if checkpoint is not None:
                 checkpoint.save(index, result)
             results[index] = result
-    elif checkpoint is None:
-        # A large chunksize amortises pickling without starving workers.
-        chunksize = max(1, len(pending) // (worker_count * 4))
-        ensure_shared_memory_tracker()
-        with ProcessPoolExecutor(max_workers=worker_count) as pool:
-            results.update(
-                (index, _adopt_iteration(result))
-                for index, result in zip(
-                    pending, pool.map(bound, pending, chunksize=chunksize)
-                )
-            )
     else:
-        # Checkpointed parallel runs save each iteration the moment it
-        # finishes (completion order), trading the chunked map's pickling
-        # economy for durability of every finished iteration.
+        # Both parallel paths submit individually and gather in completion
+        # order.  Checkpointed runs save each iteration the moment it
+        # finishes; and — unlike a chunked ``pool.map``, whose result
+        # generator abandons everything queued behind a failing element —
+        # a failed gather here still holds every settled future, so the
+        # except path can adopt and unlink the shared-memory segments
+        # workers had already parked instead of leaking them in
+        # ``/dev/shm`` until interpreter exit.
         ensure_shared_memory_tracker()
         futures = {}
         try:
@@ -284,7 +280,8 @@ def _map_iterations(
                     for future in done:
                         index = futures.pop(future)
                         result = _adopt_iteration(future.result())
-                        checkpoint.save(index, result)
+                        if checkpoint is not None:
+                            checkpoint.save(index, result)
                         results[index] = result
         except BaseException:
             _release_unadopted(futures)
@@ -349,6 +346,7 @@ def _run_sharded(
                     shard == 0,
                     transmitting_range=config.transmitting_range,
                     transport=transport,
+                    backend=config.backend,
                 )
             )
         for index in pending:
@@ -369,6 +367,7 @@ def _run_sharded(
                     shard == 0,
                     transmitting_range=config.transmitting_range,
                     transport=transport,
+                    backend=config.backend,
                 ): (index, shard)
                 for index, shard in tasks
             }
@@ -465,6 +464,7 @@ def stationary_critical_range(
     confidence: float = 0.99,
     placement: str = "uniform",
     workers: int = 1,
+    backend: str = "numpy",
 ) -> float:
     """Estimate ``rstationary``: the range connecting random static placements.
 
@@ -487,6 +487,8 @@ def stationary_critical_range(
         placement: placement strategy name (default ``uniform``).
         workers: process count for the placement draws (1 = serial;
             results are bit-identical for every value).
+        backend: array backend for the connectivity kernels
+            (:mod:`repro.backend`).
     """
     from repro.simulation.config import MobilitySpec, NetworkConfig
     from repro.simulation.metrics import range_for_connectivity_fraction
@@ -503,6 +505,7 @@ def stationary_critical_range(
         iterations=iterations,
         seed=seed,
         workers=workers,
+        backend=backend,
     )
     statistics = collect_frame_statistics(config)
     # Each iteration contributes exactly one frame (steps == 1); pool them.

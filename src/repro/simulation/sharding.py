@@ -192,6 +192,7 @@ def run_shard(
     include_current: bool,
     transmitting_range: Optional[float] = None,
     transport: str = "pickle",
+    backend: Optional[str] = None,
 ):
     """Worker-process body of one trajectory chunk.
 
@@ -200,8 +201,10 @@ def run_shard(
     chunk's frames and reduces them — ``mode`` selects
     :func:`~repro.simulation.engine.reduce_frame_statistics` (``"stats"``)
     or :func:`~repro.simulation.engine.reduce_fixed_range` (``"fixed"``).
-    The resulting container leaves through the configured transport
-    (shared memory or pickle).
+    ``backend`` names the array backend the reduction kernels run under
+    (resolved inside the worker process — backend handles are not
+    picklable).  The resulting container leaves through the configured
+    transport (shared memory or pickle).
     """
     model = mobility.create()
     rng = model.from_state(checkpoint)
@@ -214,10 +217,15 @@ def run_shard(
             transmitting_range,
             rng,
             include_current=include_current,
+            backend=backend,
         )
     elif mode == "stats":
         columns = reduce_frame_statistics(
-            model, chunk_steps, rng, include_current=include_current
+            model,
+            chunk_steps,
+            rng,
+            include_current=include_current,
+            backend=backend,
         )
     else:
         raise ConfigurationError(f"unknown shard mode {mode!r}")

@@ -28,6 +28,16 @@ from repro.exceptions import ConfigurationError
 #: (pickle vs shared-memory result hand-off) joined in PR 5.
 EXECUTION_FIELDS = frozenset({"workers", "sweep_workers", "shard_steps", "transport"})
 
+#: Fields that select the *execution environment* rather than the logical
+#: computation or the process layout.  ``backend`` (the array namespace of
+#: :mod:`repro.backend`) is the only member: a non-NumPy backend is a
+#: declared different environment whose results are not promised
+#: bit-identical to the NumPy reference, so — unlike ``EXECUTION_FIELDS`` —
+#: environment fields *stay in* cache keys (results are cached per
+#: environment, never mixed).  Campaign spec matrices reject them for the
+#: same reason: a campaign is one environment's worth of results.
+ENVIRONMENT_FIELDS = frozenset({"backend"})
+
 #: The artifact kinds of the store's key space, one per granularity.
 #: ``cache_key`` hashes the kind together with the payload, so the three
 #: granularities of the same sweep — the complete sweep, one parameter

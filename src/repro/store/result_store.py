@@ -48,13 +48,15 @@ class StoreIntegrityError(ReproError):
 
 @dataclass(frozen=True)
 class GcReport:
-    """What one :meth:`ResultStore.gc` pass did.
+    """What one :meth:`ResultStore.gc` pass did (or, dry, would do).
 
     Attributes:
-        scanned: entries examined.
-        evicted: entries removed (by age, then by LRU quota).
+        scanned: entries examined (only the campaign's entries when the
+            pass was campaign-scoped).
+        evicted: entries removed by age, then by LRU quota — or, for a
+            ``dry_run`` pass, the entries such a pass *would* remove.
         freed_bytes: bytes those entries occupied.
-        remaining_bytes: store payload bytes left after the pass
+        remaining_bytes: scanned payload bytes left after the pass
             (entry files only — staging leftovers are swept separately).
     """
 
@@ -201,11 +203,27 @@ class ResultStore:
     # ------------------------------------------------------------------ #
     # Garbage collection
     # ------------------------------------------------------------------ #
-    def _entry_stats(self) -> List[Tuple[str, float, int]]:
-        """(key, last-use mtime, bytes) of every fully written entry."""
+    def _entry_stats(
+        self, campaign: Optional[str] = None
+    ) -> List[Tuple[str, float, int]]:
+        """(key, last-use mtime, bytes) of every fully written entry.
+
+        With ``campaign``, only entries whose header metadata records that
+        campaign name are listed (the campaign layer stamps every entry it
+        writes — sweeps, rows and iteration checkpoints alike).  Reading
+        headers does not refresh the LRU mtime.
+        """
         stats: List[Tuple[str, float, int]] = []
         for key in self.keys():
             entry_dir = self._entry_dir(key)
+            if campaign is not None:
+                try:
+                    header = self.entry(key)
+                except (KeyError, StoreIntegrityError):
+                    continue
+                metadata = header.get("metadata") or {}
+                if metadata.get("campaign") != campaign:
+                    continue
             try:
                 mtime = (entry_dir / _ENTRY_FILE).stat().st_mtime
                 size = sum(
@@ -223,6 +241,8 @@ class ResultStore:
         max_bytes: Optional[int] = None,
         max_age: Optional[float] = None,
         now: Optional[float] = None,
+        dry_run: bool = False,
+        campaign: Optional[str] = None,
     ) -> GcReport:
         """Evict entries by age and LRU quota; returns a :class:`GcReport`.
 
@@ -245,6 +265,12 @@ class ResultStore:
             max_age: maximum seconds since last use.
             now: reference timestamp (defaults to the current time;
                 injectable for tests).
+            dry_run: report what the pass would evict without removing
+                anything — no entry eviction and no staging sweep.
+            campaign: restrict the pass to entries the named campaign
+                wrote (matched against the ``campaign`` entry metadata
+                the campaign layer stamps); other campaigns' entries are
+                neither scanned, counted nor evicted.
         """
         if max_bytes is not None and max_bytes < 0:
             raise ConfigurationError(
@@ -254,16 +280,21 @@ class ResultStore:
             raise ConfigurationError(
                 f"max_age must be non-negative, got {max_age}"
             )
-        self.clear_staging(older_than=STALE_STAGING_SECONDS)
+        if not dry_run:
+            self.clear_staging(older_than=STALE_STAGING_SECONDS)
+
+        def remove(key: str) -> bool:
+            return True if dry_run else self.evict(key)
+
         reference = time.time() if now is None else float(now)
-        stats = self._entry_stats()
+        stats = self._entry_stats(campaign=campaign)
         scanned = len(stats)
         evicted = 0
         freed = 0
         survivors: List[Tuple[str, float, int]] = []
         for key, mtime, size in stats:
             if max_age is not None and reference - mtime > max_age:
-                if self.evict(key):
+                if remove(key):
                     evicted += 1
                     freed += size
                 continue
@@ -274,7 +305,7 @@ class ResultStore:
             for key, _, size in survivors:
                 if remaining <= max_bytes:
                     break
-                if self.evict(key):
+                if remove(key):
                     evicted += 1
                     freed += size
                     remaining -= size

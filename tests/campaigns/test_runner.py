@@ -748,31 +748,88 @@ class TestSchedulerTaskWidth:
 
 class TestSchedulerProgress:
     def test_per_task_completion_events_stream(self, matrix_experiment, store):
-        """The scheduler reports every finished task (scenario, value,
-        coverage), not just one line per finished scenario."""
+        """The scheduler reports every finished task as a structured event
+        (scenario, value, coverage), not just one per finished scenario."""
+        from repro.campaigns.progress import ScenarioCompleted, TaskCompleted
+
         experiment, _ = matrix_experiment
         spec = matrix_spec()
-        lines = []
-        CampaignRunner(spec, store, total_workers=2).run(progress=lines.append)
+        events = []
+        CampaignRunner(spec, store, total_workers=2).run(progress=events.append)
         scenario_ids = [scenario.scenario_id for scenario in spec.scenarios()]
         values = [40.0, 80.0, 120.0]
         for scenario_id in scenario_ids:
-            events = [
-                line
-                for line in lines
-                if line.startswith(f"{scenario_id}: value") and "done" in line
+            tasks = [
+                event
+                for event in events
+                if isinstance(event, TaskCompleted)
+                and event.scenario_id == scenario_id
             ]
             # One completion event per parameter value of the scenario.
-            assert len(events) == len(values), lines
-            for value in values:
-                assert any(f"value {value:g} done" in line for line in events)
-            # Events carry coverage counts and the task's worker shape.
-            assert any("3/3 values" in line for line in events)
-            assert all("iteration(s)" in line and "workers=" in line for line in events)
-            # The scenario summary line still follows the stream.
+            assert len(tasks) == len(values), events
+            assert sorted(task.value for task in tasks) == values
+            # Events carry coverage counts and the task's worker shape as
+            # typed fields — no text parsing required.
+            assert {task.values_total for task in tasks} == {len(values)}
+            assert any(task.values_done == len(values) for task in tasks)
+            assert all(task.workers >= 1 for task in tasks)
+            assert all(task.iterations == 3 for task in tasks)
+            assert not any(task.atomic for task in tasks)
+            # The scenario summary event still follows the stream.
             assert any(
-                line.startswith(f"{scenario_id}: computed") for line in lines
+                isinstance(event, ScenarioCompleted)
+                and event.scenario_id == scenario_id
+                for event in events
             )
+
+    def test_events_render_to_stable_text_lines(self, matrix_experiment, store):
+        """``render`` (what the CLI prints via ``as_text``) keeps the
+        established one-line format for every emitted event."""
+        from repro.campaigns.progress import (
+            ScenarioCompleted,
+            TaskCompleted,
+            as_text,
+            render,
+        )
+
+        experiment, _ = matrix_experiment
+        spec = matrix_spec()
+        events, lines = [], []
+
+        def tee(event):
+            events.append(event)
+            as_text(lines.append)(event)
+
+        CampaignRunner(spec, store, total_workers=2).run(progress=tee)
+        assert lines == [render(event) for event in events]
+        task_lines = [
+            render(event) for event in events if isinstance(event, TaskCompleted)
+        ]
+        assert any("value 40 done" in line for line in task_lines)
+        assert any("3/3 values" in line for line in task_lines)
+        assert all(
+            "iteration(s)" in line and "workers=" in line for line in task_lines
+        )
+        summary_lines = [
+            render(event)
+            for event in events
+            if isinstance(event, ScenarioCompleted)
+        ]
+        assert all("computed" in line and "resumed" in line for line in summary_lines)
+
+    def test_cache_hit_event_is_structured(self, matrix_experiment, store):
+        from repro.campaigns.progress import CacheHit, render
+
+        experiment, _ = matrix_experiment
+        spec = matrix_spec()
+        CampaignRunner(spec, store, total_workers=2).run()
+        events = []
+        CampaignRunner(spec, store, total_workers=2).run(progress=events.append)
+        hits = [event for event in events if isinstance(event, CacheHit)]
+        assert len(hits) == len(spec.scenarios())
+        for hit in hits:
+            assert hit.key  # the full store key rides along for consumers
+            assert f"cache hit ({hit.key[:12]})" in render(hit)
 
     def test_progress_events_preserve_results(self, matrix_experiment, store):
         """Streaming progress must not disturb scheduling semantics."""
@@ -780,7 +837,7 @@ class TestSchedulerProgress:
         spec = matrix_spec()
         silent_store = ResultStore(store.root.parent / "silent")
         loud = CampaignRunner(spec, store, total_workers=2).run(
-            progress=lambda line: None
+            progress=lambda event: None
         )
         silent = CampaignRunner(spec, silent_store, total_workers=2).run()
         for mine, theirs in zip(loud.outcomes, silent.outcomes):

@@ -100,6 +100,26 @@ class TestValidation:
                     name="x", experiments=("fig2",), matrix=((knob, (value,)),)
                 )
 
+    def test_rejects_backend_environment_field(self):
+        """``backend`` is an environment field, not a sweepable parameter:
+        it stays in cache keys (unlike execution knobs), but a campaign
+        must not matrix over it — backend selection belongs to the
+        ``--backend`` flag of the machine running the campaign."""
+        from repro.store.keys import ENVIRONMENT_FIELDS
+
+        assert "backend" in ENVIRONMENT_FIELDS
+        with pytest.raises(ConfigurationError) as error:
+            CampaignSpec(
+                name="x",
+                experiments=("fig2",),
+                matrix=(("backend", ("numpy", "numpy-strict")),),
+            )
+        assert "backend" in str(error.value)
+        with pytest.raises(ConfigurationError):
+            CampaignSpec(
+                name="x", experiments=("fig2",), overrides=(("backend", "numpy"),)
+            )
+
     def test_rejects_empty_matrix_values(self):
         with pytest.raises(ConfigurationError):
             CampaignSpec(name="x", experiments=("fig2",), matrix=(("seed", ()),))

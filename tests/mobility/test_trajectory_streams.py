@@ -21,6 +21,7 @@ import pytest
 from repro.geometry.region import Region
 from repro.mobility.drunkard import DrunkardModel
 from repro.mobility.gauss_markov import GaussMarkovModel
+from repro.mobility.group import ReferencePointGroupModel
 from repro.mobility.random_direction import RandomDirectionModel
 from repro.mobility.stationary import StationaryModel
 from repro.mobility.waypoint import RandomWaypointModel
@@ -64,6 +65,19 @@ MODEL_BUILDERS = {
         mean_speed=1.5 * side, alpha=0.9, noise_std=0.2 * side
     ),
     "stationary": lambda side: StationaryModel(),
+    "group": lambda side: ReferencePointGroupModel(
+        group_count=3, vmin=0.02 * side, vmax=0.2 * side, tpause=2,
+        member_radius=0.1 * side,
+    ),
+    "group-paused": lambda side: ReferencePointGroupModel(
+        group_count=4, vmin=0.1, vmax=0.05 * side, tpause=7,
+        member_radius=0.05 * side, pstationary=0.4,
+    ),
+    "group-single": lambda side: ReferencePointGroupModel(
+        # One fast centre: every arrival event touches every node at once.
+        group_count=1, vmin=0.1 * side, vmax=0.5 * side, tpause=0,
+        member_radius=0.2 * side,
+    ),
 }
 
 
@@ -109,6 +123,7 @@ def test_trajectory_bit_identical_to_steps(name, seed):
         "drunkard-boundary",
         "random-direction-boundary",
         "gauss-markov-boundary",
+        "group-paused",
     ],
 )
 @pytest.mark.parametrize("dimension", [1, 2, 3])
@@ -122,7 +137,7 @@ def test_trajectory_bit_identical_across_dimensions(name, dimension):
 
 @pytest.mark.parametrize(
     "name",
-    ["waypoint-paused", "drunkard", "random-direction-paused", "gauss-markov"],
+    ["waypoint-paused", "drunkard", "random-direction-paused", "gauss-markov", "group"],
 )
 def test_interleaving_trajectory_and_step(name):
     """trajectory → step → trajectory stays on the sequential stream."""
@@ -249,6 +264,77 @@ def test_gauss_markov_stationary_nodes_pinned_in_trajectory():
     )
     moved = np.abs(frames[-1][~mask] - initial[~mask]).max()
     assert moved > 0.0
+
+
+@pytest.mark.parametrize(
+    "dimension,width", [(1, 2), (2, 2), (3, 5), (4, 5), (5, 7)]
+)
+def test_group_member_block_protocol(dimension, width):
+    """Pin the group model's member-offset draw protocol.
+
+    One ``rng.random((n, width))`` uniform block per step (radius uniform
+    plus direction uniforms), decoded in closed form with the
+    uniform-in-ball radius law ``member_radius * U^(1/d)``.  Trajectory
+    batching relies on this fixed-width layout, so a silent change to the
+    per-step stream consumption must fail here.
+    """
+    region = Region(side=90.0, dimension=dimension)
+    rng = np.random.default_rng(31)
+    model = ReferencePointGroupModel(
+        group_count=2, vmin=0.1, vmax=0.2, tpause=3, member_radius=4.0
+    )
+    model.initialize(region.sample_uniform(8, rng), region, rng)
+    assert model._member_block_width(dimension) == width
+
+    # Decode law: offsets lie on the radius ``member_radius * U^(1/d)``.
+    block = np.random.default_rng(7).random((8, width))
+    offsets = model._decode_member_block(block)
+    assert offsets.shape == (8, dimension)
+    radii = 4.0 * block[:, 0] ** (1.0 / dimension)
+    assert np.allclose(np.sqrt((offsets**2).sum(axis=1)), radii)
+    if dimension == 1:
+        signs = np.where(block[:, 1] < 0.5, -1.0, 1.0)
+        assert np.array_equal(offsets[:, 0], signs * radii)
+    if dimension == 2:
+        assert np.allclose(offsets[:, 0], np.cos(2.0 * np.pi * block[:, 1]) * radii)
+        assert np.allclose(offsets[:, 1], np.sin(2.0 * np.pi * block[:, 1]) * radii)
+
+    # Stream consumption: a step with no centre arrival (slow centres in a
+    # large region) draws exactly one (n, width) uniform block.
+    shadow = np.random.default_rng(0)
+    shadow.bit_generator.state = rng.bit_generator.state
+    model.step(rng)
+    shadow.random((8, width))
+    assert np.array_equal(rng.random(4), shadow.random(4))
+
+
+def test_group_trajectory_empty_network():
+    region = Region.square(30.0)
+    rng_a, rng_b = np.random.default_rng(2), np.random.default_rng(2)
+    model_a = ReferencePointGroupModel()
+    model_b = ReferencePointGroupModel()
+    model_a.initialize(np.empty((0, 2)), region, rng_a)
+    model_b.initialize(np.empty((0, 2)), region, rng_b)
+    stepped = sequential_frames(model_a, rng_a, 10)
+    frames = model_b.trajectory(10, rng_b)
+    assert frames.shape == (10, 0, 2)
+    assert np.array_equal(stepped, frames)
+    assert model_b.state.step_index == 9
+    assert np.array_equal(rng_a.random(4), rng_b.random(4))
+
+
+def test_group_trajectory_matches_nested_center_state():
+    """Batching must leave the nested centre waypoint model bit-identical
+    to sequential stepping — legs, pauses and positions included."""
+    (model_a, rng_a), (model_b, rng_b) = build_pair("group", 100.0, 15, 2, 17)
+    sequential_frames(model_a, rng_a, 45)
+    model_b.trajectory(45, rng_b)
+    center_a = model_a.state_snapshot()["model"]["center"]
+    center_b = model_b.state_snapshot()["model"]["center"]
+    assert np.array_equal(center_a["positions"], center_b["positions"])
+    assert center_a["step_index"] == center_b["step_index"]
+    for key, value in center_a["model"].items():
+        assert np.array_equal(value, center_b["model"][key]), key
 
 
 def test_waypoint_stationary_nodes_pinned_in_trajectory():

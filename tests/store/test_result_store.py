@@ -291,3 +291,73 @@ class TestGc:
             store.gc(max_bytes=-1)
         with pytest.raises(ConfigurationError):
             store.gc(max_age=-1)
+
+    def test_dry_run_reports_but_does_not_evict(self, store):
+        now = 10_000.0
+        keys = self._fill(store, 3, mtimes=[now - 500, now - 50, now - 5])
+        before = store.size_bytes()
+        report = store.gc(max_age=100, now=now, dry_run=True)
+        # The report predicts exactly what a real pass would do …
+        assert report.scanned == 3
+        assert report.evicted == 1
+        assert report.freed_bytes > 0
+        assert report.remaining_bytes == before - report.freed_bytes
+        # … but every entry — and every byte — is still there.
+        assert store.size_bytes() == before
+        for key in keys:
+            assert store.contains(key)
+        real = store.gc(max_age=100, now=now)
+        assert (real.evicted, real.freed_bytes) == (
+            report.evicted,
+            report.freed_bytes,
+        )
+        assert not store.contains(keys[0])
+
+    def test_dry_run_spares_stale_staging(self, store):
+        import os
+        import time
+
+        from repro.store.result_store import STALE_STAGING_SECONDS
+
+        staging = store.root / "staging"
+        staging.mkdir(parents=True, exist_ok=True)
+        (staging / "orphan").mkdir()
+        old = time.time() - STALE_STAGING_SECONDS - 60
+        os.utime(staging / "orphan", (old, old))
+        store.gc(dry_run=True)
+        assert (staging / "orphan").exists()
+        store.gc()
+        assert not (staging / "orphan").exists()
+
+    def _fill_campaign(self, store, name, count, offset=0):
+        keys = []
+        for index in range(count):
+            key = cache_key("sweep", {"campaign-gc": name, "i": index + offset})
+            store.put(key, make_sweep(), metadata={"campaign": name})
+            keys.append(key)
+        return keys
+
+    def test_campaign_scope_only_touches_that_campaigns_entries(self, store):
+        mine = self._fill_campaign(store, "fig2-smoke", 2)
+        other = self._fill_campaign(store, "fig3-full", 2, offset=10)
+        loose = self._fill(store, 1)  # no campaign metadata at all
+        report = store.gc(max_bytes=0, campaign="fig2-smoke")
+        assert report.scanned == 2
+        assert report.evicted == 2
+        for key in mine:
+            assert not store.contains(key)
+        for key in other + loose:
+            assert store.contains(key)
+
+    def test_campaign_scope_composes_with_dry_run(self, store):
+        mine = self._fill_campaign(store, "fig2-smoke", 2)
+        report = store.gc(max_bytes=0, campaign="fig2-smoke", dry_run=True)
+        assert report.evicted == 2
+        for key in mine:
+            assert store.contains(key)
+
+    def test_unknown_campaign_scans_nothing(self, store):
+        self._fill(store, 2)
+        report = store.gc(max_bytes=0, campaign="never-ran")
+        assert report.scanned == 0
+        assert report.evicted == 0

@@ -169,6 +169,92 @@ class TestCampaignCli:
         assert main(["campaign", "gc", "--store", str(store)]) == 0
         assert "scanned 0" in capsys.readouterr().out
 
+    def test_campaign_gc_dry_run_reports_without_evicting(self, capsys, tmp_path):
+        spec = self.write_spec(tmp_path)
+        store = tmp_path / "store"
+        assert main(["campaign", "run", str(spec), "--store", str(store),
+                     "--quiet"]) == 0
+        capsys.readouterr()
+
+        # Dry run against a 1-byte budget: predicts the evictions …
+        assert main(["campaign", "gc", "--store", str(store),
+                     "--max-bytes", "1", "--dry-run"]) == 0
+        output = capsys.readouterr().out
+        assert "would evict" in output
+        assert "would evict 0" not in output
+        # … but the campaign is still complete.
+        assert main(["campaign", "status", str(spec), "--store", str(store)]) == 0
+        assert "1/1 scenario(s) complete" in capsys.readouterr().out
+
+    def test_campaign_gc_scoped_to_campaign(self, capsys, tmp_path):
+        spec = self.write_spec(tmp_path)
+        store = tmp_path / "store"
+        assert main(["campaign", "run", str(spec), "--store", str(store),
+                     "--quiet"]) == 0
+        capsys.readouterr()
+
+        # Scoping to an unknown campaign touches nothing.
+        assert main(["campaign", "gc", "--store", str(store), "--max-bytes", "1",
+                     "--campaign", "never-ran"]) == 0
+        output = capsys.readouterr().out
+        assert "campaign 'never-ran'" in output
+        assert "scanned 0" in output
+        assert main(["campaign", "status", str(spec), "--store", str(store)]) == 0
+        assert "1/1 scenario(s) complete" in capsys.readouterr().out
+
+        # Scoping to the real campaign evicts its entries.
+        assert main(["campaign", "gc", "--store", str(store), "--max-bytes", "1",
+                     "--campaign", "cli-demo"]) == 0
+        output = capsys.readouterr().out
+        assert "campaign 'cli-demo'" in output
+        assert "evicted 0" not in output and "evicted" in output
+        assert main(["campaign", "status", str(spec), "--store", str(store)]) == 0
+        assert "0/1 scenario(s) complete" in capsys.readouterr().out
+
+
+class TestBackendFlag:
+    def test_backend_flag_parses(self):
+        arguments = build_parser().parse_args(
+            ["run", "fig2", "--scale", "smoke", "--backend", "numpy-strict"]
+        )
+        assert arguments.backend == "numpy-strict"
+        arguments = build_parser().parse_args(["run", "fig2", "--scale", "smoke"])
+        assert arguments.backend is None
+
+    def test_unknown_backend_rejected_at_parse_time(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig2", "--backend", "fortran"])
+
+    def test_run_under_strict_backend_matches_numpy(self, capsys, monkeypatch):
+        """The strict verification backend must reproduce the NumPy run's
+        rendered table exactly — same kernels, same numbers."""
+        from repro.experiments import registry
+
+        tiny = registry.ExperimentScale(
+            name="smoke",
+            sides=(256.0,),
+            steps=8,
+            iterations=1,
+            stationary_iterations=15,
+            parameter_points=2,
+            seed=5,
+        )
+        monkeypatch.setitem(registry.SCALES, "smoke", tiny)
+        assert main(["run", "fig2", "--scale", "smoke"]) == 0
+        base_output = capsys.readouterr().out
+        assert main(["run", "fig2", "--scale", "smoke",
+                     "--backend", "numpy-strict"]) == 0
+        strict_output = capsys.readouterr().out
+        table = lambda text: text[text.index("fig2 (smoke scale)"):]
+        assert table(strict_output) == table(base_output)
+
+    def test_stationary_backend_flag(self, capsys):
+        assert main(
+            ["stationary", "--side", "200", "--nodes", "15", "--iterations", "20",
+             "--seed", "3", "--backend", "numpy-strict"]
+        ) == 0
+        assert "rstationary" in capsys.readouterr().out
+
 
 class TestExecutionFlags:
     def test_shard_steps_and_transport_flags_parse(self):
