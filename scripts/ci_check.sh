@@ -42,7 +42,16 @@
 #    dispatch benchmark must pass at smoke scale: the seam's default
 #    NumPy path < 2% over hand-inlined pre-seam NumPy; GPU bars are
 #    timed only on hosts that can resolve a device backend.
-# 13. Every benchmark above writes a BENCH_<name>.json summary into
+# 13. The fault-tolerance lane: the supervision-overhead benchmark must
+#    pass at smoke scale (armed retries/lease < 3% over the unsupervised
+#    gather on a clean run; recovering from one injected worker SIGKILL
+#    <= 1.5x the clean run, results bit-identical), and a chaos smoke
+#    through the real CLI: a campaign with a worker-kill fault plan armed
+#    (REPRO_FAULTS) and --max-retries 2 must complete with exit 0, a warm
+#    re-run must report zero computed values (the recovered run addressed
+#    the same store entries a healthy one would), and no stale staging
+#    directories may survive.
+# 14. Every benchmark above writes a BENCH_<name>.json summary into
 #    $REPRO_BENCH_OUT; they are collected and printed at the end, so the
 #    perf trajectory is tracked as structured data across PRs.
 set -eu
@@ -156,6 +165,29 @@ with tempfile.TemporaryDirectory() as root:
     assert resumed == reference
 print("iteration-resume smoke: OK")
 RESUME_SMOKE
+
+REPRO_BENCH_SCALE=smoke PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
+    python -m pytest benchmarks/bench_fault_overhead.py -q
+
+CHAOS_DIR="$(mktemp -d)"
+CHAOS_STORE="$CHAOS_DIR/store"
+trap 'rm -rf "$CAMPAIGN_STORE" "$SCHEDULER_STORE" "$GC_STORE" "$CHAOS_DIR"' EXIT
+cat > "$CHAOS_DIR/faultplan.json" <<'PLAN'
+{"faults": [{"site": "measure", "action": "kill", "at": 1}], "state_dir": ""}
+PLAN
+REPRO_FAULTS="$CHAOS_DIR/faultplan.json" \
+    PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m repro \
+    campaign run examples/campaign_smoke.toml --store "$CHAOS_STORE" \
+    --total-workers 2 --max-retries 2 --quiet
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m repro \
+    campaign run examples/campaign_smoke.toml --store "$CHAOS_STORE" \
+    --total-workers 2 --quiet \
+    | grep -q "0 value(s) computed"
+if [ -d "$CHAOS_STORE/staging" ] && [ -n "$(ls -A "$CHAOS_STORE/staging")" ]; then
+    echo "stale staging directories survived the chaos smoke" >&2
+    exit 1
+fi
+echo "chaos smoke: OK"
 
 python - <<'COLLECT_BENCH'
 import json

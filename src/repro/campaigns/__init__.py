@@ -31,7 +31,11 @@ from repro.campaigns.progress import (
     EntryEvicted,
     ProgressEvent,
     ScenarioCompleted,
+    StoreDegraded,
     TaskCompleted,
+    TaskFailed,
+    TaskQuarantined,
+    TaskRetried,
 )
 from repro.campaigns.runner import (
     CampaignResult,
@@ -54,5 +58,9 @@ __all__ = [
     "ScenarioCompleted",
     "ScenarioOutcome",
     "ScenarioStatus",
+    "StoreDegraded",
     "TaskCompleted",
+    "TaskFailed",
+    "TaskQuarantined",
+    "TaskRetried",
 ]

@@ -26,7 +26,11 @@ __all__ = [
     "EntryEvicted",
     "ProgressEvent",
     "ScenarioCompleted",
+    "StoreDegraded",
     "TaskCompleted",
+    "TaskFailed",
+    "TaskQuarantined",
+    "TaskRetried",
     "as_text",
     "render",
 ]
@@ -106,7 +110,130 @@ class ScenarioCompleted:
         )
 
 
-ProgressEvent = Union[CacheHit, EntryEvicted, TaskCompleted, ScenarioCompleted]
+@dataclass(frozen=True)
+class TaskFailed:
+    """One scheduler task raised or its worker died.
+
+    Emitted for every failed attempt, whether or not a retry follows —
+    a :class:`TaskRetried` or :class:`TaskQuarantined` event then says
+    what the supervisor decided.
+
+    Attributes:
+        scenario_id: the scenario the task belongs to.
+        value: the parameter value the task measured, ``None`` for
+            atomic tasks.
+        attempt: 1-based attempt number that failed.
+        error: the failure, rendered (``BrokenProcessPool``, the task's
+            exception, or a :class:`repro.supervision.TaskTimeoutError`).
+    """
+
+    scenario_id: str
+    value: Optional[float]
+    attempt: int
+    error: str
+
+    def render(self) -> str:
+        where = "atomic task" if self.value is None else f"value {self.value:g}"
+        return (
+            f"{self.scenario_id}: {where} failed "
+            f"(attempt {self.attempt}): {self.error}"
+        )
+
+
+@dataclass(frozen=True)
+class TaskRetried:
+    """A failed task was re-enqueued for another attempt.
+
+    Attributes:
+        scenario_id: the scenario the task belongs to.
+        value: the parameter value, ``None`` for atomic tasks.
+        attempt: 1-based attempt number that failed (the retry will be
+            ``attempt + 1``).
+        max_retries: the configured retry budget.
+        delay: backoff delay in seconds before the task becomes ready.
+        error: the failure that triggered the retry, rendered.
+    """
+
+    scenario_id: str
+    value: Optional[float]
+    attempt: int
+    max_retries: int
+    delay: float
+    error: str
+
+    def render(self) -> str:
+        where = "atomic task" if self.value is None else f"value {self.value:g}"
+        return (
+            f"{self.scenario_id}: retrying {where} "
+            f"(attempt {self.attempt}/{self.max_retries + 1} failed, "
+            f"backoff {self.delay:g}s)"
+        )
+
+
+@dataclass(frozen=True)
+class TaskQuarantined:
+    """A task exhausted its retry budget and was quarantined as poison.
+
+    The campaign continues without it; the scenario stays partial and
+    ``campaign status`` reports the quarantined value until ``campaign
+    clean`` (or a manual :meth:`repro.store.ResultStore.clear_poison`)
+    drops the record.
+
+    Attributes:
+        scenario_id: the scenario the task belongs to.
+        value: the parameter value, ``None`` for atomic tasks.
+        attempts: total attempts made before giving up.
+        error: the final failure, rendered.
+    """
+
+    scenario_id: str
+    value: Optional[float]
+    attempts: int
+    error: str
+
+    def render(self) -> str:
+        where = "atomic task" if self.value is None else f"value {self.value:g}"
+        return (
+            f"{self.scenario_id}: {where} quarantined after "
+            f"{self.attempts} attempt(s): {self.error}"
+        )
+
+
+@dataclass(frozen=True)
+class StoreDegraded:
+    """A store write failed with ENOSPC & co; checkpointing degraded.
+
+    The run continues with in-memory checkpoints (results of the current
+    process survive; durability across kills is lost) — see
+    :class:`repro.store.StoreDegradedWarning`.
+
+    Attributes:
+        scenario_id: the scenario whose write failed.
+        scope: what degraded (``"row"``, ``"iteration"``, ``"sweep"``).
+        reason: the failing error, rendered.
+    """
+
+    scenario_id: str
+    scope: str
+    reason: str
+
+    def render(self) -> str:
+        return (
+            f"{self.scenario_id}: store degraded to in-memory "
+            f"{self.scope} checkpoints ({self.reason})"
+        )
+
+
+ProgressEvent = Union[
+    CacheHit,
+    EntryEvicted,
+    TaskCompleted,
+    ScenarioCompleted,
+    TaskFailed,
+    TaskRetried,
+    TaskQuarantined,
+    StoreDegraded,
+]
 
 
 def render(event: ProgressEvent) -> str:

@@ -30,6 +30,7 @@ bit-identical to an uninterrupted cold serial run.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
@@ -38,13 +39,22 @@ from repro.campaigns.progress import (
     EntryEvicted,
     ProgressEvent,
     ScenarioCompleted,
+    StoreDegraded,
+    TaskFailed,
+    TaskQuarantined,
+    TaskRetried,
 )
 from repro.campaigns.spec import CampaignSpec, Scenario
 from repro.experiments.registry import Experiment, ExperimentScale, get_experiment
 from repro.simulation.sweep import SweepResult
 from repro.store.checkpoints import StoreSweepCheckpoint
 from repro.store.keys import SWEEP_KIND, cache_key, scale_payload
-from repro.store.result_store import ResultStore, StoreIntegrityError
+from repro.store.result_store import (
+    ResultStore,
+    StoreIntegrityError,
+    is_degradable_error,
+)
+from repro.supervision import RetryPolicy
 
 
 def scenario_payload(experiment: Experiment, scale: ExperimentScale) -> Dict[str, Any]:
@@ -70,13 +80,20 @@ def scenario_sweep_key(experiment: Experiment, scale: ExperimentScale) -> str:
 
 @dataclass(frozen=True)
 class ScenarioOutcome:
-    """What happened to one scenario during a campaign run."""
+    """What happened to one scenario during a campaign run.
+
+    ``sweep`` is ``None`` when the scenario was quarantined (its tasks
+    exhausted their retry budget under a supervising policy): the
+    campaign completed around it, its finished rows stay checkpointed,
+    and ``quarantined_values`` counts the poison tasks recorded.
+    """
 
     scenario: Scenario
-    sweep: SweepResult = field(repr=False)
+    sweep: Optional[SweepResult] = field(repr=False)
     cache_hit: bool
     loaded_values: int = 0
     computed_values: int = 0
+    quarantined_values: int = 0
 
 
 @dataclass(frozen=True)
@@ -96,9 +113,11 @@ class ScenarioStatus:
     total_values: int
     checkpointed_iterations: int = 0
     total_iterations: int = 0
+    quarantined: int = 0
 
     @property
     def state(self) -> str:
+        suffix = f", {self.quarantined} quarantined" if self.quarantined else ""
         if self.complete:
             return "complete"
         if self.checkpointed_values or self.checkpointed_iterations:
@@ -106,9 +125,14 @@ class ScenarioStatus:
                 return (
                     f"partial ({self.checkpointed_values}/{self.total_values} "
                     f"values, {self.checkpointed_iterations}/"
-                    f"{self.total_iterations} iterations)"
+                    f"{self.total_iterations} iterations{suffix})"
                 )
-            return f"partial ({self.checkpointed_values}/{self.total_values})"
+            return (
+                f"partial ({self.checkpointed_values}/{self.total_values}"
+                f"{suffix})"
+            )
+        if self.quarantined:
+            return f"missing ({self.quarantined} quarantined)"
         return "missing"
 
 
@@ -121,10 +145,16 @@ class CampaignResult:
 
     @property
     def sweeps(self) -> Dict[str, SweepResult]:
-        """Scenario id -> sweep, for every scenario of the grid."""
+        """Scenario id -> sweep, for every *completed* scenario.
+
+        Quarantined scenarios (``outcome.sweep is None``) are omitted —
+        their finished rows stay checkpointed in the store but no
+        complete sweep exists to hand out.
+        """
         return {
             outcome.scenario.scenario_id: outcome.sweep
             for outcome in self.outcomes
+            if outcome.sweep is not None
         }
 
     @property
@@ -134,6 +164,11 @@ class CampaignResult:
     @property
     def computed_values(self) -> int:
         return sum(outcome.computed_values for outcome in self.outcomes)
+
+    @property
+    def quarantined_tasks(self) -> int:
+        """Poison tasks recorded across the run (0 on a healthy campaign)."""
+        return sum(outcome.quarantined_values for outcome in self.outcomes)
 
 
 class CampaignRunner:
@@ -152,9 +187,21 @@ class CampaignRunner:
             independent scenarios run concurrently, sharing the budget,
             with freed workers rebalanced into still-running scenarios
             (wins over the two per-scenario knobs, like the CLI flag).
+        max_retries: failed attempts a task may accumulate beyond its
+            first before it is quarantined as a poison task (0/``None``
+            = legacy fail-fast).  Under the scheduler, retries apply per
+            value task; under the serial loop, per scenario (each retry
+            resumes from the rows the failed attempt checkpointed).
+        task_timeout: seconds one scheduled task may run before its pool
+            is presumed wedged and SIGKILLed (scheduler path only — the
+            serial loop runs tasks in-process and cannot preempt them).
+        retry_backoff: base of the capped exponential backoff between
+            attempts (seconds; default 0.5).
 
-    Worker knobs only change wall-clock behaviour; they never enter cache
-    keys, and results are bit-identical for every setting.
+    Worker and supervision knobs only change wall-clock behaviour; they
+    never enter cache keys, and results are bit-identical for every
+    setting — a retried task reproduces exactly the result it would have
+    had, because every measure call is a pure function of its value.
     """
 
     def __init__(
@@ -164,12 +211,27 @@ class CampaignRunner:
         workers: Optional[int] = None,
         sweep_workers: Optional[int] = None,
         total_workers: Optional[int] = None,
+        max_retries: Optional[int] = None,
+        task_timeout: Optional[float] = None,
+        retry_backoff: Optional[float] = None,
     ) -> None:
         self.spec = spec
         self.store = store
         self.workers = workers
         self.sweep_workers = sweep_workers
         self.total_workers = total_workers
+        self.max_retries = max_retries
+        self.task_timeout = task_timeout
+        self.retry_backoff = retry_backoff
+
+    @property
+    def retry_policy(self) -> RetryPolicy:
+        """The supervision policy the runner's knobs select (validated)."""
+        return RetryPolicy(
+            max_retries=self.max_retries or 0,
+            backoff=0.5 if self.retry_backoff is None else self.retry_backoff,
+            task_timeout=self.task_timeout,
+        )
 
     # ------------------------------------------------------------------ #
     def _execution_scale(
@@ -224,18 +286,53 @@ class CampaignRunner:
         Shared by the serial loop and the scheduler so both paths treat
         cache hits and unusable entries identically: a corrupt entry, or
         one evicted by a concurrent writer between ``contains()`` and
-        ``get()``, is evicted and reported as a miss.
+        ``get()``, is quarantined — moved aside with provenance for
+        post-mortem diagnosis instead of silently deleted — and reported
+        as a miss, so the sweep recomputes.
         """
         if not self.store.contains(key):
             return None
         try:
             sweep = self.store.get(key)
-        except (KeyError, StoreIntegrityError):
-            self.store.evict(key)
+        except (KeyError, StoreIntegrityError) as error:
+            self.store.quarantine_entry(key, reason=str(error))
             say(EntryEvicted(scenario_id=scenario.scenario_id))
             return None
         say(CacheHit(scenario_id=scenario.scenario_id, key=key))
         return sweep
+
+    def _put_sweep(
+        self,
+        key: str,
+        sweep: SweepResult,
+        scenario_id: str,
+        say: Callable[[ProgressEvent], None],
+    ) -> None:
+        """Persist one complete sweep, degrading gracefully on ENOSPC & co.
+
+        A degradable write failure loses only the sweep-level cache entry
+        — every row is already checkpointed (or held in memory by the
+        degraded checkpoint), so the run's results are intact and the
+        next healthy run reassembles the sweep for free.
+        """
+        try:
+            self.store.put(
+                key,
+                sweep,
+                metadata={
+                    "campaign": self.spec.name,
+                    "scenario": scenario_id,
+                },
+                kind=SWEEP_KIND,
+            )
+        except OSError as error:
+            if not is_degradable_error(error):
+                raise
+            say(
+                StoreDegraded(
+                    scenario_id=scenario_id, scope="sweep", reason=str(error)
+                )
+            )
 
     # ------------------------------------------------------------------ #
     def run(
@@ -272,6 +369,7 @@ class CampaignRunner:
                 resume=resume, progress=progress
             )
         say = progress if progress is not None else (lambda event: None)
+        policy = self.retry_policy
         if not resume:
             for scenario in self.spec.scenarios():
                 self.evict_scenario(
@@ -290,22 +388,99 @@ class CampaignRunner:
 
             checkpoint = self._checkpoint_for(experiment, scenario)
             execution_scale = self._execution_scale(experiment, scenario.scale)
-            if experiment.supports_checkpoint:
-                sweep = experiment.run_with_checkpoint(
-                    execution_scale, checkpoint
+            # The serial loop supervises at scenario granularity: each
+            # retry runs with a fresh checkpoint object, so it resumes
+            # from whatever rows and iterations the failed attempt had
+            # already persisted — retries re-simulate only the work in
+            # flight when the failure hit, and the final result is
+            # bit-identical to a fault-free run.  The default policy
+            # (no retries) re-raises the first failure, as ever.
+            attempt = 0
+            sweep = None
+            while True:
+                try:
+                    if experiment.supports_checkpoint:
+                        sweep = experiment.run_with_checkpoint(
+                            execution_scale, checkpoint
+                        )
+                    else:
+                        # Experiments with cross-value state (e.g. a shared
+                        # sequential random stream) cache at sweep
+                        # granularity only.
+                        sweep = experiment.run(execution_scale)
+                    break
+                except (KeyboardInterrupt, SystemExit):
+                    raise
+                except Exception as error:
+                    attempt += 1
+                    if not policy.supervised:
+                        raise
+                    say(
+                        TaskFailed(
+                            scenario_id=scenario.scenario_id,
+                            value=None,
+                            attempt=attempt,
+                            error=str(error),
+                        )
+                    )
+                    if attempt > policy.max_retries:
+                        self.store.record_poison(
+                            key,
+                            {
+                                "campaign": self.spec.name,
+                                "scenario": scenario.scenario_id,
+                                "value": None,
+                                "error": str(error),
+                                "attempts": attempt,
+                            },
+                        )
+                        say(
+                            TaskQuarantined(
+                                scenario_id=scenario.scenario_id,
+                                value=None,
+                                attempts=attempt,
+                                error=str(error),
+                            )
+                        )
+                        break
+                    delay = policy.delay_for(attempt)
+                    say(
+                        TaskRetried(
+                            scenario_id=scenario.scenario_id,
+                            value=None,
+                            attempt=attempt,
+                            max_retries=policy.max_retries,
+                            delay=delay,
+                            error=str(error),
+                        )
+                    )
+                    time.sleep(delay)
+                    checkpoint = self._checkpoint_for(experiment, scenario)
+            if sweep is None:
+                outcomes.append(
+                    ScenarioOutcome(
+                        scenario=scenario,
+                        sweep=None,
+                        cache_hit=False,
+                        loaded_values=checkpoint.loaded,
+                        computed_values=(
+                            checkpoint.saved
+                            if experiment.supports_checkpoint
+                            else 0
+                        ),
+                        quarantined_values=1,
+                    )
                 )
-            else:
-                # Experiments with cross-value state (e.g. a shared
-                # sequential random stream) cache at sweep granularity only.
-                sweep = experiment.run(execution_scale)
-            self.store.put(
-                key,
-                sweep,
-                metadata={
-                    "campaign": self.spec.name,
-                    "scenario": scenario.scenario_id,
-                },
-            )
+                continue
+            if checkpoint.degraded:
+                say(
+                    StoreDegraded(
+                        scenario_id=scenario.scenario_id,
+                        scope="row",
+                        reason=checkpoint.degraded,
+                    )
+                )
+            self._put_sweep(key, sweep, scenario.scenario_id, say)
             outcome = ScenarioOutcome(
                 scenario=scenario,
                 sweep=sweep,
@@ -334,9 +509,14 @@ class CampaignRunner:
         Iteration coverage counts a finished value's iterations as fully
         covered (its row subsumes them — the sub-entries were evicted on
         save) plus whatever iteration sub-entries unfinished values have
-        actually persisted.
+        actually persisted.  ``quarantined`` counts the scenario's keys
+        (sweep and value rows) with poison records — tasks that exhausted
+        their retry budget in a supervised run.  The records persist for
+        post-mortem until ``campaign clean`` (or ``--no-resume``) drops
+        them; a re-run still attempts the tasks afresh.
         """
         statuses: List[ScenarioStatus] = []
+        poisoned = self.store.poison_keys()
         for scenario in self.spec.scenarios():
             experiment = get_experiment(scenario.experiment_id)
             key = scenario_sweep_key(experiment, scenario.scale)
@@ -346,8 +526,12 @@ class CampaignRunner:
             complete = self.store.contains(key)
             checkpointed_values = 0
             checkpointed_iterations = 0
+            quarantined = 1 if key in poisoned else 0
             for value in values:
-                if self.store.contains(checkpoint.key_for(value)):
+                row_key = checkpoint.key_for(value)
+                if row_key in poisoned:
+                    quarantined += 1
+                if self.store.contains(row_key):
                     checkpointed_values += 1
                     checkpointed_iterations += iterations
                 elif iterations:
@@ -368,20 +552,32 @@ class CampaignRunner:
                         else checkpointed_iterations
                     ),
                     total_iterations=len(values) * iterations,
+                    quarantined=quarantined,
                 )
             )
         return statuses
 
     def evict_scenario(self, experiment: Experiment, scenario: Scenario) -> int:
-        """Remove one scenario's sweep, row and iteration entries."""
+        """Remove one scenario's sweep, row and iteration entries.
+
+        Poison records and quarantined-entry copies of the same keys are
+        dropped along with them (and counted), so an evicted scenario
+        starts over with a clean slate — quarantine is an exclusion of
+        *recorded* failures, not a permanent ban.
+        """
         removed = 0
-        if self.store.evict(scenario_sweep_key(experiment, scenario.scale)):
-            removed += 1
-        for row_key in self._row_keys(experiment, scenario):
-            if self.store.evict(row_key):
+        sweep_key = scenario_sweep_key(experiment, scenario.scale)
+        keys = (
+            [sweep_key]
+            + self._row_keys(experiment, scenario)
+            + self._iteration_keys(experiment, scenario)
+        )
+        for entry_key in keys:
+            if self.store.evict(entry_key):
                 removed += 1
-        for iteration_key in self._iteration_keys(experiment, scenario):
-            if self.store.evict(iteration_key):
+            if self.store.clear_poison(entry_key):
+                removed += 1
+            if self.store.drop_quarantined_entry(entry_key):
                 removed += 1
         return removed
 
@@ -409,6 +605,9 @@ def run_campaign(
     workers: Optional[int] = None,
     sweep_workers: Optional[int] = None,
     total_workers: Optional[int] = None,
+    max_retries: Optional[int] = None,
+    task_timeout: Optional[float] = None,
+    retry_backoff: Optional[float] = None,
     progress: Optional[Callable[[ProgressEvent], None]] = None,
 ) -> CampaignResult:
     """One-call convenience wrapper around :class:`CampaignRunner`."""
@@ -418,5 +617,8 @@ def run_campaign(
         workers=workers,
         sweep_workers=sweep_workers,
         total_workers=total_workers,
+        max_retries=max_retries,
+        task_timeout=task_timeout,
+        retry_backoff=retry_backoff,
     )
     return runner.run(resume=resume, progress=progress)

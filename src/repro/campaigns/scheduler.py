@@ -39,14 +39,18 @@ unfinished iteration.
 
 from __future__ import annotations
 
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.campaigns.progress import (
     ProgressEvent,
     ScenarioCompleted,
+    StoreDegraded,
     TaskCompleted,
+    TaskFailed,
+    TaskQuarantined,
+    TaskRetried,
 )
 from repro.campaigns.spec import Scenario
 from repro.experiments.registry import (
@@ -61,6 +65,7 @@ from repro.simulation.sweep import (
     measure_row,
 )
 from repro.store.checkpoints import StoreSweepCheckpoint
+from repro.supervision import run_supervised
 
 __all__ = ["CampaignScheduler"]
 
@@ -85,9 +90,13 @@ def _run_experiment_task(
     return sweep, loaded, saved
 
 
-@dataclass
+@dataclass(eq=False)
 class _SweepJob:
-    """One unique sweep computation and the scenarios it serves."""
+    """One unique sweep computation and the scenarios it serves.
+
+    ``eq=False`` keeps identity hashing: ``(job, index)`` pairs are the
+    hashable task descriptors of the supervised gather.
+    """
 
     key: str
     experiment: Experiment
@@ -104,6 +113,8 @@ class _SweepJob:
     loaded_values: int = 0
     computed_values: int = 0
     sweep: Optional[SweepResult] = None
+    quarantined: Dict[int, str] = field(default_factory=dict)
+    degradation_reported: bool = False
 
     @property
     def done(self) -> bool:
@@ -179,20 +190,26 @@ class CampaignScheduler:
             job = jobs[key]
             primary = key not in primaries
             primaries.add(key)
-            if job.cache_hit or not primary:
+            if job.cache_hit or (not primary and job.sweep is not None):
                 # Aliases of a computed job see exactly what the serial
                 # loop would: a store entry that already exists.
                 outcomes.append(
                     ScenarioOutcome(scenario=scenario, sweep=job.sweep, cache_hit=True)
                 )
             else:
+                # Quarantined jobs surface here with ``sweep=None``: the
+                # campaign completed around them and their finished rows
+                # are checkpointed, but no complete sweep exists.  Their
+                # quarantined-task count is attributed to the primary
+                # scenario only (aliases share the poison records).
                 outcomes.append(
                     ScenarioOutcome(
                         scenario=scenario,
                         sweep=job.sweep,
                         cache_hit=False,
-                        loaded_values=job.loaded_values,
-                        computed_values=job.computed_values,
+                        loaded_values=job.loaded_values if primary else 0,
+                        computed_values=job.computed_values if primary else 0,
+                        quarantined_values=len(job.quarantined) if primary else 0,
                     )
                 )
         return CampaignResult(spec=runner.spec, outcomes=outcomes)
@@ -252,13 +269,8 @@ class CampaignScheduler:
     def _store_sweep(
         self, job: _SweepJob, say: Callable[[ProgressEvent], None]
     ) -> None:
-        self.runner.store.put(
-            job.key,
-            job.sweep,
-            metadata={
-                "campaign": self.runner.spec.name,
-                "scenario": job.scenario.scenario_id,
-            },
+        self.runner._put_sweep(
+            job.key, job.sweep, job.scenario.scenario_id, say
         )
         say(
             ScenarioCompleted(
@@ -267,6 +279,25 @@ class CampaignScheduler:
                 loaded_values=job.loaded_values,
             )
         )
+
+    def _note_degradation(
+        self, job: _SweepJob, say: Callable[[ProgressEvent], None]
+    ) -> None:
+        """Surface a checkpoint's first degradation as a progress event."""
+        checkpoint = job.checkpoint
+        if (
+            checkpoint is not None
+            and checkpoint.degraded
+            and not job.degradation_reported
+        ):
+            job.degradation_reported = True
+            say(
+                StoreDegraded(
+                    scenario_id=job.scenario.scenario_id,
+                    scope="row",
+                    reason=checkpoint.degraded,
+                )
+            )
 
     # ------------------------------------------------------------------ #
     def _queue(self, jobs: List[_SweepJob]) -> List[Tuple[_SweepJob, int]]:
@@ -356,51 +387,129 @@ class CampaignScheduler:
     ) -> None:
         """The scheduling loop: submit within budget, collect, rebalance.
 
+        Runs through :func:`repro.supervision.run_supervised`: with the
+        runner's default policy the behaviour is the legacy fail-fast
+        loop, and with ``max_retries`` / ``task_timeout`` opted in a
+        crashed worker, task exception or hung task is retried with
+        backoff on a respawned pool (dead writers' staging directories
+        swept in between) and quarantined as a poison task once its
+        retries are exhausted — the campaign finishes around it.
+
         Every finished task emits one progress event (scenario, value,
         coverage counts) the moment it completes; scenario-level summary
-        lines still follow when a whole sweep lands.
+        lines still follow when a whole sweep lands, and every failed
+        attempt emits ``TaskFailed`` plus its ``TaskRetried`` /
+        ``TaskQuarantined`` disposition.
         """
         queue = self._queue(jobs)
         if not queue:
             return
-        available = self.total_workers
-        futures: Dict[Any, Tuple[_SweepJob, int, int]] = {}
+        policy = self.runner.retry_policy
+        store = self.runner.store
         from repro.simulation.shm import ensure_shared_memory_tracker
 
         ensure_shared_memory_tracker()
-        with ProcessPoolExecutor(max_workers=self.total_workers) as pool:
-            while queue or futures:
-                while queue and available >= 1:
-                    allotment = adaptive_worker_allotment(
-                        available, len(queue), queue[0][0].width
-                    )
-                    job, index = queue.pop(0)
-                    futures[self._submit(pool, job, index, allotment)] = (
-                        job,
-                        index,
-                        allotment,
-                    )
-                    available -= allotment
-                done, _ = wait(set(futures), return_when=FIRST_COMPLETED)
-                for future in done:
-                    job, index, allotment = futures.pop(future)
-                    available += allotment
-                    if job.atomic:
-                        sweep, loaded, saved = future.result()
-                        job.sweep = sweep
-                        job.loaded_values = loaded
-                        job.computed_values = (
-                            saved
-                            if job.experiment.supports_checkpoint
-                            else len(sweep.rows)
-                        )
-                        say(self._task_event(job, index, allotment))
-                        self._store_sweep(job, say)
-                    else:
-                        row = future.result()
-                        job.checkpoint.save(job.values[index], row)
-                        job.rows[index] = row
-                        job.computed_values += 1
-                        say(self._task_event(job, index, allotment))
-                        if len(job.rows) == len(job.values):
-                            self._finish(job, say)
+
+        def task_value(task: Tuple[_SweepJob, int]) -> Optional[float]:
+            job, index = task
+            return None if job.atomic else job.values[index]
+
+        def submit(pool: ProcessPoolExecutor, task, available: int, ready: int):
+            job, index = task
+            allotment = adaptive_worker_allotment(available, ready, job.width)
+            return self._submit(pool, job, index, allotment), allotment
+
+        def on_result(task, result, allotment: int) -> None:
+            job, index = task
+            if job.atomic:
+                sweep, loaded, saved = result
+                job.sweep = sweep
+                job.loaded_values = loaded
+                job.computed_values = (
+                    saved
+                    if job.experiment.supports_checkpoint
+                    else len(sweep.rows)
+                )
+                say(self._task_event(job, index, allotment))
+                self._store_sweep(job, say)
+            else:
+                job.checkpoint.save(job.values[index], result)
+                self._note_degradation(job, say)
+                job.rows[index] = result
+                job.computed_values += 1
+                say(self._task_event(job, index, allotment))
+                if len(job.rows) == len(job.values):
+                    self._finish(job, say)
+
+        def on_retry(task, error, attempt: int, delay: float) -> None:
+            job, _ = task
+            say(
+                TaskFailed(
+                    scenario_id=job.scenario.scenario_id,
+                    value=task_value(task),
+                    attempt=attempt,
+                    error=str(error),
+                )
+            )
+            say(
+                TaskRetried(
+                    scenario_id=job.scenario.scenario_id,
+                    value=task_value(task),
+                    attempt=attempt,
+                    max_retries=policy.max_retries,
+                    delay=delay,
+                    error=str(error),
+                )
+            )
+
+        def on_giveup(task, error, attempts: int) -> bool:
+            job, index = task
+            value = task_value(task)
+            say(
+                TaskFailed(
+                    scenario_id=job.scenario.scenario_id,
+                    value=value,
+                    attempt=attempts,
+                    error=str(error),
+                )
+            )
+            key = job.key if job.atomic else job.checkpoint.key_for(
+                job.values[index]
+            )
+            store.record_poison(
+                key,
+                {
+                    "campaign": self.runner.spec.name,
+                    "scenario": job.scenario.scenario_id,
+                    "value": value,
+                    "error": str(error),
+                    "attempts": attempts,
+                },
+            )
+            job.quarantined[index] = str(error)
+            say(
+                TaskQuarantined(
+                    scenario_id=job.scenario.scenario_id,
+                    value=value,
+                    attempts=attempts,
+                    error=str(error),
+                )
+            )
+            return True
+
+        def on_respawn() -> None:
+            try:
+                store.sweep_dead_staging()
+            except Exception:
+                pass  # best-effort hygiene; never mask the recovery
+
+        run_supervised(
+            queue,
+            budget=self.total_workers,
+            submit=submit,
+            on_result=on_result,
+            policy=policy,
+            on_retry=on_retry,
+            on_giveup=on_giveup if policy.supervised else None,
+            on_respawn=on_respawn,
+        )

@@ -227,6 +227,39 @@ def build_parser() -> argparse.ArgumentParser:
             "for every budget)"
         ),
     )
+    campaign_run.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        help=(
+            "failed attempts a task may accumulate beyond its first before "
+            "it is quarantined as a poison task and the campaign continues "
+            "without it (default: 0 — the first failure aborts the run); "
+            "crashed workers, task exceptions and timed-out tasks are "
+            "retried with backoff on a respawned pool, bit-identically "
+            "when the retry succeeds"
+        ),
+    )
+    campaign_run.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "seconds one scheduled task may run before its pool is presumed "
+            "hung and terminated (needs --total-workers; default: no limit)"
+        ),
+    )
+    campaign_run.add_argument(
+        "--retry-backoff",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "base of the capped exponential delay between retry attempts "
+            "(default: 0.5)"
+        ),
+    )
 
     campaign_status = campaign_commands.add_parser(
         "status",
@@ -316,6 +349,9 @@ def _campaign_main(arguments: argparse.Namespace) -> int:
         workers=getattr(arguments, "workers", None),
         sweep_workers=getattr(arguments, "sweep_workers", None),
         total_workers=getattr(arguments, "total_workers", None),
+        max_retries=getattr(arguments, "max_retries", None),
+        task_timeout=getattr(arguments, "task_timeout", None),
+        retry_backoff=getattr(arguments, "retry_backoff", None),
     )
 
     if arguments.campaign_command == "run":
@@ -326,11 +362,25 @@ def _campaign_main(arguments: argparse.Namespace) -> int:
         result = runner.run(
             resume=arguments.resume, progress=progress_as_text(print)
         )
-        print(
+        quarantined = result.quarantined_tasks
+        summary = (
             f"\nDone: {result.cache_hits} cache hit(s), "
             f"{result.computed_values} value(s) computed."
         )
+        if quarantined:
+            summary += (
+                f" WARNING: {quarantined} task(s) quarantined — partial "
+                f"results kept; see 'campaign status', drop the records "
+                f"with 'campaign clean'."
+            )
+        print(summary)
         for outcome in result.outcomes:
+            if outcome.sweep is None:
+                print(
+                    f"\n{outcome.scenario.describe()}: no complete sweep "
+                    f"({outcome.quarantined_values} quarantined task(s))"
+                )
+                continue
             if not arguments.quiet:
                 print()
                 print(
@@ -351,7 +401,7 @@ def _campaign_main(arguments: argparse.Namespace) -> int:
                     },
                 )
                 print(f"Saved {outcome.scenario.scenario_id} to {path}")
-        return 0
+        return 1 if quarantined else 0
 
     if arguments.campaign_command == "status":
         statuses = runner.status()

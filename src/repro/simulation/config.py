@@ -152,6 +152,18 @@ class SimulationConfig:
       pickle transport otherwise), ``"pickle"``, or ``"shm"`` (see
       :mod:`repro.simulation.shm`).
 
+    ``max_retries`` / ``retry_backoff`` / ``task_timeout`` configure the
+    fault supervision of the parallel iteration runners (see
+    :mod:`repro.supervision`).  With ``max_retries = 0`` (the default) a
+    failed iteration task fails the run, exactly as before supervision
+    existed.  With ``max_retries > 0`` a crashed worker
+    (``BrokenProcessPool``), a task exception or — when ``task_timeout``
+    is set — a hung task is retried on a respawned pool with capped
+    exponential backoff starting at ``retry_backoff`` seconds.  Because
+    every iteration is a pure function of the configuration and its seed,
+    a retried task reproduces the result bit-identically; all three knobs
+    are execution-only and never enter cache keys.
+
     ``backend`` names the array backend the connectivity kernels run
     under (:mod:`repro.backend`).  Unlike the execution knobs above it is
     an *environment* field: the NumPy path is the reference, and a
@@ -170,6 +182,9 @@ class SimulationConfig:
     shard_steps: Optional[int] = None
     transport: str = "auto"
     backend: str = "numpy"
+    max_retries: int = 0
+    retry_backoff: float = 0.5
+    task_timeout: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.steps < 1:
@@ -190,6 +205,18 @@ class SimulationConfig:
         if self.shard_steps is not None and self.shard_steps < 1:
             raise ConfigurationError(
                 f"shard_steps must be at least 1, got {self.shard_steps}"
+            )
+        if self.max_retries < 0:
+            raise ConfigurationError(
+                f"max_retries must be non-negative, got {self.max_retries}"
+            )
+        if self.retry_backoff < 0:
+            raise ConfigurationError(
+                f"retry_backoff must be non-negative, got {self.retry_backoff}"
+            )
+        if self.task_timeout is not None and self.task_timeout <= 0:
+            raise ConfigurationError(
+                f"task_timeout must be positive, got {self.task_timeout}"
             )
         from repro.simulation.shm import validate_transport
 
@@ -226,6 +253,31 @@ class SimulationConfig:
     def with_backend(self, backend: str) -> "SimulationConfig":
         """Copy with a different array backend (changes the cache key)."""
         return replace(self, backend=backend)
+
+    def with_supervision(
+        self,
+        max_retries: int,
+        retry_backoff: float = 0.5,
+        task_timeout: Optional[float] = None,
+    ) -> "SimulationConfig":
+        """Copy with fault supervision enabled (bit-identical results)."""
+        return replace(
+            self,
+            max_retries=max_retries,
+            retry_backoff=retry_backoff,
+            task_timeout=task_timeout,
+        )
+
+    @property
+    def retry_policy(self) -> "RetryPolicy":
+        """The :class:`repro.supervision.RetryPolicy` these knobs select."""
+        from repro.supervision import RetryPolicy
+
+        return RetryPolicy(
+            max_retries=self.max_retries,
+            backoff=self.retry_backoff,
+            task_timeout=self.task_timeout,
+        )
 
     # Paper presets ------------------------------------------------------ #
     @classmethod

@@ -60,13 +60,14 @@ only defines the protocol so the simulation layer stays storage-free.
 
 from __future__ import annotations
 
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import replace
 from functools import partial
 from typing import Callable, Dict, List, Optional, TypeVar
 
+from repro import faults
 from repro.exceptions import ConfigurationError
 from repro.simulation.config import SimulationConfig
+from repro.supervision import run_supervised
 from repro.simulation.engine import (
     FrameStatisticsColumns,
     simulate_frame_statistics,
@@ -145,6 +146,7 @@ def _fixed_range_iteration(
     index: int, config: SimulationConfig, entropy: int, transport: str = "pickle"
 ) -> IterationResult:
     """Run fixed-range iteration ``index`` on its own child stream."""
+    faults.fire("iteration", context=f"iteration={index}")
     rng = RandomSource.from_entropy(entropy).child(index)
     result = simulate_iteration(
         network=config.network,
@@ -165,6 +167,7 @@ def _frame_statistics_iteration(
     index: int, config: SimulationConfig, entropy: int, transport: str = "pickle"
 ) -> FrameStatisticsColumns:
     """Run trace-statistics iteration ``index`` on its own child stream."""
+    faults.fire("iteration", context=f"iteration={index}")
     rng = RandomSource.from_entropy(entropy).child(index)
     return share_columns(
         simulate_frame_statistics(
@@ -202,6 +205,11 @@ def _release_unadopted(futures) -> None:
     exit.  Called after the pool has shut down, so every future is
     settled.  Every failure is swallowed — this runs on an exception
     path and must not mask the original error.
+
+    Since PR 7 the gathers run through :func:`repro.supervision.
+    run_supervised`, whose fatal path applies the same adopt-and-drop via
+    its ``release`` hook; this helper remains the shared implementation
+    idiom for direct callers (tests, ad-hoc gathers).
     """
     for future in futures:
         try:
@@ -209,6 +217,31 @@ def _release_unadopted(futures) -> None:
                 _adopt_iteration(future.result())
         except Exception:
             pass
+
+
+def _staging_sweeper(checkpoint) -> Optional[Callable[[], None]]:
+    """An ``on_respawn`` hook sweeping dead writers' staging directories.
+
+    After a pool death every killed worker may have left a half-written
+    staging directory in the checkpoint's store; sweeping them before the
+    replacement pool spawns keeps retried campaigns from accumulating
+    orphans.  Duck-typed through the checkpoint (and the fixed-range
+    adapter) to its ``store.sweep_dead_staging`` — storage-free runs get
+    no hook.
+    """
+    target = getattr(checkpoint, "_checkpoint", checkpoint)
+    store = getattr(target, "store", None)
+    sweep = getattr(store, "sweep_dead_staging", None)
+    if sweep is None:
+        return None
+
+    def respawn() -> None:
+        try:
+            sweep()
+        except Exception:
+            pass  # best-effort hygiene; never mask the recovery
+
+    return respawn
 
 
 def _map_iterations(
@@ -257,35 +290,35 @@ def _map_iterations(
                 checkpoint.save(index, result)
             results[index] = result
     else:
-        # Both parallel paths submit individually and gather in completion
-        # order.  Checkpointed runs save each iteration the moment it
-        # finishes; and — unlike a chunked ``pool.map``, whose result
-        # generator abandons everything queued behind a failing element —
-        # a failed gather here still holds every settled future, so the
-        # except path can adopt and unlink the shared-memory segments
-        # workers had already parked instead of leaking them in
-        # ``/dev/shm`` until interpreter exit.
+        # The parallel path gathers in completion order through the
+        # supervised loop: checkpointed runs save each iteration the
+        # moment it finishes, a fatal gather adopts and unlinks the
+        # shared-memory segments workers had already parked (no
+        # ``/dev/shm`` leak), and — when ``config.max_retries`` /
+        # ``task_timeout`` opt in — worker crashes, task exceptions and
+        # hangs are retried on a respawned pool with backoff instead of
+        # aborting the run.  The default policy reproduces the legacy
+        # fail-fast gather exactly.
         ensure_shared_memory_tracker()
-        futures = {}
-        try:
-            with ProcessPoolExecutor(max_workers=worker_count) as pool:
-                futures = {
-                    pool.submit(bound, index): index for index in pending
-                }
-                remaining = set(futures)
-                while remaining:
-                    done, remaining = wait(
-                        remaining, return_when=FIRST_COMPLETED
-                    )
-                    for future in done:
-                        index = futures.pop(future)
-                        result = _adopt_iteration(future.result())
-                        if checkpoint is not None:
-                            checkpoint.save(index, result)
-                        results[index] = result
-        except BaseException:
-            _release_unadopted(futures)
-            raise
+
+        def submit_one(pool, index, available, ready):
+            return pool.submit(bound, index), 1
+
+        def consume(index, result, cost):
+            adopted = _adopt_iteration(result)
+            if checkpoint is not None:
+                checkpoint.save(index, adopted)
+            results[index] = adopted
+
+        run_supervised(
+            pending,
+            budget=worker_count,
+            submit=submit_one,
+            on_result=consume,
+            policy=config.retry_policy,
+            on_respawn=_staging_sweeper(checkpoint),
+            release=_adopt_iteration,
+        )
     return [results[index] for index in range(config.iterations)]
 
 
@@ -354,35 +387,40 @@ def _run_sharded(
         return
     missing = {index: len(chunks) for index in pending}
     ensure_shared_memory_tracker()
-    futures = {}
-    try:
-        with ProcessPoolExecutor(max_workers=worker_count) as pool:
-            futures = {
-                pool.submit(
-                    run_shard,
-                    mode,
-                    config.mobility,
-                    plans[index][shard],
-                    chunks[shard],
-                    shard == 0,
-                    transmitting_range=config.transmitting_range,
-                    transport=transport,
-                    backend=config.backend,
-                ): (index, shard)
-                for index, shard in tasks
-            }
-            remaining = set(futures)
-            while remaining:
-                done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
-                for future in done:
-                    index, shard = futures.pop(future)
-                    parts[index][shard] = adopt_result(future.result())
-                    missing[index] -= 1
-                    if missing[index] == 0:
-                        finish(index)
-    except BaseException:
-        _release_unadopted(futures)
-        raise
+
+    def submit_shard(pool, item, available, ready):
+        index, shard = item
+        return (
+            pool.submit(
+                run_shard,
+                mode,
+                config.mobility,
+                plans[index][shard],
+                chunks[shard],
+                shard == 0,
+                transmitting_range=config.transmitting_range,
+                transport=transport,
+                backend=config.backend,
+            ),
+            1,
+        )
+
+    def consume(item, result, cost):
+        index, shard = item
+        parts[index][shard] = adopt_result(result)
+        missing[index] -= 1
+        if missing[index] == 0:
+            finish(index)
+
+    run_supervised(
+        tasks,
+        budget=worker_count,
+        submit=submit_shard,
+        on_result=consume,
+        policy=config.retry_policy,
+        on_respawn=_staging_sweeper(checkpoint),
+        release=adopt_result,
+    )
 
 
 def run_fixed_range(

@@ -51,11 +51,12 @@ killed paper-scale parameter value resumes at the first unfinished
 
 from __future__ import annotations
 
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro import faults
 from repro.exceptions import ConfigurationError
+from repro.supervision import RetryPolicy, run_supervised
 
 
 class SweepCheckpoint:
@@ -255,9 +256,31 @@ def measure_row(
     pool and the campaign scheduler's shared pool submit it directly as
     the worker-process body of one parameter value.
     """
+    faults.fire("measure", context=f"{parameter_name}={value:g}")
     row: Dict[str, float] = {parameter_name: float(value)}
     row.update(dict(measure(value)))
     return row
+
+
+def _sweep_staging(checkpoint) -> Optional[Callable[[], None]]:
+    """An ``on_respawn`` hook sweeping dead writers' staging directories.
+
+    Duck-typed through the sweep checkpoint to its store's
+    ``sweep_dead_staging`` (see :meth:`repro.store.result_store.
+    ResultStore.sweep_dead_staging`); storage-free sweeps get no hook.
+    """
+    store = getattr(checkpoint, "store", None)
+    sweep = getattr(store, "sweep_dead_staging", None)
+    if sweep is None:
+        return None
+
+    def respawn() -> None:
+        try:
+            sweep()
+        except Exception:
+            pass  # best-effort hygiene; never mask the recovery
+
+    return respawn
 
 
 def sweep_parameter(
@@ -267,6 +290,7 @@ def sweep_parameter(
     workers: int = 1,
     iteration_workers: Optional[int] = None,
     checkpoint: Optional[SweepCheckpoint] = None,
+    retry_policy: Optional[RetryPolicy] = None,
 ) -> SweepResult:
     """Run ``measure`` at every parameter value and tabulate the results.
 
@@ -292,6 +316,13 @@ def sweep_parameter(
             it stopped.  Because each measure call is deterministic given
             the value, a resumed or fully checkpointed sweep is
             bit-identical to an uninterrupted one.
+        retry_policy: optional :class:`repro.supervision.RetryPolicy` for
+            the parallel path.  ``None`` (default) fails fast exactly as
+            before supervision existed; a supervising policy retries
+            crashed workers, task exceptions and (with ``task_timeout``)
+            hung values on a respawned pool — bit-identical when the
+            retries eventually succeed, since each measure call is a pure
+            function of its value.
     """
     if workers < 1:
         raise ConfigurationError(f"workers must be at least 1, got {workers}")
@@ -333,24 +364,32 @@ def sweep_parameter(
         # Parameter values run in worker *processes* (never pools inside
         # threads): each worker may itself own an iteration-level pool.
         # Rows are checkpointed in completion order — as soon as they
-        # exist — and reordered when the sweep is assembled below.
+        # exist — and reordered when the sweep is assembled below.  The
+        # supervised gather with the default policy reproduces the legacy
+        # fail-fast pool exactly; a supervising ``retry_policy`` survives
+        # worker crashes, task exceptions and hangs.
         from repro.simulation.shm import ensure_shared_memory_tracker
 
         ensure_shared_memory_tracker()
-        with ProcessPoolExecutor(max_workers=worker_count) as pool:
-            futures = {
-                pool.submit(measure_row, parameter_name, measure, value): (index, value)
-                for index, value in pending
-            }
-            remaining = set(futures)
-            while remaining:
-                done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
-                for future in done:
-                    index, value = futures[future]
-                    row = future.result()
-                    if checkpoint is not None:
-                        checkpoint.save(value, row)
-                    rows[index] = row
+
+        def submit_value(pool, item, available, ready):
+            index, value = item
+            return pool.submit(measure_row, parameter_name, measure, value), 1
+
+        def consume(item, row, cost):
+            index, value = item
+            if checkpoint is not None:
+                checkpoint.save(value, row)
+            rows[index] = row
+
+        run_supervised(
+            pending,
+            budget=worker_count,
+            submit=submit_value,
+            on_result=consume,
+            policy=retry_policy,
+            on_respawn=_sweep_staging(checkpoint),
+        )
 
     result.rows.extend(rows[index] for index in range(len(values)))
     return result

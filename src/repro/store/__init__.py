@@ -24,20 +24,32 @@ version).  This package turns that purity into a cache:
 from repro.store.codecs import SCHEMA_VERSION, decode_payload, detect_kind, encode_payload
 from repro.store.checkpoints import StoreIterationCheckpoint, StoreSweepCheckpoint
 from repro.store.keys import cache_key, canonical_json, config_payload, scale_payload
-from repro.store.result_store import GcReport, ResultStore, StoreIntegrityError
+from repro.store.result_store import (
+    DEGRADABLE_ERRNOS,
+    GcReport,
+    ResultStore,
+    StoreDegradedWarning,
+    StoreIntegrityError,
+    TRANSIENT_ERRNOS,
+    is_degradable_error,
+)
 
 __all__ = [
+    "DEGRADABLE_ERRNOS",
     "GcReport",
     "ResultStore",
     "SCHEMA_VERSION",
+    "StoreDegradedWarning",
     "StoreIntegrityError",
     "StoreIterationCheckpoint",
     "StoreSweepCheckpoint",
+    "TRANSIENT_ERRNOS",
     "cache_key",
     "canonical_json",
     "config_payload",
     "decode_payload",
     "detect_kind",
     "encode_payload",
+    "is_degradable_error",
     "scale_payload",
 ]

@@ -23,10 +23,16 @@ keep the store's steady-state size unchanged.
 
 from __future__ import annotations
 
+import warnings
 from typing import Any, Dict, List, Optional
 
 from repro.store.keys import ITERATION_KIND, ROW_KIND, cache_key
-from repro.store.result_store import ResultStore, StoreIntegrityError
+from repro.store.result_store import (
+    ResultStore,
+    StoreDegradedWarning,
+    StoreIntegrityError,
+    is_degradable_error,
+)
 
 __all__ = [
     "ITERATION_KIND",
@@ -36,7 +42,44 @@ __all__ = [
 ]
 
 
-class StoreIterationCheckpoint:
+class _DegradationState:
+    """Shared graceful-degradation behaviour of the store checkpoints.
+
+    When a checkpoint write fails with a *degradable* errno (ENOSPC,
+    EDQUOT, EROFS — see :data:`repro.store.result_store.
+    DEGRADABLE_ERRNOS`), killing the run would trade a full disk for
+    losing the computation in flight.  Instead the checkpoint downgrades:
+    the result is kept in an in-process memory map (so the *current* run
+    still resumes, deduplicates and assembles exactly as if the write had
+    landed), a :class:`StoreDegradedWarning` is emitted once, and
+    ``degraded`` records the reason for structured consumers (the
+    campaign layer turns it into a ``StoreDegraded`` progress event).
+    Durability across process kills is what is lost — nothing else.
+    """
+
+    def __init__(self) -> None:
+        self.degraded: Optional[str] = None
+        self._memory: Dict[Any, Any] = {}
+
+    def _absorb_write_failure(
+        self, error: BaseException, key: Any, result: Any, what: str
+    ) -> None:
+        if not is_degradable_error(error):
+            raise error
+        self._memory[key] = result
+        if self.degraded is None:
+            self.degraded = f"{what} write failed: {error}"
+            warnings.warn(
+                StoreDegradedWarning(
+                    f"{what} checkpoint degraded to in-memory mode "
+                    f"({error}); results of this run are kept but will "
+                    f"not survive a process kill"
+                ),
+                stacklevel=3,
+            )
+
+
+class StoreIterationCheckpoint(_DegradationState):
     """Checkpoint one parameter value's simulation iterations.
 
     Implements the :class:`repro.simulation.runner.IterationCheckpoint`
@@ -61,6 +104,7 @@ class StoreIterationCheckpoint:
         value: float,
         metadata: Optional[Dict[str, Any]] = None,
     ) -> None:
+        super().__init__()
         self.store = store
         self.payload = payload
         self.value = float(value)
@@ -82,35 +126,47 @@ class StoreIterationCheckpoint:
     def load(self, index: int) -> Optional[Any]:
         """The checkpointed iteration result, or ``None`` to resimulate.
 
-        Corrupt entries are evicted and reported as misses, like the
-        value-row checkpoint.
+        Corrupt entries are quarantined with provenance and reported as
+        misses, like the value-row checkpoint.
         """
+        if index in self._memory:
+            self.loaded += 1
+            return self._memory[index]
         key = self.key_for(index)
         if not self.store.contains(key):
             return None
         try:
             result = self.store.get(key)
-        except (KeyError, StoreIntegrityError):
-            self.store.evict(key)
+        except (KeyError, StoreIntegrityError) as error:
+            self.store.quarantine_entry(key, reason=str(error))
             return None
         self.loaded += 1
         return result
 
     def save(self, index: int, result: Any) -> None:
-        """Persist the freshly simulated iteration ``index``."""
-        self.store.put(
-            self.key_for(index),
-            result,
-            metadata={
-                **self.metadata,
-                "value": self.value,
-                "iteration": int(index),
-            },
-        )
+        """Persist the freshly simulated iteration ``index``.
+
+        A degradable write failure (ENOSPC & co) downgrades to in-memory
+        checkpointing instead of killing the simulation — see
+        :class:`_DegradationState`.
+        """
+        try:
+            self.store.put(
+                self.key_for(index),
+                result,
+                metadata={
+                    **self.metadata,
+                    "value": self.value,
+                    "iteration": int(index),
+                },
+                kind=ITERATION_KIND,
+            )
+        except OSError as error:
+            self._absorb_write_failure(error, int(index), result, "iteration")
         self.saved += 1
 
 
-class StoreSweepCheckpoint:
+class StoreSweepCheckpoint(_DegradationState):
     """Checkpoint one sweep's rows into a :class:`ResultStore`.
 
     Args:
@@ -133,6 +189,7 @@ class StoreSweepCheckpoint:
         metadata: Optional[Dict[str, Any]] = None,
         iterations: Optional[int] = None,
     ) -> None:
+        super().__init__()
         self.store = store
         self.payload = payload
         self.metadata = metadata or {}
@@ -147,17 +204,20 @@ class StoreSweepCheckpoint:
     def load(self, value: float) -> Optional[Dict[str, float]]:
         """The checkpointed row at ``value``, or ``None`` to recompute.
 
-        A corrupt entry is evicted and reported as a miss — resuming from
-        a damaged store recomputes the damaged rows instead of returning
-        them.
+        A corrupt entry is quarantined (with provenance, for post-mortem
+        diagnosis) and reported as a miss — resuming from a damaged store
+        recomputes the damaged rows instead of returning them.
         """
+        if float(value) in self._memory:
+            self.loaded += 1
+            return self._memory[float(value)]
         key = self.key_for(value)
         if not self.store.contains(key):
             return None
         try:
             row = self.store.get(key)
-        except (KeyError, StoreIntegrityError):
-            self.store.evict(key)
+        except (KeyError, StoreIntegrityError) as error:
+            self.store.quarantine_entry(key, reason=str(error))
             return None
         self.loaded += 1
         return row
@@ -167,13 +227,20 @@ class StoreSweepCheckpoint:
 
         The value's iteration sub-entries (if iteration granularity is
         enabled) are evicted afterwards: every future resume reads the
-        row, so keeping them would only grow the store.
+        row, so keeping them would only grow the store.  A degradable
+        write failure (ENOSPC & co) downgrades to in-memory
+        checkpointing instead of killing the sweep — see
+        :class:`_DegradationState`.
         """
-        self.store.put(
-            self.key_for(value),
-            dict(row),
-            metadata={**self.metadata, "value": float(value)},
-        )
+        try:
+            self.store.put(
+                self.key_for(value),
+                dict(row),
+                metadata={**self.metadata, "value": float(value)},
+                kind=ROW_KIND,
+            )
+        except OSError as error:
+            self._absorb_write_failure(error, float(value), dict(row), "row")
         self.saved += 1
         self.discard_iterations(value)
 

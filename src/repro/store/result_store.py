@@ -18,6 +18,7 @@ callers can evict and recompute instead of consuming silent corruption.
 
 from __future__ import annotations
 
+import errno
 import hashlib
 import json
 import os
@@ -26,14 +27,17 @@ import time
 import uuid
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple, TypeVar, Union
 
+from repro import faults
 from repro.exceptions import ConfigurationError, ReproError
 from repro.store.codecs import SCHEMA_VERSION, decode_payload, encode_payload
 
 PathLike = Union[str, Path]
+T = TypeVar("T")
 
 _ENTRY_FILE = "entry.json"
+_PROVENANCE_FILE = "provenance.json"
 
 #: Staging directories older than this are certainly orphans of killed
 #: writers (a live write stages and renames within seconds); :meth:`
@@ -41,9 +45,65 @@ _ENTRY_FILE = "entry.json"
 #: against a store a campaign is actively writing to.
 STALE_STAGING_SECONDS = 15 * 60
 
+#: Errnos worth retrying in place: the write target is healthy but the
+#: operation hiccuped (a device-level I/O blip, an interrupted syscall,
+#: a transiently busy file).  Space exhaustion is deliberately absent —
+#: retrying ENOSPC burns time without hope; it degrades instead.
+TRANSIENT_ERRNOS = frozenset(
+    {errno.EIO, errno.EINTR, errno.EAGAIN, errno.EBUSY}
+)
+
+#: Errnos that mean "this store cannot accept writes right now, and
+#: retrying will not change that": out of space, over quota, read-only.
+#: Checkpoint writers downgrade to in-memory operation on these instead
+#: of killing the run (see :mod:`repro.store.checkpoints`).
+DEGRADABLE_ERRNOS = frozenset(
+    code
+    for code in (
+        errno.ENOSPC,
+        getattr(errno, "EDQUOT", None),
+        errno.EROFS,
+    )
+    if code is not None
+)
+
+#: Transient-I/O retry shape of :func:`io_retry`: up to ``_IO_RETRIES``
+#: re-attempts with a short doubling delay.  Kept deliberately tiny — the
+#: wrapper exists to absorb one-off blips, not to poll a dying disk.
+_IO_RETRIES = 2
+_IO_RETRY_DELAY = 0.05
+
 
 class StoreIntegrityError(ReproError):
     """A store entry exists but fails its integrity verification."""
+
+
+class StoreDegradedWarning(UserWarning):
+    """A checkpoint writer downgraded to in-memory mode (ENOSPC & co)."""
+
+
+def is_degradable_error(error: BaseException) -> bool:
+    """``True`` when ``error`` should downgrade checkpointing, not kill."""
+    return (
+        isinstance(error, OSError) and error.errno in DEGRADABLE_ERRNOS
+    )
+
+
+def io_retry(operation: Callable[[], T], what: str) -> T:
+    """Run ``operation``, absorbing up to ``_IO_RETRIES`` transient errors.
+
+    Only errnos in :data:`TRANSIENT_ERRNOS` are retried (with a short
+    doubling backoff); everything else — including the degradable family
+    — propagates immediately to the caller that knows how to handle it.
+    """
+    for attempt in range(_IO_RETRIES + 1):
+        try:
+            return operation()
+        except OSError as error:
+            if error.errno not in TRANSIENT_ERRNOS or attempt == _IO_RETRIES:
+                raise
+            time.sleep(_IO_RETRY_DELAY * (2.0**attempt))
+    raise AssertionError(f"unreachable io_retry fall-through for {what}")
 
 
 @dataclass(frozen=True)
@@ -80,6 +140,8 @@ class ResultStore:
         self.root = Path(root)
         self._objects = self.root / "objects"
         self._staging = self.root / "staging"
+        self._quarantine_entries = self.root / "quarantine" / "entries"
+        self._quarantine_tasks = self.root / "quarantine" / "tasks"
 
     # ------------------------------------------------------------------ #
     def _entry_dir(self, key: str) -> Path:
@@ -92,7 +154,11 @@ class ResultStore:
         return (self._entry_dir(key) / _ENTRY_FILE).is_file()
 
     def put(
-        self, key: str, value: Any, metadata: Optional[Dict[str, Any]] = None
+        self,
+        key: str,
+        value: Any,
+        metadata: Optional[Dict[str, Any]] = None,
+        kind: Optional[str] = None,
     ) -> str:
         """Store ``value`` under ``key``; returns ``key``.
 
@@ -100,10 +166,13 @@ class ResultStore:
         discarded (content addressing guarantees equal payloads for equal
         keys).  ``metadata`` is stored verbatim in the entry header for
         human inspection (``status`` listings); it does not affect reads.
+        ``kind`` is the caller-declared key kind (``sweep`` /
+        ``sweep-row`` / ``sweep-row-iteration``) labelling the write for
+        fault matching only; it defaults to the payload encoding kind.
         """
-        kind, filename, payload = encode_payload(value)
+        payload_kind, filename, payload = encode_payload(value)
         entry = {
-            "kind": kind,
+            "kind": payload_kind,
             "schema_version": SCHEMA_VERSION,
             "payload_file": filename,
             "payload_sha256": hashlib.sha256(payload).hexdigest(),
@@ -112,15 +181,33 @@ class ResultStore:
         final_dir = self._entry_dir(key)
         if (final_dir / _ENTRY_FILE).is_file():
             return key
+        # The injection gate sits inside the transient-retry wrapper, so a
+        # transient injected errno (EIO & co) exercises the same in-place
+        # retry a real device blip would get; degradable errnos (ENOSPC)
+        # propagate immediately to the checkpoint layer.
+        fault = io_retry(
+            lambda: faults.fire(
+                "store.put", context=f"{kind or payload_kind}:{key}"
+            ),
+            f"write gate of {key}",
+        )
         self._staging.mkdir(parents=True, exist_ok=True)
-        stage = self._staging / uuid.uuid4().hex
+        # Staging names carry the writer's pid so :meth:`sweep_dead_staging`
+        # can tell a crashed writer's leftovers from a live in-flight write.
+        stage = self._staging / f"{os.getpid()}-{uuid.uuid4().hex}"
         stage.mkdir()
         try:
-            (stage / filename).write_bytes(payload)
+            io_retry(
+                lambda: (stage / filename).write_bytes(payload),
+                f"stage payload of {key}",
+            )
             (stage / _ENTRY_FILE).write_text(json.dumps(entry, indent=2, sort_keys=True))
             final_dir.parent.mkdir(parents=True, exist_ok=True)
             try:
-                os.replace(stage, final_dir)
+                io_retry(
+                    lambda: os.replace(stage, final_dir),
+                    f"publish entry {key}",
+                )
             except OSError:
                 # A concurrent writer renamed an identical entry first.
                 if not self.contains(key):
@@ -129,7 +216,28 @@ class ResultStore:
         finally:
             if stage.exists() and not self.contains(key):
                 shutil.rmtree(stage, ignore_errors=True)
+        if fault is not None and fault.action == "corrupt":
+            self._corrupt_payload(key)
         return key
+
+    def _corrupt_payload(self, key: str) -> None:
+        """Flip payload bytes of ``key`` in place (fault injection only).
+
+        Applied *after* a successful write when an armed ``corrupt``
+        fault matched it, producing exactly the damage the integrity
+        verification exists to catch: a payload whose sha256 no longer
+        matches its recorded digest.
+        """
+        try:
+            header = self.entry(key)
+        except (KeyError, StoreIntegrityError):
+            return
+        payload_path = self._entry_dir(key) / header.get("payload_file", "")
+        if not payload_path.is_file():
+            return
+        data = payload_path.read_bytes()
+        if data:
+            payload_path.write_bytes(bytes([data[0] ^ 0xFF]) + data[1:])
 
     def entry(self, key: str) -> Dict[str, Any]:
         """The entry header of ``key`` (kind, digest, metadata).
@@ -163,7 +271,12 @@ class ResultStore:
         payload_path = self._entry_dir(key) / header.get("payload_file", "")
         if not payload_path.is_file():
             raise StoreIntegrityError(f"store entry {key} lost its payload file")
-        payload = payload_path.read_bytes()
+
+        def read_payload() -> bytes:
+            faults.fire("store.get", context=key)
+            return payload_path.read_bytes()
+
+        payload = io_retry(read_payload, f"read payload of {key}")
         digest = hashlib.sha256(payload).hexdigest()
         if digest != header.get("payload_sha256"):
             raise StoreIntegrityError(
@@ -199,6 +312,126 @@ class ResultStore:
             return False
         shutil.rmtree(path)
         return True
+
+    # ------------------------------------------------------------------ #
+    # Quarantine: corrupt entries and poison tasks, with provenance
+    # ------------------------------------------------------------------ #
+    def quarantine_entry(self, key: str, reason: str) -> bool:
+        """Move ``key``'s entry into quarantine instead of deleting it.
+
+        The entry directory — header, damaged payload and all — is moved
+        under ``quarantine/entries/<key>/`` with a ``provenance.json``
+        recording why and when, so corruption can be diagnosed after the
+        fact (which disk, which writer, what pattern) while the live key
+        space reports a clean miss and recomputes.  Returns ``True`` if
+        an entry existed.  Failures fall back to plain eviction: a miss
+        must result either way.
+        """
+        source = self._entry_dir(key)
+        if not source.exists():
+            return False
+        destination = self._quarantine_entries / key
+        try:
+            self._quarantine_entries.mkdir(parents=True, exist_ok=True)
+            if destination.exists():
+                shutil.rmtree(destination)  # keep the latest damage only
+            os.replace(source, destination)
+            (destination / _PROVENANCE_FILE).write_text(
+                json.dumps(
+                    {
+                        "key": key,
+                        "reason": reason,
+                        "quarantined_at": time.time(),
+                        "pid": os.getpid(),
+                    },
+                    indent=2,
+                    sort_keys=True,
+                )
+            )
+        except OSError:
+            shutil.rmtree(source, ignore_errors=True)
+        return True
+
+    def quarantined_entries(self) -> List[str]:
+        """Keys currently held in entry quarantine."""
+        if not self._quarantine_entries.is_dir():
+            return []
+        return sorted(
+            path.name for path in self._quarantine_entries.iterdir() if path.is_dir()
+        )
+
+    def entry_provenance(self, key: str) -> Optional[Dict[str, Any]]:
+        """The provenance record of a quarantined entry, or ``None``."""
+        path = self._quarantine_entries / key / _PROVENANCE_FILE
+        if not path.is_file():
+            return None
+        try:
+            return json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+
+    def drop_quarantined_entry(self, key: str) -> bool:
+        """Discard one quarantined entry copy; ``True`` if one existed."""
+        path = self._quarantine_entries / key
+        if not path.is_dir():
+            return False
+        shutil.rmtree(path, ignore_errors=True)
+        return True
+
+    def record_poison(self, key: str, info: Dict[str, Any]) -> None:
+        """Record that the task addressing ``key`` was given up on.
+
+        Poison records are how a campaign remembers which tasks exhausted
+        their retries: the campaign continues past them, ``status``
+        surfaces them per scenario, and ``clean`` (or a successful later
+        run) clears them.  ``info`` is stored verbatim plus a timestamp.
+        """
+        self._quarantine_tasks.mkdir(parents=True, exist_ok=True)
+        record = {**info, "key": key, "quarantined_at": time.time()}
+        path = self._quarantine_tasks / f"{key}.json"
+        path.write_text(json.dumps(record, indent=2, sort_keys=True))
+
+    def poison(self, key: str) -> Optional[Dict[str, Any]]:
+        """The poison record of ``key``, or ``None``."""
+        path = self._quarantine_tasks / f"{key}.json"
+        if not path.is_file():
+            return None
+        try:
+            return json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+
+    def poison_keys(self) -> List[str]:
+        """Keys of every recorded poison task."""
+        if not self._quarantine_tasks.is_dir():
+            return []
+        return sorted(
+            path.stem
+            for path in self._quarantine_tasks.iterdir()
+            if path.suffix == ".json"
+        )
+
+    def clear_poison(self, key: str) -> bool:
+        """Drop one poison record; ``True`` if one existed."""
+        path = self._quarantine_tasks / f"{key}.json"
+        if not path.is_file():
+            return False
+        try:
+            path.unlink()
+        except OSError:
+            return False
+        return True
+
+    def clear_quarantine(self) -> int:
+        """Drop every poison record and quarantined entry copy."""
+        removed = 0
+        for key in self.poison_keys():
+            if self.clear_poison(key):
+                removed += 1
+        for key in self.quarantined_entries():
+            if self.drop_quarantined_entry(key):
+                removed += 1
+        return removed
 
     # ------------------------------------------------------------------ #
     # Garbage collection
@@ -367,5 +600,51 @@ class ResultStore:
             removed += 1
         return removed
 
+    def sweep_dead_staging(self) -> int:
+        """Remove staging directories whose writer process is dead.
+
+        Staging names are ``<pid>-<uuid>`` (see :meth:`put`); a name
+        whose pid no longer exists belongs to a crashed writer and its
+        half-written entry can never be renamed into place.  Unlike the
+        age-based :meth:`clear_staging`, this is safe to call *mid-run*
+        — the supervised gathers call it after terminating a broken pool
+        and before respawning it, so a crash-looping campaign cannot
+        accumulate orphaned staging directories.  Directories without a
+        pid prefix (pre-existing stores) fall back to the stale-age rule.
+        """
+        if not self._staging.is_dir():
+            return 0
+        removed = 0
+        cutoff = time.time() - STALE_STAGING_SECONDS
+        for stale in self._staging.iterdir():
+            pid_text, _, _ = stale.name.partition("-")
+            if pid_text.isdigit():
+                if _pid_alive(int(pid_text)):
+                    continue
+            else:
+                try:
+                    if stale.stat().st_mtime > cutoff:
+                        continue
+                except OSError:
+                    continue  # renamed or removed by its (live) writer
+            shutil.rmtree(stale, ignore_errors=True)
+            removed += 1
+        return removed
+
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return f"ResultStore(root={str(self.root)!r})"
+
+
+def _pid_alive(pid: int) -> bool:
+    """``True`` when a process with ``pid`` currently exists."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True  # exists, owned by someone else
+    except OSError:
+        return True  # be conservative: never sweep a live writer
+    return True
