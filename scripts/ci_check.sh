@@ -54,6 +54,22 @@
 # 14. Every benchmark above writes a BENCH_<name>.json summary into
 #    $REPRO_BENCH_OUT; they are collected and printed at the end, so the
 #    perf trajectory is tracked as structured data across PRs.
+# 15. The telemetry-overhead benchmark must pass at smoke scale: tracing
+#    a scheduled campaign costs < 2% wall clock over --no-telemetry, and
+#    the traced run's sink must actually contain the campaign's task
+#    spans (cheap because tracing is cheap, not because it didn't run).
+# 16. A telemetry smoke through the real CLI: a traced campaign run,
+#    then `campaign report` (text summary and --chrome-trace export);
+#    every line of the per-run trace.jsonl must parse as JSON, the
+#    report must aggregate the run's spans, and the Chrome export must
+#    be loadable trace_event JSON.
+# 17. The perf-regression gate: the fresh BENCH_*.json summaries are
+#    graded against benchmarks/baseline.json (host-normalized metrics
+#    only, core-count-gated, noise-banded); a regression beyond the band
+#    or a missing baselined summary fails the script.  Finally
+#    $REPRO_BENCH_OUT/run_report.json is written — tier-1 result, bench
+#    summaries, campaign-smoke outcome and the regression verdicts as
+#    one structured CI artifact.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -189,6 +205,56 @@ if [ -d "$CHAOS_STORE/staging" ] && [ -n "$(ls -A "$CHAOS_STORE/staging")" ]; th
 fi
 echo "chaos smoke: OK"
 
+REPRO_BENCH_SCALE=smoke PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
+    python -m pytest benchmarks/bench_telemetry_overhead.py -q
+
+TELEMETRY_DIR="$(mktemp -d)"
+TELEMETRY_STORE="$TELEMETRY_DIR/store"
+trap 'rm -rf "$CAMPAIGN_STORE" "$SCHEDULER_STORE" "$GC_STORE" "$CHAOS_DIR" "$TELEMETRY_DIR"' EXIT
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m repro \
+    campaign run examples/campaign_smoke.toml --store "$TELEMETRY_STORE" \
+    --total-workers 2 --quiet
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m repro \
+    campaign report --store "$TELEMETRY_STORE" \
+    | grep "Spans:" > /dev/null
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m repro \
+    campaign report --store "$TELEMETRY_STORE" \
+    --chrome-trace "$TELEMETRY_DIR/chrome.json" > /dev/null
+TELEMETRY_STORE="$TELEMETRY_STORE" TELEMETRY_DIR="$TELEMETRY_DIR" \
+    PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python - <<'TELEMETRY_SMOKE'
+import json
+import os
+from pathlib import Path
+
+from repro.telemetry import report
+
+store = Path(os.environ["TELEMETRY_STORE"])
+run_dir = report.latest_run_dir(store / "telemetry")
+assert run_dir is not None, "campaign run recorded no telemetry"
+for line in (run_dir / "trace.jsonl").read_text().splitlines():
+    if line.strip():
+        json.loads(line)  # every line of the sink is valid JSON
+trace = report.read_trace(run_dir)
+assert trace["spans"], "trace holds no spans"
+assert trace["bad_lines"] == 0, trace["bad_lines"]
+built = report.load_or_build_report(run_dir)
+assert built["spans"]["count"] == len(trace["spans"])
+assert built["scenarios"], "report aggregated no scenarios"
+chrome = json.loads((Path(os.environ["TELEMETRY_DIR"]) / "chrome.json").read_text())
+events = chrome["traceEvents"]
+assert events and all(e["ph"] in ("X", "i") for e in events)
+assert all(isinstance(e["ts"], (int, float)) for e in events)
+print("telemetry smoke: OK")
+TELEMETRY_SMOKE
+
+if PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m repro.telemetry.regression \
+    --baseline benchmarks/baseline.json --results "$REPRO_BENCH_OUT" \
+    --json "$REPRO_BENCH_OUT/regression_verdicts.json"; then
+    REGRESSION_STATUS=passed
+else
+    REGRESSION_STATUS=failed
+fi
+
 python - <<'COLLECT_BENCH'
 import json
 import os
@@ -209,3 +275,38 @@ for path in summaries:
     )
     print(f"  {path.name} [{document.get('scale')}]: {headline}")
 COLLECT_BENCH
+
+REGRESSION_STATUS="$REGRESSION_STATUS" python - <<'RUN_REPORT'
+import json
+import os
+import time
+from pathlib import Path
+
+out = Path(os.environ["REPRO_BENCH_OUT"])
+verdicts_path = out / "regression_verdicts.json"
+verdicts = (
+    json.loads(verdicts_path.read_text()) if verdicts_path.is_file() else []
+)
+report = {
+    "generated": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+    # set -eu: reaching this step means every earlier gate passed.
+    "tier1": {"status": "passed"},
+    "campaign_smoke": {"status": "passed"},
+    "benchmarks": {
+        path.name[len("BENCH_"):-len(".json")]: json.loads(path.read_text())
+        for path in sorted(out.glob("BENCH_*.json"))
+    },
+    "regression": {
+        "status": os.environ["REGRESSION_STATUS"],
+        "verdicts": verdicts,
+    },
+}
+path = out / "run_report.json"
+path.write_text(json.dumps(report, indent=2, sort_keys=True))
+print(f"CI run report written to {path}")
+RUN_REPORT
+
+if [ "$REGRESSION_STATUS" != passed ]; then
+    echo "perf regression gate failed (see verdicts above)" >&2
+    exit 1
+fi

@@ -32,8 +32,10 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional
 
+from repro import telemetry
 from repro.campaigns.progress import (
     CacheHit,
     EntryEvicted,
@@ -197,6 +199,11 @@ class CampaignRunner:
             serial loop runs tasks in-process and cannot preempt them).
         retry_backoff: base of the capped exponential backoff between
             attempts (seconds; default 0.5).
+        telemetry: record the run's spans/metrics under
+            ``<store root>/telemetry/<run id>/`` and seal them into a
+            ``run_report.json`` (see :mod:`repro.telemetry`).  Defaults
+            to on; pass ``False`` to opt out.  Tracing never affects
+            results, and a failing trace sink never fails the campaign.
 
     Worker and supervision knobs only change wall-clock behaviour; they
     never enter cache keys, and results are bit-identical for every
@@ -214,6 +221,7 @@ class CampaignRunner:
         max_retries: Optional[int] = None,
         task_timeout: Optional[float] = None,
         retry_backoff: Optional[float] = None,
+        telemetry: Optional[bool] = None,
     ) -> None:
         self.spec = spec
         self.store = store
@@ -223,6 +231,7 @@ class CampaignRunner:
         self.max_retries = max_retries
         self.task_timeout = task_timeout
         self.retry_backoff = retry_backoff
+        self.telemetry = True if telemetry is None else bool(telemetry)
 
     @property
     def retry_policy(self) -> RetryPolicy:
@@ -291,13 +300,16 @@ class CampaignRunner:
         as a miss, so the sweep recomputes.
         """
         if not self.store.contains(key):
+            telemetry.metrics.counter("campaign.cache.misses").add(1)
             return None
         try:
             sweep = self.store.get(key)
         except (KeyError, StoreIntegrityError) as error:
             self.store.quarantine_entry(key, reason=str(error))
+            telemetry.metrics.counter("campaign.cache.evictions").add(1)
             say(EntryEvicted(scenario_id=scenario.scenario_id))
             return None
+        telemetry.metrics.counter("campaign.cache.hits").add(1)
         say(CacheHit(scenario_id=scenario.scenario_id, key=key))
         return sweep
 
@@ -362,13 +374,56 @@ class CampaignRunner:
                 :func:`repro.campaigns.progress.as_text` — the CLI passes
                 ``as_text(print)``.
         """
-        if self.total_workers is not None:
-            from repro.campaigns.scheduler import CampaignScheduler
-
-            return CampaignScheduler(self, self.total_workers).run(
-                resume=resume, progress=progress
-            )
         say = progress if progress is not None else (lambda event: None)
+        run_handle = self._start_telemetry()
+        if run_handle is not None:
+            # Progress events double as trace annotations; the consumer
+            # still receives the identical event objects, so CLI text is
+            # byte for byte what it was without telemetry.
+            say = telemetry.annotated(say)
+        result: Optional[CampaignResult] = None
+        try:
+            with telemetry.span(
+                "campaign",
+                campaign=self.spec.name,
+                scenarios=self.spec.scenario_count(),
+                total_workers=self.total_workers,
+            ):
+                if self.total_workers is not None:
+                    from repro.campaigns.scheduler import CampaignScheduler
+
+                    result = CampaignScheduler(self, self.total_workers).run(
+                        resume=resume, progress=say
+                    )
+                else:
+                    result = self._run_serial(resume, say)
+            return result
+        finally:
+            if run_handle is not None:
+                run_handle.finish(result)
+
+    def _start_telemetry(self) -> Optional[telemetry.TelemetryRun]:
+        """Arm a telemetry run under the store root, or ``None``.
+
+        Observability must never take a campaign down: any failure to
+        create the run directory (read-only store, permissions) simply
+        runs the campaign untraced.
+        """
+        if not self.telemetry:
+            return None
+        try:
+            return telemetry.start_run(
+                Path(self.store.root) / "telemetry", campaign=self.spec.name
+            )
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except BaseException:
+            return None
+
+    def _run_serial(
+        self, resume: bool, say: Callable[[ProgressEvent], None]
+    ) -> CampaignResult:
+        """The serial scenario loop (no ``total_workers`` budget)."""
         policy = self.retry_policy
         if not resume:
             for scenario in self.spec.scenarios():
@@ -377,130 +432,136 @@ class CampaignRunner:
                 )
         outcomes: List[ScenarioOutcome] = []
         for scenario in self.spec.scenarios():
-            experiment = get_experiment(scenario.experiment_id)
-            key = scenario_sweep_key(experiment, scenario.scale)
-            sweep = self.probe_sweep(scenario, key, say)
-            if sweep is not None:
-                outcomes.append(
-                    ScenarioOutcome(scenario=scenario, sweep=sweep, cache_hit=True)
-                )
-                continue
+            with telemetry.span(
+                "scenario",
+                scenario=scenario.scenario_id,
+                experiment=scenario.experiment_id,
+            ):
+                outcomes.append(self._run_scenario(scenario, policy, say))
+        return CampaignResult(spec=self.spec, outcomes=outcomes)
 
-            checkpoint = self._checkpoint_for(experiment, scenario)
-            execution_scale = self._execution_scale(experiment, scenario.scale)
-            # The serial loop supervises at scenario granularity: each
-            # retry runs with a fresh checkpoint object, so it resumes
-            # from whatever rows and iterations the failed attempt had
-            # already persisted — retries re-simulate only the work in
-            # flight when the failure hit, and the final result is
-            # bit-identical to a fault-free run.  The default policy
-            # (no retries) re-raises the first failure, as ever.
-            attempt = 0
-            sweep = None
-            while True:
-                try:
-                    if experiment.supports_checkpoint:
-                        sweep = experiment.run_with_checkpoint(
-                            execution_scale, checkpoint
-                        )
-                    else:
-                        # Experiments with cross-value state (e.g. a shared
-                        # sequential random stream) cache at sweep
-                        # granularity only.
-                        sweep = experiment.run(execution_scale)
-                    break
-                except (KeyboardInterrupt, SystemExit):
+    def _run_scenario(
+        self,
+        scenario: Scenario,
+        policy: RetryPolicy,
+        say: Callable[[ProgressEvent], None],
+    ) -> ScenarioOutcome:
+        """Run (or serve from cache) one scenario of the serial loop."""
+        experiment = get_experiment(scenario.experiment_id)
+        key = scenario_sweep_key(experiment, scenario.scale)
+        sweep = self.probe_sweep(scenario, key, say)
+        if sweep is not None:
+            return ScenarioOutcome(scenario=scenario, sweep=sweep, cache_hit=True)
+
+        checkpoint = self._checkpoint_for(experiment, scenario)
+        execution_scale = self._execution_scale(experiment, scenario.scale)
+        # The serial loop supervises at scenario granularity: each
+        # retry runs with a fresh checkpoint object, so it resumes
+        # from whatever rows and iterations the failed attempt had
+        # already persisted — retries re-simulate only the work in
+        # flight when the failure hit, and the final result is
+        # bit-identical to a fault-free run.  The default policy
+        # (no retries) re-raises the first failure, as ever.
+        attempt = 0
+        sweep = None
+        while True:
+            try:
+                if experiment.supports_checkpoint:
+                    sweep = experiment.run_with_checkpoint(
+                        execution_scale, checkpoint
+                    )
+                else:
+                    # Experiments with cross-value state (e.g. a shared
+                    # sequential random stream) cache at sweep
+                    # granularity only.
+                    sweep = experiment.run(execution_scale)
+                break
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except Exception as error:
+                attempt += 1
+                if not policy.supervised:
                     raise
-                except Exception as error:
-                    attempt += 1
-                    if not policy.supervised:
-                        raise
-                    say(
-                        TaskFailed(
-                            scenario_id=scenario.scenario_id,
-                            value=None,
-                            attempt=attempt,
-                            error=str(error),
-                        )
-                    )
-                    if attempt > policy.max_retries:
-                        self.store.record_poison(
-                            key,
-                            {
-                                "campaign": self.spec.name,
-                                "scenario": scenario.scenario_id,
-                                "value": None,
-                                "error": str(error),
-                                "attempts": attempt,
-                            },
-                        )
-                        say(
-                            TaskQuarantined(
-                                scenario_id=scenario.scenario_id,
-                                value=None,
-                                attempts=attempt,
-                                error=str(error),
-                            )
-                        )
-                        break
-                    delay = policy.delay_for(attempt)
-                    say(
-                        TaskRetried(
-                            scenario_id=scenario.scenario_id,
-                            value=None,
-                            attempt=attempt,
-                            max_retries=policy.max_retries,
-                            delay=delay,
-                            error=str(error),
-                        )
-                    )
-                    time.sleep(delay)
-                    checkpoint = self._checkpoint_for(experiment, scenario)
-            if sweep is None:
-                outcomes.append(
-                    ScenarioOutcome(
-                        scenario=scenario,
-                        sweep=None,
-                        cache_hit=False,
-                        loaded_values=checkpoint.loaded,
-                        computed_values=(
-                            checkpoint.saved
-                            if experiment.supports_checkpoint
-                            else 0
-                        ),
-                        quarantined_values=1,
-                    )
-                )
-                continue
-            if checkpoint.degraded:
                 say(
-                    StoreDegraded(
+                    TaskFailed(
                         scenario_id=scenario.scenario_id,
-                        scope="row",
-                        reason=checkpoint.degraded,
+                        value=None,
+                        attempt=attempt,
+                        error=str(error),
                     )
                 )
-            self._put_sweep(key, sweep, scenario.scenario_id, say)
-            outcome = ScenarioOutcome(
+                if attempt > policy.max_retries:
+                    self.store.record_poison(
+                        key,
+                        {
+                            "campaign": self.spec.name,
+                            "scenario": scenario.scenario_id,
+                            "value": None,
+                            "error": str(error),
+                            "attempts": attempt,
+                        },
+                    )
+                    say(
+                        TaskQuarantined(
+                            scenario_id=scenario.scenario_id,
+                            value=None,
+                            attempts=attempt,
+                            error=str(error),
+                        )
+                    )
+                    break
+                delay = policy.delay_for(attempt)
+                say(
+                    TaskRetried(
+                        scenario_id=scenario.scenario_id,
+                        value=None,
+                        attempt=attempt,
+                        max_retries=policy.max_retries,
+                        delay=delay,
+                        error=str(error),
+                    )
+                )
+                time.sleep(delay)
+                checkpoint = self._checkpoint_for(experiment, scenario)
+        if sweep is None:
+            return ScenarioOutcome(
                 scenario=scenario,
-                sweep=sweep,
+                sweep=None,
                 cache_hit=False,
                 loaded_values=checkpoint.loaded,
                 computed_values=(
-                    checkpoint.saved
-                    if experiment.supports_checkpoint
-                    else len(sweep.rows)
+                    checkpoint.saved if experiment.supports_checkpoint else 0
                 ),
+                quarantined_values=1,
             )
-            outcomes.append(outcome)
+        if checkpoint.degraded:
             say(
-                ScenarioCompleted(
+                StoreDegraded(
                     scenario_id=scenario.scenario_id,
-                    computed_values=outcome.computed_values,
-                    loaded_values=outcome.loaded_values,
+                    scope="row",
+                    reason=checkpoint.degraded,
                 )
             )
-        return CampaignResult(spec=self.spec, outcomes=outcomes)
+        self._put_sweep(key, sweep, scenario.scenario_id, say)
+        outcome = ScenarioOutcome(
+            scenario=scenario,
+            sweep=sweep,
+            cache_hit=False,
+            loaded_values=checkpoint.loaded,
+            computed_values=(
+                checkpoint.saved
+                if experiment.supports_checkpoint
+                else len(sweep.rows)
+            ),
+        )
+        say(
+            ScenarioCompleted(
+                scenario_id=scenario.scenario_id,
+                computed_values=outcome.computed_values,
+                loaded_values=outcome.loaded_values,
+            )
+        )
+        return outcome
 
     # ------------------------------------------------------------------ #
     def status(self) -> List[ScenarioStatus]:
@@ -608,6 +669,7 @@ def run_campaign(
     max_retries: Optional[int] = None,
     task_timeout: Optional[float] = None,
     retry_backoff: Optional[float] = None,
+    telemetry: Optional[bool] = None,
     progress: Optional[Callable[[ProgressEvent], None]] = None,
 ) -> CampaignResult:
     """One-call convenience wrapper around :class:`CampaignRunner`."""
@@ -620,5 +682,6 @@ def run_campaign(
         max_retries=max_retries,
         task_timeout=task_timeout,
         retry_backoff=retry_backoff,
+        telemetry=telemetry,
     )
     return runner.run(resume=resume, progress=progress)

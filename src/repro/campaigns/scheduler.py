@@ -43,6 +43,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from repro import telemetry
 from repro.campaigns.progress import (
     ProgressEvent,
     ScenarioCompleted,
@@ -84,7 +85,8 @@ def _run_experiment_task(
     not just fork.  Returns the sweep plus the checkpoint's (loaded,
     saved) counters, which live in this process.
     """
-    sweep = experiment.run_with_checkpoint(scale, checkpoint)
+    with telemetry.span("task", experiment=experiment.identifier, atomic=True):
+        sweep = experiment.run_with_checkpoint(scale, checkpoint)
     loaded = getattr(checkpoint, "loaded", 0) if checkpoint is not None else 0
     saved = getattr(checkpoint, "saved", 0) if checkpoint is not None else 0
     return sweep, loaded, saved
@@ -139,6 +141,10 @@ class CampaignScheduler:
             )
         self.runner = runner
         self.total_workers = total_workers
+        # Scenario spans stay open while a job's tasks are in flight —
+        # lifetimes interleave, so these are manual begin/end spans keyed
+        # by job, not context-manager spans (see repro.telemetry.tracing).
+        self._spans: Dict[str, Any] = {}
 
     # ------------------------------------------------------------------ #
     def run(
@@ -180,9 +186,26 @@ class CampaignScheduler:
                 job.sweep = sweep
                 job.cache_hit = True
                 continue
+            self._spans[key] = telemetry.begin_span(
+                "scenario",
+                scenario=scenario.scenario_id,
+                experiment=experiment.identifier,
+            )
             self._prepare(job, say)
 
-        self._execute([job for job in jobs.values() if not job.done], say)
+        try:
+            self._execute([job for job in jobs.values() if not job.done], say)
+        finally:
+            # Quarantined jobs never reach _store_sweep; close their
+            # spans (and any left by an exception) so the trace balances.
+            for key, span in list(self._spans.items()):
+                job = jobs.get(key)
+                status = (
+                    "quarantined" if job is not None and job.quarantined
+                    else "ok"
+                )
+                span.end(status=status)
+            self._spans.clear()
 
         outcomes: List[ScenarioOutcome] = []
         primaries: set = set()
@@ -272,6 +295,13 @@ class CampaignScheduler:
         self.runner._put_sweep(
             job.key, job.sweep, job.scenario.scenario_id, say
         )
+        span = self._spans.pop(job.key, None)
+        if span is not None:
+            span.set(
+                computed_values=job.computed_values,
+                loaded_values=job.loaded_values,
+            )
+            span.end()
         say(
             ScenarioCompleted(
                 scenario_id=job.scenario.scenario_id,
@@ -326,7 +356,15 @@ class CampaignScheduler:
             depth += 1
 
     def _submit(self, pool: ProcessPoolExecutor, job: _SweepJob, index: int, allotment: int):
-        """Submit one task with ``allotment`` workers; returns its future."""
+        """Submit one task with ``allotment`` workers; returns its future.
+
+        The submitted callable is wrapped with the job's scenario span
+        context (:func:`repro.telemetry.propagate`): the worker-side task
+        span then parents under this scenario across the process
+        boundary.  With telemetry inactive the wrap is identity.
+        """
+        telemetry.metrics.histogram("scheduler.allotment").observe(allotment)
+        parent = self._spans.get(job.key)
         if job.atomic:
             scale = job.scenario.scale
             if allotment > 1:
@@ -335,7 +373,7 @@ class CampaignScheduler:
                 job.checkpoint if job.experiment.supports_checkpoint else None
             )
             return pool.submit(
-                _run_experiment_task,
+                telemetry.propagate(_run_experiment_task, parent=parent),
                 job.experiment,
                 scale,
                 checkpoint,
@@ -346,7 +384,7 @@ class CampaignScheduler:
             if rebind is not None:
                 measure = rebind(allotment)
         return pool.submit(
-            measure_row,
+            telemetry.propagate(measure_row, parent=parent),
             job.experiment.parameter_name,
             measure,
             job.values[index],

@@ -15,6 +15,8 @@ experiments::
     adhoc-connectivity campaign run grid.toml --store .repro-store
     adhoc-connectivity campaign run grid.toml --total-workers 8
     adhoc-connectivity campaign status grid.toml --store .repro-store
+    adhoc-connectivity campaign report --store .repro-store
+    adhoc-connectivity campaign report --store .repro-store --chrome-trace out.json
     adhoc-connectivity campaign clean grid.toml --store .repro-store
     adhoc-connectivity campaign gc --store .repro-store --max-bytes 500000000
 
@@ -31,13 +33,16 @@ or campaign layer and prints the rendered tables.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import time
 from pathlib import Path
 from typing import List, Optional
 
 from repro.backend import backend_names
 from repro.campaigns import CampaignRunner, CampaignSpec
 from repro.campaigns.progress import as_text as progress_as_text
+from repro.telemetry import report as telemetry_report
 from repro.experiments import (
     get_experiment,
     list_experiments,
@@ -260,6 +265,54 @@ def build_parser() -> argparse.ArgumentParser:
             "(default: 0.5)"
         ),
     )
+    campaign_run.add_argument(
+        "--telemetry",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help=(
+            "record a per-run trace under <store>/telemetry (default); "
+            "--no-telemetry runs untraced"
+        ),
+    )
+
+    campaign_report = campaign_commands.add_parser(
+        "report",
+        help=(
+            "summarise a recorded campaign run: slowest spans, cache hit "
+            "rates, retry/quarantine counts, per-scenario wall clock"
+        ),
+    )
+    campaign_report.add_argument(
+        "--store",
+        default=DEFAULT_STORE,
+        help=f"result-store root directory (default: {DEFAULT_STORE})",
+    )
+    campaign_report.add_argument(
+        "--run",
+        default=None,
+        metavar="RUN_ID",
+        help="run id under <store>/telemetry (default: the latest run)",
+    )
+    campaign_report.add_argument(
+        "--limit",
+        type=int,
+        default=10,
+        help="slowest spans listed (default: 10)",
+    )
+    campaign_report.add_argument(
+        "--json",
+        action="store_true",
+        help="print the full run report as JSON instead of text",
+    )
+    campaign_report.add_argument(
+        "--chrome-trace",
+        default=None,
+        metavar="PATH",
+        help=(
+            "also export the run in Chrome trace_event format (open in "
+            "chrome://tracing or Perfetto)"
+        ),
+    )
 
     campaign_status = campaign_commands.add_parser(
         "status",
@@ -317,6 +370,61 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _latest_scenario_activity(store: ResultStore) -> dict:
+    """Per-scenario wall/last-activity of the store's latest recorded run.
+
+    ``campaign status`` stays byte-identical when no telemetry run exists
+    (or the report cannot be read) — this helper then returns an empty
+    mapping and no suffix is printed.
+    """
+    try:
+        run_dir = telemetry_report.latest_run_dir(
+            Path(store.root) / "telemetry"
+        )
+        if run_dir is None:
+            return {}
+        report = telemetry_report.load_or_build_report(run_dir)
+        scenarios = report.get("scenarios")
+        return scenarios if isinstance(scenarios, dict) else {}
+    except Exception:
+        return {}
+
+
+def _campaign_report_main(arguments: argparse.Namespace) -> int:
+    """The ``campaign report`` subcommand (needs no spec)."""
+    telemetry_root = Path(arguments.store) / "telemetry"
+    if arguments.run is not None:
+        run_dir = telemetry_root / arguments.run
+        if not run_dir.is_dir():
+            print(
+                f"No run {arguments.run!r} under {telemetry_root}",
+                file=sys.stderr,
+            )
+            return 1
+    else:
+        run_dir = telemetry_report.latest_run_dir(telemetry_root)
+        if run_dir is None:
+            print(
+                f"No recorded runs under {telemetry_root} (run a campaign "
+                f"with telemetry enabled first)",
+                file=sys.stderr,
+            )
+            return 1
+    report = telemetry_report.load_or_build_report(run_dir)
+    if arguments.json:
+        print(json.dumps(report, indent=2, sort_keys=True, default=str))
+    else:
+        print(telemetry_report.render_report(report, limit=arguments.limit))
+    if arguments.chrome_trace:
+        exported = telemetry_report.chrome_trace(run_dir)
+        path = Path(arguments.chrome_trace)
+        path.write_text(
+            json.dumps(exported, default=str), encoding="utf-8"
+        )
+        print(f"Chrome trace written to {path}")
+    return 0
+
+
 def _campaign_main(arguments: argparse.Namespace) -> int:
     """Dispatch the ``campaign run / status / clean / gc`` subcommands."""
     if arguments.campaign_command == "gc":
@@ -341,6 +449,9 @@ def _campaign_main(arguments: argparse.Namespace) -> int:
         )
         return 0
 
+    if arguments.campaign_command == "report":
+        return _campaign_report_main(arguments)
+
     spec = CampaignSpec.load(arguments.spec)
     store = ResultStore(arguments.store)
     runner = CampaignRunner(
@@ -352,6 +463,7 @@ def _campaign_main(arguments: argparse.Namespace) -> int:
         max_retries=getattr(arguments, "max_retries", None),
         task_timeout=getattr(arguments, "task_timeout", None),
         retry_backoff=getattr(arguments, "retry_backoff", None),
+        telemetry=getattr(arguments, "telemetry", None),
     )
 
     if arguments.campaign_command == "run":
@@ -410,8 +522,22 @@ def _campaign_main(arguments: argparse.Namespace) -> int:
             f"Campaign {spec.name!r}: {complete}/{len(statuses)} scenario(s) "
             f"complete in store {store.root}"
         )
+        activity = _latest_scenario_activity(store)
         for status in statuses:
-            print(f"  {status.scenario.describe():48s} {status.state}")
+            line = f"  {status.scenario.describe():48s} {status.state}"
+            entry = activity.get(status.scenario.scenario_id)
+            if entry is not None:
+                wall = entry.get("wall_seconds")
+                if isinstance(wall, (int, float)):
+                    line += f"  [wall {wall:.2f}s"
+                    moment = entry.get("last_activity")
+                    if isinstance(moment, (int, float)):
+                        stamp = time.strftime(
+                            "%Y-%m-%d %H:%M:%S", time.localtime(moment)
+                        )
+                        line += f", last activity {stamp}"
+                    line += "]"
+            print(line)
         return 0
 
     if arguments.campaign_command == "clean":

@@ -36,6 +36,10 @@ Sites instrumented today:
                       write; context ``"<kind>:<key>"`` (``corrupt``
                       flips payload bytes *after* the entry lands).
 ``store.get``         one store read; context ``"<key>"``.
+``telemetry.flush``   one telemetry trace-buffer flush; context is the
+                      ``trace.jsonl`` path.  A firing fault degrades the
+                      tracer (spans dropped, one warning) — it never
+                      fails the campaign.
 ====================  =====================================================
 """
 

@@ -36,6 +36,11 @@ from repro.geometry.region import Region
 from repro.stats.rng import capture_rng_state, make_rng, restore_rng_state
 from repro.types import Positions, as_positions
 
+#: Upper bound on the floats the fallback :meth:`MobilityModel.advance`
+#: buffers per trajectory call (positions only — no per-frame distance
+#: matrices are built during a fast-forward).
+_ADVANCE_BATCH_ELEMENTS = 2_000_000
+
 
 @dataclass
 class MobilityState:
@@ -219,6 +224,38 @@ class MobilityModel(abc.ABC):
         for index in range(1, steps):
             frames[index] = self._step_in_place(generator)
         return frames
+
+    def advance(
+        self, steps: int, rng: Optional[np.random.Generator] = None
+    ) -> None:
+        """Advance ``steps`` steps without materialising any frames.
+
+        Semantically identical to ``steps`` :meth:`step` calls — same
+        final state, same random draws consumed — but built for the
+        fast-forward path of :mod:`repro.simulation.sharding`, where the
+        intermediate positions are discarded anyway.  The built-in models
+        override this to skip allocating ``(steps, n, d)`` frame arrays
+        entirely; this base implementation falls back to bounded-size
+        :meth:`trajectory` batches, so any model whose ``trajectory`` is
+        bit-identical to per-step execution inherits a correct (if
+        allocation-heavier) fast-forward for free.
+        """
+        if steps < 0:
+            raise ConfigurationError(f"steps must be non-negative, got {steps}")
+        if steps == 0:
+            return
+        generator = make_rng(rng)
+        n, dimension = self.state.positions.shape
+        per_frame = max(1, n * dimension)
+        batch = max(1, _ADVANCE_BATCH_ELEMENTS // per_frame)
+        remaining = steps
+        while remaining > 0:
+            take = min(batch, remaining)
+            # Frame 0 of a trajectory is the current position array;
+            # request one extra frame so exactly ``take`` new frames are
+            # consumed.
+            self.trajectory(take + 1, generator)
+            remaining -= take
 
     def run(
         self, steps: int, rng: Optional[np.random.Generator] = None

@@ -64,7 +64,7 @@ from dataclasses import replace
 from functools import partial
 from typing import Callable, Dict, List, Optional, TypeVar
 
-from repro import faults
+from repro import faults, telemetry
 from repro.exceptions import ConfigurationError
 from repro.simulation.config import SimulationConfig
 from repro.supervision import run_supervised
@@ -147,20 +147,21 @@ def _fixed_range_iteration(
 ) -> IterationResult:
     """Run fixed-range iteration ``index`` on its own child stream."""
     faults.fire("iteration", context=f"iteration={index}")
-    rng = RandomSource.from_entropy(entropy).child(index)
-    result = simulate_iteration(
-        network=config.network,
-        mobility=config.mobility,
-        steps=config.steps,
-        transmitting_range=config.transmitting_range,
-        rng=rng,
-        iteration=index,
-        backend=config.backend,
-    )
-    records = share_columns(result.records, transport)
-    if records is result.records:
-        return result
-    return replace(result, records=records)
+    with telemetry.span("iteration", index=index, mode="fixed"):
+        rng = RandomSource.from_entropy(entropy).child(index)
+        result = simulate_iteration(
+            network=config.network,
+            mobility=config.mobility,
+            steps=config.steps,
+            transmitting_range=config.transmitting_range,
+            rng=rng,
+            iteration=index,
+            backend=config.backend,
+        )
+        records = share_columns(result.records, transport)
+        if records is result.records:
+            return result
+        return replace(result, records=records)
 
 
 def _frame_statistics_iteration(
@@ -168,17 +169,18 @@ def _frame_statistics_iteration(
 ) -> FrameStatisticsColumns:
     """Run trace-statistics iteration ``index`` on its own child stream."""
     faults.fire("iteration", context=f"iteration={index}")
-    rng = RandomSource.from_entropy(entropy).child(index)
-    return share_columns(
-        simulate_frame_statistics(
-            network=config.network,
-            mobility=config.mobility,
-            steps=config.steps,
-            rng=rng,
-            backend=config.backend,
-        ),
-        transport,
-    )
+    with telemetry.span("iteration", index=index, mode="stats"):
+        rng = RandomSource.from_entropy(entropy).child(index)
+        return share_columns(
+            simulate_frame_statistics(
+                network=config.network,
+                mobility=config.mobility,
+                steps=config.steps,
+                rng=rng,
+                backend=config.backend,
+            ),
+            transport,
+        )
 
 
 def _adopt_iteration(result):
@@ -302,7 +304,10 @@ def _map_iterations(
         ensure_shared_memory_tracker()
 
         def submit_one(pool, index, available, ready):
-            return pool.submit(bound, index), 1
+            # The ambient span (the task, inside a pool worker) rides
+            # along into the nested iteration pool; identity when
+            # telemetry is inactive.
+            return pool.submit(telemetry.propagate(bound), index), 1
 
         def consume(index, result, cost):
             adopted = _adopt_iteration(result)
@@ -392,7 +397,7 @@ def _run_sharded(
         index, shard = item
         return (
             pool.submit(
-                run_shard,
+                telemetry.propagate(run_shard),
                 mode,
                 config.mobility,
                 plans[index][shard],

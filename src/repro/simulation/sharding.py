@@ -41,6 +41,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro import telemetry
 from repro.exceptions import ConfigurationError
 from repro.mobility.base import MobilityCheckpoint, MobilityModel
 from repro.simulation.engine import (
@@ -63,11 +64,6 @@ __all__ = [
 #: capture, process hand-off and double mobility generation outweigh the
 #: parallelised reduction.  Auto-sharding never cuts chunks smaller.
 MIN_SHARD_STEPS = 64
-
-#: Upper bound on the floats a fast-forward buffers per trajectory call
-#: (positions only — no per-frame distance matrices are built here).
-_ADVANCE_BATCH_ELEMENTS = 2_000_000
-
 
 def max_useful_shards(steps: int) -> int:
     """How many chunks a ``steps``-frame trajectory can usefully split into."""
@@ -127,20 +123,12 @@ def _advance_frames(
 ) -> None:
     """Advance a live model by ``count`` frames, discarding the positions.
 
-    Uses the model's (vectorised) ``trajectory`` in bounded batches, so
-    fast-forwarding a 10 000-step walk costs mobility generation only —
-    no reduction, no unbounded buffering.
+    Delegates to :meth:`~repro.mobility.base.MobilityModel.advance`, which
+    the built-in models override to skip materialising trajectory frame
+    arrays entirely — fast-forwarding a 10 000-step walk costs state
+    bookkeeping and RNG draws only.
     """
-    n, dimension = model.state.positions.shape
-    per_frame = max(1, n * dimension)
-    batch = max(1, _ADVANCE_BATCH_ELEMENTS // per_frame)
-    remaining = count
-    while remaining > 0:
-        take = min(batch, remaining)
-        # Frame 0 of a trajectory is the current position array; request
-        # one extra frame so exactly ``take`` new frames are consumed.
-        model.trajectory(take + 1, rng)
-        remaining -= take
+    model.advance(count, rng)
 
 
 def capture_shard_checkpoints(
@@ -166,22 +154,25 @@ def capture_shard_checkpoints(
     owns a private child stream) save 1/``len(chunks)`` of the parent's
     mobility cost by opting out.
     """
-    region = network.region
-    placement = network.placement_strategy(network.node_count, region, rng)
-    model = mobility.create()
-    model.initialize(placement, region, rng)
-    checkpoints = [model.checkpoint_state(rng)]
-    for index in range(1, len(chunks)):
-        # Chunk 0 includes the current (initial) frame, so it consumes one
-        # draw-frame fewer than its length; later chunks consume exactly
-        # their length.
-        count = chunks[index - 1] - 1 if index == 1 else chunks[index - 1]
-        _advance_frames(model, count, rng)
-        checkpoints.append(model.checkpoint_state(rng))
-    if advance_tail:
-        final = chunks[-1] if len(chunks) > 1 else chunks[-1] - 1
-        _advance_frames(model, final, rng)
-    return checkpoints
+    with telemetry.span(
+        "shard.fast_forward", chunks=len(chunks), steps=sum(chunks)
+    ):
+        region = network.region
+        placement = network.placement_strategy(network.node_count, region, rng)
+        model = mobility.create()
+        model.initialize(placement, region, rng)
+        checkpoints = [model.checkpoint_state(rng)]
+        for index in range(1, len(chunks)):
+            # Chunk 0 includes the current (initial) frame, so it consumes
+            # one draw-frame fewer than its length; later chunks consume
+            # exactly their length.
+            count = chunks[index - 1] - 1 if index == 1 else chunks[index - 1]
+            _advance_frames(model, count, rng)
+            checkpoints.append(model.checkpoint_state(rng))
+        if advance_tail:
+            final = chunks[-1] if len(chunks) > 1 else chunks[-1] - 1
+            _advance_frames(model, final, rng)
+        return checkpoints
 
 
 def run_shard(
@@ -206,30 +197,33 @@ def run_shard(
     picklable).  The resulting container leaves through the configured
     transport (shared memory or pickle).
     """
-    model = mobility.create()
-    rng = model.from_state(checkpoint)
-    if mode == "fixed":
-        if transmitting_range is None:
-            raise ConfigurationError("fixed-range shards need a transmitting_range")
-        columns = reduce_fixed_range(
-            model,
-            chunk_steps,
-            transmitting_range,
-            rng,
-            include_current=include_current,
-            backend=backend,
-        )
-    elif mode == "stats":
-        columns = reduce_frame_statistics(
-            model,
-            chunk_steps,
-            rng,
-            include_current=include_current,
-            backend=backend,
-        )
-    else:
-        raise ConfigurationError(f"unknown shard mode {mode!r}")
-    return share_columns(columns, transport)
+    with telemetry.span("shard", steps=chunk_steps, mode=mode):
+        model = mobility.create()
+        rng = model.from_state(checkpoint)
+        if mode == "fixed":
+            if transmitting_range is None:
+                raise ConfigurationError(
+                    "fixed-range shards need a transmitting_range"
+                )
+            columns = reduce_fixed_range(
+                model,
+                chunk_steps,
+                transmitting_range,
+                rng,
+                include_current=include_current,
+                backend=backend,
+            )
+        elif mode == "stats":
+            columns = reduce_frame_statistics(
+                model,
+                chunk_steps,
+                rng,
+                include_current=include_current,
+                backend=backend,
+            )
+        else:
+            raise ConfigurationError(f"unknown shard mode {mode!r}")
+        return share_columns(columns, transport)
 
 
 def capture_iteration_plans(

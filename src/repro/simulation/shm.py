@@ -46,6 +46,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro import telemetry
 from repro.exceptions import ConfigurationError
 from repro.simulation.results import FrameStatisticsColumns, StepColumns
 
@@ -276,6 +277,7 @@ class SharedColumnsHandle:
         """
         _sweep_zombies()
         segment = _shared_memory().SharedMemory(name=self.segment_name)
+        telemetry.metrics.counter("shm.bytes_adopted").add(self.nbytes)
         with _registry_lock:
             if self.segment_name in _adopted:
                 raise ConfigurationError(
@@ -392,6 +394,7 @@ def share_columns(columns: Any, transport: str = "auto") -> Any:
             scalars=scalars,
             nbytes=total,
         )
+        telemetry.metrics.counter("shm.bytes_parked").add(total)
     except Exception:
         view = None
         _destroy_segment(segment)

@@ -54,7 +54,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro import faults
+from repro import faults, telemetry
 from repro.exceptions import ConfigurationError
 from repro.supervision import RetryPolicy, run_supervised
 
@@ -257,9 +257,10 @@ def measure_row(
     the worker-process body of one parameter value.
     """
     faults.fire("measure", context=f"{parameter_name}={value:g}")
-    row: Dict[str, float] = {parameter_name: float(value)}
-    row.update(dict(measure(value)))
-    return row
+    with telemetry.span("task", parameter=parameter_name, value=float(value)):
+        row: Dict[str, float] = {parameter_name: float(value)}
+        row.update(dict(measure(value)))
+        return row
 
 
 def _sweep_staging(checkpoint) -> Optional[Callable[[], None]]:
@@ -374,7 +375,18 @@ def sweep_parameter(
 
         def submit_value(pool, item, available, ready):
             index, value = item
-            return pool.submit(measure_row, parameter_name, measure, value), 1
+            # Carry the ambient span context (the scenario, under the
+            # serial campaign loop) into the worker; identity when
+            # telemetry is inactive.
+            return (
+                pool.submit(
+                    telemetry.propagate(measure_row),
+                    parameter_name,
+                    measure,
+                    value,
+                ),
+                1,
+            )
 
         def consume(item, row, cost):
             index, value = item

@@ -29,7 +29,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple, TypeVar, Union
 
-from repro import faults
+from repro import faults, telemetry
 from repro.exceptions import ConfigurationError, ReproError
 from repro.store.codecs import SCHEMA_VERSION, decode_payload, encode_payload
 
@@ -170,6 +170,21 @@ class ResultStore:
         ``sweep-row`` / ``sweep-row-iteration``) labelling the write for
         fault matching only; it defaults to the payload encoding kind.
         """
+        started = time.perf_counter()
+        try:
+            return self._put(key, value, metadata, kind)
+        finally:
+            telemetry.metrics.histogram("store.put_seconds").observe(
+                time.perf_counter() - started
+            )
+
+    def _put(
+        self,
+        key: str,
+        value: Any,
+        metadata: Optional[Dict[str, Any]],
+        kind: Optional[str],
+    ) -> str:
         payload_kind, filename, payload = encode_payload(value)
         entry = {
             "kind": payload_kind,
@@ -267,6 +282,15 @@ class ResultStore:
             StoreIntegrityError: if the entry is corrupt (bad header,
                 missing payload, digest mismatch, undecodable payload).
         """
+        started = time.perf_counter()
+        try:
+            return self._get(key)
+        finally:
+            telemetry.metrics.histogram("store.get_seconds").observe(
+                time.perf_counter() - started
+            )
+
+    def _get(self, key: str) -> Any:
         header = self.entry(key)
         payload_path = self._entry_dir(key) / header.get("payload_file", "")
         if not payload_path.is_file():

@@ -42,6 +42,7 @@ from concurrent.futures import BrokenExecutor
 from dataclasses import dataclass
 from typing import Any, Callable, Deque, Dict, Hashable, Optional, Sequence, Tuple
 
+from repro import telemetry
 from repro.exceptions import ConfigurationError, ReproError
 
 __all__ = [
@@ -272,11 +273,13 @@ def run_supervised(
         attempts[task] = attempts.get(task, 0) + 1
         count = attempts[task]
         if count <= policy.max_retries:
+            telemetry.metrics.counter("supervision.retries").add(1)
             delay = policy.delay_for(count)
             if on_retry is not None:
                 on_retry(task, error, count, delay)
             pending.append((task, time.monotonic() + delay))
             return
+        telemetry.metrics.counter("supervision.giveups").add(1)
         if on_giveup is not None and on_giveup(task, error, count):
             return
         raise error
@@ -340,6 +343,7 @@ def run_supervised(
                         release(future.result())
                 except BaseException:
                     pass
+        telemetry.metrics.counter("supervision.respawns").add(1)
         if on_respawn is not None:
             on_respawn()
         pool = ProcessPoolExecutor(max_workers=budget)

@@ -1,0 +1,288 @@
+"""Perf-regression gate: diff fresh bench summaries against a baseline.
+
+Every benchmark writes a ``BENCH_<name>.json`` summary (see
+``benchmarks/_helpers.py``), but until now nothing compared them across
+commits — "did we get slower" was a log-reading exercise.  This module
+closes the loop: ``benchmarks/baseline.json`` checks in the expected
+value of each *host-normalized* metric (speedups, overhead fractions —
+dimensionless numbers comparable across machines, never raw seconds),
+and :func:`compare` grades fresh summaries against it.
+
+Baseline format::
+
+    {
+      "noise_band": 0.25,
+      "benchmarks": {
+        "campaign_scheduler": {
+          "min_cores": 4,
+          "metrics": {
+            "speedup_budget_4": {"direction": "higher", "value": 2.0}
+          }
+        },
+        "fault_overhead": {
+          "metrics": {
+            "overhead_fraction": {"direction": "lower", "value": 0.01,
+                                   "mode": "absolute", "band": 0.03}
+          }
+        }
+      }
+    }
+
+* ``direction`` — which way is good (``"higher"`` for speedups,
+  ``"lower"`` for overheads).
+* ``mode`` — ``"ratio"`` (default): regressed when the current value is
+  worse than the baseline by more than ``band`` *relative* (a 0.25 band
+  on a 2.0x speedup tolerates down to 1.5x).  ``"absolute"``: the band
+  is an absolute delta — right for near-zero overhead fractions, where
+  a ratio band is meaningless.
+* ``band`` — per-metric noise band, defaulting to the file-level
+  ``noise_band``.
+* ``min_cores`` — core-count gate: hosts below it skip the benchmark's
+  bars (the parallel speedups are not expected on a 1-core CI box).
+
+``python -m repro.telemetry.regression --baseline ... --results ...``
+exits 1 on any regression (or a baselined summary missing entirely),
+which is how ``scripts/ci_check.sh`` turns the diff into a CI verdict.
+Intentional perf changes re-baseline by editing ``baseline.json`` in
+the same PR — the diff then documents the expected shift.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from dataclasses import dataclass, asdict
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+__all__ = [
+    "DEFAULT_NOISE_BAND",
+    "Verdict",
+    "compare",
+    "load_baseline",
+    "main",
+    "render_verdicts",
+]
+
+DEFAULT_NOISE_BAND = 0.25
+
+#: Verdict statuses that fail the gate.
+FAILING = frozenset({"regressed", "missing"})
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """One graded (benchmark, metric) pair."""
+
+    benchmark: str
+    metric: str
+    status: str  # ok | improved | regressed | skipped-cores | missing
+    baseline: Optional[float] = None
+    current: Optional[float] = None
+    note: str = ""
+
+    def failed(self) -> bool:
+        return self.status in FAILING
+
+
+def load_baseline(path: Union[str, Path]) -> Dict[str, Any]:
+    """Parse and minimally validate a baseline document."""
+    document = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(document.get("benchmarks"), dict):
+        raise ValueError(f"baseline {path} has no 'benchmarks' mapping")
+    return document
+
+
+def _grade(
+    benchmark: str,
+    metric: str,
+    spec: Dict[str, Any],
+    current: Optional[float],
+    default_band: float,
+) -> Verdict:
+    baseline_value = float(spec["value"])
+    if current is None or not isinstance(current, (int, float)):
+        return Verdict(
+            benchmark,
+            metric,
+            "missing",
+            baseline=baseline_value,
+            note="metric absent from the current summary",
+        )
+    current = float(current)
+    direction = spec.get("direction", "higher")
+    mode = spec.get("mode", "ratio")
+    band = float(spec.get("band", default_band))
+    if mode == "absolute":
+        worse_than = (
+            baseline_value - band
+            if direction == "higher"
+            else baseline_value + band
+        )
+        better_than = (
+            baseline_value + band
+            if direction == "higher"
+            else baseline_value - band
+        )
+    else:
+        worse_than = (
+            baseline_value * (1.0 - band)
+            if direction == "higher"
+            else baseline_value * (1.0 + band)
+        )
+        better_than = (
+            baseline_value * (1.0 + band)
+            if direction == "higher"
+            else baseline_value * (1.0 - band)
+        )
+    if direction == "higher":
+        regressed = current < worse_than
+        improved = current > better_than
+    else:
+        regressed = current > worse_than
+        improved = current < better_than
+    note = (
+        f"{current:.4g} vs baseline {baseline_value:.4g} "
+        f"({direction} is better, {mode} band {band:g})"
+    )
+    status = "regressed" if regressed else ("improved" if improved else "ok")
+    return Verdict(
+        benchmark,
+        metric,
+        status,
+        baseline=baseline_value,
+        current=current,
+        note=note,
+    )
+
+
+def compare(
+    baseline: Dict[str, Any],
+    results_dir: Union[str, Path],
+    cpu_count: Optional[int] = None,
+) -> List[Verdict]:
+    """Grade every baselined metric against ``BENCH_*.json`` summaries.
+
+    ``cpu_count`` overrides the per-summary host core count (testing
+    hook); by default each summary's own recorded host is used, so a
+    summary produced on a small box skips its core-gated bars.
+    """
+    results_dir = Path(results_dir)
+    verdicts: List[Verdict] = []
+    default_band = float(baseline.get("noise_band", DEFAULT_NOISE_BAND))
+    for benchmark, spec in sorted(baseline["benchmarks"].items()):
+        path = results_dir / f"BENCH_{benchmark}.json"
+        if not path.is_file():
+            verdicts.append(
+                Verdict(
+                    benchmark,
+                    "*",
+                    "missing",
+                    note=f"no {path.name} in {results_dir}",
+                )
+            )
+            continue
+        try:
+            summary = json.loads(path.read_text(encoding="utf-8"))
+        except ValueError as error:
+            verdicts.append(
+                Verdict(benchmark, "*", "missing", note=f"unreadable: {error}")
+            )
+            continue
+        host_cores = cpu_count
+        if host_cores is None:
+            host_cores = int(
+                (summary.get("host") or {}).get("cpu_count") or os.cpu_count() or 1
+            )
+        min_cores = int(spec.get("min_cores", 0))
+        metrics = summary.get("metrics") or {}
+        for metric, metric_spec in sorted(spec.get("metrics", {}).items()):
+            if host_cores < min_cores:
+                verdicts.append(
+                    Verdict(
+                        benchmark,
+                        metric,
+                        "skipped-cores",
+                        baseline=float(metric_spec["value"]),
+                        note=f"host has {host_cores} cores, gate needs "
+                        f">= {min_cores}",
+                    )
+                )
+                continue
+            verdicts.append(
+                _grade(
+                    benchmark,
+                    metric,
+                    metric_spec,
+                    metrics.get(metric),
+                    default_band,
+                )
+            )
+    return verdicts
+
+
+def render_verdicts(verdicts: List[Verdict]) -> str:
+    """One aligned line per verdict, worst first."""
+    order = {"regressed": 0, "missing": 1, "improved": 2, "ok": 3,
+             "skipped-cores": 4}
+    lines = []
+    for verdict in sorted(
+        verdicts, key=lambda v: (order.get(v.status, 9), v.benchmark, v.metric)
+    ):
+        label = f"{verdict.benchmark}.{verdict.metric}"
+        lines.append(f"  {verdict.status:13s} {label:44s} {verdict.note}")
+    return "\n".join(lines)
+
+
+def verdicts_payload(verdicts: List[Verdict]) -> List[Dict[str, Any]]:
+    """JSON-ready form of the verdicts (for run-report artifacts)."""
+    return [asdict(verdict) for verdict in verdicts]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.telemetry.regression",
+        description="Grade BENCH_*.json summaries against a perf baseline.",
+    )
+    parser.add_argument(
+        "--baseline",
+        default="benchmarks/baseline.json",
+        help="baseline document (default: benchmarks/baseline.json)",
+    )
+    parser.add_argument(
+        "--results",
+        required=True,
+        help="directory holding fresh BENCH_*.json summaries",
+    )
+    parser.add_argument(
+        "--json",
+        dest="json_out",
+        default=None,
+        help="also write the verdicts as JSON to this path",
+    )
+    arguments = parser.parse_args(argv)
+    baseline = load_baseline(arguments.baseline)
+    verdicts = compare(baseline, arguments.results)
+    print(f"perf regression gate ({len(verdicts)} verdict(s)):")
+    print(render_verdicts(verdicts))
+    if arguments.json_out:
+        Path(arguments.json_out).write_text(
+            json.dumps(verdicts_payload(verdicts), indent=2, sort_keys=True),
+            encoding="utf-8",
+        )
+    failed = [verdict for verdict in verdicts if verdict.failed()]
+    if failed:
+        print(
+            f"FAIL: {len(failed)} metric(s) regressed or missing "
+            f"beyond the noise band",
+            file=sys.stderr,
+        )
+        return 1
+    print("perf regression gate: OK")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CI script
+    raise SystemExit(main())

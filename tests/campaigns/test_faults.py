@@ -527,6 +527,60 @@ class TestStoreFaults:
 
 
 # --------------------------------------------------------------------------- #
+# Telemetry sink faults
+# --------------------------------------------------------------------------- #
+class TestTelemetryFlushFault:
+    """A failing (or full) telemetry sink never fails a campaign.
+
+    The ``telemetry.flush`` site fires on every trace-buffer write: the
+    tracer degrades to dropped spans with one warning per process, and
+    the campaign completes bit-identically with zero recomputation —
+    observability is strictly an observer."""
+
+    @pytest.mark.parametrize("budget", [1, 2])
+    def test_flush_io_error_degrades_to_dropped_spans(
+        self, chaos_experiment, chaos_reference, tmp_path, budget
+    ):
+        from repro import telemetry
+        from repro.telemetry import report as telemetry_report
+
+        reference, reference_calls = chaos_reference
+        _, calls_dir = chaos_experiment
+        specs = [
+            FaultSpec(site="telemetry.flush", action="io-error", count=0)
+        ]
+        store = ResultStore(tmp_path / "store")
+        with faults.active(specs, tmp_path / "faultstate"):
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                result = CampaignRunner(
+                    chaos_spec(), store, total_workers=budget
+                ).run()
+
+        assert result.quarantined_tasks == 0
+        assert_bit_identical(result, reference)
+        assert _count(calls_dir) == reference_calls
+
+        # One warning in this process, however many flushes failed.
+        degraded = [
+            w
+            for w in caught
+            if issubclass(w.category, telemetry.TelemetryDegradedWarning)
+        ]
+        assert len(degraded) == 1
+
+        # The run directory exists but every span was dropped; the sealed
+        # report still reflects the (successful) campaign outcome.
+        run_dir = telemetry_report.latest_run_dir(store.root / "telemetry")
+        assert run_dir is not None
+        trace = telemetry_report.read_trace(run_dir)
+        assert trace["spans"] == [] and trace["bad_lines"] == 0
+        built = telemetry_report.load_or_build_report(run_dir)
+        assert built["spans"]["count"] == 0
+        assert built["outcome"]["quarantined_tasks"] == 0
+
+
+# --------------------------------------------------------------------------- #
 # The fault-injection primitives
 # --------------------------------------------------------------------------- #
 class TestFaultPrimitives:

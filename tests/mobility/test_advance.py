@@ -1,0 +1,150 @@
+"""Bit-identity tests for :meth:`MobilityModel.advance`.
+
+``advance(k)`` is the frames-free fast-forward the shard-checkpoint
+capture uses instead of materialising whole trajectory arrays.  Its
+contract is absolute: after ``advance(k)`` a model's full state snapshot
+and its generator's forward stream are **bit-identical** to ``k``
+sequential :meth:`step` calls — for every model, including the batched
+overrides (drunkard, waypoint) and the base-class fallback (group).
+"""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.geometry.region import Region
+from repro.mobility.drunkard import DrunkardModel
+from repro.mobility.group import ReferencePointGroupModel
+from repro.mobility.stationary import StationaryModel
+from repro.mobility.waypoint import RandomWaypointModel
+
+SIDE = 100.0
+N = 17
+
+
+def deep_eq(left, right):
+    """Exact equality over nested dicts / arrays / scalars."""
+    if isinstance(left, dict):
+        return (
+            isinstance(right, dict)
+            and left.keys() == right.keys()
+            and all(deep_eq(left[key], right[key]) for key in left)
+        )
+    if isinstance(left, np.ndarray) or isinstance(right, np.ndarray):
+        left_arr, right_arr = np.asarray(left), np.asarray(right)
+        return (
+            left_arr.shape == right_arr.shape
+            and left_arr.dtype == right_arr.dtype
+            and np.array_equal(left_arr, right_arr)
+        )
+    if isinstance(left, (list, tuple)):
+        return (
+            type(left) is type(right)
+            and len(left) == len(right)
+            and all(deep_eq(a, b) for a, b in zip(left, right))
+        )
+    return type(left) is type(right) and left == right
+
+
+MODEL_FACTORIES = {
+    "stationary": lambda: StationaryModel(),
+    "drunkard": lambda: DrunkardModel(
+        step_radius=1.5, ppause=0.3, pstationary=0.1
+    ),
+    "waypoint": lambda: RandomWaypointModel(
+        vmin=0.5, vmax=2.0, tpause=2, pstationary=0.1
+    ),
+    # No ``advance`` override: exercises the base-class batched fallback
+    # (and its nested per-member waypoint state).
+    "group": lambda: ReferencePointGroupModel(
+        group_count=3, vmin=0.5, vmax=2.0, tpause=1, member_radius=8.0,
+        pstationary=0.1
+    ),
+}
+
+
+def initialized_pair(name, seed=711):
+    """Two identical models with identical seeded generators."""
+    region = Region(side=SIDE, dimension=2)
+    placement = region.sample_uniform(N, np.random.default_rng(seed))
+    pair = []
+    for _ in range(2):
+        model = MODEL_FACTORIES[name]()
+        generator = np.random.default_rng(seed + 1)
+        model.initialize(placement.copy(), region, generator)
+        pair.append((model, generator))
+    return pair
+
+
+@pytest.mark.parametrize("name", sorted(MODEL_FACTORIES))
+@pytest.mark.parametrize("steps", [0, 1, 2, 7, 150])
+def test_advance_matches_sequential_steps_bitwise(name, steps):
+    (stepped, stepped_rng), (advanced, advanced_rng) = initialized_pair(name)
+    for _ in range(steps):
+        stepped.step(stepped_rng)
+    advanced.advance(steps, advanced_rng)
+
+    assert deep_eq(stepped.state_snapshot(), advanced.state_snapshot())
+    # The generators sit at the same stream position: the *next* draws
+    # (and hence any subsequent stepping) are identical too.
+    assert np.array_equal(
+        stepped_rng.random(8), advanced_rng.random(8)
+    )
+    follow_stepped = stepped.step(stepped_rng)
+    follow_advanced = advanced.step(advanced_rng)
+    assert np.array_equal(follow_stepped, follow_advanced)
+
+
+@pytest.mark.parametrize("name", sorted(MODEL_FACTORIES))
+def test_advance_crosses_batch_boundaries_bitwise(name, monkeypatch):
+    """Force a tiny draw batch so one advance spans many batches — the
+    consecutive-fill identity of NumPy generators must hold exactly."""
+    import repro.mobility.base as base
+    import repro.mobility.drunkard as drunkard
+
+    monkeypatch.setattr(base, "_ADVANCE_BATCH_ELEMENTS", 7)
+    monkeypatch.setattr(drunkard, "_ADVANCE_BATCH_ELEMENTS", 7)
+    (stepped, stepped_rng), (advanced, advanced_rng) = initialized_pair(name)
+    for _ in range(23):
+        stepped.step(stepped_rng)
+    advanced.advance(23, advanced_rng)
+    assert deep_eq(stepped.state_snapshot(), advanced.state_snapshot())
+    assert np.array_equal(stepped_rng.random(4), advanced_rng.random(4))
+
+
+def test_advance_zero_consumes_no_draws():
+    (reference, reference_rng), (advanced, advanced_rng) = initialized_pair(
+        "drunkard"
+    )
+    advanced.advance(0, advanced_rng)
+    assert deep_eq(reference.state_snapshot(), advanced.state_snapshot())
+    assert np.array_equal(reference_rng.random(4), advanced_rng.random(4))
+
+
+def test_advance_negative_steps_raises():
+    (model, generator), _ = initialized_pair("stationary")
+    with pytest.raises(ConfigurationError):
+        model.advance(-1, generator)
+
+
+def test_stationary_advance_moves_nothing_and_draws_nothing():
+    (model, generator), _ = initialized_pair("stationary")
+    before = model.state.positions.copy()
+    fresh = np.random.default_rng(99)
+    expected_next = np.random.default_rng(99).random(4)
+    model.advance(1000, fresh)
+    assert np.array_equal(model.state.positions, before)
+    assert model.state.step_index == 1000
+    assert np.array_equal(fresh.random(4), expected_next)  # zero draws
+
+
+def test_advance_on_empty_network_takes_steps_without_draws():
+    region = Region(side=SIDE, dimension=2)
+    model = DrunkardModel(step_radius=1.0)
+    generator = np.random.default_rng(3)
+    model.initialize(np.empty((0, 2)), region, generator)
+    probe = np.random.default_rng(4)
+    expected_next = np.random.default_rng(4).random(4)
+    model.advance(50, probe)
+    assert model.state.step_index == 50
+    assert np.array_equal(probe.random(4), expected_next)

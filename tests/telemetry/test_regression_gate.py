@@ -1,0 +1,227 @@
+"""Tests for the perf-regression gate (:mod:`repro.telemetry.regression`).
+
+Every verdict status is exercised — ok, improved, regressed, missing,
+skipped-cores — across ratio and absolute band modes, and the CLI entry
+point's exit codes are demonstrated on a synthetic regressed summary:
+the acceptance path ``scripts/ci_check.sh`` relies on (pass on fresh
+in-band results, exit 1 on an out-of-band slowdown).
+"""
+
+import json
+
+import pytest
+
+from repro.telemetry import regression
+from repro.telemetry.regression import Verdict, compare, load_baseline
+
+
+def write_summary(results_dir, name, metrics, cpu_count=8):
+    results_dir.mkdir(parents=True, exist_ok=True)
+    path = results_dir / f"BENCH_{name}.json"
+    path.write_text(
+        json.dumps(
+            {
+                "benchmark": name,
+                "scale": "smoke",
+                "host": {"cpu_count": cpu_count, "platform": "test"},
+                "metrics": metrics,
+            }
+        ),
+        encoding="utf-8",
+    )
+    return path
+
+
+def baseline_doc(**benchmarks):
+    return {"noise_band": 0.25, "benchmarks": benchmarks}
+
+
+def by_key(verdicts):
+    return {(v.benchmark, v.metric): v for v in verdicts}
+
+
+class TestGrading:
+    def test_ratio_band_ok_improved_regressed(self, tmp_path):
+        baseline = baseline_doc(
+            sched={
+                "metrics": {
+                    "ok": {"direction": "higher", "value": 2.0},
+                    "improved": {"direction": "higher", "value": 2.0},
+                    "regressed": {"direction": "higher", "value": 2.0},
+                }
+            }
+        )
+        write_summary(
+            tmp_path, "sched", {"ok": 1.9, "improved": 2.6, "regressed": 1.4}
+        )
+        graded = by_key(compare(baseline, tmp_path))
+        assert graded[("sched", "ok")].status == "ok"
+        assert graded[("sched", "improved")].status == "improved"
+        assert graded[("sched", "regressed")].status == "regressed"
+        assert graded[("sched", "regressed")].failed()
+        assert not graded[("sched", "ok")].failed()
+
+    def test_lower_is_better_direction(self, tmp_path):
+        baseline = baseline_doc(
+            overhead={
+                "metrics": {
+                    "fraction": {
+                        "direction": "lower",
+                        "value": 0.01,
+                        "mode": "absolute",
+                        "band": 0.02,
+                    }
+                }
+            }
+        )
+        write_summary(tmp_path, "overhead", {"fraction": 0.05})
+        (verdict,) = compare(baseline, tmp_path)
+        assert verdict.status == "regressed"  # 0.05 > 0.01 + 0.02
+
+        write_summary(tmp_path, "overhead", {"fraction": 0.025})
+        (verdict,) = compare(baseline, tmp_path)
+        assert verdict.status == "ok"
+
+        write_summary(tmp_path, "overhead", {"fraction": -0.02})
+        (verdict,) = compare(baseline, tmp_path)
+        assert verdict.status == "improved"
+
+    def test_missing_metric_and_missing_summary_fail(self, tmp_path):
+        baseline = baseline_doc(
+            present={"metrics": {"gone": {"direction": "higher", "value": 1.0}}},
+            absent={"metrics": {"x": {"direction": "higher", "value": 1.0}}},
+        )
+        write_summary(tmp_path, "present", {"other": 2.0})
+        graded = by_key(compare(baseline, tmp_path))
+        assert graded[("present", "gone")].status == "missing"
+        assert graded[("absent", "*")].status == "missing"
+        assert all(v.failed() for v in graded.values())
+
+    def test_unreadable_summary_is_missing(self, tmp_path):
+        baseline = baseline_doc(
+            broken={"metrics": {"x": {"direction": "higher", "value": 1.0}}}
+        )
+        tmp_path.mkdir(exist_ok=True)
+        (tmp_path / "BENCH_broken.json").write_text("{not json", encoding="utf-8")
+        (verdict,) = compare(baseline, tmp_path)
+        assert verdict.status == "missing" and "unreadable" in verdict.note
+
+    def test_min_cores_gates_small_hosts(self, tmp_path):
+        baseline = baseline_doc(
+            parallel={
+                "min_cores": 4,
+                "metrics": {
+                    "speedup": {"direction": "higher", "value": 3.0}
+                },
+            }
+        )
+        # The summary's own recorded host gates the bar ...
+        write_summary(tmp_path, "parallel", {"speedup": 0.8}, cpu_count=1)
+        (verdict,) = compare(baseline, tmp_path)
+        assert verdict.status == "skipped-cores"
+        assert not verdict.failed()
+        # ... and a big enough host grades it for real.
+        (verdict,) = compare(baseline, tmp_path, cpu_count=8)
+        assert verdict.status == "regressed"
+
+    def test_per_metric_band_overrides_file_band(self, tmp_path):
+        baseline = baseline_doc(
+            cache={
+                "metrics": {
+                    "speedup": {"direction": "higher", "value": 100.0,
+                                "band": 0.5}
+                }
+            }
+        )
+        write_summary(tmp_path, "cache", {"speedup": 60.0})
+        (verdict,) = compare(baseline, tmp_path)
+        assert verdict.status == "ok"  # within the wide per-metric band
+
+    def test_load_baseline_rejects_shapeless_documents(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"benchmarks": []}), encoding="utf-8")
+        with pytest.raises(ValueError):
+            load_baseline(path)
+
+
+class TestRendering:
+    def test_render_orders_worst_first(self):
+        verdicts = [
+            Verdict("a", "m", "ok", baseline=1.0, current=1.0, note="fine"),
+            Verdict("b", "m", "regressed", baseline=2.0, current=1.0,
+                    note="bad"),
+            Verdict("c", "m", "skipped-cores", note="small host"),
+        ]
+        lines = regression.render_verdicts(verdicts).splitlines()
+        assert "regressed" in lines[0]
+        assert "skipped-cores" in lines[-1]
+
+    def test_verdicts_payload_is_json_ready(self):
+        payload = regression.verdicts_payload(
+            [Verdict("a", "m", "ok", baseline=1.0, current=1.1, note="n")]
+        )
+        assert json.loads(json.dumps(payload)) == payload
+        assert payload[0]["status"] == "ok"
+
+
+class TestMain:
+    def baseline_path(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(
+            json.dumps(
+                baseline_doc(
+                    sched={
+                        "metrics": {
+                            "speedup": {"direction": "higher", "value": 2.0}
+                        }
+                    }
+                )
+            ),
+            encoding="utf-8",
+        )
+        return path
+
+    def test_exit_zero_on_in_band_results(self, tmp_path, capsys):
+        baseline = self.baseline_path(tmp_path)
+        results = tmp_path / "results"
+        write_summary(results, "sched", {"speedup": 2.1})
+        code = regression.main(
+            ["--baseline", str(baseline), "--results", str(results)]
+        )
+        assert code == 0
+        assert "perf regression gate: OK" in capsys.readouterr().out
+
+    def test_exit_one_on_synthetic_regression(self, tmp_path, capsys):
+        """The acceptance demonstration: a synthetically slowed summary
+        (speedup collapsed beyond the noise band) fails the gate."""
+        baseline = self.baseline_path(tmp_path)
+        results = tmp_path / "results"
+        write_summary(results, "sched", {"speedup": 1.0})
+        json_out = tmp_path / "verdicts.json"
+        code = regression.main(
+            ["--baseline", str(baseline), "--results", str(results),
+             "--json", str(json_out)]
+        )
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "regressed" in captured.out
+        assert "FAIL" in captured.err
+        payload = json.loads(json_out.read_text(encoding="utf-8"))
+        assert payload[0]["status"] == "regressed"
+
+
+class TestCheckedInBaseline:
+    def test_repo_baseline_parses_and_names_real_benchmarks(self):
+        """The checked-in baseline stays loadable and only references
+        benchmarks that actually exist in benchmarks/."""
+        from pathlib import Path
+
+        root = Path(__file__).resolve().parents[2]
+        baseline = load_baseline(root / "benchmarks" / "baseline.json")
+        assert baseline["benchmarks"]
+        for name, spec in baseline["benchmarks"].items():
+            assert (root / "benchmarks" / f"bench_{name}.py").is_file(), name
+            assert spec.get("metrics"), name
+            for metric_spec in spec["metrics"].values():
+                assert metric_spec.get("direction") in {"higher", "lower"}
+                float(metric_spec["value"])

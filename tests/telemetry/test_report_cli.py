@@ -1,0 +1,154 @@
+"""CLI tests for the telemetry surface: ``campaign report``, the
+``--[no-]telemetry`` run flag, and the run-report-derived wall-clock /
+last-activity suffix on ``campaign status``.
+
+The campaign CLI's established text stays byte-compatible: with no
+recorded run (or ``--no-telemetry``), ``campaign status`` prints exactly
+the pre-telemetry lines.
+"""
+
+import json
+import re
+
+import pytest
+
+from repro.cli import build_parser, main
+
+TINY_CAMPAIGN = """
+name = "cli-telemetry-demo"
+experiments = ["fig2"]
+scale = "smoke"
+
+[overrides]
+sides = [256.0]
+steps = 8
+iterations = 1
+stationary_iterations = 15
+seed = 5
+"""
+
+
+@pytest.fixture
+def spec_path(tmp_path):
+    path = tmp_path / "demo.toml"
+    path.write_text(TINY_CAMPAIGN)
+    return path
+
+
+class TestParser:
+    def test_report_subcommand_parses(self):
+        arguments = build_parser().parse_args(
+            ["campaign", "report", "--store", "s", "--run", "r",
+             "--limit", "5", "--json", "--chrome-trace", "out.json"]
+        )
+        assert arguments.campaign_command == "report"
+        assert arguments.store == "s"
+        assert arguments.run == "r"
+        assert arguments.limit == 5
+        assert arguments.json is True
+        assert arguments.chrome_trace == "out.json"
+
+    def test_run_telemetry_flag_defaults_on(self):
+        arguments = build_parser().parse_args(["campaign", "run", "spec.toml"])
+        assert arguments.telemetry is True
+        arguments = build_parser().parse_args(
+            ["campaign", "run", "spec.toml", "--no-telemetry"]
+        )
+        assert arguments.telemetry is False
+
+
+class TestReportCommand:
+    def test_report_without_runs_exits_nonzero(self, tmp_path, capsys):
+        assert main(
+            ["campaign", "report", "--store", str(tmp_path / "empty")]
+        ) == 1
+        assert "No recorded runs" in capsys.readouterr().err
+
+    def test_unknown_run_id_exits_nonzero(self, spec_path, tmp_path, capsys):
+        store = tmp_path / "store"
+        assert main(["campaign", "run", str(spec_path), "--store", str(store),
+                     "--quiet"]) == 0
+        capsys.readouterr()
+        assert main(["campaign", "report", "--store", str(store),
+                     "--run", "nope"]) == 1
+        assert "No run 'nope'" in capsys.readouterr().err
+
+    def test_report_renders_run_summary(self, spec_path, tmp_path, capsys):
+        store = tmp_path / "store"
+        assert main(["campaign", "run", str(spec_path), "--store", str(store),
+                     "--quiet"]) == 0
+        capsys.readouterr()
+        assert main(["campaign", "report", "--store", str(store)]) == 0
+        output = capsys.readouterr().out
+        assert "campaign 'cli-telemetry-demo'" in output
+        assert "Spans:" in output
+        assert "Slowest spans" in output
+        assert re.search(r"\bscenario\b", output)
+        assert "Scenarios:" in output
+
+    def test_report_json_and_chrome_trace(self, spec_path, tmp_path, capsys):
+        store = tmp_path / "store"
+        out = tmp_path / "trace.json"
+        assert main(["campaign", "run", str(spec_path), "--store", str(store),
+                     "--quiet"]) == 0
+        capsys.readouterr()
+        assert main(["campaign", "report", "--store", str(store), "--json",
+                     "--chrome-trace", str(out)]) == 0
+        captured = capsys.readouterr().out
+        json_text = captured[: captured.index("Chrome trace written")]
+        report = json.loads(json_text)
+        assert report["campaign"] == "cli-telemetry-demo"
+        assert report["spans"]["count"] > 0
+        assert report["spans"]["bad_lines"] == 0
+        document = json.loads(out.read_text(encoding="utf-8"))
+        assert document["traceEvents"]
+        assert all("ph" in event for event in document["traceEvents"])
+
+    def test_report_selects_named_run(self, spec_path, tmp_path, capsys):
+        store = tmp_path / "store"
+        assert main(["campaign", "run", str(spec_path), "--store", str(store),
+                     "--quiet"]) == 0
+        capsys.readouterr()
+        runs = sorted((store / "telemetry").iterdir())
+        assert len(runs) == 1
+        assert main(["campaign", "report", "--store", str(store),
+                     "--run", runs[0].name]) == 0
+        assert runs[0].name in capsys.readouterr().out
+
+
+class TestStatusSuffix:
+    def status_lines(self, spec_path, store, capsys):
+        assert main(["campaign", "status", str(spec_path), "--store",
+                     str(store)]) == 0
+        return capsys.readouterr().out.splitlines()
+
+    def test_status_gains_wall_and_activity_from_report(
+        self, spec_path, tmp_path, capsys
+    ):
+        store = tmp_path / "store"
+        assert main(["campaign", "run", str(spec_path), "--store", str(store),
+                     "--quiet"]) == 0
+        capsys.readouterr()
+        lines = self.status_lines(spec_path, store, capsys)
+        (scenario_line,) = [l for l in lines if "complete" in l and "[" in l]
+        assert re.search(
+            r"\[wall \d+\.\d\ds, last activity "
+            r"\d{4}-\d{2}-\d{2} \d{2}:\d{2}:\d{2}\]$",
+            scenario_line,
+        )
+
+    def test_status_without_telemetry_is_byte_identical(
+        self, spec_path, tmp_path, capsys
+    ):
+        """An untraced store renders exactly the pre-telemetry status
+        text — no suffix, no placeholder."""
+        store = tmp_path / "store"
+        assert main(["campaign", "run", str(spec_path), "--store", str(store),
+                     "--quiet", "--no-telemetry"]) == 0
+        assert not (store / "telemetry").exists()
+        capsys.readouterr()
+        lines = self.status_lines(spec_path, store, capsys)
+        assert any("1/1 scenario(s) complete" in line for line in lines)
+        assert not any("[wall" in line for line in lines)
+        for line in lines[1:]:
+            assert re.fullmatch(r"  \S.*?\s+\S.*", line) and "]" not in line
