@@ -63,7 +63,16 @@
 #    every line of the per-run trace.jsonl must parse as JSON, the
 #    report must aggregate the run's spans, and the Chrome export must
 #    be loadable trace_event JSON.
-# 17. The perf-regression gate: the fresh BENCH_*.json summaries are
+# 17. The distributed fan-out benchmark must pass at smoke scale: two
+#    loopback HTTP workers bit-identical to one, and >= 1.4x faster on
+#    hosts with >= 4 cores (serve + two workers need room to overlap).
+# 18. A distributed smoke through the real CLI: `campaign serve` on a
+#    loopback port (--url-file announces the picked port), two
+#    `campaign work` processes drain the example grid, all three exit 0,
+#    and a warm re-serve must report zero computed values (the
+#    distributed run addressed the same store entries a local one
+#    would).
+# 19. The perf-regression gate: the fresh BENCH_*.json summaries are
 #    graded against benchmarks/baseline.json (host-normalized metrics
 #    only, core-count-gated, noise-banded); a regression beyond the band
 #    or a missing baselined summary fails the script.  Finally
@@ -246,6 +255,45 @@ assert events and all(e["ph"] in ("X", "i") for e in events)
 assert all(isinstance(e["ts"], (int, float)) for e in events)
 print("telemetry smoke: OK")
 TELEMETRY_SMOKE
+
+REPRO_BENCH_SCALE=smoke PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
+    python -m pytest benchmarks/bench_distributed_fanout.py -q
+
+DIST_DIR="$(mktemp -d)"
+DIST_STORE="$DIST_DIR/store"
+trap 'rm -rf "$CAMPAIGN_STORE" "$SCHEDULER_STORE" "$GC_STORE" "$CHAOS_DIR" "$TELEMETRY_DIR" "$DIST_DIR"' EXIT
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m repro \
+    campaign serve examples/campaign_smoke.toml --store "$DIST_STORE" \
+    --port 0 --url-file "$DIST_DIR/url" --max-retries 2 --quiet \
+    > "$DIST_DIR/serve.log" 2>&1 &
+DIST_SERVE_PID=$!
+DIST_TRIES=0
+while [ ! -s "$DIST_DIR/url" ]; do
+    DIST_TRIES=$((DIST_TRIES + 1))
+    if [ "$DIST_TRIES" -gt 30 ]; then
+        echo "campaign serve never published its URL" >&2
+        cat "$DIST_DIR/serve.log" >&2 || true
+        kill "$DIST_SERVE_PID" 2>/dev/null || true
+        exit 1
+    fi
+    sleep 1
+done
+DIST_URL="$(cat "$DIST_DIR/url")"
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m repro \
+    campaign work --server "$DIST_URL" --quiet &
+DIST_W1_PID=$!
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m repro \
+    campaign work --server "$DIST_URL" --quiet &
+DIST_W2_PID=$!
+wait "$DIST_W1_PID"
+wait "$DIST_W2_PID"
+wait "$DIST_SERVE_PID"
+grep -q "value(s) computed" "$DIST_DIR/serve.log"
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m repro \
+    campaign serve examples/campaign_smoke.toml --store "$DIST_STORE" \
+    --port 0 --quiet \
+    | grep -q "0 value(s) computed"
+echo "distributed smoke: OK"
 
 if PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m repro.telemetry.regression \
     --baseline benchmarks/baseline.json --results "$REPRO_BENCH_OUT" \

@@ -258,10 +258,21 @@ class CampaignRunner:
         return scale
 
     def _checkpoint_for(
-        self, experiment: Experiment, scenario: Scenario
+        self,
+        experiment: Experiment,
+        scenario: Scenario,
+        store: Optional[ResultStore] = None,
     ) -> StoreSweepCheckpoint:
+        """A scenario's sweep checkpoint, optionally bound to ``store``.
+
+        ``store`` substitutes the backing store without changing any key
+        — the distributed path binds worker-side checkpoints to a
+        :class:`~repro.distributed.remote_store.RemoteResultStore` so
+        iteration sub-entries written inside a leased task land in the
+        same server-side store the scheduler reads.
+        """
         return StoreSweepCheckpoint(
-            self.store,
+            self.store if store is None else store,
             scenario_payload(experiment, scenario.scale),
             metadata={
                 "campaign": self.spec.name,

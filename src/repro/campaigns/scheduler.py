@@ -420,6 +420,116 @@ class CampaignScheduler:
             iterations=job.experiment.checkpoint_iterations(job.scenario.scale),
         )
 
+    # ------------------------------------------------------------------ #
+    # Task dispositions.  These are methods (not closures of _execute) so
+    # execution backends that replace _execute — the pull-based
+    # DistributedCampaign drains an HTTP work queue instead of a local
+    # pool — apply the *same* row saving, poison recording and progress
+    # reporting to results however they arrive.
+
+    def _task_value(self, task: Tuple[_SweepJob, int]) -> Optional[float]:
+        job, index = task
+        return None if job.atomic else job.values[index]
+
+    def _handle_result(
+        self,
+        task: Tuple[_SweepJob, int],
+        result: Any,
+        allotment: int,
+        say: Callable[[ProgressEvent], None],
+    ) -> None:
+        """Land one finished task: save its row, finish jobs that fill."""
+        job, index = task
+        if job.atomic:
+            sweep, loaded, saved = result
+            job.sweep = sweep
+            job.loaded_values = loaded
+            job.computed_values = (
+                saved
+                if job.experiment.supports_checkpoint
+                else len(sweep.rows)
+            )
+            say(self._task_event(job, index, allotment))
+            self._store_sweep(job, say)
+        else:
+            job.checkpoint.save(job.values[index], result)
+            self._note_degradation(job, say)
+            job.rows[index] = result
+            job.computed_values += 1
+            say(self._task_event(job, index, allotment))
+            if len(job.rows) == len(job.values):
+                self._finish(job, say)
+
+    def _handle_retry(
+        self,
+        task: Tuple[_SweepJob, int],
+        error: Any,
+        attempt: int,
+        delay: float,
+        say: Callable[[ProgressEvent], None],
+    ) -> None:
+        job, _ = task
+        say(
+            TaskFailed(
+                scenario_id=job.scenario.scenario_id,
+                value=self._task_value(task),
+                attempt=attempt,
+                error=str(error),
+            )
+        )
+        say(
+            TaskRetried(
+                scenario_id=job.scenario.scenario_id,
+                value=self._task_value(task),
+                attempt=attempt,
+                max_retries=self.runner.retry_policy.max_retries,
+                delay=delay,
+                error=str(error),
+            )
+        )
+
+    def _handle_giveup(
+        self,
+        task: Tuple[_SweepJob, int],
+        error: Any,
+        attempts: int,
+        say: Callable[[ProgressEvent], None],
+    ) -> bool:
+        """Quarantine an exhausted task: poison record + progress events."""
+        job, index = task
+        value = self._task_value(task)
+        say(
+            TaskFailed(
+                scenario_id=job.scenario.scenario_id,
+                value=value,
+                attempt=attempts,
+                error=str(error),
+            )
+        )
+        key = job.key if job.atomic else job.checkpoint.key_for(
+            job.values[index]
+        )
+        self.runner.store.record_poison(
+            key,
+            {
+                "campaign": self.runner.spec.name,
+                "scenario": job.scenario.scenario_id,
+                "value": value,
+                "error": str(error),
+                "attempts": attempts,
+            },
+        )
+        job.quarantined[index] = str(error)
+        say(
+            TaskQuarantined(
+                scenario_id=job.scenario.scenario_id,
+                value=value,
+                attempts=attempts,
+                error=str(error),
+            )
+        )
+        return True
+
     def _execute(
         self, jobs: List[_SweepJob], say: Callable[[ProgressEvent], None]
     ) -> None:
@@ -448,92 +558,19 @@ class CampaignScheduler:
 
         ensure_shared_memory_tracker()
 
-        def task_value(task: Tuple[_SweepJob, int]) -> Optional[float]:
-            job, index = task
-            return None if job.atomic else job.values[index]
-
         def submit(pool: ProcessPoolExecutor, task, available: int, ready: int):
             job, index = task
             allotment = adaptive_worker_allotment(available, ready, job.width)
             return self._submit(pool, job, index, allotment), allotment
 
         def on_result(task, result, allotment: int) -> None:
-            job, index = task
-            if job.atomic:
-                sweep, loaded, saved = result
-                job.sweep = sweep
-                job.loaded_values = loaded
-                job.computed_values = (
-                    saved
-                    if job.experiment.supports_checkpoint
-                    else len(sweep.rows)
-                )
-                say(self._task_event(job, index, allotment))
-                self._store_sweep(job, say)
-            else:
-                job.checkpoint.save(job.values[index], result)
-                self._note_degradation(job, say)
-                job.rows[index] = result
-                job.computed_values += 1
-                say(self._task_event(job, index, allotment))
-                if len(job.rows) == len(job.values):
-                    self._finish(job, say)
+            self._handle_result(task, result, allotment, say)
 
         def on_retry(task, error, attempt: int, delay: float) -> None:
-            job, _ = task
-            say(
-                TaskFailed(
-                    scenario_id=job.scenario.scenario_id,
-                    value=task_value(task),
-                    attempt=attempt,
-                    error=str(error),
-                )
-            )
-            say(
-                TaskRetried(
-                    scenario_id=job.scenario.scenario_id,
-                    value=task_value(task),
-                    attempt=attempt,
-                    max_retries=policy.max_retries,
-                    delay=delay,
-                    error=str(error),
-                )
-            )
+            self._handle_retry(task, error, attempt, delay, say)
 
         def on_giveup(task, error, attempts: int) -> bool:
-            job, index = task
-            value = task_value(task)
-            say(
-                TaskFailed(
-                    scenario_id=job.scenario.scenario_id,
-                    value=value,
-                    attempt=attempts,
-                    error=str(error),
-                )
-            )
-            key = job.key if job.atomic else job.checkpoint.key_for(
-                job.values[index]
-            )
-            store.record_poison(
-                key,
-                {
-                    "campaign": self.runner.spec.name,
-                    "scenario": job.scenario.scenario_id,
-                    "value": value,
-                    "error": str(error),
-                    "attempts": attempts,
-                },
-            )
-            job.quarantined[index] = str(error)
-            say(
-                TaskQuarantined(
-                    scenario_id=job.scenario.scenario_id,
-                    value=value,
-                    attempts=attempts,
-                    error=str(error),
-                )
-            )
-            return True
+            return self._handle_giveup(task, error, attempts, say)
 
         def on_respawn() -> None:
             try:

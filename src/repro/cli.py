@@ -19,12 +19,21 @@ experiments::
     adhoc-connectivity campaign report --store .repro-store --chrome-trace out.json
     adhoc-connectivity campaign clean grid.toml --store .repro-store
     adhoc-connectivity campaign gc --store .repro-store --max-bytes 500000000
+    adhoc-connectivity campaign serve grid.toml --port 8750 --max-retries 2
+    adhoc-connectivity campaign work --server http://127.0.0.1:8750
 
 ``campaign run --total-workers W`` is the single budget knob: the whole
 campaign shares one pool of ``W`` workers, independent scenarios run
 concurrently under it (the campaign scheduler), and workers freed by
 short scenarios rebalance into the scenarios still running.  Results are
 bit-identical to a serial run for every ``W``.
+
+``campaign serve`` + ``campaign work`` are the distributed variant of
+the same grid: the serving process exposes its result store and a
+pull-based work queue over HTTP, workers on any host lease tasks and
+publish results back, and a worker that goes silent mid-lease is
+re-enqueued under the same retry policy ``campaign run`` uses.  The
+resulting store is bit-identical to a single-host run.
 
 The CLI is intentionally thin: it parses arguments, calls the experiment
 or campaign layer and prints the rendered tables.
@@ -275,6 +284,120 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
 
+    campaign_serve = campaign_commands.add_parser(
+        "serve",
+        help=(
+            "run a campaign as the serving side of a distributed fan-out: "
+            "start the HTTP result server + work queue, then drive the "
+            "grid through workers started with 'campaign work'"
+        ),
+    )
+    add_spec_and_store(campaign_serve)
+    campaign_serve.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="interface the result server binds (default: 127.0.0.1)",
+    )
+    campaign_serve.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="server port (default: 0 — the OS picks a free one)",
+    )
+    campaign_serve.add_argument(
+        "--url-file",
+        default=None,
+        metavar="PATH",
+        help=(
+            "write the resolved server URL here once listening (hand it "
+            "to 'campaign work --server'; essential with --port 0)"
+        ),
+    )
+    campaign_serve.add_argument(
+        "--lease-seconds",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help=(
+            "how long a leased task lives without a worker heartbeat "
+            "before it is presumed lost and re-enqueued (default: 30)"
+        ),
+    )
+    campaign_serve.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        help=(
+            "failed attempts a task may accumulate beyond its first — "
+            "published worker errors and expired leases both count — "
+            "before it is quarantined as a poison task (default: 0; the "
+            "first failure aborts the serve)"
+        ),
+    )
+    campaign_serve.add_argument(
+        "--retry-backoff",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "base of the capped exponential delay before a charged task "
+            "is leasable again (default: 0.5)"
+        ),
+    )
+    campaign_serve.add_argument(
+        "--resume",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help=(
+            "reuse intact store entries (default); --no-resume evicts the "
+            "spec's entries first and recomputes from scratch"
+        ),
+    )
+    campaign_serve.add_argument(
+        "--telemetry",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help=(
+            "record a per-run trace under <store>/telemetry (default); "
+            "--no-telemetry runs untraced"
+        ),
+    )
+    campaign_serve.add_argument(
+        "--quiet", action="store_true", help="suppress the per-scenario tables"
+    )
+
+    campaign_work = campaign_commands.add_parser(
+        "work",
+        help=(
+            "pull-based campaign worker: lease tasks from a 'campaign "
+            "serve' URL, heartbeat while computing, publish results back "
+            "(needs no spec and no local store)"
+        ),
+    )
+    campaign_work.add_argument(
+        "--server",
+        required=True,
+        metavar="URL",
+        help="base URL of the serving process (see --url-file on serve)",
+    )
+    campaign_work.add_argument(
+        "--poll-interval",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="sleep between polls while no task is ready (default: 0.5)",
+    )
+    campaign_work.add_argument(
+        "--worker-id",
+        default=None,
+        help="lease owner name reported to the server (default: host:pid)",
+    )
+    campaign_work.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress the per-task progress lines",
+    )
+
     campaign_report = campaign_commands.add_parser(
         "report",
         help=(
@@ -452,8 +575,77 @@ def _campaign_main(arguments: argparse.Namespace) -> int:
     if arguments.campaign_command == "report":
         return _campaign_report_main(arguments)
 
+    if arguments.campaign_command == "work":
+        # A worker needs neither spec nor store: everything it runs
+        # arrives over the wire from the serving process.
+        from repro.distributed import run_worker
+
+        say = (lambda message: None) if arguments.quiet else print
+        completed = run_worker(
+            arguments.server,
+            poll_interval=arguments.poll_interval,
+            worker_id=arguments.worker_id,
+            say=say,
+        )
+        print(f"Worker done: {completed} task(s) completed.")
+        return 0
+
     spec = CampaignSpec.load(arguments.spec)
     store = ResultStore(arguments.store)
+
+    if arguments.campaign_command == "serve":
+        from repro.distributed import serve_campaign
+
+        print(
+            f"Campaign {spec.name!r}: {spec.scenario_count()} scenario(s), "
+            f"store {store.root}"
+        )
+        result = serve_campaign(
+            spec,
+            store,
+            host=arguments.host,
+            port=arguments.port,
+            lease_seconds=arguments.lease_seconds,
+            max_retries=arguments.max_retries,
+            retry_backoff=arguments.retry_backoff,
+            telemetry_enabled=arguments.telemetry,
+            resume=arguments.resume,
+            progress=progress_as_text(print),
+            url_file=(
+                Path(arguments.url_file) if arguments.url_file else None
+            ),
+            on_ready=lambda url: print(f"Serving at {url}"),
+        )
+        quarantined = result.quarantined_tasks
+        summary = (
+            f"\nDone: {result.cache_hits} cache hit(s), "
+            f"{result.computed_values} value(s) computed."
+        )
+        if quarantined:
+            summary += (
+                f" WARNING: {quarantined} task(s) quarantined — partial "
+                f"results kept; see 'campaign status', drop the records "
+                f"with 'campaign clean'."
+            )
+        print(summary)
+        if not arguments.quiet:
+            for outcome in result.outcomes:
+                if outcome.sweep is None:
+                    print(
+                        f"\n{outcome.scenario.describe()}: no complete sweep "
+                        f"({outcome.quarantined_values} quarantined task(s))"
+                    )
+                    continue
+                print()
+                print(
+                    render_sweep(
+                        outcome.sweep,
+                        title=f"{outcome.scenario.describe()} "
+                        f"({'cached' if outcome.cache_hit else 'computed'})",
+                    )
+                )
+        return 1 if quarantined else 0
+
     runner = CampaignRunner(
         spec,
         store,

@@ -1,0 +1,277 @@
+"""The pull-based work queue behind ``campaign serve``.
+
+Holds the campaign scheduler's already-picklable task payloads and hands
+them out one lease at a time.  All state transitions happen
+*synchronously under one lock* — a lease expiry, a published error and a
+published result each charge or complete the task before the call
+returns, so ``done()`` can never report completion while a charge is
+still in flight.
+
+Failure semantics are the campaign's existing ones, not new ones: a
+failed attempt (published error or expired lease) is charged against the
+task exactly like :func:`repro.supervision.run_supervised` charges a
+crashed pool task — re-enqueued with ``policy.delay_for(attempts)``
+capped exponential backoff while attempts remain, given up once
+``max_retries`` is exhausted.  Dispositions leave the queue as events
+(``retried`` / ``giveup`` / ``result``) drained by the driving
+:class:`~repro.distributed.campaign.DistributedCampaign`, which applies
+the scheduler's own row saving, poison recording and progress reporting.
+
+A result published *after* the lease expired is still harvested (once):
+finished work is never thrown away just because the worker looked dead —
+the same survivor-harvesting rule the supervised pool gather follows.
+Content addressing makes a racing duplicate write of the same key a
+no-op, and the first published result wins the event; later publishes of
+a done task are acknowledged and dropped.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from queue import Queue
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro import telemetry
+from repro.supervision import RetryPolicy
+
+__all__ = ["QueueEvent", "WorkQueue"]
+
+#: One disposition leaving the queue for the campaign driver:
+#: ``("result", task_id, payload_bytes)``,
+#: ``("retried", task_id, error, attempt, delay)`` or
+#: ``("giveup", task_id, error, attempts)``.
+QueueEvent = Tuple[Any, ...]
+
+
+@dataclass
+class _Task:
+    task_id: str
+    payload: bytes
+    state: str = "pending"  # pending | leased | done | poisoned
+    attempts: int = 0
+    not_before: float = 0.0
+    worker: Optional[str] = None
+    deadline: float = 0.0
+    granted_at: float = 0.0
+    enqueued_at: int = 0  # insertion order; leases preserve it
+
+
+class WorkQueue:
+    """Thread-safe lease/heartbeat/publish state machine.
+
+    Args:
+        policy: the campaign's retry policy; expiries and published
+            errors charge attempts against it, verbatim.
+        lease_seconds: how long a granted lease lives without a
+            heartbeat before the task is presumed lost.
+        events: sink for :data:`QueueEvent` dispositions (the campaign
+            driver's inbox).
+    """
+
+    def __init__(
+        self,
+        policy: RetryPolicy,
+        lease_seconds: float = 30.0,
+        events: Optional[Queue] = None,
+    ) -> None:
+        from repro.exceptions import ConfigurationError
+
+        if lease_seconds <= 0:
+            raise ConfigurationError(
+                f"lease_seconds must be positive, got {lease_seconds}"
+            )
+        self.policy = policy
+        self.lease_seconds = float(lease_seconds)
+        self.events: Queue = Queue() if events is None else events
+        self._lock = threading.Lock()
+        self._tasks: Dict[str, _Task] = {}
+        self._order = 0
+        self._sealed = False
+
+    # ------------------------------------------------------------------ #
+    def add(self, task_id: str, payload: bytes) -> None:
+        """Enqueue one task (driver side, before sealing)."""
+        with self._lock:
+            self._order += 1
+            self._tasks[task_id] = _Task(
+                task_id=task_id, payload=payload, enqueued_at=self._order
+            )
+
+    def seal(self) -> None:
+        """Mark the task set complete.
+
+        Until sealed, ``lease`` answers ``wait`` instead of ``done`` to
+        an empty queue — a worker that connects while the driver is still
+        probing caches and enqueueing must poll, not exit.
+        """
+        with self._lock:
+            self._sealed = True
+
+    # ------------------------------------------------------------------ #
+    def lease(self, worker: str, now: Optional[float] = None) -> Dict[str, Any]:
+        """Grant the next ready task to ``worker``.
+
+        Returns ``{"status": "ok", "task": id, "payload": bytes,
+        "lease_seconds": s}`` on a grant, ``{"status": "wait",
+        "retry_after": s}`` while nothing is ready, and
+        ``{"status": "done"}`` once every task reached a terminal state.
+        """
+        moment = time.time() if now is None else now
+        with self._lock:
+            self._expire_locked(moment)
+            ready: List[_Task] = [
+                task
+                for task in self._tasks.values()
+                if task.state == "pending" and task.not_before <= moment
+            ]
+            if ready:
+                task = min(ready, key=lambda item: item.enqueued_at)
+                task.state = "leased"
+                task.worker = worker
+                task.granted_at = moment
+                task.deadline = moment + self.lease_seconds
+                telemetry.metrics.counter("queue.leases").add(1)
+                return {
+                    "status": "ok",
+                    "task": task.task_id,
+                    "payload": task.payload,
+                    "lease_seconds": self.lease_seconds,
+                }
+            if self._done_locked():
+                return {"status": "done"}
+            backoffs = [
+                task.not_before - moment
+                for task in self._tasks.values()
+                if task.state == "pending"
+            ]
+            # With nothing pending (everything leased elsewhere, or the
+            # driver still enqueueing) the next change is a publish, an
+            # expiry or a new task — any moment now — so keep the worker
+            # polling briskly rather than parking it a whole lease.
+            retry_after = (
+                min(backoffs) if backoffs else min(self.lease_seconds, 0.5)
+            )
+            return {
+                "status": "wait",
+                "retry_after": max(0.05, min(retry_after, self.lease_seconds)),
+            }
+
+    def heartbeat(
+        self, task_id: str, worker: str, now: Optional[float] = None
+    ) -> bool:
+        """Extend a live lease; ``False`` if the lease is no longer held."""
+        moment = time.time() if now is None else now
+        with self._lock:
+            task = self._tasks.get(task_id)
+            if task is None or task.state != "leased" or task.worker != worker:
+                return False
+            task.deadline = moment + self.lease_seconds
+            return True
+
+    def publish_result(
+        self,
+        task_id: str,
+        worker: str,
+        payload: bytes,
+        now: Optional[float] = None,
+    ) -> bool:
+        """Accept a finished task's pickled result.
+
+        Accepted from any worker whose task is not yet terminal — an
+        expired-and-re-enqueued task's late survivor is harvested rather
+        than recomputed.  Returns ``False`` (and drops the payload) only
+        when the task is unknown or already done/poisoned.
+        """
+        moment = time.time() if now is None else now
+        with self._lock:
+            task = self._tasks.get(task_id)
+            if task is None or task.state in ("done", "poisoned"):
+                return False
+            if task.granted_at:
+                telemetry.metrics.histogram("queue.publish_seconds").observe(
+                    max(0.0, moment - task.granted_at)
+                )
+            task.state = "done"
+            task.worker = worker
+            self.events.put(("result", task_id, payload))
+            return True
+
+    def publish_error(
+        self,
+        task_id: str,
+        worker: str,
+        error: str,
+        now: Optional[float] = None,
+    ) -> bool:
+        """Charge a failed attempt reported by its own worker."""
+        moment = time.time() if now is None else now
+        with self._lock:
+            task = self._tasks.get(task_id)
+            if task is None or task.state in ("done", "poisoned"):
+                return False
+            self._charge_locked(task, error, moment)
+            return True
+
+    def expire(self, now: Optional[float] = None) -> int:
+        """Charge every lease whose deadline passed; returns the count.
+
+        The driver ticks this; a worker that died holding a lease (or
+        went silent past its heartbeats) is indistinguishable from a
+        crashed pool worker and is charged the same way.
+        """
+        moment = time.time() if now is None else now
+        with self._lock:
+            return self._expire_locked(moment)
+
+    # ------------------------------------------------------------------ #
+    def _expire_locked(self, moment: float) -> int:
+        expired = 0
+        for task in self._tasks.values():
+            if task.state == "leased" and task.deadline <= moment:
+                expired += 1
+                telemetry.metrics.counter("queue.lease_expiries").add(1)
+                self._charge_locked(
+                    task,
+                    f"lease expired after {self.lease_seconds:g}s "
+                    f"(worker {task.worker!r} silent)",
+                    moment,
+                )
+        return expired
+
+    def _charge_locked(self, task: _Task, error: str, moment: float) -> None:
+        task.attempts += 1
+        task.worker = None
+        if task.attempts <= self.policy.max_retries:
+            delay = self.policy.delay_for(task.attempts)
+            task.state = "pending"
+            task.not_before = moment + delay
+            self.events.put(
+                ("retried", task.task_id, error, task.attempts, delay)
+            )
+        else:
+            task.state = "poisoned"
+            self.events.put(("giveup", task.task_id, error, task.attempts))
+
+    def _done_locked(self) -> bool:
+        return self._sealed and all(
+            task.state in ("done", "poisoned")
+            for task in self._tasks.values()
+        )
+
+    # ------------------------------------------------------------------ #
+    def done(self) -> bool:
+        """``True`` once sealed and every task is done or poisoned."""
+        with self._lock:
+            return self._done_locked()
+
+    def stats(self) -> Dict[str, int]:
+        """State counts for ``GET /queue/stats`` and the tests."""
+        with self._lock:
+            counts = {"pending": 0, "leased": 0, "done": 0, "poisoned": 0}
+            for task in self._tasks.values():
+                counts[task.state] += 1
+            counts["total"] = len(self._tasks)
+            counts["sealed"] = int(self._sealed)
+            return counts

@@ -1,0 +1,331 @@
+"""A :class:`ResultStore`-shaped client for the HTTP result server.
+
+Satisfies the full store surface (``get`` / ``put`` / ``contains`` /
+poison records / quarantine / gc / staging hygiene) over
+:mod:`urllib`, so campaign runners, :class:`~repro.store.checkpoints.
+StoreSweepCheckpoint` writers and the codecs work unchanged against a
+URL.  Payloads cross the wire in their codec encoding with a sha256
+sideband, verified on *both* ends: the server recomputes the digest of
+every PUT before accepting it, and :meth:`get` recomputes the digest of
+every downloaded payload before decoding — a corrupted transfer
+surfaces as the same :class:`StoreIntegrityError` a corrupted disk
+entry would, and callers evict-and-recompute identically.
+
+Transport failures (refused connection, reset, timeout) raise
+:class:`RemoteStoreError`; they are *not* degradable store errors — a
+worker whose server vanished should fail its task (and be charged by
+the lease machinery), not silently degrade to in-memory results.
+
+``root`` is ``None``: a remote store has no local directory, and the
+one caller that probes it (:meth:`CampaignRunner._start_telemetry`)
+treats the resulting failure as "telemetry unavailable", which is
+correct — traces belong to the serving process.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import http.client
+import json
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.exceptions import ConfigurationError, ReproError
+from repro.store.codecs import decode_payload, encode_payload
+from repro.store.result_store import GcReport, StoreIntegrityError
+
+from repro.distributed.server import (
+    KIND_HEADER,
+    LABEL_HEADER,
+    METADATA_HEADER,
+    SHA_HEADER,
+)
+
+__all__ = ["RemoteResultStore", "RemoteStoreError"]
+
+#: Seconds one store request may take before the client gives up on it.
+REQUEST_TIMEOUT = 60.0
+
+
+class RemoteStoreError(ReproError):
+    """The result server could not be reached or answered nonsense."""
+
+
+class RemoteResultStore:
+    """Store client bound to a ``http://host:port`` result server."""
+
+    def __init__(
+        self, url: str, timeout: float = REQUEST_TIMEOUT
+    ) -> None:
+        if not url.startswith(("http://", "https://")):
+            raise ConfigurationError(
+                f"result-server URL must be http(s), got {url!r}"
+            )
+        self.url = url.rstrip("/")
+        self.timeout = timeout
+        self.root = None  # no local directory behind a remote store
+        self._opener: Optional[urllib.request.OpenerDirector] = None
+
+    # The opener is a per-process convenience cache; checkpoints bound to
+    # this store are pickled into worker tasks, so drop it from state and
+    # rebuild lazily on first use in the adopting process.
+    def __getstate__(self) -> Dict[str, Any]:
+        state = dict(self.__dict__)
+        state["_opener"] = None
+        return state
+
+    def _open(self) -> urllib.request.OpenerDirector:
+        if self._opener is None:
+            # An explicit empty ProxyHandler: loopback campaign traffic
+            # must never detour through an environment's http_proxy.
+            self._opener = urllib.request.build_opener(
+                urllib.request.ProxyHandler({})
+            )
+        return self._opener
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[bytes] = None,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> Tuple[int, Dict[str, str], bytes]:
+        request = urllib.request.Request(
+            f"{self.url}{path}",
+            data=body,
+            method=method,
+            headers=headers or {},
+        )
+        try:
+            with self._open().open(request, timeout=self.timeout) as response:
+                return (
+                    response.status,
+                    {k: v for k, v in response.headers.items()},
+                    response.read(),
+                )
+        except urllib.error.HTTPError as error:
+            payload = error.read()
+            return error.code, {k: v for k, v in error.headers.items()}, payload
+        except urllib.error.URLError as error:
+            raise RemoteStoreError(
+                f"result server {self.url} unreachable: {error.reason}"
+            ) from error
+        except (OSError, http.client.HTTPException) as error:
+            # urllib only wraps connection-establishment failures in
+            # URLError; a reset or truncated response mid-read (e.g. the
+            # server shutting down while answering) propagates raw.
+            raise RemoteStoreError(
+                f"result server {self.url} connection failed: {error!r}"
+            ) from error
+
+    @staticmethod
+    def _error_message(payload: bytes) -> str:
+        try:
+            return str(json.loads(payload.decode("utf-8")).get("error"))
+        except Exception:
+            return payload.decode("utf-8", "replace")
+
+    def _raise_for(self, status: int, payload: bytes, key: str) -> None:
+        message = self._error_message(payload)
+        if status == 404:
+            raise KeyError(key)
+        if status == 422:
+            raise StoreIntegrityError(message)
+        if status == 400:
+            raise ConfigurationError(message)
+        raise RemoteStoreError(
+            f"result server {self.url} answered {status}: {message}"
+        )
+
+    def _json(
+        self,
+        method: str,
+        path: str,
+        document: Optional[Dict[str, Any]] = None,
+        key: str = "",
+    ) -> Dict[str, Any]:
+        body = (
+            None
+            if document is None
+            else json.dumps(document, sort_keys=True).encode("utf-8")
+        )
+        status, _, payload = self._request(method, path, body=body)
+        if status != 200:
+            self._raise_for(status, payload, key)
+        try:
+            parsed = json.loads(payload.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise RemoteStoreError(
+                f"result server {self.url} answered undecodable JSON: {error}"
+            ) from error
+        if not isinstance(parsed, dict):
+            raise RemoteStoreError(
+                f"result server {self.url} answered a non-object document"
+            )
+        return parsed
+
+    # ------------------------------------------------------------------ #
+    def contains(self, key: str) -> bool:
+        status, _, payload = self._request("HEAD", f"/objects/{key}")
+        if status == 200:
+            return True
+        if status == 404:
+            return False
+        self._raise_for(status, payload, key)
+        raise AssertionError("unreachable")
+
+    def put(
+        self,
+        key: str,
+        value: Any,
+        metadata: Optional[Dict[str, Any]] = None,
+        kind: Optional[str] = None,
+    ) -> str:
+        payload_kind, _, payload = encode_payload(value)
+        headers = {
+            "Content-Type": "application/octet-stream",
+            KIND_HEADER: payload_kind,
+            SHA_HEADER: hashlib.sha256(payload).hexdigest(),
+        }
+        if metadata:
+            headers[METADATA_HEADER] = json.dumps(metadata, sort_keys=True)
+        if kind:
+            headers[LABEL_HEADER] = kind
+        status, _, answer = self._request(
+            "PUT", f"/objects/{key}", body=payload, headers=headers
+        )
+        if status != 200:
+            self._raise_for(status, answer, key)
+        return key
+
+    def get(self, key: str) -> Any:
+        status, headers, payload = self._request("GET", f"/objects/{key}")
+        if status != 200:
+            self._raise_for(status, payload, key)
+        declared = headers.get(SHA_HEADER)
+        digest = hashlib.sha256(payload).hexdigest()
+        if declared and digest != declared:
+            raise StoreIntegrityError(
+                f"store entry {key} failed transfer verification: payload "
+                f"sha256 {digest} != declared {declared}"
+            )
+        kind = headers.get(KIND_HEADER)
+        if not kind:
+            raise RemoteStoreError(
+                f"result server {self.url} sent no {KIND_HEADER} for {key}"
+            )
+        try:
+            return decode_payload(kind, payload)
+        except ConfigurationError:
+            raise
+        except Exception as error:
+            raise StoreIntegrityError(
+                f"store entry {key} could not be decoded: {error}"
+            ) from error
+
+    def entry(self, key: str) -> Dict[str, Any]:
+        return self._json("GET", f"/entry/{key}", key=key)
+
+    def evict(self, key: str) -> bool:
+        return bool(
+            self._json("DELETE", f"/objects/{key}", key=key).get("removed")
+        )
+
+    # ------------------------------------------------------------------ #
+    def quarantine_entry(self, key: str, reason: str) -> bool:
+        return bool(
+            self._json(
+                "POST", f"/quarantine/{key}", {"reason": reason}, key=key
+            ).get("quarantined")
+        )
+
+    def quarantined_entries(self) -> List[str]:
+        return list(self._json("GET", "/quarantine").get("keys", []))
+
+    def entry_provenance(self, key: str) -> Optional[Dict[str, Any]]:
+        try:
+            return self._json("GET", f"/quarantine/{key}", key=key)
+        except KeyError:
+            return None
+
+    def drop_quarantined_entry(self, key: str) -> bool:
+        return bool(
+            self._json("DELETE", f"/quarantine/{key}", key=key).get("removed")
+        )
+
+    def record_poison(self, key: str, info: Dict[str, Any]) -> None:
+        self._json("PUT", f"/poison/{key}", dict(info), key=key)
+
+    def poison(self, key: str) -> Optional[Dict[str, Any]]:
+        try:
+            return self._json("GET", f"/poison/{key}", key=key)
+        except KeyError:
+            return None
+
+    def poison_keys(self) -> List[str]:
+        return list(self._json("GET", "/poison").get("keys", []))
+
+    def clear_poison(self, key: str) -> bool:
+        return bool(
+            self._json("DELETE", f"/poison/{key}", key=key).get("removed")
+        )
+
+    def clear_quarantine(self) -> int:
+        return int(self._json("POST", "/quarantine-clear").get("removed", 0))
+
+    # ------------------------------------------------------------------ #
+    def gc(
+        self,
+        max_bytes: Optional[int] = None,
+        max_age: Optional[float] = None,
+        now: Optional[float] = None,
+        dry_run: bool = False,
+        campaign: Optional[str] = None,
+    ) -> GcReport:
+        report = self._json(
+            "POST",
+            "/gc",
+            {
+                "max_bytes": max_bytes,
+                "max_age": max_age,
+                "now": now,
+                "dry_run": dry_run,
+                "campaign": campaign,
+            },
+        )
+        return GcReport(
+            scanned=int(report.get("scanned", 0)),
+            evicted=int(report.get("evicted", 0)),
+            freed_bytes=int(report.get("freed_bytes", 0)),
+            remaining_bytes=int(report.get("remaining_bytes", 0)),
+        )
+
+    def keys(self) -> Iterator[str]:
+        yield from self._json("GET", "/keys").get("keys", [])
+
+    def __len__(self) -> int:
+        return int(self._json("GET", "/size").get("entries", 0))
+
+    def size_bytes(self) -> int:
+        return int(self._json("GET", "/size").get("size_bytes", 0))
+
+    def clear_staging(self, older_than: Optional[float] = None) -> int:
+        return int(
+            self._json(
+                "POST", "/staging/clear", {"older_than": older_than}
+            ).get("removed", 0)
+        )
+
+    def sweep_dead_staging(self) -> int:
+        return int(self._json("POST", "/staging/sweep").get("removed", 0))
+
+    def health(self) -> bool:
+        """``True`` when the server answers ``GET /health``."""
+        try:
+            return self._json("GET", "/health").get("status") == "ok"
+        except (RemoteStoreError, ReproError):
+            return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"RemoteResultStore(url={self.url!r})"

@@ -1,0 +1,438 @@
+"""The HTTP result server: a :class:`ResultStore` and a work queue on a URL.
+
+Stdlib only (:class:`http.server.ThreadingHTTPServer`); every store
+verb a campaign needs crosses the wire as one request:
+
+====================================  =================================
+``HEAD/GET/PUT/DELETE /objects/<k>``  contains / get / put / evict.  GET
+                                      and PUT carry the *encoded codec
+                                      payload* bytes plus ``X-Repro-Kind``
+                                      and ``X-Repro-Sha256`` headers; the
+                                      server recomputes the digest of
+                                      every PUT body before accepting it
+                                      (422 on mismatch), then decodes and
+                                      re-stores through the local
+                                      :class:`ResultStore`, which verifies
+                                      again on its own read path.
+``GET /entry/<k>``                    the entry header (kind, digest,
+                                      metadata).
+``GET /keys``, ``GET /size``          key listing / entry count + bytes.
+``POST /gc``                          a GC pass; JSON args, GcReport out.
+``/poison[/<k>]``                     poison records (GET/PUT/DELETE).
+``/quarantine[/<k>]``                 quarantined entry copies
+                                      (GET/POST/DELETE) +
+                                      ``POST /quarantine-clear``.
+``POST /staging/clear|sweep``         staging hygiene.
+``POST /queue/lease|heartbeat|publish``  the pull-based work queue
+                                      (absent → 404 when the server
+                                      fronts a store only).
+``GET /queue/stats``, ``GET /health``  observability.
+====================================  =================================
+
+Error mapping: unknown key → 404, integrity failure → 422, malformed
+key/arguments → 400.  The :class:`~repro.distributed.remote_store.
+RemoteResultStore` client translates these back into ``KeyError`` /
+``StoreIntegrityError`` / ``ConfigurationError`` so store callers cannot
+tell the transports apart.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import threading
+from dataclasses import asdict
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+
+from repro.exceptions import ConfigurationError
+from repro.store.codecs import decode_payload, encode_payload
+from repro.store.result_store import ResultStore, StoreIntegrityError
+
+from repro.distributed.queue import WorkQueue
+
+__all__ = ["ResultServer"]
+
+KIND_HEADER = "X-Repro-Kind"
+SHA_HEADER = "X-Repro-Sha256"
+LABEL_HEADER = "X-Repro-Label"
+METADATA_HEADER = "X-Repro-Metadata"
+
+
+class _HttpFailure(Exception):
+    """Internal: abort the current request with (status, message)."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: "_Server"
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------ #
+    def log_message(self, format: str, *args: Any) -> None:
+        pass  # campaign progress is the user-facing channel, not access logs
+
+    def _body(self) -> bytes:
+        length = int(self.headers.get("Content-Length") or 0)
+        return self.rfile.read(length) if length else b""
+
+    def _json_body(self) -> Dict[str, Any]:
+        raw = self._body()
+        if not raw:
+            return {}
+        try:
+            document = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise _HttpFailure(400, f"malformed JSON body: {error}")
+        if not isinstance(document, dict):
+            raise _HttpFailure(400, "JSON body must be an object")
+        return document
+
+    def _reply(
+        self,
+        status: int,
+        payload: bytes,
+        content_type: str = "application/json",
+        headers: Optional[Dict[str, str]] = None,
+        head_only: bool = False,
+    ) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        if not head_only:
+            self.wfile.write(payload)
+
+    def _reply_json(self, document: Any, status: int = 200) -> None:
+        self._reply(
+            status, json.dumps(document, sort_keys=True).encode("utf-8")
+        )
+
+    def _fail(self, status: int, message: str, head_only: bool = False) -> None:
+        self._reply(
+            status,
+            json.dumps({"error": message}).encode("utf-8"),
+            head_only=head_only,
+        )
+
+    # ------------------------------------------------------------------ #
+    def _route(self, method: str) -> None:
+        try:
+            handled = self._dispatch(method)
+        except _HttpFailure as failure:
+            self._fail(failure.status, str(failure), head_only=method == "HEAD")
+            return
+        except ConfigurationError as error:
+            self._fail(400, str(error), head_only=method == "HEAD")
+            return
+        except KeyError as error:
+            self._fail(404, f"no entry for {error}", head_only=method == "HEAD")
+            return
+        except StoreIntegrityError as error:
+            self._fail(422, str(error), head_only=method == "HEAD")
+            return
+        except BrokenPipeError:  # client went away mid-reply
+            return
+        except Exception as error:  # never kill the serving thread
+            self._fail(500, f"{type(error).__name__}: {error}")
+            return
+        if not handled:
+            self._fail(404, f"no route for {method} {self.path}")
+
+    def do_GET(self) -> None:
+        self._route("GET")
+
+    def do_HEAD(self) -> None:
+        self._route("HEAD")
+
+    def do_PUT(self) -> None:
+        self._route("PUT")
+
+    def do_POST(self) -> None:
+        self._route("POST")
+
+    def do_DELETE(self) -> None:
+        self._route("DELETE")
+
+    # ------------------------------------------------------------------ #
+    def _dispatch(self, method: str) -> bool:
+        store = self.server.store
+        path = self.path.split("?", 1)[0]
+        parts = [part for part in path.split("/") if part]
+
+        if parts == ["health"]:
+            self._reply_json({"status": "ok"})
+            return True
+
+        if parts and parts[0] == "objects" and len(parts) == 2:
+            return self._dispatch_object(method, store, parts[1])
+        if parts and parts[0] == "entry" and len(parts) == 2 and method == "GET":
+            self._reply_json(store.entry(parts[1]))
+            return True
+        if parts == ["keys"] and method == "GET":
+            self._reply_json({"keys": list(store.keys())})
+            return True
+        if parts == ["size"] and method == "GET":
+            self._reply_json(
+                {"size_bytes": store.size_bytes(), "entries": len(store)}
+            )
+            return True
+        if parts == ["gc"] and method == "POST":
+            arguments = self._json_body()
+            report = store.gc(
+                max_bytes=arguments.get("max_bytes"),
+                max_age=arguments.get("max_age"),
+                now=arguments.get("now"),
+                dry_run=bool(arguments.get("dry_run", False)),
+                campaign=arguments.get("campaign"),
+            )
+            self._reply_json(asdict(report))
+            return True
+        if parts and parts[0] == "poison":
+            return self._dispatch_poison(method, store, parts)
+        if parts and parts[0] == "quarantine":
+            return self._dispatch_quarantine(method, store, parts)
+        if parts == ["quarantine-clear"] and method == "POST":
+            self._reply_json({"removed": store.clear_quarantine()})
+            return True
+        if parts == ["staging", "clear"] and method == "POST":
+            arguments = self._json_body()
+            self._reply_json(
+                {"removed": store.clear_staging(arguments.get("older_than"))}
+            )
+            return True
+        if parts == ["staging", "sweep"] and method == "POST":
+            self._reply_json({"removed": store.sweep_dead_staging()})
+            return True
+        if parts and parts[0] == "queue":
+            return self._dispatch_queue(method, parts)
+        return False
+
+    def _dispatch_object(
+        self, method: str, store: ResultStore, key: str
+    ) -> bool:
+        if method == "HEAD":
+            if store.contains(key):
+                self._reply(200, b"", head_only=True)
+            else:
+                self._fail(404, f"no entry for {key!r}", head_only=True)
+            return True
+        if method == "GET":
+            value = store.get(key)  # verifies the on-disk digest
+            kind, _, payload = encode_payload(value)
+            self._reply(
+                200,
+                payload,
+                content_type="application/octet-stream",
+                headers={
+                    KIND_HEADER: kind,
+                    SHA_HEADER: hashlib.sha256(payload).hexdigest(),
+                },
+            )
+            return True
+        if method == "PUT":
+            payload = self._body()
+            kind = self.headers.get(KIND_HEADER)
+            if not kind:
+                raise _HttpFailure(400, f"PUT needs a {KIND_HEADER} header")
+            declared = self.headers.get(SHA_HEADER)
+            digest = hashlib.sha256(payload).hexdigest()
+            if declared and declared != digest:
+                raise _HttpFailure(
+                    422,
+                    f"payload sha256 {digest} != declared {declared} "
+                    f"(corrupted in transit)",
+                )
+            metadata_header = self.headers.get(METADATA_HEADER)
+            metadata = None
+            if metadata_header:
+                try:
+                    metadata = json.loads(metadata_header)
+                except json.JSONDecodeError as error:
+                    raise _HttpFailure(
+                        400, f"malformed {METADATA_HEADER}: {error}"
+                    )
+            try:
+                value = decode_payload(kind, payload)
+            except ConfigurationError:
+                raise
+            except Exception as error:
+                raise _HttpFailure(422, f"undecodable payload: {error}")
+            store.put(
+                key,
+                value,
+                metadata=metadata,
+                kind=self.headers.get(LABEL_HEADER) or None,
+            )
+            self._reply_json({"key": key})
+            return True
+        if method == "DELETE":
+            self._reply_json({"removed": store.evict(key)})
+            return True
+        return False
+
+    def _dispatch_poison(
+        self, method: str, store: ResultStore, parts: list
+    ) -> bool:
+        if len(parts) == 1 and method == "GET":
+            self._reply_json({"keys": store.poison_keys()})
+            return True
+        if len(parts) != 2:
+            return False
+        key = parts[1]
+        if method == "GET":
+            record = store.poison(key)
+            if record is None:
+                raise _HttpFailure(404, f"no poison record for {key!r}")
+            self._reply_json(record)
+            return True
+        if method == "PUT":
+            store.record_poison(key, self._json_body())
+            self._reply_json({"key": key})
+            return True
+        if method == "DELETE":
+            self._reply_json({"removed": store.clear_poison(key)})
+            return True
+        return False
+
+    def _dispatch_quarantine(
+        self, method: str, store: ResultStore, parts: list
+    ) -> bool:
+        if len(parts) == 1 and method == "GET":
+            self._reply_json({"keys": store.quarantined_entries()})
+            return True
+        if len(parts) != 2:
+            return False
+        key = parts[1]
+        if method == "GET":
+            provenance = store.entry_provenance(key)
+            if provenance is None:
+                raise _HttpFailure(404, f"no quarantined entry for {key!r}")
+            self._reply_json(provenance)
+            return True
+        if method == "POST":
+            reason = str(self._json_body().get("reason", ""))
+            self._reply_json(
+                {"quarantined": store.quarantine_entry(key, reason=reason)}
+            )
+            return True
+        if method == "DELETE":
+            self._reply_json({"removed": store.drop_quarantined_entry(key)})
+            return True
+        return False
+
+    def _dispatch_queue(self, method: str, parts: list) -> bool:
+        queue = self.server.queue
+        if queue is None:
+            raise _HttpFailure(404, "this server fronts a store only")
+        if parts == ["queue", "stats"] and method == "GET":
+            self._reply_json(queue.stats())
+            return True
+        if method != "POST" or len(parts) != 2:
+            return False
+        arguments = self._json_body()
+        worker = str(arguments.get("worker", ""))
+        if parts[1] == "lease":
+            grant = queue.lease(worker)
+            if grant["status"] == "ok":
+                grant = dict(grant)
+                grant["payload"] = base64.b64encode(grant["payload"]).decode(
+                    "ascii"
+                )
+            self._reply_json(grant)
+            return True
+        task_id = str(arguments.get("task", ""))
+        if parts[1] == "heartbeat":
+            self._reply_json({"ok": queue.heartbeat(task_id, worker)})
+            return True
+        if parts[1] == "publish":
+            if "error" in arguments:
+                accepted = queue.publish_error(
+                    task_id, worker, str(arguments["error"])
+                )
+            else:
+                try:
+                    payload = base64.b64decode(
+                        str(arguments.get("result", "")), validate=True
+                    )
+                except (ValueError, TypeError) as error:
+                    raise _HttpFailure(400, f"malformed result payload: {error}")
+                accepted = queue.publish_result(task_id, worker, payload)
+            self._reply_json({"ok": accepted})
+            return True
+        return False
+
+
+class _Server(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        store: ResultStore,
+        queue: Optional[WorkQueue],
+    ) -> None:
+        super().__init__(address, _Handler)
+        self.store = store
+        self.queue = queue
+
+
+class ResultServer:
+    """Owns the HTTP server thread fronting a store (and optional queue).
+
+    ``port=0`` binds an ephemeral port; read the resolved address from
+    :attr:`url` after :meth:`start` (the CI smoke writes it to a file the
+    workers poll for).
+    """
+
+    def __init__(
+        self,
+        store: ResultStore,
+        queue: Optional[WorkQueue] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self._server = _Server((host, port), store, queue)
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def store(self) -> ResultStore:
+        return self._server.store
+
+    @property
+    def queue(self) -> Optional[WorkQueue]:
+        return self._server.queue
+
+    @property
+    def url(self) -> str:
+        host, port = self._server.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def start(self) -> "ResultServer":
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-result-server",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+
+    def __enter__(self) -> "ResultServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()

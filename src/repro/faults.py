@@ -40,6 +40,15 @@ Sites instrumented today:
                       ``trace.jsonl`` path.  A firing fault degrades the
                       tracer (spans dropped, one warning) — it never
                       fails the campaign.
+``queue.lease``       a distributed worker the moment a work-queue lease
+                      is granted (:func:`repro.distributed.worker.
+                      run_worker`); context is the task id.  ``kill``
+                      models a host dying while holding a fresh lease —
+                      the lease expires and the task is re-enqueued.
+``queue.publish``     the same worker after computing a task but before
+                      publishing its result; context is the task id.
+                      A kill here loses only the publish — the
+                      re-enqueued task recomputes bit-identically.
 ====================  =====================================================
 """
 

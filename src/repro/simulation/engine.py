@@ -67,6 +67,8 @@ __all__ = [
     "frame_statistics_columns",
     "reduce_fixed_range",
     "reduce_frame_statistics",
+    "reduce_frames_fixed_range",
+    "reduce_frames_statistics",
     "simulate_frame_statistics",
     "simulate_iteration",
 ]
@@ -338,6 +340,67 @@ def reduce_frame_statistics(
     ):
         parts.append(frame_statistics_columns(batch, backend=array_backend))
     return FrameStatisticsColumns.concatenate(parts)
+
+
+def _iter_frame_batches(frames: np.ndarray) -> Iterator[np.ndarray]:
+    """Yield slices of a pre-generated ``(k, n, d)`` frame array.
+
+    Batch sizes follow exactly the :func:`_iter_trajectory_batches` cap —
+    the reduction stacks per-frame ``(n, n)`` distance matrices, so the
+    memory bound must hold whether the frames come from a live model or
+    arrive pre-generated (frame-handing shards) — and since
+    :func:`frame_statistics_columns` is per-frame independent, the
+    concatenated result is bit-identical for every batch split.
+    """
+    total = int(frames.shape[0])
+    if total == 0:
+        return
+    n, dimension = frames.shape[1], frames.shape[2]
+    per_frame = max(1, n * n, n * dimension)
+    batch_size = max(1, _TRAJECTORY_BATCH_ELEMENTS // per_frame)
+    for start in range(0, total, batch_size):
+        yield frames[start : start + batch_size]
+
+
+def reduce_frames_statistics(
+    frames: np.ndarray,
+    backend: Optional[Union[str, ArrayBackend]] = None,
+) -> FrameStatisticsColumns:
+    """Reduce pre-generated frames to columnar statistics.
+
+    The frame-handing counterpart of :func:`reduce_frame_statistics`:
+    the trajectory was already materialised (by the sharding parent, or
+    a trace replay) and only the per-frame reduction remains.
+    Bit-identical to reducing the same frames through a live model.
+    """
+    array_backend = NUMPY_BACKEND if backend is None else resolve_backend(backend)
+    parts: List[FrameStatisticsColumns] = []
+    for batch in _iter_frame_batches(frames):
+        parts.append(frame_statistics_columns(batch, backend=array_backend))
+    return FrameStatisticsColumns.concatenate(parts)
+
+
+def reduce_frames_fixed_range(
+    frames: np.ndarray,
+    transmitting_range: float,
+    backend: Optional[Union[str, ArrayBackend]] = None,
+) -> StepColumns:
+    """Reduce pre-generated frames at a fixed range to step columns.
+
+    The frame-handing counterpart of :func:`reduce_fixed_range`,
+    batched and backend-threaded the same way.
+    """
+    array_backend = NUMPY_BACKEND if backend is None else resolve_backend(backend)
+    connected_parts: List[np.ndarray] = [np.empty(0, dtype=bool)]
+    size_parts: List[np.ndarray] = [np.empty(0, dtype=np.int64)]
+    for batch in _iter_frame_batches(frames):
+        columns = frame_statistics_columns(batch, backend=array_backend)
+        connected_parts.append(columns.connected_at(transmitting_range))
+        size_parts.append(columns.largest_component_sizes_at(transmitting_range))
+    return StepColumns(
+        connected=np.concatenate(connected_parts),
+        largest_component=np.concatenate(size_parts),
+    )
 
 
 def reduce_fixed_range(

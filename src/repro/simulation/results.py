@@ -45,6 +45,29 @@ class StepRecord:
     largest_component_size: int
 
 
+@dataclass(frozen=True, eq=False)
+class TrajectoryFrames:
+    """A ``(frames, nodes, dimension)`` batch of mobility positions.
+
+    The parent→worker payload of frame-handing trajectory sharding (see
+    :mod:`repro.simulation.sharding`): the parent generates each chunk's
+    frames once and ships them — through the shared-memory transport for
+    large chunks — to the worker that runs the expensive per-frame
+    reduction, instead of having the worker regenerate the mobility from
+    a checkpoint.
+    """
+
+    frames: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.frames.shape[0])
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TrajectoryFrames):
+            return NotImplemented
+        return bool(np.array_equal(self.frames, other.frames))
+
+
 def compact_ints(values: np.ndarray) -> np.ndarray:
     """Smallest unsigned copy of a non-negative int array (for pickling).
 

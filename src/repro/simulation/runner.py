@@ -80,12 +80,13 @@ from repro.simulation.results import (
     pool_frame_statistics,
 )
 from repro.simulation.sharding import (
-    capture_iteration_plans,
+    capture_iteration_frames,
     resolve_shard_plan,
     run_shard,
 )
 from repro.simulation.shm import (
     adopt_result,
+    discard_shared,
     ensure_shared_memory_tracker,
     share_columns,
 )
@@ -350,12 +351,15 @@ def _run_sharded(
 ) -> None:
     """Execute the pending iterations as (iteration, chunk) shard tasks.
 
-    The parent fast-forwards each iteration's mobility once to capture
-    the chunk checkpoints (cheap, vectorised), the shard pool runs the
-    expensive frame reductions concurrently, and every iteration is
-    stitched — and checkpointed — the moment its last shard lands.
+    The parent generates each iteration's mobility frames exactly once
+    (cheap, vectorised) and parks each chunk in shared memory; the shard
+    pool runs the expensive frame reductions concurrently against those
+    borrowed segments, and every iteration is stitched — and
+    checkpointed — the moment its last shard lands.  The parent owns the
+    frame segments: a chunk's segment is discarded once its reduction
+    result arrived (a retried worker re-adopts the same handle until
+    then), and any survivors are swept when the pool winds down.
     """
-    plans = capture_iteration_plans(config, entropy, pending, chunks)
     tasks = [
         (index, shard)
         for index in pending
@@ -363,6 +367,9 @@ def _run_sharded(
     ]
     worker_count = min(config.workers, len(tasks))
     transport = config.transport if worker_count > 1 else "pickle"
+    frames = capture_iteration_frames(
+        config, entropy, pending, chunks, transport=transport
+    )
     parts: Dict[int, List] = {
         index: [None] * len(chunks) for index in pending
     }
@@ -373,59 +380,72 @@ def _run_sharded(
             checkpoint.save(index, stitched)
         results[index] = stitched
 
-    if worker_count <= 1:
-        for index, shard in tasks:
-            parts[index][shard] = adopt_result(
-                run_shard(
+    def discard_frames(index: int, shard: int) -> None:
+        discard_shared(frames[index][shard])
+        frames[index][shard] = None
+
+    try:
+        if worker_count <= 1:
+            for index, shard in tasks:
+                parts[index][shard] = adopt_result(
+                    run_shard(
+                        mode,
+                        None,
+                        None,
+                        chunks[shard],
+                        shard == 0,
+                        transmitting_range=config.transmitting_range,
+                        transport=transport,
+                        backend=config.backend,
+                        frames=frames[index][shard],
+                    )
+                )
+                discard_frames(index, shard)
+            for index in pending:
+                finish(index)
+            return
+        missing = {index: len(chunks) for index in pending}
+        ensure_shared_memory_tracker()
+
+        def submit_shard(pool, item, available, ready):
+            index, shard = item
+            return (
+                pool.submit(
+                    telemetry.propagate(run_shard),
                     mode,
-                    config.mobility,
-                    plans[index][shard],
+                    None,
+                    None,
                     chunks[shard],
                     shard == 0,
                     transmitting_range=config.transmitting_range,
                     transport=transport,
                     backend=config.backend,
-                )
+                    frames=frames[index][shard],
+                ),
+                1,
             )
-        for index in pending:
-            finish(index)
-        return
-    missing = {index: len(chunks) for index in pending}
-    ensure_shared_memory_tracker()
 
-    def submit_shard(pool, item, available, ready):
-        index, shard = item
-        return (
-            pool.submit(
-                telemetry.propagate(run_shard),
-                mode,
-                config.mobility,
-                plans[index][shard],
-                chunks[shard],
-                shard == 0,
-                transmitting_range=config.transmitting_range,
-                transport=transport,
-                backend=config.backend,
-            ),
-            1,
+        def consume(item, result, cost):
+            index, shard = item
+            parts[index][shard] = adopt_result(result)
+            discard_frames(index, shard)
+            missing[index] -= 1
+            if missing[index] == 0:
+                finish(index)
+
+        run_supervised(
+            tasks,
+            budget=worker_count,
+            submit=submit_shard,
+            on_result=consume,
+            policy=config.retry_policy,
+            on_respawn=_staging_sweeper(checkpoint),
+            release=adopt_result,
         )
-
-    def consume(item, result, cost):
-        index, shard = item
-        parts[index][shard] = adopt_result(result)
-        missing[index] -= 1
-        if missing[index] == 0:
-            finish(index)
-
-    run_supervised(
-        tasks,
-        budget=worker_count,
-        submit=submit_shard,
-        on_result=consume,
-        policy=config.retry_policy,
-        on_respawn=_staging_sweeper(checkpoint),
-        release=adopt_result,
-    )
+    finally:
+        for handles in frames.values():
+            for handle in handles:
+                discard_shared(handle)
 
 
 def run_fixed_range(

@@ -5,26 +5,33 @@ scenarios; a single long-trajectory iteration still ran on one core.  The
 machinery here splits one iteration of ``steps`` frames into contiguous
 chunks executed by different worker processes:
 
-1. the parent draws the placement, binds the mobility model and captures a
-   :class:`~repro.mobility.base.MobilityCheckpoint` at every chunk
-   boundary by *fast-forwarding* the model through the trajectory
-   (vectorised mobility generation only — cheap next to the per-frame MST
-   reduction that dominates an iteration);
-2. each worker restores the checkpoint of its chunk — per-node model
-   state *and* the exact RNG stream position — regenerates its frames and
-   runs the expensive frame reduction for just that chunk;
+1. the parent draws the placement, binds the mobility model and
+   generates each chunk's frame arrays *once*
+   (:func:`capture_shard_frames` — vectorised mobility generation only,
+   cheap next to the per-frame MST reduction that dominates an
+   iteration), parking large chunks in shared memory
+   (:func:`~repro.simulation.shm.share_columns` over
+   :class:`~repro.simulation.results.TrajectoryFrames`);
+2. each worker adopts (borrows) its chunk's frames zero-copy and runs
+   the expensive frame reduction for just that chunk;
 3. the parent stitches the chunk containers back together
    (:meth:`~repro.simulation.results.StepColumns.concatenate` /
-   :meth:`~repro.simulation.results.FrameStatisticsColumns.concatenate`).
+   :meth:`~repro.simulation.results.FrameStatisticsColumns.concatenate`)
+   and disposes of the frame segments it created.
 
-Because chunk ``k`` starts from exactly the state a serial run would have
-after chunk ``k - 1`` (checkpoints capture the RNG position, so every
-draw lands in the same place), the stitched result is bit-identical to
-the serial run — same arrays, same store keys, and the parent's generator
-is left at the same stream position.  The mobility dynamics are generated
-twice (once by the fast-forwarding parent, once by the workers), which is
-the price of keeping chunk execution embarrassingly parallel; the frame
-reduction, which dominates at paper scale, runs exactly once per frame.
+Because the parent walks one model through the whole trajectory with the
+same draws a serial run makes (``trajectory(count)`` consumes
+``count - 1`` step draws starting at the current frame), the stitched
+result is bit-identical to the serial run — same arrays, same store
+keys, and the parent's generator is left at the same stream position.
+Mobility dynamics are generated exactly once and the frame reduction
+runs exactly once per frame; earlier revisions regenerated each chunk's
+mobility from a :class:`~repro.mobility.base.MobilityCheckpoint` inside
+the worker (generating the dynamics twice).  That checkpoint path
+(:func:`capture_shard_checkpoints` / :func:`capture_iteration_plans` and
+the ``checkpoint`` argument of :func:`run_shard`) remains available for
+callers that would rather re-derive frames than ship them; the runners
+hand frames.
 
 Sharding engages explicitly (``shard_steps=`` /
 ``SimulationConfig.shard_steps`` / CLI ``--shard-steps``) or
@@ -47,13 +54,19 @@ from repro.mobility.base import MobilityCheckpoint, MobilityModel
 from repro.simulation.engine import (
     reduce_fixed_range,
     reduce_frame_statistics,
+    reduce_frames_fixed_range,
+    reduce_frames_statistics,
 )
-from repro.simulation.shm import share_columns
+from repro.simulation.results import TrajectoryFrames
+from repro.simulation.shm import adopt_result, share_columns
 from repro.stats.rng import RandomSource
 
 __all__ = [
     "MIN_SHARD_STEPS",
+    "capture_iteration_frames",
+    "capture_iteration_plans",
     "capture_shard_checkpoints",
+    "capture_shard_frames",
     "max_useful_shards",
     "resolve_shard_plan",
     "run_shard",
@@ -175,29 +188,141 @@ def capture_shard_checkpoints(
         return checkpoints
 
 
+def capture_shard_frames(
+    network,
+    mobility,
+    chunks: List[int],
+    rng: np.random.Generator,
+    transport: str = "pickle",
+):
+    """Placement, model binding and the chunk frame arrays themselves.
+
+    The frame-handing capture: instead of fast-forwarding past each chunk
+    and checkpointing its boundary, the parent *materialises* every
+    chunk's frames (vectorised ``trajectory()`` — the same generation a
+    worker would otherwise repeat) and parks each chunk through the
+    shared-memory transport.  Returns one
+    :class:`~repro.simulation.results.TrajectoryFrames`-or-handle per
+    chunk, ready to pass to :func:`run_shard` as ``frames=``.
+
+    Consumes exactly the draws a serial iteration would: chunk 0's
+    ``trajectory(c0)`` starts at the current frame and consumes ``c0 - 1``
+    step draws; every later chunk's ``trajectory(ck + 1)[1:]`` consumes
+    ``ck`` — so after this returns, ``rng`` sits precisely where a serial
+    run (or the checkpoint capture with ``advance_tail=True``) would have
+    left it, and the frames are bit-identical to the serial trajectory.
+
+    Shared segments created here are *borrowed* by their workers; the
+    caller owns them and must dispose of every handle with
+    :func:`~repro.simulation.shm.discard_shared` once its chunk result
+    landed (retried tasks may re-adopt the same handle in between).
+    """
+    with telemetry.span(
+        "shard.capture_frames", chunks=len(chunks), steps=sum(chunks)
+    ):
+        region = network.region
+        placement = network.placement_strategy(network.node_count, region, rng)
+        model = mobility.create()
+        model.initialize(placement, region, rng)
+        shards = []
+        for index, length in enumerate(chunks):
+            if index == 0:
+                frames = model.trajectory(length, rng)
+            else:
+                # Frame 0 of a trajectory is the current position array —
+                # the previous chunk's last frame — so request one extra
+                # frame and drop it (same idiom as the engine's batching).
+                frames = model.trajectory(length + 1, rng)[1:]
+            shards.append(
+                share_columns(
+                    TrajectoryFrames(frames=np.ascontiguousarray(frames)),
+                    transport,
+                )
+            )
+        return shards
+
+
+def capture_iteration_frames(
+    config, entropy: int, pending: List[int], chunks: List[int],
+    transport: str = "pickle",
+) -> Dict[int, List]:
+    """Chunk frames for every pending iteration of a config.
+
+    Frame-handing counterpart of :func:`capture_iteration_plans`:
+    iteration ``i`` is generated on its own child stream
+    ``RandomSource(entropy).child(i)`` — the same stream a serial or
+    iteration-parallel run would use — so sharded, parallel and serial
+    execution all consume identical draws and observe identical frames.
+    """
+    plans: Dict[int, List] = {}
+    for index in pending:
+        rng = RandomSource.from_entropy(entropy).child(index)
+        plans[index] = capture_shard_frames(
+            config.network, config.mobility, chunks, rng, transport=transport
+        )
+    return plans
+
+
+def _reduce_chunk_frames(
+    mode: str,
+    frames: np.ndarray,
+    transmitting_range: Optional[float],
+    backend: Optional[str],
+):
+    if mode == "fixed":
+        if transmitting_range is None:
+            raise ConfigurationError(
+                "fixed-range shards need a transmitting_range"
+            )
+        return reduce_frames_fixed_range(
+            frames, transmitting_range, backend=backend
+        )
+    if mode == "stats":
+        return reduce_frames_statistics(frames, backend=backend)
+    raise ConfigurationError(f"unknown shard mode {mode!r}")
+
+
 def run_shard(
     mode: str,
     mobility,
-    checkpoint: MobilityCheckpoint,
+    checkpoint: Optional[MobilityCheckpoint],
     chunk_steps: int,
     include_current: bool,
     transmitting_range: Optional[float] = None,
     transport: str = "pickle",
     backend: Optional[str] = None,
+    frames=None,
 ):
     """Worker-process body of one trajectory chunk.
 
-    Restores the chunk's mobility checkpoint (fresh model instance from
-    the picklable spec, RNG at the captured position), regenerates the
-    chunk's frames and reduces them — ``mode`` selects
+    With ``frames`` (a :class:`~repro.simulation.results.TrajectoryFrames`
+    or its shared-memory handle from :func:`capture_shard_frames`) the
+    worker adopts the parent-generated positions zero-copy — borrowing
+    the segment, never unlinking it — and runs only the per-frame
+    reduction; ``mobility``, ``checkpoint`` and ``include_current`` are
+    unused and may be ``None`` (nothing is regenerated).
+
+    Without ``frames``, the legacy checkpoint path: restore the chunk's
+    mobility checkpoint (fresh model instance from the picklable spec,
+    RNG at the captured position), regenerate the chunk's frames and
+    reduce them.
+
+    Either way ``mode`` selects
     :func:`~repro.simulation.engine.reduce_frame_statistics` (``"stats"``)
-    or :func:`~repro.simulation.engine.reduce_fixed_range` (``"fixed"``).
-    ``backend`` names the array backend the reduction kernels run under
-    (resolved inside the worker process — backend handles are not
-    picklable).  The resulting container leaves through the configured
-    transport (shared memory or pickle).
+    or :func:`~repro.simulation.engine.reduce_fixed_range` (``"fixed"``)
+    semantics, ``backend`` names the array backend the reduction kernels
+    run under (resolved inside the worker process — backend handles are
+    not picklable), and the resulting container leaves through the
+    configured transport (shared memory or pickle).  Both paths are
+    bit-identical to the serial reduction of the same chunk.
     """
     with telemetry.span("shard", steps=chunk_steps, mode=mode):
+        if frames is not None:
+            chunk = adopt_result(frames, owned=False)
+            columns = _reduce_chunk_frames(
+                mode, chunk.frames, transmitting_range, backend
+            )
+            return share_columns(columns, transport)
         model = mobility.create()
         rng = model.from_state(checkpoint)
         if mode == "fixed":

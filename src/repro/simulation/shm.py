@@ -48,13 +48,18 @@ import numpy as np
 
 from repro import telemetry
 from repro.exceptions import ConfigurationError
-from repro.simulation.results import FrameStatisticsColumns, StepColumns
+from repro.simulation.results import (
+    FrameStatisticsColumns,
+    StepColumns,
+    TrajectoryFrames,
+)
 
 __all__ = [
     "SHM_MIN_BYTES",
     "TRANSPORTS",
     "SharedColumnsHandle",
     "adopt_result",
+    "discard_shared",
     "ensure_shared_memory_tracker",
     "share_columns",
     "shm_available",
@@ -133,13 +138,22 @@ def validate_transport(transport: str) -> str:
 # Parent-side segment registry (refcounted adoption)
 # --------------------------------------------------------------------------- #
 class _AdoptedSegment:
-    """One mapped segment plus the number of live arrays viewing it."""
+    """One mapped segment plus the number of live arrays viewing it.
 
-    __slots__ = ("segment", "references")
+    ``owned`` records who disposes of the backing file: an *owning*
+    adoption (the worker→parent result hand-off) unlinks the segment when
+    the last view dies; a *borrowed* adoption (the parent→worker frame
+    hand-off) only closes its mapping — the creating process keeps the
+    file alive for possible re-adoption (a retried task) and unlinks it
+    itself via :func:`discard_shared`.
+    """
 
-    def __init__(self, segment: Any) -> None:
+    __slots__ = ("segment", "references", "owned")
+
+    def __init__(self, segment: Any, owned: bool = True) -> None:
         self.segment = segment
         self.references = 0
+        self.owned = owned
 
 
 _registry_lock = threading.Lock()
@@ -151,7 +165,11 @@ _zombies: List[Any] = []
 
 
 def _release_view(name: str) -> None:
-    """Finalizer of one adopted array: last view out unlinks the segment."""
+    """Finalizer of one adopted array: last view out releases the segment.
+
+    Owning adoptions unlink the backing file; borrowed adoptions close
+    their mapping only (the creator owns the file's lifetime).
+    """
     with _registry_lock:
         entry = _adopted.get(name)
         if entry is None:
@@ -160,7 +178,11 @@ def _release_view(name: str) -> None:
         if entry.references > 0:
             return
         del _adopted[name]
-    _destroy_segment(entry.segment)
+    if entry.owned:
+        _destroy_segment(entry.segment)
+    elif not _try_close(entry.segment):
+        with _registry_lock:
+            _zombies.append(entry.segment)
     _sweep_zombies()
 
 
@@ -220,7 +242,10 @@ def _sweep_adopted() -> None:
         entries = list(_adopted.values())
         _adopted.clear()
     for entry in entries:
-        _destroy_segment(entry.segment)
+        if entry.owned:
+            _destroy_segment(entry.segment)
+        else:
+            _try_close(entry.segment)  # the creator owns the file
     _sweep_zombies()
     with _registry_lock:
         remaining = list(_zombies)
@@ -268,12 +293,18 @@ class SharedColumnsHandle:
     scalars: Dict[str, Any]
     nbytes: int
 
-    def adopt(self) -> Any:
+    def adopt(self, owned: bool = True) -> Any:
         """Map the segment and rebuild the container over zero-copy views.
 
-        May be called once per handle (the adopting process owns the
-        segment's lifetime afterwards; the views keep it alive and the
-        last one to die unlinks it).
+        May be called once per handle per process.  With ``owned`` (the
+        default, the worker→parent result hand-off) the adopting process
+        takes over the segment's lifetime: the views keep it alive and
+        the last one to die unlinks it.  With ``owned=False`` (the
+        parent→worker frame hand-off) the adoption *borrows* the
+        segment: the last dying view only closes this process's mapping,
+        leaving the file for the creator — which can re-ship the same
+        handle to a retried task and eventually disposes of it with
+        :func:`discard_shared`.
         """
         _sweep_zombies()
         segment = _shared_memory().SharedMemory(name=self.segment_name)
@@ -283,7 +314,7 @@ class SharedColumnsHandle:
                 raise ConfigurationError(
                     f"shared segment {self.segment_name} was already adopted"
                 )
-            _adopted[self.segment_name] = _AdoptedSegment(segment)
+            _adopted[self.segment_name] = _AdoptedSegment(segment, owned=owned)
         fields = {
             field: _adopt_array(self.segment_name, segment, dtype, shape, offset)
             for field, dtype, shape, offset in self.arrays
@@ -301,6 +332,8 @@ class SharedColumnsHandle:
                 curve_ranges=fields["curve_ranges"],
                 curve_sizes=fields["curve_sizes"],
             )
+        if self.kind == "trajectory":
+            return TrajectoryFrames(frames=fields["frames"])
         raise ConfigurationError(f"unknown shared-columns kind {self.kind!r}")
 
 
@@ -326,6 +359,8 @@ def _container_arrays(columns: Any) -> Tuple[str, Dict[str, np.ndarray], Dict[st
             },
             {"node_count": columns.node_count},
         )
+    if isinstance(columns, TrajectoryFrames):
+        return ("trajectory", {"frames": columns.frames}, {})
     raise ConfigurationError(
         f"cannot share values of type {type(columns).__name__!r}"
     )
@@ -352,7 +387,7 @@ def share_columns(columns: Any, transport: str = "auto") -> Any:
     """
     validate_transport(transport)
     if transport == "pickle" or not isinstance(
-        columns, (StepColumns, FrameStatisticsColumns)
+        columns, (StepColumns, FrameStatisticsColumns, TrajectoryFrames)
     ):
         return columns
     _sweep_zombies()
@@ -405,8 +440,33 @@ def share_columns(columns: Any, transport: str = "auto") -> Any:
     return handle
 
 
-def adopt_result(result: Any) -> Any:
-    """Parent-side counterpart of :func:`share_columns` (pass-through safe)."""
+def adopt_result(result: Any, owned: bool = True) -> Any:
+    """Receiving-side counterpart of :func:`share_columns` (pass-through safe).
+
+    ``owned`` is forwarded to :meth:`SharedColumnsHandle.adopt`: pass
+    ``False`` when the sender keeps responsibility for the segment (the
+    parent→worker frame hand-off).
+    """
     if isinstance(result, SharedColumnsHandle):
-        return result.adopt()
+        return result.adopt(owned=owned)
     return result
+
+
+def discard_shared(result: Any) -> None:
+    """Creator-side disposal of a handle whose adoptions were borrowed.
+
+    Unlinks the segment behind ``result`` if it is a
+    :class:`SharedColumnsHandle` (pass-through values need no cleanup).
+    Safe to call when the segment is already gone, and safe while a
+    borrowed adopter still maps it — POSIX keeps the mapping alive until
+    the adopter's views die; only the name disappears.
+    """
+    if not isinstance(result, SharedColumnsHandle):
+        return
+    try:
+        segment = _shared_memory().SharedMemory(name=result.segment_name)
+    except FileNotFoundError:
+        return  # already unlinked (e.g. an owning adopter took it)
+    except Exception:
+        return
+    _destroy_segment(segment)

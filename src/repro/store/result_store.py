@@ -589,12 +589,19 @@ class ResultStore:
         return sum(1 for _ in self.keys())
 
     def size_bytes(self) -> int:
-        """Total bytes of every file under the store root."""
-        if not self.root.is_dir():
+        """Total bytes of the fully written entries (``objects/`` only).
+
+        Telemetry sinks, quarantine records and staging leftovers live
+        under the same root but are not evictable entries — counting them
+        would inflate the size that :meth:`gc`'s ``max_bytes`` budgets
+        against, making a quota pass evict live results to pay for
+        trace files it can never remove.
+        """
+        if not self._objects.is_dir():
             return 0
         return sum(
             path.stat().st_size
-            for path in self.root.rglob("*")
+            for path in self._objects.rglob("*")
             if path.is_file()
         )
 
@@ -633,8 +640,16 @@ class ResultStore:
         age-based :meth:`clear_staging`, this is safe to call *mid-run*
         — the supervised gathers call it after terminating a broken pool
         and before respawning it, so a crash-looping campaign cannot
-        accumulate orphaned staging directories.  Directories without a
-        pid prefix (pre-existing stores) fall back to the stale-age rule.
+        accumulate orphaned staging directories.
+
+        A live pid is *not* proof of a live writer: pids recycle, so a
+        crashed writer's pid can belong to an unrelated long-lived
+        process forever.  Pid-prefixed directories whose "owner" looks
+        alive therefore still fall back to the
+        :data:`STALE_STAGING_SECONDS` age rule (a real in-flight write
+        stages and renames within seconds), as do directories without a
+        pid prefix (pre-existing stores).  Only a provably dead pid is
+        swept immediately.
         """
         if not self._staging.is_dir():
             return 0
@@ -642,10 +657,7 @@ class ResultStore:
         cutoff = time.time() - STALE_STAGING_SECONDS
         for stale in self._staging.iterdir():
             pid_text, _, _ = stale.name.partition("-")
-            if pid_text.isdigit():
-                if _pid_alive(int(pid_text)):
-                    continue
-            else:
+            if not pid_text.isdigit() or _pid_alive(int(pid_text)):
                 try:
                     if stale.stat().st_mtime > cutoff:
                         continue

@@ -14,7 +14,11 @@ Checked here:
   boundaries included), worker counts and transports;
 * auto-sharding engages exactly when workers outnumber pending
   iterations and the trajectory is long enough;
-* sharded runs save the same per-iteration checkpoints as serial runs.
+* sharded runs save the same per-iteration checkpoints as serial runs;
+* the frame-handing hand-off (``capture_shard_frames`` →
+  ``run_shard(frames=…)``) ships the *serial* trajectory to workers —
+  mobility is generated once, in the parent, and workers never restore a
+  checkpoint — through borrowed shared-memory segments the parent owns.
 """
 
 import pickle
@@ -27,13 +31,26 @@ from hypothesis import strategies as st
 from repro.exceptions import ConfigurationError
 from repro.geometry.region import Region
 from repro.simulation.config import MobilitySpec, NetworkConfig, SimulationConfig
+from repro.simulation.engine import (
+    reduce_frames_fixed_range,
+    reduce_frames_statistics,
+)
+from repro.simulation.results import FrameStatisticsColumns, StepColumns
 from repro.simulation.runner import collect_frame_statistics, run_fixed_range
 from repro.simulation.sharding import (
     MIN_SHARD_STEPS,
     capture_shard_checkpoints,
+    capture_shard_frames,
     max_useful_shards,
     resolve_shard_plan,
+    run_shard,
     shard_plan,
+)
+from repro.simulation.shm import (
+    SharedColumnsHandle,
+    adopt_result,
+    discard_shared,
+    shm_available,
 )
 
 SIDE = 90.0
@@ -255,6 +272,123 @@ class TestShardedCheckpoints:
         assert sorted(recorder.saved) == [0, 1]
         for index, records in recorder.saved.items():
             assert records == serial.iterations[index].records
+
+
+def _serial_trajectory(config, seed):
+    """The serial run's frames and the generator it leaves behind."""
+    rng = np.random.default_rng(seed)
+    region = config.network.region
+    placement = config.network.placement_strategy(
+        config.network.node_count, region, rng
+    )
+    model = config.mobility.create()
+    model.initialize(placement, region, rng)
+    return model.trajectory(config.steps, rng), rng
+
+
+class TestFrameHanding:
+    """Parent-captured frames: mobility is generated exactly once."""
+
+    @pytest.mark.parametrize("name", sorted(MOBILITY_SPECS))
+    def test_captured_chunks_are_the_serial_trajectory(self, name):
+        """Stitched chunk frames == serial frames, same draws consumed."""
+        config = make_config(name, steps=50)
+        serial, serial_rng = _serial_trajectory(config, 11)
+        chunks = shard_plan(config.steps, 13)
+        shard_rng = np.random.default_rng(11)
+        frames = capture_shard_frames(
+            config.network, config.mobility, chunks, shard_rng
+        )
+        stitched = np.concatenate(
+            [adopt_result(handle).frames for handle in frames]
+        )
+        assert np.array_equal(stitched, serial)
+        assert np.array_equal(serial_rng.random(8), shard_rng.random(8))
+
+    def test_frames_shards_need_no_mobility_or_checkpoint(self):
+        """``run_shard(frames=…)`` reduces without touching mobility."""
+        config = make_config("drunkard", steps=31)
+        chunks = shard_plan(config.steps, 9)
+        serial, _ = _serial_trajectory(config, 7)
+        frames = capture_shard_frames(
+            config.network, config.mobility, chunks, np.random.default_rng(7)
+        )
+        stats_parts = []
+        fixed_parts = []
+        for index, handle in enumerate(frames):
+            stats_parts.append(
+                adopt_result(
+                    run_shard(
+                        "stats", None, None, chunks[index], index == 0,
+                        frames=handle,
+                    )
+                )
+            )
+            fixed_parts.append(
+                adopt_result(
+                    run_shard(
+                        "fixed", None, None, chunks[index], index == 0,
+                        transmitting_range=config.transmitting_range,
+                        frames=handle,
+                    )
+                )
+            )
+        assert FrameStatisticsColumns.concatenate(
+            stats_parts
+        ) == reduce_frames_statistics(serial)
+        assert StepColumns.concatenate(fixed_parts) == reduce_frames_fixed_range(
+            serial, config.transmitting_range
+        )
+
+    def test_runner_hands_frames_not_checkpoints(self, monkeypatch):
+        """The sharded runner ships frames; workers get no mobility state."""
+        import repro.simulation.runner as runner_module
+
+        config = make_config("waypoint", iterations=1)
+        serial = collect_frame_statistics(config)
+        calls = []
+        real_run_shard = runner_module.run_shard
+
+        def spy(mode, mobility, checkpoint, *args, **kwargs):
+            calls.append((mobility, checkpoint, kwargs.get("frames")))
+            return real_run_shard(mode, mobility, checkpoint, *args, **kwargs)
+
+        monkeypatch.setattr(runner_module, "run_shard", spy)
+        sharded = collect_frame_statistics(config, shard_steps=9)
+        assert all(a == b for a, b in zip(serial, sharded))
+        assert len(calls) == len(shard_plan(config.steps, 9))
+        for mobility, checkpoint, frames in calls:
+            assert mobility is None
+            assert checkpoint is None
+            assert frames is not None
+
+    def test_shm_segments_are_borrowed_and_parent_owned(self):
+        """Workers borrow frame segments; only the parent unlinks them."""
+        if not shm_available():
+            pytest.skip("no usable shared memory on this host")
+        from multiprocessing import shared_memory
+
+        config = make_config("stationary", steps=8)
+        frames = capture_shard_frames(
+            config.network,
+            config.mobility,
+            [4, 4],
+            np.random.default_rng(3),
+            transport="shm",
+        )
+        handle = frames[0]
+        assert isinstance(handle, SharedColumnsHandle)
+        first = adopt_result(handle, owned=False)
+        pinned = np.array(first.frames, copy=True)
+        del first  # borrowed release: the mapping closes, the file stays
+        again = adopt_result(handle, owned=False)  # a retried worker
+        assert np.array_equal(again.frames, pinned)
+        del again
+        for other in frames:
+            discard_shared(other)
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=handle.segment_name)
+        discard_shared(handle)  # double-discard is harmless
 
 
 def test_auto_plans_keep_every_chunk_at_the_floor():

@@ -177,6 +177,95 @@ class TestResultStore:
         store.put(key, make_sweep(), metadata={"campaign": "demo"})
         assert store.entry(key)["metadata"]["campaign"] == "demo"
 
+    def test_size_bytes_counts_only_objects(self, store):
+        """Telemetry sinks and quarantine records never inflate the size.
+
+        ``gc(max_bytes=)`` budgets against :meth:`size_bytes`; if the
+        per-run telemetry JSONL under the same root counted, a quota pass
+        would evict live entries to pay for trace files it cannot remove.
+        """
+        store.put(cache_key("sweep", {"x": 1}), make_sweep())
+        objects_only = store.size_bytes()
+        assert objects_only > 0
+        run_dir = store.root / "telemetry" / "run-0001"
+        run_dir.mkdir(parents=True)
+        (run_dir / "trace.jsonl").write_text('{"span": "task"}\n' * 4096)
+        (run_dir / "metrics.json").write_text("{}")
+        store.record_poison(cache_key("sweep", {"x": 2}), {"error": "boom"})
+        staging = store.root / "staging"
+        staging.mkdir(exist_ok=True)
+        (staging / "123-inflight").mkdir()
+        (staging / "123-inflight" / "data.json").write_text("{}" * 1024)
+        assert store.size_bytes() == objects_only
+        # A budget of exactly the objects size therefore evicts nothing.
+        report = store.gc(max_bytes=objects_only)
+        assert report.evicted == 0
+        assert store.size_bytes() == objects_only
+
+
+class TestSweepDeadStaging:
+    def _plant(self, store, name, age_seconds=0.0):
+        import os
+        import time
+
+        staging = store.root / "staging"
+        staging.mkdir(parents=True, exist_ok=True)
+        path = staging / name
+        path.mkdir()
+        (path / "data.json").write_text("{}")
+        if age_seconds:
+            old = time.time() - age_seconds
+            os.utime(path, (old, old))
+        return path
+
+    def test_dead_pid_swept_immediately(self, store, monkeypatch):
+        from repro.store import result_store
+
+        monkeypatch.setattr(result_store, "_pid_alive", lambda pid: False)
+        planted = self._plant(store, "4242-deadwriter")
+        assert store.sweep_dead_staging() == 1
+        assert not planted.exists()
+
+    def test_live_pid_with_fresh_dir_survives(self, store):
+        import os
+
+        planted = self._plant(store, f"{os.getpid()}-inflight")
+        assert store.sweep_dead_staging() == 0
+        assert planted.exists()
+
+    def test_reused_pid_falls_back_to_age_rule(self, store, monkeypatch):
+        """Regression: a recycled pid must not shield an orphan forever.
+
+        ``_pid_alive`` answering ``True`` only proves *some* process owns
+        the pid today — after reuse it is an unrelated one.  A staging
+        dir older than the stale cutoff is an orphan regardless of what
+        its recorded pid looks like.
+        """
+        from repro.store import result_store
+        from repro.store.result_store import STALE_STAGING_SECONDS
+
+        # Every pid looks alive: the crashed writer's pid was recycled by
+        # an unrelated long-lived process.
+        monkeypatch.setattr(result_store, "_pid_alive", lambda pid: True)
+        orphan = self._plant(
+            store, "4242-orphan", age_seconds=STALE_STAGING_SECONDS + 60
+        )
+        fresh = self._plant(store, "4242-fresh")
+        assert store.sweep_dead_staging() == 1
+        assert not orphan.exists()
+        assert fresh.exists()
+
+    def test_unprefixed_dirs_keep_the_age_rule(self, store):
+        from repro.store.result_store import STALE_STAGING_SECONDS
+
+        orphan = self._plant(
+            store, "legacy", age_seconds=STALE_STAGING_SECONDS + 60
+        )
+        fresh = self._plant(store, "alsolegacy")
+        assert store.sweep_dead_staging() == 1
+        assert not orphan.exists()
+        assert fresh.exists()
+
 
 class TestStoreSweepCheckpoint:
     def test_save_then_load(self, store):
