@@ -1,0 +1,197 @@
+"""Latency benchmark of the online critical-range query service.
+
+Measures the service layer itself (no HTTP) over a store warmed with
+synthetic rows, in four regimes:
+
+* **hot**: repeated exact-grid queries served from the in-memory LRU —
+  the interactive path, asserted sub-millisecond p50 and single-digit-
+  millisecond p99 *on any host* (pure dictionary + float work, no IO);
+* **cold**: a fresh service's first query per cell, paying the store
+  decode and the completeness probe — asserted under 100 ms p99;
+* **zipfian**: a skewed stream over many grid sides against a small
+  cache, reporting the hot-hit rate the LRU sustains;
+* **loop lag**: a 1 ms heartbeat task sampled while cold queries run —
+  the event loop must never block on store IO, so scheduling lag stays
+  bounded even while the thread pool decodes cells.
+
+Emits ``BENCH_query_service.json`` for the perf-regression gate.
+"""
+
+import asyncio
+import random
+import statistics
+import time
+
+from repro.campaigns import CampaignSpec
+from repro.query import GridIndex, Query, QueryService
+from repro.store import ResultStore
+
+from _helpers import bench_scale_name, write_bench_summary
+
+#: Grid sides for the zipfian/cold regimes: many cells, cheap rows.
+SIDES = tuple(float(side) for side in range(256, 256 + 64 * 32, 32))
+
+HOT_SAMPLES = 3000 if bench_scale_name() == "smoke" else 10000
+COLD_SAMPLES = 40
+ZIPF_SAMPLES = 2000
+CACHE_CELLS = 16
+
+#: Any-host latency bars (the PR's acceptance criteria).
+HOT_P50_BAR_MS = 1.0
+HOT_P99_BAR_MS = 9.0
+COLD_P99_BAR_MS = 100.0
+LOOP_LAG_BAR_MS = 50.0
+
+
+def synthetic_row(side: float) -> dict:
+    """A physically-shaped row: thresholds grow with the system size."""
+    base = side ** 0.5 / 10.0
+    return {
+        "l": side,
+        "n": float(max(2, round(side ** 0.5))),
+        "rstationary": 2.0 * base,
+        "r0": 1.0 * base,
+        "r10": 1.3 * base,
+        "r90": 2.6 * base,
+        "r100": 3.2 * base,
+    }
+
+
+def warm_store(root) -> tuple:
+    spec = CampaignSpec(
+        name="bench-query",
+        experiments=("fig2",),
+        scale="smoke",
+        overrides=(("sides", SIDES),),
+    )
+    store = ResultStore(root)
+    grid = GridIndex(spec)
+    checkpoint = grid.checkpoint_for(grid.scenario_for("waypoint"), store=store)
+    for side in SIDES:
+        checkpoint.save(side, synthetic_row(side))
+    return spec, store
+
+
+def percentile(samples, fraction):
+    ordered = sorted(samples)
+    return ordered[min(len(ordered) - 1, int(len(ordered) * fraction))]
+
+
+async def timed_ask(service, query):
+    started = time.perf_counter()
+    answer = await service.ask(query)
+    return (time.perf_counter() - started) * 1000.0, answer
+
+
+async def measure_hot(spec, store):
+    service = QueryService(store, spec)
+    await service.start()
+    try:
+        queries = [
+            Query(side=side, probability=0.9) for side in SIDES[:CACHE_CELLS]
+        ]
+        for query in queries:  # warm the cells once
+            await service.ask(query)
+        samples = []
+        for index in range(HOT_SAMPLES):
+            elapsed, answer = await timed_ask(
+                service, queries[index % len(queries)]
+            )
+            assert answer.hot and answer.source == "exact"
+            samples.append(elapsed)
+        return samples
+    finally:
+        await service.close()
+
+
+async def measure_cold_with_lag_probe(spec, store):
+    """First-touch latencies, with a loop-lag heartbeat running alongside."""
+    lags = []
+    stop = asyncio.Event()
+
+    async def heartbeat():
+        while not stop.is_set():
+            before = time.perf_counter()
+            await asyncio.sleep(0.001)
+            lags.append((time.perf_counter() - before - 0.001) * 1000.0)
+
+    probe = asyncio.ensure_future(heartbeat())
+    samples = []
+    try:
+        for index in range(COLD_SAMPLES):
+            service = QueryService(store, spec)  # empty hot cache
+            await service.start()
+            try:
+                side = SIDES[index % len(SIDES)]
+                elapsed, answer = await timed_ask(
+                    service, Query(side=side, probability=0.9)
+                )
+                assert not answer.hot and answer.source == "exact"
+                samples.append(elapsed)
+            finally:
+                await service.close()
+    finally:
+        stop.set()
+        await probe
+    return samples, lags
+
+
+async def measure_zipfian(spec, store):
+    """Hit rate of a small LRU under a skewed (rank**-1.1) side stream."""
+    service = QueryService(store, spec, cache_cells=CACHE_CELLS)
+    await service.start()
+    try:
+        rng = random.Random(20020623)
+        weights = [1.0 / (rank + 1) ** 1.1 for rank in range(len(SIDES))]
+        picks = rng.choices(range(len(SIDES)), weights=weights, k=ZIPF_SAMPLES)
+        hits = 0
+        for pick in picks:
+            answer = await service.ask(Query(side=SIDES[pick], probability=0.9))
+            hits += bool(answer.hot)
+        return hits / ZIPF_SAMPLES
+    finally:
+        await service.close()
+
+
+def test_query_service_latency(tmp_path):
+    spec, store = warm_store(tmp_path / "store")
+
+    async def main():
+        hot = await measure_hot(spec, store)
+        cold, lags = await measure_cold_with_lag_probe(spec, store)
+        hit_rate = await measure_zipfian(spec, store)
+        return hot, cold, lags, hit_rate
+
+    hot, cold, lags, hit_rate = asyncio.run(main())
+
+    metrics = {
+        "hot_p50_ms": percentile(hot, 0.50),
+        "hot_p99_ms": percentile(hot, 0.99),
+        "hot_mean_ms": statistics.fmean(hot),
+        "cold_p50_ms": percentile(cold, 0.50),
+        "cold_p99_ms": percentile(cold, 0.99),
+        "zipf_hit_rate": hit_rate,
+        "loop_lag_p99_ms": percentile(lags, 0.99) if lags else 0.0,
+        "loop_lag_max_ms": max(lags) if lags else 0.0,
+        "hot_samples": len(hot),
+        "cold_samples": len(cold),
+    }
+    write_bench_summary("query_service", metrics)
+
+    print()
+    print(f"query service latency ({bench_scale_name()} scale)")
+    for name in (
+        "hot_p50_ms", "hot_p99_ms", "cold_p50_ms", "cold_p99_ms",
+        "zipf_hit_rate", "loop_lag_p99_ms", "loop_lag_max_ms",
+    ):
+        print(f"  {name:18s} {metrics[name]:10.4f}")
+
+    # Interactive-latency bars hold on any host: the hot path is pure
+    # in-memory work and the cold path is one small decode + probe.
+    assert metrics["hot_p50_ms"] < HOT_P50_BAR_MS, metrics
+    assert metrics["hot_p99_ms"] < HOT_P99_BAR_MS, metrics
+    assert metrics["cold_p99_ms"] < COLD_P99_BAR_MS, metrics
+    assert metrics["loop_lag_p99_ms"] < LOOP_LAG_BAR_MS, metrics
+    # The skewed stream concentrates on ~16 popular sides; the LRU must
+    # serve the bulk of it from memory.
+    assert hit_rate > 0.5, metrics

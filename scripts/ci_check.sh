@@ -72,7 +72,23 @@
 #    and a warm re-serve must report zero computed values (the
 #    distributed run addressed the same store entries a local one
 #    would).
-# 19. The perf-regression gate: the fresh BENCH_*.json summaries are
+# 19. The query-service benchmark must pass at smoke scale: hot answers
+#    sub-millisecond p50 / single-digit-millisecond p99 and cold misses
+#    under 100 ms p99 on any host, a zipfian stream mostly served from
+#    the LRU, and the event loop never blocked by store IO (1 ms
+#    heartbeat lag stays bounded while cold queries decode cells).
+# 20. A query smoke through the real CLI, both halves of the contract:
+#    against a store warmed by `campaign run examples/query_smoke.toml`,
+#    `query serve` + `query ask` answer an in-grid question with
+#    refine=false from exact stored rows; against an EMPTY store the
+#    same question answers refine=true and enqueues one refinement on
+#    the fill server, a stock `campaign work --server <fill-url>`
+#    worker computes it and exits, and a re-ask becomes a refine=false
+#    exact answer — the cache-fill loop closes end to end.  The cold
+#    serve runs at --confidence-floor 0.5: one refined side of the
+#    two-side cell clears the floor (the default floor of 1.0 keeps
+#    flagging a half-complete cell, by design).
+# 21. The perf-regression gate: the fresh BENCH_*.json summaries are
 #    graded against benchmarks/baseline.json (host-normalized metrics
 #    only, core-count-gated, noise-banded); a regression beyond the band
 #    or a missing baselined summary fails the script.  Finally
@@ -294,6 +310,94 @@ PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m repro \
     --port 0 --quiet \
     | grep -q "0 value(s) computed"
 echo "distributed smoke: OK"
+
+REPRO_BENCH_SCALE=smoke PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
+    python -m pytest benchmarks/bench_query_service.py -q
+
+QUERY_DIR="$(mktemp -d)"
+trap 'rm -rf "$CAMPAIGN_STORE" "$SCHEDULER_STORE" "$GC_STORE" "$CHAOS_DIR" "$TELEMETRY_DIR" "$DIST_DIR" "$QUERY_DIR"' EXIT
+
+# Warm half: a served warm store answers in-grid questions exactly.
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m repro \
+    campaign run examples/query_smoke.toml --store "$QUERY_DIR/warm-store" --quiet
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m repro \
+    query serve examples/query_smoke.toml --store "$QUERY_DIR/warm-store" \
+    --port 0 --url-file "$QUERY_DIR/warm-url" \
+    > "$QUERY_DIR/warm-serve.log" 2>&1 &
+QUERY_WARM_PID=$!
+QUERY_TRIES=0
+while [ ! -s "$QUERY_DIR/warm-url" ]; do
+    QUERY_TRIES=$((QUERY_TRIES + 1))
+    if [ "$QUERY_TRIES" -gt 30 ]; then
+        echo "query serve (warm) never published its URL" >&2
+        cat "$QUERY_DIR/warm-serve.log" >&2 || true
+        kill "$QUERY_WARM_PID" 2>/dev/null || true
+        exit 1
+    fi
+    sleep 1
+done
+QUERY_WARM_URL="$(cat "$QUERY_DIR/warm-url")"
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m repro \
+    query ask --url "$QUERY_WARM_URL" --side 256 --probability 0.9 --json \
+    > "$QUERY_DIR/warm-answer.json"
+grep -q '"refine": false' "$QUERY_DIR/warm-answer.json"
+grep -q '"source": "exact"' "$QUERY_DIR/warm-answer.json"
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m repro \
+    query ask --url "$QUERY_WARM_URL" --side 400 --range 50 \
+    | grep -q "connectivity probability"
+kill -TERM "$QUERY_WARM_PID"
+wait "$QUERY_WARM_PID"
+
+# Fill half: an empty store answers refine=true, enqueues the missing
+# simulation, a stock worker computes it, and the re-ask is exact.
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m repro \
+    query serve examples/query_smoke.toml --store "$QUERY_DIR/cold-store" \
+    --port 0 --url-file "$QUERY_DIR/cold-url" \
+    --fill-url-file "$QUERY_DIR/fill-url" --max-retries 2 \
+    --confidence-floor 0.5 \
+    > "$QUERY_DIR/cold-serve.log" 2>&1 &
+QUERY_COLD_PID=$!
+QUERY_TRIES=0
+while [ ! -s "$QUERY_DIR/cold-url" ] || [ ! -s "$QUERY_DIR/fill-url" ]; do
+    QUERY_TRIES=$((QUERY_TRIES + 1))
+    if [ "$QUERY_TRIES" -gt 30 ]; then
+        echo "query serve (cold) never published its URLs" >&2
+        cat "$QUERY_DIR/cold-serve.log" >&2 || true
+        kill "$QUERY_COLD_PID" 2>/dev/null || true
+        exit 1
+    fi
+    sleep 1
+done
+QUERY_COLD_URL="$(cat "$QUERY_DIR/cold-url")"
+QUERY_FILL_URL="$(cat "$QUERY_DIR/fill-url")"
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m repro \
+    query ask --url "$QUERY_COLD_URL" --side 256 --probability 0.9 --json \
+    > "$QUERY_DIR/cold-answer.json"
+grep -q '"refine": true' "$QUERY_DIR/cold-answer.json"
+grep -q '"refine_task": "' "$QUERY_DIR/cold-answer.json"
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m repro \
+    campaign work --server "$QUERY_FILL_URL" --quiet
+QUERY_TRIES=0
+while :; do
+    PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m repro \
+        query ask --url "$QUERY_COLD_URL" --side 256 --probability 0.9 --json \
+        > "$QUERY_DIR/refined-answer.json"
+    if grep -q '"refine": false' "$QUERY_DIR/refined-answer.json"; then
+        break
+    fi
+    QUERY_TRIES=$((QUERY_TRIES + 1))
+    if [ "$QUERY_TRIES" -gt 30 ]; then
+        echo "refined answer never landed in the serving cache" >&2
+        cat "$QUERY_DIR/refined-answer.json" >&2 || true
+        kill "$QUERY_COLD_PID" 2>/dev/null || true
+        exit 1
+    fi
+    sleep 1
+done
+grep -q '"source": "exact"' "$QUERY_DIR/refined-answer.json"
+kill -TERM "$QUERY_COLD_PID"
+wait "$QUERY_COLD_PID"
+echo "query smoke: OK"
 
 if PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m repro.telemetry.regression \
     --baseline benchmarks/baseline.json --results "$REPRO_BENCH_OUT" \

@@ -26,6 +26,7 @@ resumes exactly where it stopped — at the first unfinished iteration for
 experiments that checkpoint per iteration.
 """
 
+from repro.campaigns.completeness import CellCompleteness, cell_completeness
 from repro.campaigns.progress import (
     CacheHit,
     EntryEvicted,
@@ -52,7 +53,9 @@ __all__ = [
     "CampaignRunner",
     "CampaignScheduler",
     "CampaignSpec",
+    "CellCompleteness",
     "EntryEvicted",
+    "cell_completeness",
     "ProgressEvent",
     "Scenario",
     "ScenarioCompleted",

@@ -1,0 +1,108 @@
+"""Per-cell completeness counting, shared by ``status`` and the query service.
+
+``campaign status`` has always answered "how finished is this scenario"
+by probing the store: the sweep entry means complete, otherwise count
+row entries per value and iteration sub-entries below unfinished values
+(a finished value's row subsumes its iterations — the sub-entries were
+evicted on save).  The online query service needs the *same* answer to
+decide whether a grid cell clears its confidence floor, and a second
+implementation would inevitably drift from the first — so the counting
+lives here, and both callers consume :class:`CellCompleteness`.
+
+The helper takes the scenario's :class:`~repro.store.checkpoints.
+StoreSweepCheckpoint` rather than re-deriving keys: the checkpoint's
+``payload`` *is* the canonical content-address payload, so the keys
+probed here are bitwise-identical to the keys the runner writes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Collection, Sequence
+
+from repro.store.checkpoints import StoreSweepCheckpoint
+from repro.store.keys import SWEEP_KIND, cache_key
+
+__all__ = ["CellCompleteness", "cell_completeness"]
+
+
+@dataclass(frozen=True)
+class CellCompleteness:
+    """Store-side coverage of one campaign grid cell.
+
+    ``checkpointed_iterations`` / ``total_iterations`` are both 0 when
+    the experiment only checkpoints at value granularity; ``coverage``
+    then falls back to the value fraction.
+    """
+
+    complete: bool
+    checkpointed_values: int
+    total_values: int
+    checkpointed_iterations: int = 0
+    total_iterations: int = 0
+    quarantined: int = 0
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of the cell's committed work present, in ``[0, 1]``.
+
+        Iteration-weighted when the experiment checkpoints iterations
+        (the finest-grained truth available), the value fraction
+        otherwise.  A complete cell is 1.0 by definition.
+        """
+        if self.complete:
+            return 1.0
+        if self.total_iterations:
+            return self.checkpointed_iterations / self.total_iterations
+        if self.total_values:
+            return self.checkpointed_values / self.total_values
+        return 0.0
+
+
+def cell_completeness(
+    store,
+    checkpoint: StoreSweepCheckpoint,
+    values: Sequence[float],
+    poisoned: Collection[str] = (),
+) -> CellCompleteness:
+    """Count one cell's store coverage, exactly as ``status`` reports it.
+
+    Args:
+        store: the store to probe (``checkpoint.store`` is *not* used, so
+            a checkpoint built against one store can be counted against
+            another — the distributed path rebinds stores freely).
+        checkpoint: the cell's sweep checkpoint; supplies the canonical
+            payload (hence all keys) and the iteration granularity.
+        values: the cell's sweep values, in grid order.
+        poisoned: keys with poison records (pass ``store.poison_keys()``
+            once per batch instead of per cell).
+    """
+    sweep_key = cache_key(SWEEP_KIND, checkpoint.payload)
+    iterations = checkpoint.iterations or 0
+    complete = store.contains(sweep_key)
+    checkpointed_values = 0
+    checkpointed_iterations = 0
+    quarantined = 1 if sweep_key in poisoned else 0
+    for value in values:
+        row_key = checkpoint.key_for(value)
+        if row_key in poisoned:
+            quarantined += 1
+        if store.contains(row_key):
+            checkpointed_values += 1
+            checkpointed_iterations += iterations
+        elif iterations:
+            checkpointed_iterations += sum(
+                1
+                for sub_key in checkpoint.iteration_keys_for(value)
+                if store.contains(sub_key)
+            )
+    return CellCompleteness(
+        complete=complete,
+        checkpointed_values=checkpointed_values,
+        total_values=len(values),
+        checkpointed_iterations=(
+            len(values) * iterations if complete else checkpointed_iterations
+        ),
+        total_iterations=len(values) * iterations,
+        quarantined=quarantined,
+    )

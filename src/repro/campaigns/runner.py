@@ -46,6 +46,7 @@ from repro.campaigns.progress import (
     TaskQuarantined,
     TaskRetried,
 )
+from repro.campaigns.completeness import cell_completeness
 from repro.campaigns.spec import CampaignSpec, Scenario
 from repro.experiments.registry import Experiment, ExperimentScale, get_experiment
 from repro.simulation.sweep import SweepResult
@@ -591,40 +592,22 @@ class CampaignRunner:
         poisoned = self.store.poison_keys()
         for scenario in self.spec.scenarios():
             experiment = get_experiment(scenario.experiment_id)
-            key = scenario_sweep_key(experiment, scenario.scale)
             checkpoint = self._checkpoint_for(experiment, scenario)
-            values = list(experiment.sweep_values(scenario.scale))
-            iterations = experiment.checkpoint_iterations(scenario.scale) or 0
-            complete = self.store.contains(key)
-            checkpointed_values = 0
-            checkpointed_iterations = 0
-            quarantined = 1 if key in poisoned else 0
-            for value in values:
-                row_key = checkpoint.key_for(value)
-                if row_key in poisoned:
-                    quarantined += 1
-                if self.store.contains(row_key):
-                    checkpointed_values += 1
-                    checkpointed_iterations += iterations
-                elif iterations:
-                    checkpointed_iterations += sum(
-                        1
-                        for sub_key in checkpoint.iteration_keys_for(value)
-                        if self.store.contains(sub_key)
-                    )
+            counts = cell_completeness(
+                self.store,
+                checkpoint,
+                list(experiment.sweep_values(scenario.scale)),
+                poisoned=poisoned,
+            )
             statuses.append(
                 ScenarioStatus(
                     scenario=scenario,
-                    complete=complete,
-                    checkpointed_values=checkpointed_values,
-                    total_values=len(values),
-                    checkpointed_iterations=(
-                        len(values) * iterations
-                        if complete
-                        else checkpointed_iterations
-                    ),
-                    total_iterations=len(values) * iterations,
-                    quarantined=quarantined,
+                    complete=counts.complete,
+                    checkpointed_values=counts.checkpointed_values,
+                    total_values=counts.total_values,
+                    checkpointed_iterations=counts.checkpointed_iterations,
+                    total_iterations=counts.total_iterations,
+                    quarantined=counts.quarantined,
                 )
             )
         return statuses

@@ -21,6 +21,9 @@ experiments::
     adhoc-connectivity campaign gc --store .repro-store --max-bytes 500000000
     adhoc-connectivity campaign serve grid.toml --port 8750 --max-retries 2
     adhoc-connectivity campaign work --server http://127.0.0.1:8750
+    adhoc-connectivity query serve grid.toml --store .repro-store --port 8800
+    adhoc-connectivity query ask --url http://127.0.0.1:8800 \\
+        --nodes 32 --probability 0.9
 
 ``campaign run --total-workers W`` is the single budget knob: the whole
 campaign shares one pool of ``W`` workers, independent scenarios run
@@ -34,6 +37,13 @@ pull-based work queue over HTTP, workers on any host lease tasks and
 publish results back, and a worker that goes silent mid-lease is
 re-enqueued under the same retry policy ``campaign run`` uses.  The
 resulting store is bit-identical to a single-host run.
+
+``query serve`` + ``query ask`` flip the batch pipeline into serving:
+the query service answers critical-range / connectivity-probability
+questions over a campaign's store at interactive latency, and questions
+it cannot answer confidently come back flagged ``refine=true`` with a
+refinement simulation enqueued for any attached ``campaign work``
+worker (point it at the printed *fill* URL).
 
 The CLI is intentionally thin: it parses arguments, calls the experiment
 or campaign layer and prints the rendered tables.
@@ -393,6 +403,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="lease owner name reported to the server (default: host:pid)",
     )
     campaign_work.add_argument(
+        "--object-cache",
+        default=None,
+        metavar="DIR",
+        help=(
+            "content-addressed local payload cache: sha256-verified "
+            "copies of downloaded store entries are kept here so "
+            "repeated checkpoint reads don't re-download (sets "
+            "REPRO_OBJECT_CACHE for the worker and its tasks)"
+        ),
+    )
+    campaign_work.add_argument(
+        "--object-cache-bytes",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "byte budget of --object-cache (LRU eviction; default 256 MiB, "
+            "0 = unbounded)"
+        ),
+    )
+    campaign_work.add_argument(
         "--quiet",
         action="store_true",
         help="suppress the per-task progress lines",
@@ -490,6 +521,182 @@ def build_parser() -> argparse.ArgumentParser:
             "(matched against the entry metadata; default: the whole store)"
         ),
     )
+
+    query_parser = subparsers.add_parser(
+        "query",
+        help=(
+            "online critical-range query service over a campaign store "
+            "(serve answers at interactive latency / ask one question)"
+        ),
+    )
+    query_commands = query_parser.add_subparsers(
+        dest="query_command", required=True
+    )
+
+    query_serve = query_commands.add_parser(
+        "serve",
+        help=(
+            "serve interactive critical-range queries over a campaign "
+            "store: hot answers from an in-memory cache, cold answers "
+            "from disk, unanswerable ones refined through attached "
+            "'campaign work' workers"
+        ),
+    )
+    query_serve.add_argument(
+        "spec", help="campaign spec (TOML or JSON) defining the served grid"
+    )
+    query_serve.add_argument(
+        "--store",
+        default=DEFAULT_STORE,
+        help=f"result-store root directory (default: {DEFAULT_STORE})",
+    )
+    query_serve.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="interface the query API binds (default: 127.0.0.1)",
+    )
+    query_serve.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="query API port (default: 0 — the OS picks a free one)",
+    )
+    query_serve.add_argument(
+        "--fill-port",
+        type=int,
+        default=0,
+        help=(
+            "port of the fill server (store + refinement work queue) "
+            "that 'campaign work --server' workers attach to "
+            "(default: 0 — the OS picks)"
+        ),
+    )
+    query_serve.add_argument(
+        "--url-file",
+        default=None,
+        metavar="PATH",
+        help="write the resolved query API URL here once listening",
+    )
+    query_serve.add_argument(
+        "--fill-url-file",
+        default=None,
+        metavar="PATH",
+        help="write the resolved fill-server URL here once listening",
+    )
+    query_serve.add_argument(
+        "--cache-cells",
+        type=int,
+        default=256,
+        metavar="N",
+        help=(
+            "decoded grid cells (row + fitted curve) the in-memory hot "
+            "cache keeps, LRU-evicted beyond it (default: 256)"
+        ),
+    )
+    query_serve.add_argument(
+        "--confidence-floor",
+        type=float,
+        default=1.0,
+        metavar="F",
+        help=(
+            "minimum store-side cell coverage (0..1, as 'campaign "
+            "status' counts it) below which in-grid answers are flagged "
+            "refine=true and a refinement simulation is enqueued "
+            "(default: 1.0 — trust only fully committed cells)"
+        ),
+    )
+    query_serve.add_argument(
+        "--lease-seconds",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="refinement-task lease without a heartbeat (default: 30)",
+    )
+    query_serve.add_argument(
+        "--max-retries",
+        type=int,
+        default=1,
+        help=(
+            "failed attempts one refinement task may accumulate beyond "
+            "its first before it is quarantined (default: 1)"
+        ),
+    )
+    query_serve.add_argument(
+        "--retry-backoff",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="base of the capped retry delay (default: 0.5)",
+    )
+    query_serve.add_argument(
+        "--telemetry",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help=(
+            "record query.* metrics in a per-run trace under "
+            "<store>/telemetry (default); --no-telemetry serves untraced"
+        ),
+    )
+
+    query_ask = query_commands.add_parser(
+        "ask",
+        help="ask one question of a running 'query serve' process",
+    )
+    query_ask.add_argument(
+        "--url",
+        required=True,
+        metavar="URL",
+        help="query API base URL (see 'query serve' / --url-file)",
+    )
+    query_ask.add_argument(
+        "--model",
+        default="waypoint",
+        help="mobility model of the served grid (default: waypoint)",
+    )
+    size = query_ask.add_mutually_exclusive_group(required=True)
+    size.add_argument(
+        "--side",
+        type=float,
+        default=None,
+        help="deployment region side length l",
+    )
+    size.add_argument(
+        "--nodes",
+        type=int,
+        default=None,
+        help="node count n (converted through the paper's l = n**2)",
+    )
+    direction = query_ask.add_mutually_exclusive_group(required=True)
+    direction.add_argument(
+        "--probability",
+        type=float,
+        default=None,
+        help=(
+            "target connectivity probability — answers the critical "
+            "transmitting range achieving it"
+        ),
+    )
+    direction.add_argument(
+        "--range",
+        type=float,
+        default=None,
+        help=(
+            "candidate transmitting range — answers the connectivity "
+            "probability it buys"
+        ),
+    )
+    query_ask.add_argument(
+        "--timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="give up on the service after this long (default: 30)",
+    )
+    query_ask.add_argument(
+        "--json",
+        action="store_true",
+        help="print the raw JSON answer instead of a sentence",
+    )
     return parser
 
 
@@ -579,6 +786,23 @@ def _campaign_main(arguments: argparse.Namespace) -> int:
         # A worker needs neither spec nor store: everything it runs
         # arrives over the wire from the serving process.
         from repro.distributed import run_worker
+
+        if arguments.object_cache:
+            # Environment, not arguments: the store clients that read
+            # through the cache are unpickled inside task closures, far
+            # from this call frame.
+            import os
+
+            from repro.distributed.object_cache import (
+                CACHE_BYTES_ENV,
+                CACHE_DIR_ENV,
+            )
+
+            os.environ[CACHE_DIR_ENV] = arguments.object_cache
+            if arguments.object_cache_bytes is not None:
+                os.environ[CACHE_BYTES_ENV] = str(
+                    arguments.object_cache_bytes
+                )
 
         say = (lambda message: None) if arguments.quiet else print
         completed = run_worker(
@@ -743,6 +967,101 @@ def _campaign_main(arguments: argparse.Namespace) -> int:
     raise AssertionError(f"unknown campaign command {arguments.campaign_command!r}")
 
 
+def _query_main(arguments: argparse.Namespace) -> int:
+    """Dispatch the ``query serve / ask`` subcommands."""
+    if arguments.query_command == "serve":
+        from repro.query.serving import serve_query_service
+
+        spec = CampaignSpec.load(arguments.spec)
+        store = ResultStore(arguments.store)
+        print(
+            f"Query service over campaign {spec.name!r} "
+            f"(store {store.root})"
+        )
+        return serve_query_service(
+            spec,
+            store,
+            host=arguments.host,
+            port=arguments.port,
+            fill_port=arguments.fill_port,
+            cache_cells=arguments.cache_cells,
+            confidence_floor=arguments.confidence_floor,
+            lease_seconds=arguments.lease_seconds,
+            max_retries=arguments.max_retries,
+            retry_backoff=arguments.retry_backoff,
+            telemetry_enabled=arguments.telemetry,
+            url_file=(
+                Path(arguments.url_file) if arguments.url_file else None
+            ),
+            fill_url_file=(
+                Path(arguments.fill_url_file)
+                if arguments.fill_url_file
+                else None
+            ),
+        )
+
+    if arguments.query_command == "ask":
+        import urllib.error
+        import urllib.request
+
+        document = {"model": arguments.model}
+        for name in ("side", "nodes", "probability", "range"):
+            value = getattr(arguments, name)
+            if value is not None:
+                document[name] = value
+        request = urllib.request.Request(
+            f"{arguments.url.rstrip('/')}/ask",
+            data=json.dumps(document).encode("utf-8"),
+            method="POST",
+            headers={"Content-Type": "application/json"},
+        )
+        opener = urllib.request.build_opener(urllib.request.ProxyHandler({}))
+        try:
+            with opener.open(request, timeout=arguments.timeout) as response:
+                answer = json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as error:
+            body = error.read().decode("utf-8", "replace")
+            try:
+                message = json.loads(body).get("error", body)
+            except ValueError:
+                message = body
+            print(f"Query rejected ({error.code}): {message}", file=sys.stderr)
+            return 1
+        except urllib.error.URLError as error:
+            print(
+                f"Query service {arguments.url} unreachable: {error.reason}",
+                file=sys.stderr,
+            )
+            return 1
+        if arguments.json:
+            print(json.dumps(answer, indent=2, sort_keys=True))
+            return 0
+        unit = answer.get("unit")
+        value = answer.get("value")
+        rendered = "no answer (nothing stored yet)" if value is None else (
+            f"critical range = {value:.6g}"
+            if unit == "range"
+            else f"connectivity probability = {value:.6g}"
+        )
+        print(
+            f"{rendered}  [model {answer.get('model')}, side "
+            f"{answer.get('side'):g}, n {answer.get('nodes')}, "
+            f"source {answer.get('source')}, "
+            f"{'hot' if answer.get('hot') else 'cold'}]"
+        )
+        if answer.get("refine"):
+            task = answer.get("refine_task")
+            suffix = f" (work item {task})" if task else ""
+            print(
+                f"refine=true: answer is best-effort; a refinement "
+                f"simulation is queued{suffix} — attach 'campaign work' "
+                f"to the fill server to compute it."
+            )
+        return 0
+
+    raise AssertionError(f"unknown query command {arguments.query_command!r}")
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -791,6 +1110,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if arguments.command == "campaign":
         return _campaign_main(arguments)
+
+    if arguments.command == "query":
+        return _query_main(arguments)
 
     if arguments.command == "stationary":
         value = stationary_critical_range(

@@ -20,6 +20,7 @@ re-run computes nothing.
 """
 
 from repro.distributed.campaign import DistributedCampaign, serve_campaign
+from repro.distributed.object_cache import LocalObjectCache
 from repro.distributed.queue import WorkQueue
 from repro.distributed.remote_store import RemoteResultStore, RemoteStoreError
 from repro.distributed.server import ResultServer
@@ -27,6 +28,7 @@ from repro.distributed.worker import QueueClient, run_worker
 
 __all__ = [
     "DistributedCampaign",
+    "LocalObjectCache",
     "QueueClient",
     "RemoteResultStore",
     "RemoteStoreError",

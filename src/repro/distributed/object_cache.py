@@ -1,0 +1,200 @@
+"""Worker-side content-addressed object cache for the remote store.
+
+A ``campaign work`` worker resuming a half-finished value re-reads the
+same iteration checkpoints every attempt, and a query-service fill
+worker re-reads its neighbors' rows — all over HTTP.  Store keys are
+content addresses and every payload crosses the wire with a sha256
+digest, so a *verified* local copy is exactly as trustworthy as a fresh
+download: this cache keeps the encoded payload bytes keyed by store
+key, verifies the recorded digest on every read (a corrupt or tampered
+file is evicted and reported as a miss, never served), and evicts by
+LRU file mtime under a byte budget — the same last-use ordering
+:meth:`repro.store.result_store.ResultStore.gc` applies.
+
+Layout (one directory, safe for concurrent workers)::
+
+    <root>/<key[:2]>/<key>.payload   # encoded codec bytes, verbatim
+    <root>/<key[:2]>/<key>.meta      # {"kind": ..., "sha256": ...}
+
+Writes stage to a pid-unique temp name and ``os.replace`` into place,
+so two workers racing on one key leave one winner and no torn files.
+
+:class:`~repro.distributed.remote_store.RemoteResultStore` engages the
+cache explicitly (``object_cache=``) or through the environment
+(``REPRO_OBJECT_CACHE`` naming the directory, optional
+``REPRO_OBJECT_CACHE_BYTES`` bounding it), which is how ``campaign work
+--object-cache`` reaches the store clients unpickled inside task
+closures.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from pathlib import Path
+from typing import Optional, Tuple, Union
+
+from repro.telemetry import metrics
+
+__all__ = [
+    "CACHE_BYTES_ENV",
+    "CACHE_DIR_ENV",
+    "DEFAULT_MAX_BYTES",
+    "LocalObjectCache",
+    "cache_from_environment",
+]
+
+CACHE_DIR_ENV = "REPRO_OBJECT_CACHE"
+CACHE_BYTES_ENV = "REPRO_OBJECT_CACHE_BYTES"
+
+#: Default byte budget: enough for thousands of row payloads while
+#: staying irrelevant next to the store it mirrors.
+DEFAULT_MAX_BYTES = 256 * 1024 * 1024
+
+
+class LocalObjectCache:
+    """Content-addressed payload cache under one local directory."""
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        max_bytes: Optional[int] = DEFAULT_MAX_BYTES,
+    ) -> None:
+        self.root = Path(root)
+        self.max_bytes = max_bytes
+
+    # ------------------------------------------------------------------ #
+    def _paths(self, key: str) -> Tuple[Path, Path]:
+        shard = self.root / key[:2]
+        return shard / f"{key}.payload", shard / f"{key}.meta"
+
+    def get(self, key: str) -> Optional[Tuple[str, bytes]]:
+        """The verified ``(kind, payload)`` for ``key``, or ``None``.
+
+        A hit refreshes the payload file's mtime (that is what makes
+        eviction LRU rather than FIFO); a digest mismatch evicts the
+        entry and reports a miss — the caller re-downloads.
+        """
+        payload_path, meta_path = self._paths(key)
+        try:
+            meta = json.loads(meta_path.read_text(encoding="utf-8"))
+            payload = payload_path.read_bytes()
+        except (OSError, ValueError):
+            return None
+        kind = meta.get("kind")
+        declared = meta.get("sha256")
+        if not isinstance(kind, str) or not isinstance(declared, str):
+            self.evict(key)
+            return None
+        if hashlib.sha256(payload).hexdigest() != declared:
+            self.evict(key)
+            metrics.counter("object_cache.corrupt").add()
+            return None
+        try:
+            now = time.time()
+            os.utime(payload_path, (now, now))
+        except OSError:
+            pass  # a raced eviction only costs the LRU refresh
+        metrics.counter("object_cache.hits").add()
+        return kind, payload
+
+    def put(self, key: str, kind: str, payload: bytes) -> None:
+        """Record ``payload`` for ``key``; best-effort, never raises.
+
+        The cache is an accelerator: a full disk or permission failure
+        degrades to "no cache", not to a failed task.
+        """
+        payload_path, meta_path = self._paths(key)
+        try:
+            payload_path.parent.mkdir(parents=True, exist_ok=True)
+            stamp = f".{os.getpid()}.tmp"
+            staged_payload = payload_path.with_name(payload_path.name + stamp)
+            staged_meta = meta_path.with_name(meta_path.name + stamp)
+            staged_payload.write_bytes(payload)
+            staged_meta.write_text(
+                json.dumps(
+                    {
+                        "kind": kind,
+                        "sha256": hashlib.sha256(payload).hexdigest(),
+                    },
+                    sort_keys=True,
+                ),
+                encoding="utf-8",
+            )
+            # Meta first: a crash between the renames leaves meta without
+            # payload, which reads as a miss — never a torn hit.
+            os.replace(staged_meta, meta_path)
+            os.replace(staged_payload, payload_path)
+        except OSError:
+            metrics.counter("object_cache.write_failures").add()
+            return
+        metrics.counter("object_cache.writes").add()
+        self._evict_over_budget()
+
+    def evict(self, key: str) -> bool:
+        """Drop one entry; ``True`` if a payload existed."""
+        payload_path, meta_path = self._paths(key)
+        removed = False
+        for path in (payload_path, meta_path):
+            try:
+                path.unlink()
+                removed = removed or path.suffix == ".payload"
+            except OSError:
+                pass
+        return removed
+
+    # ------------------------------------------------------------------ #
+    def size_bytes(self) -> int:
+        total = 0
+        for path in self.root.glob("*/*.payload"):
+            try:
+                total += path.stat().st_size
+            except OSError:
+                pass
+        return total
+
+    def _evict_over_budget(self) -> None:
+        """LRU-evict payloads until the cache fits ``max_bytes``."""
+        if self.max_bytes is None:
+            return
+        entries = []
+        total = 0
+        for path in self.root.glob("*/*.payload"):
+            try:
+                status = path.stat()
+            except OSError:
+                continue
+            entries.append((status.st_mtime, status.st_size, path))
+            total += status.st_size
+        if total <= self.max_bytes:
+            return
+        for _, size, path in sorted(entries):
+            key = path.name[: -len(".payload")]
+            if self.evict(key):
+                metrics.counter("object_cache.evictions").add()
+                total -= size
+            if total <= self.max_bytes:
+                return
+
+
+def cache_from_environment() -> Optional[LocalObjectCache]:
+    """The cache named by ``REPRO_OBJECT_CACHE``, or ``None``.
+
+    Resolved lazily at first store read, so a client unpickled inside a
+    worker task adopts the worker process's environment.
+    """
+    root = os.environ.get(CACHE_DIR_ENV)
+    if not root:
+        return None
+    max_bytes: Optional[int] = DEFAULT_MAX_BYTES
+    raw = os.environ.get(CACHE_BYTES_ENV)
+    if raw:
+        try:
+            max_bytes = int(raw)
+        except ValueError:
+            max_bytes = DEFAULT_MAX_BYTES
+        if max_bytes <= 0:
+            max_bytes = None  # 0 or negative: unbounded
+    return LocalObjectCache(root, max_bytes=max_bytes)

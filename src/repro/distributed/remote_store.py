@@ -24,6 +24,7 @@ correct — traces belong to the serving process.
 
 from __future__ import annotations
 
+import gzip
 import hashlib
 import http.client
 import json
@@ -35,7 +36,13 @@ from repro.exceptions import ConfigurationError, ReproError
 from repro.store.codecs import decode_payload, encode_payload
 from repro.store.result_store import GcReport, StoreIntegrityError
 
+from repro.distributed.object_cache import (
+    LocalObjectCache,
+    cache_from_environment,
+)
 from repro.distributed.server import (
+    GZIP_LEVEL,
+    GZIP_MIN_BYTES,
     KIND_HEADER,
     LABEL_HEADER,
     METADATA_HEADER,
@@ -56,7 +63,10 @@ class RemoteResultStore:
     """Store client bound to a ``http://host:port`` result server."""
 
     def __init__(
-        self, url: str, timeout: float = REQUEST_TIMEOUT
+        self,
+        url: str,
+        timeout: float = REQUEST_TIMEOUT,
+        object_cache: Optional[LocalObjectCache] = None,
     ) -> None:
         if not url.startswith(("http://", "https://")):
             raise ConfigurationError(
@@ -65,6 +75,7 @@ class RemoteResultStore:
         self.url = url.rstrip("/")
         self.timeout = timeout
         self.root = None  # no local directory behind a remote store
+        self.object_cache = object_cache
         self._opener: Optional[urllib.request.OpenerDirector] = None
 
     # The opener is a per-process convenience cache; checkpoints bound to
@@ -74,6 +85,18 @@ class RemoteResultStore:
         state = dict(self.__dict__)
         state["_opener"] = None
         return state
+
+    def _cache(self) -> Optional[LocalObjectCache]:
+        """The engaged object cache: explicit instance, else environment.
+
+        Environment resolution is per call (cheap — one ``os.environ``
+        probe) rather than memoized, so a client unpickled inside a
+        worker task adopts the *worker's* ``REPRO_OBJECT_CACHE``, not a
+        stale decision pickled on the serving side.
+        """
+        if self.object_cache is not None:
+            return self.object_cache
+        return cache_from_environment()
 
     def _open(self) -> urllib.request.OpenerDirector:
         if self._opener is None:
@@ -183,6 +206,9 @@ class RemoteResultStore:
         kind: Optional[str] = None,
     ) -> str:
         payload_kind, _, payload = encode_payload(value)
+        # The digest sideband always covers the identity bytes; gzip on
+        # the wire is a transfer detail the server strips before
+        # verifying, so integrity checks are unchanged by compression.
         headers = {
             "Content-Type": "application/octet-stream",
             KIND_HEADER: payload_kind,
@@ -192,17 +218,47 @@ class RemoteResultStore:
             headers[METADATA_HEADER] = json.dumps(metadata, sort_keys=True)
         if kind:
             headers[LABEL_HEADER] = kind
+        body = payload
+        if len(payload) >= GZIP_MIN_BYTES:
+            compressed = gzip.compress(payload, GZIP_LEVEL)
+            if len(compressed) < len(payload):
+                body = compressed
+                headers["Content-Encoding"] = "gzip"
         status, _, answer = self._request(
-            "PUT", f"/objects/{key}", body=payload, headers=headers
+            "PUT", f"/objects/{key}", body=body, headers=headers
         )
         if status != 200:
             self._raise_for(status, answer, key)
+        cache = self._cache()
+        if cache is not None:
+            cache.put(key, payload_kind, payload)
         return key
 
     def get(self, key: str) -> Any:
-        status, headers, payload = self._request("GET", f"/objects/{key}")
+        cache = self._cache()
+        if cache is not None:
+            cached = cache.get(key)  # sha256-verified, or a miss
+            if cached is not None:
+                kind, payload = cached
+                try:
+                    return decode_payload(kind, payload)
+                except Exception:
+                    cache.evict(key)  # undecodable copy: fall through
+        status, headers, payload = self._request(
+            "GET",
+            f"/objects/{key}",
+            headers={"Accept-Encoding": "gzip"},
+        )
         if status != 200:
             self._raise_for(status, payload, key)
+        if (headers.get("Content-Encoding") or "").lower() == "gzip":
+            try:
+                payload = gzip.decompress(payload)
+            except OSError as error:
+                raise StoreIntegrityError(
+                    f"store entry {key} failed transfer verification: "
+                    f"undecompressable gzip body ({error})"
+                ) from error
         declared = headers.get(SHA_HEADER)
         digest = hashlib.sha256(payload).hexdigest()
         if declared and digest != declared:
@@ -216,18 +272,24 @@ class RemoteResultStore:
                 f"result server {self.url} sent no {KIND_HEADER} for {key}"
             )
         try:
-            return decode_payload(kind, payload)
+            value = decode_payload(kind, payload)
         except ConfigurationError:
             raise
         except Exception as error:
             raise StoreIntegrityError(
                 f"store entry {key} could not be decoded: {error}"
             ) from error
+        if cache is not None:
+            cache.put(key, kind, payload)
+        return value
 
     def entry(self, key: str) -> Dict[str, Any]:
         return self._json("GET", f"/entry/{key}", key=key)
 
     def evict(self, key: str) -> bool:
+        cache = self._cache()
+        if cache is not None:
+            cache.evict(key)  # a server-side eviction orphans local copies
         return bool(
             self._json("DELETE", f"/objects/{key}", key=key).get("removed")
         )

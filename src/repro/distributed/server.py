@@ -39,6 +39,7 @@ tell the transports apart.
 from __future__ import annotations
 
 import base64
+import gzip
 import hashlib
 import json
 import threading
@@ -58,6 +59,14 @@ KIND_HEADER = "X-Repro-Kind"
 SHA_HEADER = "X-Repro-Sha256"
 LABEL_HEADER = "X-Repro-Label"
 METADATA_HEADER = "X-Repro-Metadata"
+
+#: Payloads below this size are never compressed — the gzip frame and the
+#: compressor round trip cost more than the bytes they save.  Large npz
+#: payloads (the columnar iteration checkpoints) are the target.
+GZIP_MIN_BYTES = 1024
+
+#: Fast compression: the wire path trades ratio for latency.
+GZIP_LEVEL = 1
 
 
 class _HttpFailure(Exception):
@@ -226,18 +235,42 @@ class _Handler(BaseHTTPRequestHandler):
         if method == "GET":
             value = store.get(key)  # verifies the on-disk digest
             kind, _, payload = encode_payload(value)
+            # The digest always covers the identity bytes; compression
+            # is a transparent transfer detail layered under it.
+            headers = {
+                KIND_HEADER: kind,
+                SHA_HEADER: hashlib.sha256(payload).hexdigest(),
+            }
+            accepts = self.headers.get("Accept-Encoding") or ""
+            if (
+                "gzip" in accepts.lower()
+                and len(payload) >= GZIP_MIN_BYTES
+            ):
+                compressed = gzip.compress(payload, GZIP_LEVEL)
+                if len(compressed) < len(payload):
+                    payload = compressed
+                    headers["Content-Encoding"] = "gzip"
             self._reply(
                 200,
                 payload,
                 content_type="application/octet-stream",
-                headers={
-                    KIND_HEADER: kind,
-                    SHA_HEADER: hashlib.sha256(payload).hexdigest(),
-                },
+                headers=headers,
             )
             return True
         if method == "PUT":
             payload = self._body()
+            encoding = (self.headers.get("Content-Encoding") or "").lower()
+            if encoding == "gzip":
+                try:
+                    payload = gzip.decompress(payload)
+                except OSError as error:
+                    raise _HttpFailure(
+                        400, f"undecompressable gzip body: {error}"
+                    )
+            elif encoding and encoding != "identity":
+                raise _HttpFailure(
+                    400, f"unsupported Content-Encoding {encoding!r}"
+                )
             kind = self.headers.get(KIND_HEADER)
             if not kind:
                 raise _HttpFailure(400, f"PUT needs a {KIND_HEADER} header")

@@ -1,0 +1,52 @@
+"""Online critical-range query service over the campaign store.
+
+The batch side of this repository computes connectivity-probability
+surfaces over Monte Carlo campaigns; this package *serves* them at
+interactive latency.  A query — "what transmitting range do I need for
+connectivity probability p with n nodes under mobility model M", or its
+forward twin "what probability does range r buy me" — resolves in four
+stages:
+
+* :mod:`repro.query.normalize` — maps the query onto the canonical
+  content-address keys of the enclosing campaign grid cells, through
+  the *same* call chain the campaign runner uses (``scenario_payload``
+  → ``StoreSweepCheckpoint.key_for``), so a query key can never diverge
+  from the key the runner would compute.  Out-of-grid queries are
+  flagged, never silently clamped.
+* :mod:`repro.query.surrogate` — fits a monotone connectivity curve
+  through each grid row's ``(r0, r10, r90, r100)`` thresholds and
+  answers by interpolation; inverse queries solve on the fitted curve,
+  and exact grid points return the stored floats bit-identically.
+* :mod:`repro.query.service` — the asyncio serving core: a bounded LRU
+  hot cache of decoded rows + fitted curves, store reads through a
+  thread pool so the event loop never blocks, per-endpoint telemetry
+  through :mod:`repro.telemetry.metrics`, and a cache-fill path that
+  enqueues refinement simulations onto the distributed
+  :class:`~repro.distributed.queue.WorkQueue` — the campaign runner is
+  the cache-fill path.
+* :mod:`repro.query.http` — a stdlib-only asyncio HTTP front end
+  (``/ask``, ``/stats``, ``/health``), matching
+  :mod:`repro.distributed`'s zero-dependency convention.
+"""
+
+from repro.query.normalize import (
+    GridIndex,
+    Query,
+    QueryError,
+    ResolvedQuery,
+    resolve,
+)
+from repro.query.service import Answer, QueryService
+from repro.query.surrogate import ConnectivityCurve, blend_rows
+
+__all__ = [
+    "Answer",
+    "ConnectivityCurve",
+    "GridIndex",
+    "Query",
+    "QueryError",
+    "QueryService",
+    "ResolvedQuery",
+    "blend_rows",
+    "resolve",
+]

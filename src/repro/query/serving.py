@@ -1,0 +1,153 @@
+"""Process-level orchestration of a running query service.
+
+``repro query serve`` needs more than the asyncio front end: a work
+queue and a standard :class:`~repro.distributed.server.ResultServer`
+fronting the same store (the *fill server*, so stock ``campaign work``
+workers can complete refinement tasks), a telemetry run capturing the
+``query.*`` metrics into ``trace.jsonl`` / ``run_report.json``, URL
+announcement files for scripted callers, and clean SIGINT/SIGTERM
+shutdown.  :func:`serve_query_service` owns that composition; the CLI
+is a thin argument parser over it.
+
+The queue is sealed at startup: a worker attached to an idle service
+drains to ``done`` and exits instead of polling forever, while
+refinement tasks enqueued after sealing re-open it exactly as the
+queue's contract promises (``done()`` flips back until they reach a
+terminal state).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+from pathlib import Path
+from typing import Callable, Optional
+
+from repro import telemetry
+from repro.campaigns.spec import CampaignSpec
+from repro.distributed.queue import WorkQueue
+from repro.distributed.remote_store import RemoteResultStore
+from repro.distributed.server import ResultServer
+from repro.store.result_store import ResultStore
+from repro.supervision import RetryPolicy
+
+from repro.query.http import QueryHTTPServer
+from repro.query.service import QueryService
+
+__all__ = ["serve_query_service"]
+
+#: Seconds between periodic telemetry flushes of a long-running serve.
+_FLUSH_SECONDS = 2.0
+
+
+def serve_query_service(
+    spec: CampaignSpec,
+    store: ResultStore,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    fill_host: str = "127.0.0.1",
+    fill_port: int = 0,
+    cache_cells: int = 256,
+    confidence_floor: float = 1.0,
+    lease_seconds: float = 30.0,
+    max_retries: int = 1,
+    retry_backoff: float = 0.5,
+    telemetry_enabled: bool = True,
+    url_file: Optional[Path] = None,
+    fill_url_file: Optional[Path] = None,
+    say: Callable[[str], None] = print,
+) -> int:
+    """Serve queries until SIGINT/SIGTERM; returns the exit code.
+
+    Two sockets come up: the asyncio query API (``/ask``) on
+    ``host:port`` and the threaded fill server (store + work queue) on
+    ``fill_host:fill_port`` — point ``campaign work --server`` at the
+    latter to drain refinement simulations.  Resolved URLs are printed,
+    and written to ``url_file`` / ``fill_url_file`` when given.
+    """
+    policy = RetryPolicy(
+        max_retries=max_retries,
+        backoff=retry_backoff if retry_backoff is not None else 0.5,
+    )
+    queue = WorkQueue(policy, lease_seconds=lease_seconds)
+    queue.seal()
+    fill_server = ResultServer(
+        store, queue, host=fill_host, port=fill_port
+    ).start()
+    run_handle = None
+    if telemetry_enabled and store.root is not None:
+        run_handle = telemetry.start_run(
+            Path(store.root) / "telemetry", campaign=f"query:{spec.name}"
+        )
+    service = QueryService(
+        store,
+        spec,
+        cache_cells=cache_cells,
+        confidence_floor=confidence_floor,
+        queue=queue,
+        fill_store=RemoteResultStore(fill_server.url),
+    )
+    try:
+        asyncio.run(
+            _serve_until_signal(
+                service,
+                fill_server.url,
+                host,
+                port,
+                url_file,
+                fill_url_file,
+                say,
+                flush=telemetry.flush if run_handle is not None else None,
+            )
+        )
+        return 0
+    except KeyboardInterrupt:
+        return 0
+    finally:
+        fill_server.stop()
+        if run_handle is not None:
+            run_handle.finish()
+
+
+async def _serve_until_signal(
+    service: QueryService,
+    fill_url: str,
+    host: str,
+    port: int,
+    url_file: Optional[Path],
+    fill_url_file: Optional[Path],
+    say: Callable[[str], None],
+    flush: Optional[Callable[[], None]] = None,
+) -> None:
+    server = QueryHTTPServer(service)
+    url = await server.start(host=host, port=port)
+    if url_file is not None:
+        Path(url_file).write_text(url + "\n", encoding="utf-8")
+    if fill_url_file is not None:
+        Path(fill_url_file).write_text(fill_url + "\n", encoding="utf-8")
+    say(f"Query service at {url}")
+    say(f"Fill server at {fill_url} (attach 'campaign work --server' here)")
+    stop = asyncio.Event()
+    loop = asyncio.get_event_loop()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(signum, stop.set)
+        except (NotImplementedError, RuntimeError):
+            pass  # non-unix loop: Ctrl-C still lands as KeyboardInterrupt
+
+    async def _flusher() -> None:
+        while True:
+            await asyncio.sleep(_FLUSH_SECONDS)
+            if flush is not None:
+                flush()
+
+    flusher = asyncio.ensure_future(_flusher())
+    try:
+        await stop.wait()
+    finally:
+        flusher.cancel()
+        try:
+            await flusher
+        except asyncio.CancelledError:
+            pass
+        await server.close()

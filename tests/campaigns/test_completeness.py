@@ -1,0 +1,86 @@
+"""The shared completeness counting behind ``status`` and the query service."""
+
+from repro.campaigns import CampaignRunner, CampaignSpec, cell_completeness
+from repro.campaigns.runner import scenario_sweep_key
+from repro.experiments.registry import get_experiment
+from repro.query import GridIndex
+from repro.store import ResultStore
+
+ROW = {"l": 256.0, "r0": 1.0, "r10": 1.5, "r90": 3.0, "r100": 4.0}
+
+
+def make_cell(tmp_path):
+    """A fig2 smoke cell (sides 256/1024, 2 iterations per value)."""
+    spec = CampaignSpec(name="cc", experiments=("fig2",), scale="smoke")
+    store = ResultStore(tmp_path / "store")
+    grid = GridIndex(spec)
+    scenario = grid.scenario_for("waypoint")
+    checkpoint = grid.checkpoint_for(scenario, store=store)
+    experiment = get_experiment(scenario.experiment_id)
+    values = [float(v) for v in experiment.sweep_values(scenario.scale)]
+    return spec, store, scenario, checkpoint, values
+
+
+class TestCellCompleteness:
+    def test_empty_store_counts_nothing(self, tmp_path):
+        _, store, _, checkpoint, values = make_cell(tmp_path)
+        counts = cell_completeness(store, checkpoint, values)
+        assert not counts.complete
+        assert counts.checkpointed_values == 0
+        assert counts.total_values == 2
+        assert counts.checkpointed_iterations == 0
+        assert counts.total_iterations == 4  # 2 values x 2 iterations
+        assert counts.coverage == 0.0
+
+    def test_a_finished_value_subsumes_its_iterations(self, tmp_path):
+        _, store, _, checkpoint, values = make_cell(tmp_path)
+        checkpoint.save(256.0, ROW)
+        counts = cell_completeness(store, checkpoint, values)
+        assert counts.checkpointed_values == 1
+        assert counts.checkpointed_iterations == 2  # the row counts both
+        assert counts.coverage == 0.5
+
+    def test_partial_iterations_count_their_sub_entries(self, tmp_path):
+        _, store, _, checkpoint, values = make_cell(tmp_path)
+        sub = checkpoint.iteration_checkpoint(1024.0)
+        sub.save(0, {"connected": [True]})
+        counts = cell_completeness(store, checkpoint, values)
+        assert counts.checkpointed_values == 0
+        assert counts.checkpointed_iterations == 1
+        assert counts.coverage == 0.25
+
+    def test_sweep_entry_means_complete(self, tmp_path):
+        _, store, scenario, checkpoint, values = make_cell(tmp_path)
+        experiment = get_experiment(scenario.experiment_id)
+        store.put(
+            scenario_sweep_key(experiment, scenario.scale),
+            {"rows": []},
+        )
+        counts = cell_completeness(store, checkpoint, values)
+        assert counts.complete
+        assert counts.coverage == 1.0
+        # Complete cells report full iteration coverage by definition.
+        assert counts.checkpointed_iterations == counts.total_iterations == 4
+
+    def test_poisoned_keys_are_counted_as_quarantined(self, tmp_path):
+        _, store, _, checkpoint, values = make_cell(tmp_path)
+        counts = cell_completeness(
+            store, checkpoint, values, poisoned={checkpoint.key_for(256.0)}
+        )
+        assert counts.quarantined == 1
+
+    def test_status_reports_the_same_counts(self, tmp_path):
+        # The extraction's whole point: `campaign status` and the query
+        # service must never disagree about a cell's completeness.
+        spec, store, _, checkpoint, values = make_cell(tmp_path)
+        checkpoint.save(256.0, ROW)
+        sub = checkpoint.iteration_checkpoint(1024.0)
+        sub.save(0, {"connected": [True]})
+        counts = cell_completeness(store, checkpoint, values)
+        statuses = CampaignRunner(spec, store=store).status()
+        fig2 = next(s for s in statuses if s.scenario.experiment_id == "fig2")
+        assert fig2.checkpointed_values == counts.checkpointed_values
+        assert fig2.total_values == counts.total_values
+        assert fig2.checkpointed_iterations == counts.checkpointed_iterations
+        assert fig2.total_iterations == counts.total_iterations
+        assert fig2.complete == counts.complete

@@ -1,0 +1,171 @@
+"""The worker-side content-addressed object cache."""
+
+import hashlib
+import json
+import os
+import pickle
+import time
+
+import pytest
+
+from repro.distributed import LocalObjectCache, RemoteResultStore, ResultServer
+from repro.distributed.object_cache import (
+    CACHE_BYTES_ENV,
+    CACHE_DIR_ENV,
+    DEFAULT_MAX_BYTES,
+    cache_from_environment,
+)
+from repro.store import ResultStore
+from repro.store.codecs import encode_payload
+
+VALUE = {"rows": [{"l": 256.0, "r100": 1.25}] * 50}
+
+
+def key_of(label):
+    return hashlib.sha256(label.encode("utf-8")).hexdigest()
+
+
+KEY = key_of("entry")
+
+
+class TestLocalObjectCache:
+    def test_round_trip(self, tmp_path):
+        cache = LocalObjectCache(tmp_path / "cache")
+        cache.put("abcd", "json", b'{"x": 1}')
+        assert cache.get("abcd") == ("json", b'{"x": 1}')
+        assert cache.get("missing") is None
+
+    def test_corrupt_payload_is_evicted_not_served(self, tmp_path):
+        cache = LocalObjectCache(tmp_path / "cache")
+        cache.put("abcd", "json", b'{"x": 1}')
+        payload_path = tmp_path / "cache" / "ab" / "abcd.payload"
+        payload_path.write_bytes(b'{"x": 2}')  # digest no longer matches
+        assert cache.get("abcd") is None
+        assert not payload_path.exists()  # evicted, never served again
+
+    def test_tampered_meta_is_evicted(self, tmp_path):
+        cache = LocalObjectCache(tmp_path / "cache")
+        cache.put("abcd", "json", b'{"x": 1}')
+        meta_path = tmp_path / "cache" / "ab" / "abcd.meta"
+        meta_path.write_text(json.dumps({"kind": "json"}))  # no digest
+        assert cache.get("abcd") is None
+
+    def test_lru_eviction_under_a_byte_budget(self, tmp_path):
+        cache = LocalObjectCache(tmp_path / "cache", max_bytes=250)
+        cache.put("aa11", "json", b"x" * 100)
+        cache.put("bb22", "json", b"y" * 100)
+        # Make aa11 the most recently used, with mtimes far enough apart
+        # for coarse filesystem timestamps.
+        past = time.time() - 60.0
+        os.utime(tmp_path / "cache" / "bb" / "bb22.payload", (past, past))
+        assert cache.get("aa11") is not None
+        cache.put("cc33", "json", b"z" * 100)  # 300 bytes > 250: evict LRU
+        assert cache.get("bb22") is None
+        assert cache.get("aa11") is not None
+        assert cache.get("cc33") is not None
+        assert cache.size_bytes() <= 250
+
+    def test_put_never_raises(self, tmp_path):
+        unwritable = tmp_path / "file-not-dir"
+        unwritable.write_text("occupied")
+        cache = LocalObjectCache(unwritable / "cache")
+        cache.put("abcd", "json", b"payload")  # must degrade silently
+        assert cache.get("abcd") is None
+
+
+class TestEnvironmentResolution:
+    def test_absent_variable_disables_the_cache(self, monkeypatch):
+        monkeypatch.delenv(CACHE_DIR_ENV, raising=False)
+        assert cache_from_environment() is None
+
+    def test_directory_and_budget_resolve(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "cache"))
+        monkeypatch.delenv(CACHE_BYTES_ENV, raising=False)
+        cache = cache_from_environment()
+        assert cache is not None
+        assert cache.max_bytes == DEFAULT_MAX_BYTES
+        monkeypatch.setenv(CACHE_BYTES_ENV, "12345")
+        assert cache_from_environment().max_bytes == 12345
+        monkeypatch.setenv(CACHE_BYTES_ENV, "0")
+        assert cache_from_environment().max_bytes is None  # unbounded
+
+
+class TestRemoteStoreIntegration:
+    @pytest.fixture
+    def served(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        with ResultServer(store) as server:
+            cache = LocalObjectCache(tmp_path / "cache")
+            yield store, RemoteResultStore(server.url, object_cache=cache), cache
+
+    def test_get_fills_the_cache_and_hits_avoid_the_network(
+        self, served, monkeypatch
+    ):
+        store, remote, cache = served
+        store.put(KEY, VALUE)
+        assert remote.get(KEY) == VALUE  # network read, fills the cache
+        kind, _, payload = encode_payload(VALUE)
+        assert cache.get(KEY) == (kind, payload)
+
+        def refuse(*args, **kwargs):
+            raise AssertionError("a cache hit must not touch the network")
+
+        monkeypatch.setattr(RemoteResultStore, "_request", refuse)
+        assert remote.get(KEY) == VALUE  # served from the local copy
+
+    def test_put_populates_the_cache(self, served, monkeypatch):
+        _, remote, cache = served
+        remote.put(KEY, VALUE)
+        assert cache.get(KEY) is not None
+
+        def refuse(*args, **kwargs):
+            raise AssertionError("read-after-write must be cache-local")
+
+        monkeypatch.setattr(RemoteResultStore, "_request", refuse)
+        assert remote.get(KEY) == VALUE
+
+    def test_corrupt_cache_copy_falls_back_to_the_network(self, served):
+        store, remote, cache = served
+        store.put(KEY, VALUE)
+        assert remote.get(KEY) == VALUE
+        # Corrupt the local copy; the digest check evicts it and the
+        # next read re-downloads instead of serving garbage.
+        payload_path = next(cache.root.glob(f"*/{KEY}.payload"))
+        payload_path.write_bytes(b"garbage")
+        assert remote.get(KEY) == VALUE
+        kind, _, payload = encode_payload(VALUE)
+        assert cache.get(KEY) == (kind, payload)  # re-filled, verified
+
+    def test_evict_drops_the_local_copy_too(self, served):
+        store, remote, cache = served
+        remote.put(KEY, VALUE)
+        assert remote.evict(KEY)
+        assert cache.get(KEY) is None
+        assert not store.contains(KEY)
+
+    def test_environment_cache_engages_without_an_explicit_instance(
+        self, tmp_path, monkeypatch
+    ):
+        store = ResultStore(tmp_path / "store")
+        store.put(KEY, VALUE)
+        with ResultServer(store) as server:
+            remote = RemoteResultStore(server.url)
+            monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "envcache"))
+            assert remote.get(KEY) == VALUE
+            cache = cache_from_environment()
+            assert cache.get(KEY) is not None
+
+    def test_unpickled_client_adopts_the_worker_environment(
+        self, tmp_path, monkeypatch
+    ):
+        store = ResultStore(tmp_path / "store")
+        store.put(KEY, VALUE)
+        with ResultServer(store) as server:
+            monkeypatch.delenv(CACHE_DIR_ENV, raising=False)
+            shipped = pickle.dumps(RemoteResultStore(server.url))
+            # The "worker" process sets its own cache directory after
+            # unpickling; resolution is per call, so it is honored.
+            monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "worker-cache"))
+            worker_client = pickle.loads(shipped)
+            assert worker_client.get(KEY) == VALUE
+            assert cache_from_environment().get(KEY) is not None

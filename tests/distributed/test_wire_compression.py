@@ -1,0 +1,164 @@
+"""Transparent gzip on the result-server wire path.
+
+The digest sideband always covers the *identity* bytes on both
+directions — compression is a transfer detail stripped before any
+verification — so these tests assert three things: round trips are
+unchanged, large payloads actually travel compressed, and a corrupt
+gzip body fails loudly instead of corrupting the store.
+"""
+
+import gzip
+import hashlib
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.distributed import RemoteResultStore, ResultServer
+from repro.distributed.server import GZIP_MIN_BYTES, KIND_HEADER, SHA_HEADER
+from repro.store import ResultStore
+from repro.store.codecs import encode_payload
+
+#: Compresses extremely well and clears the size floor by a mile.
+BIG_VALUE = {"rows": [{"l": 256.0, "r100": 1.25}] * 400}
+SMALL_VALUE = {"l": 256.0}
+
+
+def key_of(label):
+    return hashlib.sha256(label.encode("utf-8")).hexdigest()
+
+
+BIG = key_of("big")
+SMALL = key_of("small")
+
+
+@pytest.fixture
+def served(tmp_path):
+    store = ResultStore(tmp_path / "store")
+    with ResultServer(store) as server:
+        yield store, server, RemoteResultStore(server.url)
+
+
+def opener():
+    return urllib.request.build_opener(urllib.request.ProxyHandler({}))
+
+
+def raw_get(url, key, accept_gzip):
+    headers = {"Accept-Encoding": "gzip"} if accept_gzip else {}
+    request = urllib.request.Request(f"{url}/objects/{key}", headers=headers)
+    with opener().open(request, timeout=10.0) as response:
+        return dict(response.headers), response.read()
+
+
+def raw_put(url, key, body, headers):
+    request = urllib.request.Request(
+        f"{url}/objects/{key}", data=body, method="PUT", headers=headers
+    )
+    with opener().open(request, timeout=10.0) as response:
+        return response.status
+
+
+class TestWireCompression:
+    def test_large_payload_round_trips_unchanged(self, served):
+        store, _, remote = served
+        remote.put(BIG, BIG_VALUE)
+        assert remote.get(BIG) == BIG_VALUE
+        assert store.get(BIG) == BIG_VALUE  # server-side copy identical
+
+    def test_large_download_travels_gzipped_with_identity_digest(self, served):
+        store, server, _ = served
+        store.put(BIG, BIG_VALUE)
+        headers, body = raw_get(server.url, BIG, accept_gzip=True)
+        assert headers.get("Content-Encoding") == "gzip"
+        identity = gzip.decompress(body)
+        assert len(body) < len(identity)
+        # The digest covers the identity bytes, not the wire bytes.
+        assert headers[SHA_HEADER] == hashlib.sha256(identity).hexdigest()
+
+    def test_client_without_gzip_support_gets_identity(self, served):
+        store, server, _ = served
+        store.put(BIG, BIG_VALUE)
+        headers, body = raw_get(server.url, BIG, accept_gzip=False)
+        assert "Content-Encoding" not in headers
+        assert headers[SHA_HEADER] == hashlib.sha256(body).hexdigest()
+
+    def test_small_payloads_are_never_compressed(self, served):
+        store, server, _ = served
+        store.put(SMALL, SMALL_VALUE)
+        kind, _, payload = encode_payload(SMALL_VALUE)
+        assert len(payload) < GZIP_MIN_BYTES
+        headers, body = raw_get(server.url, SMALL, accept_gzip=True)
+        assert "Content-Encoding" not in headers
+        assert body == payload
+
+    def test_gzipped_upload_is_accepted_and_verified(self, served):
+        store, server, _ = served
+        kind, _, payload = encode_payload(BIG_VALUE)
+        status = raw_put(
+            server.url,
+            BIG,
+            gzip.compress(payload, 1),
+            {
+                KIND_HEADER: kind,
+                SHA_HEADER: hashlib.sha256(payload).hexdigest(),
+                "Content-Encoding": "gzip",
+            },
+        )
+        assert status == 200
+        assert store.get(BIG) == BIG_VALUE
+
+    def test_corrupt_gzip_upload_is_a_400_not_a_store_write(self, served):
+        store, server, _ = served
+        kind, _, payload = encode_payload(BIG_VALUE)
+        body = bytearray(gzip.compress(payload, 1))
+        body[-3] ^= 0xFF  # smash the gzip trailer
+        with pytest.raises(urllib.error.HTTPError) as caught:
+            raw_put(
+                server.url,
+                BIG,
+                bytes(body),
+                {
+                    KIND_HEADER: kind,
+                    SHA_HEADER: hashlib.sha256(payload).hexdigest(),
+                    "Content-Encoding": "gzip",
+                },
+            )
+        assert caught.value.code == 400
+        message = json.loads(caught.value.read())["error"]
+        assert "gzip" in message
+        assert not store.contains(BIG)
+
+    def test_unknown_content_encoding_is_rejected(self, served):
+        _, server, _ = served
+        kind, _, payload = encode_payload(SMALL_VALUE)
+        with pytest.raises(urllib.error.HTTPError) as caught:
+            raw_put(
+                server.url,
+                SMALL,
+                payload,
+                {KIND_HEADER: kind, "Content-Encoding": "br"},
+            )
+        assert caught.value.code == 400
+
+    def test_client_put_compresses_large_bodies(self, served, monkeypatch):
+        # Spy on the client's request to see the wire bytes it sends.
+        _, _, remote = served
+        seen = {}
+        original = RemoteResultStore._request
+
+        def spying(self, method, path, body=None, headers=None):
+            if method == "PUT":
+                seen["body"] = body
+                seen["headers"] = dict(headers or {})
+            return original(self, method, path, body=body, headers=headers)
+
+        monkeypatch.setattr(RemoteResultStore, "_request", spying)
+        remote.put(BIG, BIG_VALUE)
+        _, _, identity = encode_payload(BIG_VALUE)
+        assert seen["headers"].get("Content-Encoding") == "gzip"
+        assert len(seen["body"]) < len(identity)
+        assert seen["headers"][SHA_HEADER] == hashlib.sha256(
+            identity
+        ).hexdigest()
+        assert remote.get(BIG) == BIG_VALUE

@@ -1,0 +1,117 @@
+"""Query validation and query → grid-key normalization."""
+
+import pytest
+
+from repro.campaigns import CampaignRunner, CampaignSpec
+from repro.experiments.registry import get_experiment
+from repro.query import GridIndex, Query, QueryError, resolve
+from repro.store import ResultStore
+
+
+def spec_for(*experiments, **kwargs):
+    return CampaignSpec(
+        name="query-grid", experiments=tuple(experiments), scale="smoke",
+        **kwargs,
+    )
+
+
+class TestQueryValidation:
+    def test_side_or_nodes_exactly_one(self):
+        with pytest.raises(QueryError, match="side= or nodes="):
+            Query(probability=0.9)
+        with pytest.raises(QueryError, match="side= or nodes="):
+            Query(side=256.0, nodes=16, probability=0.9)
+
+    def test_probability_or_range_exactly_one(self):
+        with pytest.raises(QueryError, match="probability= or range="):
+            Query(side=256.0)
+        with pytest.raises(QueryError, match="probability= or range="):
+            Query(side=256.0, probability=0.9, range=2.0)
+
+    def test_bounds(self):
+        with pytest.raises(QueryError, match="nodes must be >= 2"):
+            Query(nodes=1, probability=0.9)
+        with pytest.raises(QueryError, match="side must be positive"):
+            Query(side=0.0, probability=0.9)
+        with pytest.raises(QueryError, match=r"probability must be in \[0, 1\]"):
+            Query(side=256.0, probability=1.5)
+        with pytest.raises(QueryError, match="range must be >= 0"):
+            Query(side=256.0, range=-1.0)
+
+    def test_nodes_resolve_through_the_paper_scaling(self):
+        # n = sqrt(l), so a node count locates the side l = n**2.
+        assert Query(nodes=16, probability=0.9).resolved_side == 256.0
+        assert Query(side=576.0, probability=0.9).resolved_side == 576.0
+
+    def test_direction_flag(self):
+        assert Query(side=256.0, probability=0.9).inverse
+        assert not Query(side=256.0, range=2.0).inverse
+
+
+class TestGridIndex:
+    def test_models_come_from_the_scenario_payloads(self):
+        grid = GridIndex(spec_for("fig2", "fig3"))
+        assert grid.models == ["drunkard", "waypoint"]
+        assert grid.scenario_for("waypoint").experiment_id == "fig2"
+        assert grid.scenario_for("drunkard").experiment_id == "fig3"
+
+    def test_parameter_studies_are_not_servable(self):
+        # Figures 7-9 sweep mobility parameters, not the system size;
+        # their payloads carry no model field and must stay out of the
+        # servable surface instead of aliasing a system-size cell.
+        grid = GridIndex(spec_for("fig7"))
+        assert grid.models == []
+        with pytest.raises(QueryError, match="no campaign cell"):
+            grid.scenario_for("waypoint")
+
+    def test_shared_payload_experiments_collapse_to_one_cell(self):
+        # fig2 and fig4 plot different series of the same waypoint sweep;
+        # grid order picks the first as the serving cell.
+        grid = GridIndex(spec_for("fig2", "fig4"))
+        assert grid.models == ["waypoint"]
+        assert grid.scenario_for("waypoint").experiment_id == "fig2"
+
+
+class TestResolve:
+    def test_exact_grid_point(self):
+        grid = GridIndex(spec_for("fig2"))
+        resolved = resolve(grid, Query(side=256.0, probability=0.9))
+        assert resolved.exact == 256.0
+        assert resolved.bracket == (256.0,)
+        assert not resolved.out_of_grid
+        assert len(resolved.row_keys) == 1
+
+    def test_between_grid_points_brackets_both_neighbors(self):
+        grid = GridIndex(spec_for("fig2"))  # smoke sides: 256, 1024
+        resolved = resolve(grid, Query(side=640.0, probability=0.9))
+        assert resolved.exact is None
+        assert resolved.bracket == (256.0, 1024.0)
+        assert not resolved.out_of_grid
+        assert len(resolved.row_keys) == 2
+
+    def test_outside_the_span_is_flagged_not_clamped(self):
+        grid = GridIndex(spec_for("fig2"))
+        above = resolve(grid, Query(side=4096.0, probability=0.9))
+        assert above.out_of_grid
+        assert above.exact is None  # never silently promoted to a hit
+        assert above.bracket == (1024.0,)  # nearest edge, for extrapolation
+        assert above.side == 4096.0  # the queried side survives untouched
+        below = resolve(grid, Query(side=16.0, probability=0.9))
+        assert below.out_of_grid
+        assert below.bracket == (256.0,)
+
+    def test_row_keys_are_the_runners_keys_bitwise(self, tmp_path):
+        spec = spec_for("fig2")
+        grid = GridIndex(spec)
+        scenario = grid.scenario_for("waypoint")
+        runner = CampaignRunner(spec, store=ResultStore(tmp_path / "store"))
+        checkpoint = runner._checkpoint_for(
+            get_experiment(scenario.experiment_id), scenario
+        )
+        resolved = resolve(grid, Query(side=256.0, probability=0.9))
+        assert resolved.row_keys[0] == checkpoint.key_for(256.0)
+
+    def test_unknown_model_is_a_query_error(self):
+        grid = GridIndex(spec_for("fig2"))
+        with pytest.raises(QueryError, match="no campaign cell"):
+            resolve(grid, Query(model="teleport", side=256.0, probability=0.9))

@@ -1,0 +1,130 @@
+"""The monotone connectivity surrogate: fitting, evaluation, inversion."""
+
+import pytest
+
+from repro.query.surrogate import (
+    CURVE_POINTS,
+    ConnectivityCurve,
+    blend_rows,
+    fit_row,
+)
+
+#: A well-ordered stored row (thresholds strictly increasing).
+ROW = {"r0": 1.0, "r10": 1.5, "r90": 3.0, "r100": 4.0, "rstationary": 2.0}
+
+
+class TestFitRow:
+    def test_knots_follow_the_stored_thresholds(self):
+        curve = fit_row(ROW)
+        assert curve.ranges == (1.0, 1.5, 3.0, 4.0)
+        assert curve.probabilities == (0.0, 0.1, 0.9, 1.0)
+
+    def test_missing_threshold_column_is_rejected(self):
+        with pytest.raises(ValueError, match="threshold column"):
+            fit_row({"r0": 1.0, "r10": 1.5, "r90": 3.0})
+
+    def test_isotonic_repair_clamps_crossed_thresholds(self):
+        # Monte Carlo jitter can cross r10 above r90; the repair clamps
+        # the later knot up, never reorders, and keeps the raw floats.
+        crossed = {"r0": 1.0, "r10": 3.2, "r90": 3.0, "r100": 4.0}
+        curve = fit_row(crossed)
+        assert curve.ranges == (1.0, 3.2, 3.2, 4.0)
+        assert curve.raw_ranges == (1.0, 3.2, 3.0, 4.0)
+        assert all(
+            a <= b for a, b in zip(curve.ranges, curve.ranges[1:])
+        )
+
+
+class TestForwardEvaluation:
+    def test_knots_evaluate_to_their_probabilities(self):
+        curve = fit_row(ROW)
+        for column, probability in CURVE_POINTS:
+            assert curve.probability_at(ROW[column]) == probability
+
+    def test_between_knots_is_linear(self):
+        curve = fit_row(ROW)
+        # Midway between r10 (p=0.1) and r90 (p=0.9).
+        assert curve.probability_at(2.25) == pytest.approx(0.5)
+
+    def test_outside_the_knots_clamps_to_0_and_1(self):
+        curve = fit_row(ROW)
+        assert curve.probability_at(0.1) == 0.0
+        assert curve.probability_at(100.0) == 1.0
+
+    def test_monotone_non_decreasing_everywhere(self):
+        curve = fit_row(ROW)
+        probes = [0.0, 0.5, 1.0, 1.2, 1.5, 2.0, 2.9, 3.0, 3.5, 4.0, 9.0]
+        values = [curve.probability_at(r) for r in probes]
+        assert values == sorted(values)
+
+
+class TestInverseEvaluation:
+    def test_stored_probabilities_return_stored_floats_bitwise(self):
+        # The acceptance criterion: exact grid queries are bit-identical
+        # to the campaign's own values — even when the isotonic repair
+        # moved the knot used for interpolation.
+        crossed = {
+            "r0": 1.0,
+            "r10": 3.0000000000000004,
+            "r90": 3.0,
+            "r100": 4.0,
+        }
+        curve = fit_row(crossed)
+        for column, probability in CURVE_POINTS:
+            assert curve.range_for(probability) == crossed[column]
+
+    def test_between_knots_interpolates(self):
+        curve = fit_row(ROW)
+        assert curve.range_for(0.5) == pytest.approx(2.25)
+
+    def test_round_trips_through_the_forward_direction(self):
+        curve = fit_row(ROW)
+        for p in (0.05, 0.1, 0.3, 0.5, 0.7, 0.9, 0.95):
+            assert curve.probability_at(curve.range_for(p)) == pytest.approx(p)
+
+    def test_inverse_is_monotone_in_probability(self):
+        curve = fit_row(ROW)
+        probes = [0.0, 0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0]
+        values = [curve.range_for(p) for p in probes]
+        assert values == sorted(values)
+
+    def test_flat_segment_resolves_to_the_smallest_sufficient_range(self):
+        curve = ConnectivityCurve(
+            ranges=(1.0, 2.0, 2.0, 3.0),
+            probabilities=(0.0, 0.1, 0.9, 1.0),
+            raw_ranges=(1.0, 2.0, 2.0, 3.0),
+        )
+        assert curve.range_for(0.5) == 2.0
+
+
+class TestBlendRows:
+    LOW = {"r0": 1.0, "r10": 2.0, "r90": 3.0, "r100": 4.0}
+    HIGH = {"r0": 3.0, "r10": 4.0, "r90": 7.0, "r100": 8.0}
+
+    def test_midpoint_blends_each_threshold_linearly(self):
+        row = blend_rows(256.0, self.LOW, 1024.0, self.HIGH, 640.0)
+        assert row == {"r0": 2.0, "r10": 3.0, "r90": 5.0, "r100": 6.0}
+
+    def test_endpoints_reproduce_the_grid_rows(self):
+        low = blend_rows(256.0, self.LOW, 1024.0, self.HIGH, 256.0)
+        high = blend_rows(256.0, self.LOW, 1024.0, self.HIGH, 1024.0)
+        assert low == self.LOW
+        assert high == self.HIGH
+
+    def test_extrapolates_beyond_the_pair(self):
+        row = blend_rows(256.0, self.LOW, 1024.0, self.HIGH, 1792.0)
+        assert row["r0"] == pytest.approx(5.0)
+        assert row["r100"] == pytest.approx(12.0)
+
+    def test_extrapolated_thresholds_floor_at_zero(self):
+        row = blend_rows(256.0, self.LOW, 1024.0, self.HIGH, 0.5)
+        assert all(value >= 0.0 for value in row.values())
+
+    def test_degenerate_pair_returns_the_low_row(self):
+        row = blend_rows(256.0, self.LOW, 256.0, self.HIGH, 256.0)
+        assert row == self.LOW
+
+    def test_blended_row_is_fittable(self):
+        row = blend_rows(256.0, self.LOW, 1024.0, self.HIGH, 640.0)
+        curve = fit_row(row)
+        assert curve.probability_at(row["r90"]) == 0.9
